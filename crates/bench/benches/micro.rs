@@ -1,0 +1,116 @@
+//! Criterion micro-benchmarks for the computational substrates.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use evfad_core::anomaly::{merge_segments, MitigationStrategy};
+use evfad_core::federated::Aggregator;
+use evfad_core::nn::{Loss, Seq, Sequential};
+use evfad_core::tensor::Matrix;
+use evfad_core::timeseries::{impute, metrics, MinMaxScaler};
+
+fn bench_matmul(c: &mut Criterion) {
+    let a = Matrix::from_fn(64, 64, |i, j| ((i * 7 + j) % 13) as f64 * 0.1);
+    let b = Matrix::from_fn(64, 64, |i, j| ((i + j * 5) % 11) as f64 * 0.2);
+    c.bench_function("tensor/matmul_64x64", |bench| {
+        bench.iter(|| std::hint::black_box(a.matmul(&b)))
+    });
+}
+
+fn bench_lstm_forward_backward(c: &mut Criterion) {
+    let mut model = Sequential::new(1)
+        .with(evfad_core::nn::Lstm::new(1, 50, false))
+        .with(evfad_core::nn::Dense::new(50, 10, evfad_core::nn::Activation::Relu))
+        .with(evfad_core::nn::Dense::new(10, 1, evfad_core::nn::Activation::Linear));
+    let samples: Vec<Matrix> = (0..32)
+        .map(|i| Matrix::column_vector(&(0..24).map(|t| ((i + t) as f64 * 0.1).sin()).collect::<Vec<_>>()))
+        .collect();
+    let batch = Seq::from_samples(&samples);
+    c.bench_function("nn/lstm50_forward_batch32_seq24", |bench| {
+        bench.iter(|| std::hint::black_box(model.forward(&batch, false)))
+    });
+    let targets = Seq::single(Matrix::zeros(32, 1));
+    c.bench_function("nn/lstm50_train_step_batch32_seq24", |bench| {
+        bench.iter(|| {
+            let pred = model.forward(&batch, true);
+            let (_, grad) = Loss::Mse.evaluate(&pred, &targets);
+            model.backward(&grad);
+            model.zero_grads();
+        })
+    });
+}
+
+fn bench_fedavg(c: &mut Criterion) {
+    let update = |v: f64| evfad_core::federated::LocalUpdate {
+        client_id: format!("c{v}"),
+        weights: vec![Matrix::filled(51, 200, v), Matrix::filled(1, 200, v)],
+        sample_count: 100,
+        train_loss: 0.0,
+        duration: std::time::Duration::ZERO,
+    };
+    let updates = vec![update(0.1), update(0.2), update(0.3)];
+    c.bench_function("federated/fedavg_3clients_lstm50", |bench| {
+        bench.iter(|| std::hint::black_box(Aggregator::FedAvg.aggregate(&updates).unwrap()))
+    });
+    c.bench_function("federated/median_3clients_lstm50", |bench| {
+        bench.iter(|| std::hint::black_box(Aggregator::Median.aggregate(&updates).unwrap()))
+    });
+}
+
+fn bench_mitigation(c: &mut Criterion) {
+    let series: Vec<f64> = (0..4344).map(|i| (i as f64 * 0.26).sin() * 10.0 + 30.0).collect();
+    let mask: Vec<bool> = (0..4344).map(|i| i % 97 < 3).collect();
+    c.bench_function("anomaly/merge_segments_4344", |bench| {
+        bench.iter(|| std::hint::black_box(merge_segments(&mask, 2)))
+    });
+    c.bench_function("anomaly/linear_interpolation_4344", |bench| {
+        bench.iter(|| std::hint::black_box(MitigationStrategy::Linear.apply(&series, &mask).unwrap()))
+    });
+    c.bench_function("timeseries/seasonal_impute_4344", |bench| {
+        bench.iter(|| std::hint::black_box(impute::seasonal_naive(&series, &mask, 24).unwrap()))
+    });
+}
+
+fn bench_scaler_and_metrics(c: &mut Criterion) {
+    let series: Vec<f64> = (0..4344).map(|i| (i as f64 * 0.26).sin() * 10.0 + 30.0).collect();
+    c.bench_function("timeseries/minmax_fit_transform_4344", |bench| {
+        bench.iter_batched(
+            || series.clone(),
+            |s| {
+                let scaler = MinMaxScaler::fit(&s).unwrap();
+                std::hint::black_box(scaler.transform(&s))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    let pred: Vec<f64> = series.iter().map(|v| v + 1.0).collect();
+    c.bench_function("timeseries/regression_report_4344", |bench| {
+        bench.iter(|| std::hint::black_box(metrics::report(&series, &pred).unwrap()))
+    });
+}
+
+fn bench_autoencoder_scoring(c: &mut Criterion) {
+    use evfad_core::anomaly::{AnomalyFilter, FilterConfig};
+    let train: Vec<f64> = (0..400)
+        .map(|i| 0.5 + 0.3 * (i as f64 * std::f64::consts::TAU / 24.0).sin())
+        .collect();
+    let mut cfg = FilterConfig::fast(24);
+    cfg.epochs = 2;
+    cfg.train_stride = 4;
+    let mut filter = AnomalyFilter::new(cfg);
+    filter.fit(&train).expect("fit");
+    c.bench_function("anomaly/autoencoder_score_400pts", |bench| {
+        bench.iter(|| std::hint::black_box(filter.score(&train).unwrap()))
+    });
+}
+
+// Keep sample counts low: the heavy benches already run for milliseconds each.
+fn config() -> Criterion {
+    Criterion::default().sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_matmul, bench_lstm_forward_backward, bench_fedavg,
+              bench_mitigation, bench_scaler_and_metrics, bench_autoencoder_scoring
+}
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Criterion benchmark over the end-to-end pipeline at smoke scale:
+//! dataset generation, attack injection, detection+mitigation, and one
+//! federated round. These exist to catch pipeline-level regressions; the
+//! paper-scale numbers come from the table binaries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use evfad_core::attack::{DdosConfig, DdosInjector};
+use evfad_core::data::{DatasetConfig, ShenzhenGenerator, Zone};
+use evfad_core::federated::{FederatedConfig, FederatedSimulation};
+use evfad_core::forecast::experiment::build_forecaster;
+use evfad_core::forecast::pipeline::PreparedClient;
+
+fn bench_generation(c: &mut Criterion) {
+    c.bench_function("pipeline/generate_3zones_720h", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                ShenzhenGenerator::new(DatasetConfig::small(720, 1)).generate_all(),
+            )
+        })
+    });
+}
+
+fn bench_injection(c: &mut Criterion) {
+    let client = ShenzhenGenerator::new(DatasetConfig::small(4344, 1)).generate_zone(Zone::Z102);
+    let injector = DdosInjector::new(DdosConfig::default());
+    c.bench_function("pipeline/inject_ddos_4344h", |b| {
+        b.iter(|| std::hint::black_box(injector.inject(&client.demand, 7)))
+    });
+}
+
+fn bench_preparation(c: &mut Criterion) {
+    let client = ShenzhenGenerator::new(DatasetConfig::small(2000, 2)).generate_zone(Zone::Z105);
+    c.bench_function("pipeline/prepare_client_2000h_seq24", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                PreparedClient::prepare("105", &client.demand, 24, 0.8).unwrap(),
+            )
+        })
+    });
+}
+
+fn bench_federated_round(c: &mut Criterion) {
+    let clients = ShenzhenGenerator::new(DatasetConfig::small(360, 3)).generate_all();
+    c.bench_function("pipeline/federated_round_3clients_360h", |b| {
+        b.iter(|| {
+            let template = build_forecaster(8, 0.01, 1);
+            let cfg = FederatedConfig {
+                rounds: 1,
+                epochs_per_round: 1,
+                parallel: false,
+                ..FederatedConfig::default()
+            };
+            let mut sim = FederatedSimulation::new(template, cfg);
+            for c in &clients {
+                let p = PreparedClient::prepare(c.zone.label(), &c.demand, 24, 0.8).unwrap();
+                sim.add_client(p.label.clone(), p.train);
+            }
+            std::hint::black_box(sim.run().unwrap())
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_generation, bench_injection, bench_preparation, bench_federated_round
+}
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Ablation: aggregation rules under a poisoned client.
+//!
+//! Escalates the paper's data-plane threat model to a compromised client
+//! submitting a scaled-up weight update, and measures the global model's
+//! mean R² across clients for FedAvg vs the robust rules.
+
+use evfad_bench::BenchOpts;
+use evfad_core::data::ShenzhenGenerator;
+use evfad_core::federated::{Aggregator, LocalUpdate};
+use evfad_core::forecast::experiment::build_forecaster;
+use evfad_core::forecast::pipeline::PreparedClient;
+use evfad_core::nn::TrainConfig;
+
+fn main() {
+    let opts = BenchOpts::from_env();
+    println!("{}", opts.banner("Ablation: robust aggregation"));
+    let cfg = opts.study_config();
+    let clients = ShenzhenGenerator::new(cfg.dataset.clone()).generate_all();
+    let prepared: Vec<PreparedClient> = clients
+        .iter()
+        .map(|c| {
+            PreparedClient::prepare(c.zone.label(), &c.demand, cfg.seq_len, cfg.train_fraction)
+                .expect("prepare")
+        })
+        .collect();
+
+    // Honest local updates (one per zone, plus a twin for Krum headroom).
+    let train_cfg = TrainConfig {
+        epochs: cfg.epochs_per_round,
+        batch_size: cfg.batch_size,
+        ..TrainConfig::default()
+    };
+    let mut updates: Vec<LocalUpdate> = Vec::new();
+    for p in &prepared {
+        let mut model = build_forecaster(cfg.lstm_units, cfg.learning_rate, cfg.seed);
+        model.fit(&p.train, &train_cfg).expect("fit");
+        updates.push(LocalUpdate {
+            client_id: p.label.clone(),
+            weights: model.weights(),
+            sample_count: p.train.len(),
+            train_loss: 0.0,
+            duration: std::time::Duration::ZERO,
+        });
+    }
+    let mut twin = updates[0].clone();
+    twin.client_id = "102-twin".into();
+    updates.push(twin);
+
+    println!("{:<14} {:>12} {:>12}", "aggregator", "clean R2", "poisoned R2");
+    for agg in [
+        Aggregator::FedAvg,
+        Aggregator::Median,
+        Aggregator::TrimmedMean { trim: 1 },
+        Aggregator::Krum { byzantine: 1 },
+    ] {
+        let mean_r2 = |ups: &[LocalUpdate]| -> f64 {
+            let global = agg.aggregate(ups).expect("aggregate");
+            let mut model = build_forecaster(cfg.lstm_units, cfg.learning_rate, cfg.seed);
+            model.set_weights(&global).expect("weights");
+            prepared
+                .iter()
+                .map(|p| p.evaluate_raw(&mut model).map(|e| e.r2).unwrap_or(f64::NAN))
+                .sum::<f64>()
+                / prepared.len() as f64
+        };
+        let clean = mean_r2(&updates);
+        let mut poisoned = updates.clone();
+        let mut evil = poisoned[1].clone();
+        evil.client_id = "compromised".into();
+        for w in &mut evil.weights {
+            *w = w.scale(50.0);
+        }
+        poisoned.push(evil);
+        let bad = mean_r2(&poisoned);
+        println!("{:<14} {:>12.4} {:>12.4}", agg.name(), clean, bad);
+    }
+}

@@ -1,0 +1,94 @@
+//! Ablation: detection quality across attack vectors.
+//!
+//! The paper's detector targets sustained volume spikes (§II-B) and defers
+//! other vectors to future work (§III-G). This bench trains one filter per
+//! zone and evaluates it against the DDoS baseline plus four alternative
+//! vectors, printing a detection table per vector.
+
+use evfad_bench::BenchOpts;
+use evfad_core::anomaly::{AnomalyFilter, DetectionReport};
+use evfad_core::attack::vectors::{inject_vector, AttackVector};
+use evfad_core::attack::{DdosConfig, DdosInjector};
+use evfad_core::data::ShenzhenGenerator;
+use evfad_core::timeseries::MinMaxScaler;
+
+fn main() {
+    let opts = BenchOpts::from_env();
+    println!("{}", opts.banner("Ablation: attack vectors"));
+    let cfg = opts.study_config();
+    let clients = ShenzhenGenerator::new(cfg.dataset.clone()).generate_all();
+
+    // One fitted filter per zone (trained on clean data, as in the paper).
+    let mut filters = Vec::new();
+    let mut scalers = Vec::new();
+    for (i, c) in clients.iter().enumerate() {
+        let scaler = MinMaxScaler::fit(&c.demand).expect("scaler");
+        let mut filter_cfg = cfg.filter.clone();
+        filter_cfg.seed = cfg.seed + i as u64;
+        let mut filter = AnomalyFilter::new(filter_cfg);
+        filter
+            .fit(&scaler.transform(&c.demand))
+            .expect("filter fit");
+        filters.push(filter);
+        scalers.push(scaler);
+    }
+
+    let vectors: Vec<(&str, Box<dyn Fn(&[f64], u64) -> evfad_core::attack::AttackOutcome>)> = vec![
+        (
+            "ddos_volume_spikes",
+            Box::new(|s, seed| DdosInjector::new(DdosConfig::default()).inject(s, seed)),
+        ),
+        (
+            "false_data_injection",
+            Box::new(|s, seed| {
+                inject_vector(s, AttackVector::FalseDataInjection { bias: 1.25 }, 0.15, seed)
+            }),
+        ),
+        (
+            "temporal_disruption",
+            Box::new(|s, seed| inject_vector(s, AttackVector::TemporalDisruption, 0.15, seed)),
+        ),
+        (
+            "ramp",
+            Box::new(|s, seed| inject_vector(s, AttackVector::Ramp { peak: 3.0 }, 0.15, seed)),
+        ),
+        (
+            "pulse",
+            Box::new(|s, seed| inject_vector(s, AttackVector::Pulse { magnitude: 3.0 }, 0.15, seed)),
+        ),
+    ];
+
+    println!(
+        "{:<22} {:>6} {:>10} {:>8} {:>7} {:>7}",
+        "vector", "zone", "precision", "recall", "F1", "FPR%"
+    );
+    for (name, inject) in &vectors {
+        let mut overall = DetectionReport::from_flags(&[], &[]);
+        for (i, c) in clients.iter().enumerate() {
+            let outcome = inject(&c.demand, cfg.seed + i as u64);
+            let detection = filters[i]
+                .try_detect(&scalers[i].transform(&outcome.series))
+                .expect("detect");
+            let report = DetectionReport::from_flags(&outcome.labels, &detection.flags);
+            println!(
+                "{:<22} {:>6} {:>10.3} {:>8.3} {:>7.3} {:>7.2}",
+                name,
+                c.zone.label(),
+                report.precision(),
+                report.recall(),
+                report.f1(),
+                report.false_positive_rate() * 100.0
+            );
+            overall = overall.merged(report);
+        }
+        println!(
+            "{:<22} {:>6} {:>10.3} {:>8.3} {:>7.3} {:>7.2}",
+            name,
+            "all",
+            overall.precision(),
+            overall.recall(),
+            overall.f1(),
+            overall.false_positive_rate() * 100.0
+        );
+    }
+}

@@ -1,0 +1,76 @@
+//! Ablation: LSTM vs classical baselines.
+//!
+//! The paper motivates LSTMs over the statistical models surveyed in its
+//! introduction (ARIMA-family, shallow learners). This bench compares the
+//! federated LSTM against persistence, seasonal-naive, and an AR(24) ridge
+//! model — each evaluated per zone on clean data.
+
+use evfad_bench::BenchOpts;
+use evfad_core::data::ShenzhenGenerator;
+use evfad_core::forecast::baselines::{
+    ArForecaster, BaselineForecaster, NaiveForecaster, SeasonalNaiveForecaster,
+};
+use evfad_core::forecast::experiment::build_forecaster;
+use evfad_core::forecast::pipeline::PreparedClient;
+use evfad_core::nn::TrainConfig;
+use evfad_core::timeseries::metrics;
+
+fn main() {
+    let opts = BenchOpts::from_env();
+    println!("{}", opts.banner("Ablation: forecaster baselines"));
+    let cfg = opts.study_config();
+    let clients = ShenzhenGenerator::new(cfg.dataset.clone()).generate_all();
+
+    println!(
+        "{:<8} {:<16} {:>8} {:>8} {:>8}",
+        "zone", "model", "MAE", "RMSE", "R2"
+    );
+    for c in &clients {
+        let p = PreparedClient::prepare(c.zone.label(), &c.demand, cfg.seq_len, cfg.train_fraction)
+            .expect("prepare");
+        let boundary = p.boundary;
+        // Baselines predict on the raw series; align with the test targets.
+        let tail = &c.demand[boundary - cfg.seq_len..];
+        let actual: Vec<f64> = tail[cfg.seq_len..].to_vec();
+
+        let ar = ArForecaster::fit(&c.demand[..boundary], cfg.seq_len, 1e-4).expect("ar fit");
+        let baselines: Vec<(&str, Vec<f64>)> = vec![
+            ("naive", NaiveForecaster.predict_series(tail, cfg.seq_len)),
+            (
+                "seasonal_naive",
+                SeasonalNaiveForecaster::default().predict_series(tail, cfg.seq_len),
+            ),
+            ("ar24_ridge", ar.predict_series(tail, cfg.seq_len)),
+        ];
+        for (name, preds) in &baselines {
+            let rep = metrics::report(&actual, preds).expect("metrics");
+            println!(
+                "{:<8} {:<16} {:>8.4} {:>8.4} {:>8.4}",
+                c.zone.label(),
+                name,
+                rep.mae,
+                rep.rmse,
+                rep.r2
+            );
+        }
+
+        // Local LSTM trained like one federated client (no averaging),
+        // same budget as the paper's local schedule.
+        let mut model = build_forecaster(cfg.lstm_units, cfg.learning_rate, cfg.seed);
+        let train_cfg = TrainConfig {
+            epochs: cfg.rounds * cfg.epochs_per_round,
+            batch_size: cfg.batch_size,
+            ..TrainConfig::default()
+        };
+        model.fit(&p.train, &train_cfg).expect("fit");
+        let eval = p.evaluate_raw(&mut model).expect("eval");
+        println!(
+            "{:<8} {:<16} {:>8.4} {:>8.4} {:>8.4}",
+            c.zone.label(),
+            "lstm_local",
+            eval.mae,
+            eval.rmse,
+            eval.r2
+        );
+    }
+}

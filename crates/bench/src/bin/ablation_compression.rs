@@ -1,0 +1,75 @@
+//! Ablation: 8-bit update compression.
+//!
+//! Quantizes client updates to u8 before aggregation and measures both the
+//! bandwidth saved and the accuracy cost versus exact FedAvg.
+
+use evfad_bench::BenchOpts;
+use evfad_core::data::ShenzhenGenerator;
+use evfad_core::federated::compression::QuantizedUpdate;
+use evfad_core::federated::{Aggregator, LocalUpdate};
+use evfad_core::forecast::experiment::build_forecaster;
+use evfad_core::forecast::pipeline::PreparedClient;
+use evfad_core::nn::TrainConfig;
+
+fn main() {
+    let opts = BenchOpts::from_env();
+    println!("{}", opts.banner("Ablation: update compression"));
+    let cfg = opts.study_config();
+    let clients = ShenzhenGenerator::new(cfg.dataset.clone()).generate_all();
+    let prepared: Vec<PreparedClient> = clients
+        .iter()
+        .map(|c| {
+            PreparedClient::prepare(c.zone.label(), &c.demand, cfg.seq_len, cfg.train_fraction)
+                .expect("prepare")
+        })
+        .collect();
+
+    // Train honest updates.
+    let train_cfg = TrainConfig {
+        epochs: cfg.epochs_per_round,
+        batch_size: cfg.batch_size,
+        ..TrainConfig::default()
+    };
+    let mut exact_updates = Vec::new();
+    for p in &prepared {
+        let mut model = build_forecaster(cfg.lstm_units, cfg.learning_rate, cfg.seed);
+        model.fit(&p.train, &train_cfg).expect("fit");
+        exact_updates.push(LocalUpdate {
+            client_id: p.label.clone(),
+            weights: model.weights(),
+            sample_count: p.train.len(),
+            train_loss: 0.0,
+            duration: std::time::Duration::ZERO,
+        });
+    }
+    let mut quant_updates = exact_updates.clone();
+    let mut raw_bytes = 0usize;
+    let mut quant_bytes = 0usize;
+    for u in &mut quant_updates {
+        let q = QuantizedUpdate::quantize(&u.weights);
+        raw_bytes += u.weights.iter().map(|m| m.len() * 8).sum::<usize>();
+        quant_bytes += q.byte_size();
+        u.weights = q.dequantize();
+    }
+
+    println!("{:<12} {:>10} {:>10} {:>10}", "variant", "102 R2", "105 R2", "108 R2");
+    for (name, updates) in [("exact", &exact_updates), ("quantized", &quant_updates)] {
+        let global = Aggregator::FedAvg.aggregate(updates).expect("aggregate");
+        let mut model = build_forecaster(cfg.lstm_units, cfg.learning_rate, cfg.seed);
+        model.set_weights(&global).expect("weights");
+        let r2s: Vec<f64> = prepared
+            .iter()
+            .map(|p| p.evaluate_raw(&mut model).map(|e| e.r2).unwrap_or(f64::NAN))
+            .collect();
+        println!(
+            "{:<12} {:>10.4} {:>10.4} {:>10.4}",
+            name, r2s[0], r2s[1], r2s[2]
+        );
+    }
+    println!(
+        "\nbandwidth: raw {:.1} KiB vs quantized {:.1} KiB ({:.1}x smaller)",
+        raw_bytes as f64 / 1024.0,
+        quant_bytes as f64 / 1024.0,
+        raw_bytes as f64 / quant_bytes as f64
+    );
+}

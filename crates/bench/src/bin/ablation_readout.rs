@@ -1,0 +1,46 @@
+//! Ablation: personalised (local) vs global federated read-out.
+//!
+//! The paper's per-client numbers beat a pooled centralized model, which
+//! requires evaluating each client with its locally-trained model after
+//! the final round (see DESIGN.md §3). This bench quantifies the gap
+//! between that personalised read-out and evaluating everyone with the
+//! final global aggregate.
+
+use evfad_bench::BenchOpts;
+use evfad_core::forecast::experiment::ReadOut;
+use evfad_core::forecast::{run_study, Architecture, Scenario};
+
+fn main() {
+    let opts = BenchOpts::from_env();
+    println!("{}", opts.banner("Ablation: federated read-out"));
+    for read_out in [ReadOut::Local, ReadOut::Global] {
+        let mut cfg = opts.study_config();
+        cfg.read_out = read_out;
+        match run_study(&cfg) {
+            Ok(report) => {
+                println!("\nread_out = {read_out:?}");
+                println!("{:<8} {:>10} {:>10} {:>10}", "zone", "clean R2", "attacked", "filtered");
+                for zone in ["102", "105", "108"] {
+                    let r2 = |s| {
+                        report
+                            .result(s, Architecture::Federated)
+                            .and_then(|r| r.client(zone))
+                            .map(|c| c.r2)
+                            .unwrap_or(f64::NAN)
+                    };
+                    println!(
+                        "{:<8} {:>10.4} {:>10.4} {:>10.4}",
+                        zone,
+                        r2(Scenario::Clean),
+                        r2(Scenario::Attacked),
+                        r2(Scenario::Filtered)
+                    );
+                }
+            }
+            Err(e) => {
+                eprintln!("study failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

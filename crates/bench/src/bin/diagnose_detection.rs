@@ -1,0 +1,89 @@
+//! Diagnostic: where do the detector's false positives come from?
+//!
+//! Prints, per zone: the flag counts, the distance from each false positive
+//! to the nearest attack episode, and whether FPs cluster in the train or
+//! test region. Used to calibrate the detector against the paper's
+//! operating point; not part of the reproduction tables.
+
+use evfad_bench::BenchOpts;
+use evfad_core::anomaly::AnomalyFilter;
+use evfad_core::attack::DdosInjector;
+use evfad_core::data::ShenzhenGenerator;
+use evfad_core::timeseries::MinMaxScaler;
+
+fn main() {
+    let opts = BenchOpts::from_env();
+    println!("{}", opts.banner("Detection diagnostics"));
+    let cfg = opts.study_config();
+    let clients = ShenzhenGenerator::new(cfg.dataset.clone()).generate_all();
+    let injector = DdosInjector::new(cfg.attack.clone());
+
+    for (i, c) in clients.iter().enumerate() {
+        let outcome = injector.inject(&c.demand, cfg.seed + i as u64);
+        let scaler = MinMaxScaler::fit(&outcome.series).expect("scaler");
+        let mut filter_cfg = cfg.filter.clone();
+        filter_cfg.seed = cfg.seed + i as u64;
+        let mut filter = AnomalyFilter::new(filter_cfg);
+        filter.fit(&scaler.transform(&c.demand)).expect("fit");
+        let det = filter
+            .try_detect(&scaler.transform(&outcome.series))
+            .expect("detect");
+
+        let n = outcome.labels.len();
+        let boundary = (n as f64 * cfg.train_fraction) as usize;
+        let mut fp_train = 0;
+        let mut fp_test = 0;
+        let mut dist_hist = [0usize; 6]; // 1,2,3,4-8,9-24,>24
+        for t in 0..n {
+            if det.flags[t] && !outcome.labels[t] {
+                if t < boundary {
+                    fp_train += 1;
+                } else {
+                    fp_test += 1;
+                }
+                let dist = outcome
+                    .episodes
+                    .iter()
+                    .map(|e| {
+                        if t < e.start {
+                            e.start - t
+                        } else {
+                            t.saturating_sub(e.end - 1)
+                        }
+                    })
+                    .min()
+                    .unwrap_or(usize::MAX);
+                let bucket = match dist {
+                    0..=1 => 0,
+                    2 => 1,
+                    3 => 2,
+                    4..=8 => 3,
+                    9..=24 => 4,
+                    _ => 5,
+                };
+                dist_hist[bucket] += 1;
+            }
+        }
+        let fp_total = fp_train + fp_test;
+        let tp = det
+            .flags
+            .iter()
+            .zip(&outcome.labels)
+            .filter(|(&f, &l)| f && l)
+            .count();
+        println!(
+            "zone {} | threshold {:.6} | flagged {} (tp {}, fp {}) | fp train/test {}/{}",
+            c.zone.label(),
+            det.threshold,
+            det.flagged_count(),
+            tp,
+            fp_total,
+            fp_train,
+            fp_test
+        );
+        println!(
+            "  fp distance to nearest episode: <=1: {}  2: {}  3: {}  4-8: {}  9-24: {}  >24: {}",
+            dist_hist[0], dist_hist[1], dist_hist[2], dist_hist[3], dist_hist[4], dist_hist[5]
+        );
+    }
+}

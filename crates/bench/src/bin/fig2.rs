@@ -1,0 +1,18 @@
+//! Regenerates **Fig. 2**: performance of the anomaly-resilient federated
+//! LSTM for Client 1 — the per-scenario R² bars and the prediction-vs-actual
+//! test series (printed as columns; cap with `--rows`).
+
+use evfad_bench::BenchOpts;
+use evfad_core::forecast::run_study;
+
+fn main() {
+    let opts = BenchOpts::from_env();
+    println!("{}", opts.banner("Fig 2"));
+    match run_study(&opts.study_config()) {
+        Ok(report) => print!("{}", report.fig2_text(opts.rows)),
+        Err(e) => {
+            eprintln!("study failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

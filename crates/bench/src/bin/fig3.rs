@@ -1,0 +1,17 @@
+//! Regenerates **Fig. 3**: R² of federated vs centralized LSTM on filtered
+//! data, one bar pair per client.
+
+use evfad_bench::BenchOpts;
+use evfad_core::forecast::run_study;
+
+fn main() {
+    let opts = BenchOpts::from_env();
+    println!("{}", opts.banner("Fig 3"));
+    match run_study(&opts.study_config()) {
+        Ok(report) => print!("{}", report.fig3_text()),
+        Err(e) => {
+            eprintln!("study failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Runs the complete four-scenario study once and prints every table and
+//! figure (Tables I–III, Figs. 2–3) plus the headline numbers — the
+//! one-shot artefact behind `EXPERIMENTS.md`. Optionally dumps the raw
+//! report as JSON with `--json <path>`.
+
+use evfad_bench::BenchOpts;
+use evfad_core::forecast::run_study;
+
+fn main() {
+    let opts = BenchOpts::from_env();
+    let json_path = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--json")
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    println!("{}", opts.banner("Full study"));
+    let report = match run_study(&opts.study_config()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("study failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    print!("{}", report.table1());
+    println!();
+    print!("{}", report.table2());
+    println!();
+    print!("{}", report.table3());
+    println!();
+    print!("{}", report.fig2_text(opts.rows));
+    println!();
+    print!("{}", report.fig3_text());
+    println!();
+    println!("{}", report.headline_text());
+    if let Some(path) = json_path {
+        match serde_json::to_string_pretty(&report) {
+            Ok(json) => {
+                if let Err(e) = std::fs::write(&path, json) {
+                    eprintln!("could not write {path}: {e}");
+                } else {
+                    println!("\nreport JSON written to {path}");
+                }
+            }
+            Err(e) => eprintln!("could not serialise report: {e}"),
+        }
+    }
+}

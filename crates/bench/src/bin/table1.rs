@@ -1,0 +1,22 @@
+//! Regenerates **Table I**: complete performance comparison for Client 1
+//! across the four scenarios (Clean/Attacked/Filtered federated, Filtered
+//! centralized), plus the derived headline numbers.
+
+use evfad_bench::BenchOpts;
+use evfad_core::forecast::run_study;
+
+fn main() {
+    let opts = BenchOpts::from_env();
+    println!("{}", opts.banner("Table I"));
+    match run_study(&opts.study_config()) {
+        Ok(report) => {
+            print!("{}", report.table1());
+            println!();
+            println!("{}", report.headline_text());
+        }
+        Err(e) => {
+            eprintln!("study failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! Regenerates **Table II**: client-specific anomaly-detection results
+//! (precision / recall / F1 per zone, plus overall precision and FPR).
+
+use evfad_bench::BenchOpts;
+use evfad_core::forecast::run_study;
+
+fn main() {
+    let opts = BenchOpts::from_env();
+    println!("{}", opts.banner("Table II"));
+    match run_study(&opts.study_config()) {
+        Ok(report) => print!("{}", report.table2()),
+        Err(e) => {
+            eprintln!("study failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! Regenerates **Table III**: client-specific performance comparison of the
+//! federated vs centralized architectures on identically filtered data.
+
+use evfad_bench::BenchOpts;
+use evfad_core::forecast::run_study;
+
+fn main() {
+    let opts = BenchOpts::from_env();
+    println!("{}", opts.banner("Table III"));
+    match run_study(&opts.study_config()) {
+        Ok(report) => print!("{}", report.table3()),
+        Err(e) => {
+            eprintln!("study failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

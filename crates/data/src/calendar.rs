@@ -1,0 +1,68 @@
+//! Hour/day bookkeeping for the hourly series.
+//!
+//! Timestamp `0` is defined as 00:00 on a Thursday (1 September 2022, the
+//! first day of the paper's collection window).
+
+/// Hours in one day.
+pub const HOURS_PER_DAY: usize = 24;
+
+/// Hours in one week.
+pub const HOURS_PER_WEEK: usize = 7 * HOURS_PER_DAY;
+
+/// Day-of-week index of timestamp 0 (Thursday; Monday = 0).
+const FIRST_DAY_OF_WEEK: usize = 3;
+
+/// Hour of day (0–23) for hourly timestamp `t`.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(evfad_data::hour_of_day(0), 0);
+/// assert_eq!(evfad_data::hour_of_day(25), 1);
+/// ```
+pub fn hour_of_day(t: usize) -> usize {
+    t % HOURS_PER_DAY
+}
+
+/// Day of week (Monday = 0 … Sunday = 6) for hourly timestamp `t`.
+pub fn day_of_week(t: usize) -> usize {
+    (t / HOURS_PER_DAY + FIRST_DAY_OF_WEEK) % 7
+}
+
+/// Whether timestamp `t` falls on a Saturday or Sunday.
+pub fn is_weekend(t: usize) -> bool {
+    day_of_week(t) >= 5
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hour_cycles_daily() {
+        assert_eq!(hour_of_day(0), 0);
+        assert_eq!(hour_of_day(23), 23);
+        assert_eq!(hour_of_day(24), 0);
+        assert_eq!(hour_of_day(24 * 100 + 7), 7);
+    }
+
+    #[test]
+    fn first_timestamp_is_thursday() {
+        assert_eq!(day_of_week(0), 3);
+    }
+
+    #[test]
+    fn weekend_detection() {
+        // Thursday (day 0 of series) .. Friday .. Saturday.
+        assert!(!is_weekend(0));
+        assert!(!is_weekend(24));
+        assert!(is_weekend(48));
+        assert!(is_weekend(72));
+        assert!(!is_weekend(96)); // Monday
+    }
+
+    #[test]
+    fn week_wraps_after_seven_days() {
+        assert_eq!(day_of_week(0), day_of_week(HOURS_PER_WEEK));
+    }
+}

@@ -1,0 +1,122 @@
+//! Contextual weather channel.
+//!
+//! The paper's dataset includes meteorological observations that are carried
+//! as context but "not directly incorporated into the forecasting models"
+//! (§II-A). We generate an equivalent channel so the dataset has the same
+//! shape and downstream users can experiment with weather-aware extensions.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Hourly weather observation for a zone.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WeatherPoint {
+    /// Air temperature in °C.
+    pub temperature_c: f64,
+    /// Relative humidity in percent.
+    pub humidity_pct: f64,
+    /// Whether precipitation occurred during the hour.
+    pub raining: bool,
+}
+
+/// Generates `timestamps` hourly weather points for a subtropical autumn →
+/// winter window (Shenzhen, September–February): a slow seasonal cooling
+/// trend plus a diurnal temperature cycle and autocorrelated rain spells.
+///
+/// # Examples
+///
+/// ```
+/// let w = evfad_data::generate_weather(1000, 7);
+/// assert_eq!(w.len(), 1000);
+/// assert!(w.iter().all(|p| p.temperature_c > -5.0 && p.temperature_c < 45.0));
+/// ```
+pub fn generate_weather(timestamps: usize, seed: u64) -> Vec<WeatherPoint> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x57EA_7E44);
+    let mut raining = false;
+    let mut temp_noise = 0.0f64;
+    (0..timestamps)
+        .map(|t| {
+            let season = t as f64 / timestamps.max(1) as f64;
+            // ~29°C September mean cooling to ~16°C February mean.
+            let seasonal = 29.0 - 13.0 * season;
+            let hour = crate::calendar::hour_of_day(t) as f64;
+            let diurnal = 3.5 * ((hour - 14.0) * std::f64::consts::PI / 12.0).cos();
+            temp_noise = 0.9 * temp_noise + rng.gen_range(-0.6..0.6);
+            // Rain spells persist: 3% start rate, 70% continuation.
+            raining = if raining {
+                rng.gen::<f64>() < 0.7
+            } else {
+                rng.gen::<f64>() < 0.03
+            };
+            let rain_boost = if raining { 25.0 } else { 0.0 };
+            let humidity =
+                (62.0_f64 + rain_boost + rng.gen_range(-8.0..8.0)).clamp(20.0, 100.0);
+            WeatherPoint {
+                temperature_c: seasonal + diurnal + temp_noise - if raining { 1.5 } else { 0.0 },
+                humidity_pct: humidity,
+                raining,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_under_seed() {
+        assert_eq!(generate_weather(100, 5), generate_weather(100, 5));
+        assert_ne!(generate_weather(100, 5), generate_weather(100, 6));
+    }
+
+    #[test]
+    fn cools_over_the_window() {
+        let w = generate_weather(4344, 1);
+        let first_week: f64 =
+            w[..168].iter().map(|p| p.temperature_c).sum::<f64>() / 168.0;
+        let last_week: f64 =
+            w[w.len() - 168..].iter().map(|p| p.temperature_c).sum::<f64>() / 168.0;
+        assert!(first_week > last_week + 5.0);
+    }
+
+    #[test]
+    fn afternoon_warmer_than_predawn() {
+        let w = generate_weather(24 * 30, 2);
+        let mut pre_dawn = 0.0;
+        let mut afternoon = 0.0;
+        let mut days = 0.0;
+        for d in 0..30 {
+            pre_dawn += w[d * 24 + 4].temperature_c;
+            afternoon += w[d * 24 + 14].temperature_c;
+            days += 1.0;
+        }
+        assert!(afternoon / days > pre_dawn / days + 3.0);
+    }
+
+    #[test]
+    fn rain_raises_humidity() {
+        let w = generate_weather(4344, 3);
+        let (mut wet, mut nw, mut dry, mut nd) = (0.0, 0.0, 0.0, 0.0);
+        for p in &w {
+            if p.raining {
+                wet += p.humidity_pct;
+                nw += 1.0;
+            } else {
+                dry += p.humidity_pct;
+                nd += 1.0;
+            }
+        }
+        assert!(nw > 0.0 && nd > 0.0);
+        assert!(wet / nw > dry / nd + 10.0);
+    }
+
+    #[test]
+    fn humidity_stays_in_bounds() {
+        let w = generate_weather(2000, 4);
+        assert!(w
+            .iter()
+            .all(|p| (20.0..=100.0).contains(&p.humidity_pct)));
+    }
+}

@@ -1,0 +1,298 @@
+//! Server-side aggregation rules.
+
+use crate::client::LocalUpdate;
+use crate::error::FederatedError;
+use evfad_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Rule combining client updates into the next global model.
+///
+/// The paper uses sample-weighted Federated Averaging
+/// ([`Aggregator::FedAvg`]). The Byzantine-robust rules harden the server
+/// against poisoned updates — relevant because the paper's threat model is
+/// an adversary attacking the *data* path; a natural escalation (bench
+/// `ablation_aggregation`) is an adversary compromising a *client*.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum Aggregator {
+    /// Sample-count-weighted mean of client weights (McMahan et al.).
+    #[default]
+    FedAvg,
+    /// Coordinate-wise median (unweighted).
+    Median,
+    /// Coordinate-wise trimmed mean: drop the lowest and highest
+    /// `trim` values per coordinate, average the rest.
+    TrimmedMean {
+        /// How many extreme values to drop from each side.
+        trim: usize,
+    },
+    /// Krum: select the single update minimising the summed squared
+    /// distance to its `n - f - 2` nearest neighbours.
+    Krum {
+        /// Upper bound on the number of Byzantine clients `f`.
+        byzantine: usize,
+    },
+}
+
+impl Aggregator {
+    /// Stable identifier for bench output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Aggregator::FedAvg => "fedavg",
+            Aggregator::Median => "median",
+            Aggregator::TrimmedMean { .. } => "trimmed_mean",
+            Aggregator::Krum { .. } => "krum",
+        }
+    }
+
+    /// Combines updates into new global weights.
+    ///
+    /// # Errors
+    ///
+    /// * [`FederatedError::NoClients`] for an empty update set;
+    /// * [`FederatedError::Aggregation`] if shapes disagree, trimming
+    ///   removes everything, or Krum lacks clients (`n >= f + 3`).
+    pub fn aggregate(self, updates: &[LocalUpdate]) -> Result<Vec<Matrix>, FederatedError> {
+        if updates.is_empty() {
+            return Err(FederatedError::NoClients);
+        }
+        let reference: Vec<(usize, usize)> =
+            updates[0].weights.iter().map(Matrix::shape).collect();
+        for u in updates {
+            let shapes: Vec<(usize, usize)> = u.weights.iter().map(Matrix::shape).collect();
+            if shapes != reference {
+                return Err(FederatedError::Aggregation(format!(
+                    "client {} has mismatched weight shapes",
+                    u.client_id
+                )));
+            }
+        }
+        match self {
+            Aggregator::FedAvg => Ok(fed_avg(updates)),
+            Aggregator::Median => Ok(coordinate_wise(updates, |vals| {
+                evfad_tensor::stats::median(vals)
+            })),
+            Aggregator::TrimmedMean { trim } => {
+                if 2 * trim >= updates.len() {
+                    return Err(FederatedError::Aggregation(format!(
+                        "trim {trim} leaves no updates out of {}",
+                        updates.len()
+                    )));
+                }
+                Ok(coordinate_wise(updates, move |vals| {
+                    let mut sorted = vals.to_vec();
+                    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite weights"));
+                    let kept = &sorted[trim..sorted.len() - trim];
+                    kept.iter().sum::<f64>() / kept.len() as f64
+                }))
+            }
+            Aggregator::Krum { byzantine } => krum(updates, byzantine),
+        }
+    }
+}
+
+fn fed_avg(updates: &[LocalUpdate]) -> Vec<Matrix> {
+    let total: f64 = updates.iter().map(|u| u.sample_count as f64).sum();
+    let mut out: Vec<Matrix> = updates[0]
+        .weights
+        .iter()
+        .map(|m| Matrix::zeros(m.rows(), m.cols()))
+        .collect();
+    for u in updates {
+        // Degenerate all-zero-samples federations fall back to uniform.
+        let w = if total > 0.0 {
+            u.sample_count as f64 / total
+        } else {
+            1.0 / updates.len() as f64
+        };
+        for (acc, m) in out.iter_mut().zip(&u.weights) {
+            acc.axpy(w, m);
+        }
+    }
+    out
+}
+
+fn coordinate_wise(updates: &[LocalUpdate], combine: impl Fn(&[f64]) -> f64) -> Vec<Matrix> {
+    let mut out = Vec::with_capacity(updates[0].weights.len());
+    for t in 0..updates[0].weights.len() {
+        let shape = updates[0].weights[t].shape();
+        let mut m = Matrix::zeros(shape.0, shape.1);
+        let mut column = vec![0.0; updates.len()];
+        for flat in 0..m.len() {
+            for (ci, u) in updates.iter().enumerate() {
+                column[ci] = u.weights[t].as_slice()[flat];
+            }
+            m.as_mut_slice()[flat] = combine(&column);
+        }
+        out.push(m);
+    }
+    out
+}
+
+fn krum(updates: &[LocalUpdate], byzantine: usize) -> Result<Vec<Matrix>, FederatedError> {
+    let n = updates.len();
+    if n < byzantine + 3 {
+        return Err(FederatedError::Aggregation(format!(
+            "Krum needs at least f + 3 = {} clients, got {n}",
+            byzantine + 3
+        )));
+    }
+    let neighbours = n - byzantine - 2;
+    let dist = |a: &LocalUpdate, b: &LocalUpdate| -> f64 {
+        a.weights
+            .iter()
+            .zip(&b.weights)
+            .map(|(x, y)| {
+                x.as_slice()
+                    .iter()
+                    .zip(y.as_slice())
+                    .map(|(p, q)| (p - q) * (p - q))
+                    .sum::<f64>()
+            })
+            .sum()
+    };
+    let mut best = 0;
+    let mut best_score = f64::INFINITY;
+    for i in 0..n {
+        let mut distances: Vec<f64> = (0..n)
+            .filter(|&j| j != i)
+            .map(|j| dist(&updates[i], &updates[j]))
+            .collect();
+        distances.sort_by(|a, b| a.partial_cmp(b).expect("finite distances"));
+        let score: f64 = distances.iter().take(neighbours).sum();
+        if score < best_score {
+            best_score = score;
+            best = i;
+        }
+    }
+    Ok(updates[best].weights.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn update(id: &str, value: f64, samples: usize) -> LocalUpdate {
+        LocalUpdate {
+            client_id: id.into(),
+            weights: vec![Matrix::filled(2, 2, value), Matrix::filled(1, 2, value * 10.0)],
+            sample_count: samples,
+            train_loss: 0.0,
+            duration: Duration::ZERO,
+        }
+    }
+
+    #[test]
+    fn fedavg_weighted_by_samples() {
+        let ups = [update("a", 0.0, 100), update("b", 1.0, 300)];
+        let agg = Aggregator::FedAvg.aggregate(&ups).unwrap();
+        assert!((agg[0][(0, 0)] - 0.75).abs() < 1e-12);
+        assert!((agg[1][(0, 1)] - 7.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fedavg_equal_samples_is_plain_mean() {
+        let ups = [update("a", 2.0, 50), update("b", 4.0, 50)];
+        let agg = Aggregator::FedAvg.aggregate(&ups).unwrap();
+        assert!((agg[0][(1, 1)] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fedavg_zero_samples_falls_back_to_uniform() {
+        let ups = [update("a", 2.0, 0), update("b", 4.0, 0)];
+        let agg = Aggregator::FedAvg.aggregate(&ups).unwrap();
+        assert!((agg[0][(0, 0)] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_ignores_one_outlier() {
+        let ups = [
+            update("a", 1.0, 10),
+            update("b", 1.2, 10),
+            update("evil", 1e9, 10),
+        ];
+        let agg = Aggregator::Median.aggregate(&ups).unwrap();
+        assert!((agg[0][(0, 0)] - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trimmed_mean_discards_extremes() {
+        let ups = [
+            update("a", 0.0, 10),
+            update("b", 1.0, 10),
+            update("c", 2.0, 10),
+            update("evil", 1e6, 10),
+            update("evil2", -1e6, 10),
+        ];
+        let agg = Aggregator::TrimmedMean { trim: 1 }.aggregate(&ups).unwrap();
+        assert!((agg[0][(0, 0)] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trimmed_mean_rejects_overtrim() {
+        let ups = [update("a", 0.0, 1), update("b", 1.0, 1)];
+        assert!(Aggregator::TrimmedMean { trim: 1 }.aggregate(&ups).is_err());
+    }
+
+    #[test]
+    fn krum_selects_inlier_against_byzantine() {
+        let ups = [
+            update("a", 1.0, 10),
+            update("b", 1.05, 10),
+            update("c", 0.95, 10),
+            update("evil", 500.0, 10),
+        ];
+        let agg = Aggregator::Krum { byzantine: 1 }.aggregate(&ups).unwrap();
+        let v = agg[0][(0, 0)];
+        assert!((0.9..=1.1).contains(&v), "krum picked {v}");
+    }
+
+    #[test]
+    fn krum_needs_enough_clients() {
+        let ups = [update("a", 1.0, 1), update("b", 1.0, 1)];
+        assert!(Aggregator::Krum { byzantine: 1 }.aggregate(&ups).is_err());
+    }
+
+    #[test]
+    fn empty_updates_rejected() {
+        assert_eq!(
+            Aggregator::FedAvg.aggregate(&[]),
+            Err(FederatedError::NoClients)
+        );
+    }
+
+    #[test]
+    fn mismatched_shapes_rejected() {
+        let mut bad = update("bad", 1.0, 1);
+        bad.weights[0] = Matrix::zeros(3, 3);
+        let ups = [update("a", 1.0, 1), bad];
+        assert!(matches!(
+            Aggregator::FedAvg.aggregate(&ups),
+            Err(FederatedError::Aggregation(_))
+        ));
+    }
+
+    #[test]
+    fn aggregate_preserves_shapes() {
+        let ups = [update("a", 1.0, 5), update("b", 2.0, 5)];
+        for agg in [
+            Aggregator::FedAvg,
+            Aggregator::Median,
+            Aggregator::Krum { byzantine: 0 },
+        ] {
+            if let Ok(w) = agg.aggregate(&ups) {
+                assert_eq!(w[0].shape(), (2, 2));
+                assert_eq!(w[1].shape(), (1, 2));
+            }
+        }
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(Aggregator::FedAvg.name(), "fedavg");
+        assert_eq!(Aggregator::Median.name(), "median");
+        assert_eq!(Aggregator::TrimmedMean { trim: 1 }.name(), "trimmed_mean");
+        assert_eq!(Aggregator::Krum { byzantine: 1 }.name(), "krum");
+        assert_eq!(Aggregator::default(), Aggregator::FedAvg);
+    }
+}

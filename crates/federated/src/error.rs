@@ -1,0 +1,68 @@
+//! Error type for the federated stack.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced by federated training.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FederatedError {
+    /// The simulation has no clients.
+    NoClients,
+    /// Client models/updates disagree on parameter shapes.
+    IncompatibleUpdate {
+        /// Client whose update did not match.
+        client: String,
+    },
+    /// A client's local training failed.
+    ClientTraining {
+        /// Client whose training failed.
+        client: String,
+        /// Underlying message.
+        message: String,
+    },
+    /// Aggregation could not run (e.g. Krum with too few clients).
+    Aggregation(String),
+}
+
+impl fmt::Display for FederatedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FederatedError::NoClients => write!(f, "simulation has no clients"),
+            FederatedError::IncompatibleUpdate { client } => {
+                write!(f, "client {client} produced an incompatible update")
+            }
+            FederatedError::ClientTraining { client, message } => {
+                write!(f, "training failed on client {client}: {message}")
+            }
+            FederatedError::Aggregation(msg) => write!(f, "aggregation failed: {msg}"),
+        }
+    }
+}
+
+impl Error for FederatedError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(FederatedError::NoClients.to_string().contains("no clients"));
+        assert!(FederatedError::IncompatibleUpdate { client: "c1".into() }
+            .to_string()
+            .contains("c1"));
+        assert!(FederatedError::ClientTraining {
+            client: "c2".into(),
+            message: "boom".into()
+        }
+        .to_string()
+        .contains("boom"));
+        assert!(FederatedError::Aggregation("few".into()).to_string().contains("few"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<FederatedError>();
+    }
+}

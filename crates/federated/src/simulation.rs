@@ -1,0 +1,472 @@
+//! Round orchestration: broadcast → parallel local training → aggregate.
+
+use crate::aggregate::Aggregator;
+use crate::client::{FedClient, LocalUpdate};
+use crate::error::FederatedError;
+use crate::privacy::DpConfig;
+use crate::transport::MeteredChannel;
+use evfad_nn::{Sample, Sequential, TrainConfig};
+use evfad_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// Schedule and behaviour of a federated run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FederatedConfig {
+    /// Number of communication rounds (paper: 5).
+    pub rounds: usize,
+    /// Local epochs per round (paper: 10).
+    pub epochs_per_round: usize,
+    /// Local mini-batch size (paper: 32).
+    pub batch_size: usize,
+    /// Aggregation rule (paper: FedAvg).
+    pub aggregator: Aggregator,
+    /// Train clients on parallel threads (the distributed-hardware model;
+    /// disable for deterministic single-thread profiling).
+    pub parallel: bool,
+    /// Optional client-side differential privacy.
+    pub dp: Option<DpConfig>,
+    /// FedProx proximal pull in `[0, 1]` applied between local epochs
+    /// (`0.0` = plain FedAvg, the paper's setting).
+    pub proximal_mu: f64,
+    /// Fraction of clients participating per round in `(0, 1]`. At least
+    /// one client always participates. Models node downtime — the paper's
+    /// §III-F resilience claim.
+    pub participation: f64,
+    /// Seed for the per-round participant sampling.
+    pub sampling_seed: u64,
+}
+
+impl Default for FederatedConfig {
+    fn default() -> Self {
+        Self {
+            rounds: 5,
+            epochs_per_round: 10,
+            batch_size: 32,
+            aggregator: Aggregator::FedAvg,
+            parallel: true,
+            dp: None,
+            proximal_mu: 0.0,
+            participation: 1.0,
+            sampling_seed: 0,
+        }
+    }
+}
+
+/// Statistics for one communication round.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoundStats {
+    /// Zero-based round index.
+    pub round: usize,
+    /// Ids of the clients that participated this round.
+    pub participants: Vec<String>,
+    /// Final local training loss per participating client.
+    pub client_losses: Vec<f64>,
+    /// Per-client local-training seconds (client order). On truly
+    /// distributed hardware a round lasts as long as its slowest client.
+    pub client_seconds: Vec<f64>,
+    /// Wall-clock duration of the round (broadcast + training + aggregate)
+    /// on *this* host.
+    #[serde(skip, default)]
+    pub duration: Duration,
+}
+
+/// Result of a completed federated run.
+#[derive(Debug, Clone)]
+pub struct FederatedOutcome {
+    /// Per-round statistics.
+    pub rounds: Vec<RoundStats>,
+    /// The final aggregated global weights.
+    pub global_weights: Vec<Matrix>,
+    /// Total wall-clock training time.
+    pub total_duration: Duration,
+    /// Bytes/messages exchanged (client→server updates and
+    /// server→client broadcasts).
+    pub traffic: crate::transport::TrafficTotals,
+}
+
+impl FederatedOutcome {
+    /// Training time the federation would take on truly distributed
+    /// hardware: each round lasts as long as its slowest client, rounds run
+    /// back to back. (On a single-core simulation host the wall clock in
+    /// [`FederatedOutcome::total_duration`] serialises the clients and
+    /// hides the parallelism the paper measures.)
+    pub fn simulated_distributed_seconds(&self) -> f64 {
+        self.rounds
+            .iter()
+            .map(|r| {
+                r.client_seconds
+                    .iter()
+                    .copied()
+                    .fold(0.0_f64, f64::max)
+            })
+            .sum()
+    }
+}
+
+/// Orchestrates FedAvg-style training over in-process clients.
+///
+/// The schedule follows the paper: each round the server broadcasts the
+/// global weights, every client trains `EPOCHS_PER_ROUND` local epochs in
+/// parallel, and the server aggregates the updates. After `run()` returns,
+/// each client's model holds its **locally trained** weights from the final
+/// round (the personalised read-out used for the paper's per-client
+/// evaluation) while [`FederatedOutcome::global_weights`] holds the final
+/// aggregate (the global read-out).
+///
+/// # Examples
+///
+/// See the crate-level example.
+#[derive(Debug)]
+pub struct FederatedSimulation {
+    template: Sequential,
+    config: FederatedConfig,
+    clients: Vec<FedClient>,
+    channel: MeteredChannel,
+}
+
+impl FederatedSimulation {
+    /// Creates a simulation from a model template; every client gets an
+    /// identical copy (identical initial weights, as in the paper).
+    pub fn new(template: Sequential, config: FederatedConfig) -> Self {
+        Self {
+            template,
+            config,
+            clients: Vec::new(),
+            channel: MeteredChannel::new(),
+        }
+    }
+
+    /// Adds a client holding `samples` as its private dataset.
+    pub fn add_client(&mut self, id: impl Into<String>, samples: Vec<Sample>) {
+        let model = self.template.clone();
+        self.clients.push(FedClient::new(id, model, samples));
+    }
+
+    /// The configured schedule.
+    pub fn config(&self) -> &FederatedConfig {
+        &self.config
+    }
+
+    /// Borrow of the clients (after `run()`, their models hold the
+    /// final-round locally-trained weights).
+    pub fn clients(&self) -> &[FedClient] {
+        &self.clients
+    }
+
+    /// Mutable borrow of the clients.
+    pub fn clients_mut(&mut self) -> &mut [FedClient] {
+        &mut self.clients
+    }
+
+    /// Runs the full schedule.
+    ///
+    /// # Errors
+    ///
+    /// * [`FederatedError::NoClients`] when no client was added;
+    /// * client-training and aggregation errors are propagated.
+    pub fn run(&mut self) -> Result<FederatedOutcome, FederatedError> {
+        if self.clients.is_empty() {
+            return Err(FederatedError::NoClients);
+        }
+        self.channel.reset();
+        let start = Instant::now();
+        let mut rounds = Vec::with_capacity(self.config.rounds);
+        let mut global = self.template.weights();
+        let train_cfg = TrainConfig {
+            epochs: self.config.epochs_per_round,
+            batch_size: self.config.batch_size,
+            ..TrainConfig::default()
+        };
+
+        for round in 0..self.config.rounds {
+            let round_start = Instant::now();
+            // Broadcast: after round 0 every client starts from the global
+            // model (round 0 starts from the shared initialisation).
+            if round > 0 {
+                for client in &mut self.clients {
+                    self.channel.record(&global);
+                    client.receive_global(&global)?;
+                }
+            }
+            // Sample this round's participants (all of them at the
+            // paper's participation = 1.0).
+            let participants = self.sample_participants(round);
+            // Local training (parallel across clients, as on real
+            // distributed hardware).
+            let updates = self.train_selected(&train_cfg, &participants, &global)?;
+            for update in &updates {
+                self.channel.record(&update.weights);
+            }
+            // Optional client-side DP before the server sees updates.
+            let updates = if let Some(dp) = self.config.dp {
+                updates
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, mut u)| {
+                        u.weights = crate::privacy::privatize(
+                            &u.weights,
+                            &global,
+                            dp,
+                            (round * 1000 + i) as u64,
+                        );
+                        u
+                    })
+                    .collect()
+            } else {
+                updates
+            };
+            global = self.config.aggregator.aggregate(&updates)?;
+            rounds.push(RoundStats {
+                round,
+                participants: updates.iter().map(|u| u.client_id.clone()).collect(),
+                client_losses: updates.iter().map(|u| u.train_loss).collect(),
+                client_seconds: updates
+                    .iter()
+                    .map(|u| u.duration.as_secs_f64())
+                    .collect(),
+                duration: round_start.elapsed(),
+            });
+        }
+
+        Ok(FederatedOutcome {
+            rounds,
+            global_weights: global,
+            total_duration: start.elapsed(),
+            traffic: self.channel.totals(),
+        })
+    }
+
+    /// Indices of this round's participating clients, in client order.
+    fn sample_participants(&self, round: usize) -> Vec<usize> {
+        let n = self.clients.len();
+        let take = ((n as f64) * self.config.participation.clamp(0.0, 1.0)).round() as usize;
+        let take = take.clamp(1, n);
+        if take == n {
+            return (0..n).collect();
+        }
+        let mut rng =
+            StdRng::seed_from_u64(self.config.sampling_seed ^ (round as u64).wrapping_mul(0x9E37));
+        let mut idx: Vec<usize> = (0..n).collect();
+        idx.shuffle(&mut rng);
+        idx.truncate(take);
+        idx.sort_unstable();
+        idx
+    }
+
+    fn train_selected(
+        &mut self,
+        cfg: &TrainConfig,
+        participants: &[usize],
+        global: &[Matrix],
+    ) -> Result<Vec<LocalUpdate>, FederatedError> {
+        let mu = self.config.proximal_mu;
+        let selected: Vec<&mut FedClient> = {
+            let set: std::collections::HashSet<usize> = participants.iter().copied().collect();
+            self.clients
+                .iter_mut()
+                .enumerate()
+                .filter(|(i, _)| set.contains(i))
+                .map(|(_, c)| c)
+                .collect()
+        };
+        let train_one = |client: &mut FedClient| -> Result<LocalUpdate, FederatedError> {
+            if mu > 0.0 {
+                client.train_local_proximal(cfg, global, mu)
+            } else {
+                client.train_local(cfg)
+            }
+        };
+        if self.config.parallel {
+            let results: Vec<Result<LocalUpdate, FederatedError>> =
+                crossbeam::thread::scope(|scope| {
+                    let handles: Vec<_> = selected
+                        .into_iter()
+                        .map(|client| scope.spawn(move |_| train_one(client)))
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("client thread panicked"))
+                        .collect()
+                })
+                .expect("crossbeam scope");
+            results.into_iter().collect()
+        } else {
+            selected.into_iter().map(train_one).collect()
+        }
+    }
+
+    /// Builds a fresh model carrying the given weights (e.g. the final
+    /// global aggregate) for evaluation.
+    ///
+    /// # Errors
+    ///
+    /// [`FederatedError::Aggregation`] if the weights do not fit the
+    /// template architecture.
+    pub fn model_with_weights(&self, weights: &[Matrix]) -> Result<Sequential, FederatedError> {
+        let mut model = self.template.clone();
+        model
+            .set_weights(weights)
+            .map_err(|e| FederatedError::Aggregation(e.to_string()))?;
+        Ok(model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evfad_nn::{forecaster_model, Loss};
+
+    fn sine_samples(n: usize, phase: f64) -> Vec<Sample> {
+        (0..n)
+            .map(|i| {
+                let xs: Vec<f64> = (0..6).map(|t| ((i + t) as f64 * 0.5 + phase).sin()).collect();
+                Sample::new(
+                    Matrix::column_vector(&xs),
+                    Matrix::from_vec(1, 1, vec![((i + 6) as f64 * 0.5 + phase).sin()]),
+                )
+            })
+            .collect()
+    }
+
+    fn small_sim(parallel: bool) -> FederatedSimulation {
+        let cfg = FederatedConfig {
+            rounds: 2,
+            epochs_per_round: 2,
+            batch_size: 16,
+            parallel,
+            ..FederatedConfig::default()
+        };
+        let mut sim = FederatedSimulation::new(forecaster_model(4, 3), cfg);
+        sim.add_client("z102", sine_samples(32, 0.0));
+        sim.add_client("z105", sine_samples(32, 0.8));
+        sim.add_client("z108", sine_samples(32, 1.6));
+        sim
+    }
+
+    #[test]
+    fn runs_all_rounds() {
+        let mut sim = small_sim(false);
+        let out = sim.run().expect("run");
+        assert_eq!(out.rounds.len(), 2);
+        assert_eq!(out.rounds[0].client_losses.len(), 3);
+        assert!(out.global_weights.iter().all(Matrix::is_finite));
+    }
+
+    #[test]
+    fn no_clients_is_an_error() {
+        let mut sim = FederatedSimulation::new(forecaster_model(4, 3), FederatedConfig::default());
+        assert_eq!(sim.run().unwrap_err(), FederatedError::NoClients);
+    }
+
+    #[test]
+    fn parallel_and_serial_agree() {
+        // With identical seeds and deterministic clients, thread scheduling
+        // must not affect results.
+        let mut a = small_sim(false);
+        let mut b = small_sim(true);
+        let out_a = a.run().expect("serial");
+        let out_b = b.run().expect("parallel");
+        assert_eq!(out_a.global_weights, out_b.global_weights);
+    }
+
+    #[test]
+    fn traffic_counts_updates_and_broadcasts() {
+        let mut sim = small_sim(false);
+        let out = sim.run().expect("run");
+        // Round 0: 3 updates. Round 1: 3 broadcasts + 3 updates.
+        assert_eq!(out.traffic.messages, 9);
+        assert!(out.traffic.bytes > 0);
+    }
+
+    #[test]
+    fn identical_clients_keep_identical_weights() {
+        // If every client holds the same data, local models stay in sync
+        // and FedAvg equals each local model.
+        let cfg = FederatedConfig {
+            rounds: 2,
+            epochs_per_round: 1,
+            batch_size: 8,
+            parallel: false,
+            ..FederatedConfig::default()
+        };
+        let mut sim = FederatedSimulation::new(forecaster_model(3, 5), cfg);
+        sim.add_client("a", sine_samples(16, 0.0));
+        sim.add_client("b", sine_samples(16, 0.0));
+        let out = sim.run().expect("run");
+        let wa = sim.clients()[0].model().weights();
+        let wb = sim.clients()[1].model().weights();
+        assert_eq!(wa, wb);
+        for (g, l) in out.global_weights.iter().zip(&wa) {
+            for (x, y) in g.as_slice().iter().zip(l.as_slice()) {
+                assert!((x - y).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn federation_improves_over_initialisation() {
+        let mut sim = small_sim(false);
+        let test = sine_samples(32, 0.0);
+        let mut init = forecaster_model(4, 3);
+        let before = init.evaluate(&test, Loss::Mse);
+        sim.run().expect("run");
+        let after = sim.clients_mut()[0].evaluate(&test, Loss::Mse);
+        assert!(after < before, "before={before} after={after}");
+    }
+
+    #[test]
+    fn dp_noise_perturbs_global() {
+        let mut clean = small_sim(false);
+        let clean_out = clean.run().expect("run");
+        let mut noisy = small_sim(false);
+        noisy.config.dp = Some(crate::privacy::DpConfig::moderate());
+        let noisy_out = noisy.run().expect("run");
+        assert_ne!(clean_out.global_weights, noisy_out.global_weights);
+    }
+
+    #[test]
+    fn partial_participation_trains_a_subset() {
+        let mut sim = small_sim(false);
+        sim.config.participation = 0.34; // 1 of 3 clients per round
+        let out = sim.run().expect("run");
+        for r in &out.rounds {
+            assert_eq!(r.participants.len(), 1);
+            assert_eq!(r.client_losses.len(), 1);
+        }
+        // Different rounds may sample different clients.
+        assert!(out.global_weights.iter().all(Matrix::is_finite));
+    }
+
+    #[test]
+    fn full_participation_lists_everyone() {
+        let mut sim = small_sim(false);
+        let out = sim.run().expect("run");
+        for r in &out.rounds {
+            assert_eq!(r.participants.len(), 3);
+        }
+    }
+
+    #[test]
+    fn proximal_mu_changes_but_does_not_break_training() {
+        let mut plain = small_sim(false);
+        let plain_out = plain.run().expect("plain");
+        let mut prox = small_sim(false);
+        prox.config.proximal_mu = 0.3;
+        let prox_out = prox.run().expect("prox");
+        assert_ne!(plain_out.global_weights, prox_out.global_weights);
+        assert!(prox_out.global_weights.iter().all(Matrix::is_finite));
+    }
+
+    #[test]
+    fn model_with_weights_round_trips() {
+        let mut sim = small_sim(false);
+        let out = sim.run().expect("run");
+        let model = sim.model_with_weights(&out.global_weights).expect("fits");
+        assert_eq!(model.weights(), out.global_weights);
+        assert!(sim.model_with_weights(&[Matrix::zeros(1, 1)]).is_err());
+    }
+}

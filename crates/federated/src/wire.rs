@@ -1,0 +1,218 @@
+//! Binary wire format for weight exchange.
+//!
+//! JSON (see [`transport`](crate::transport)) is convenient for inspection
+//! but ~3x larger than necessary. This module defines the compact format a
+//! real deployment would put on the network: a magic/version header, then
+//! each tensor as `rows: u32, cols: u32, data: f64-LE…`. Combined with
+//! [`compression`](crate::compression) it completes the communication
+//! story of the paper's §II-C2 ("only model parameters were exchanged").
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use evfad_tensor::Matrix;
+
+/// Format magic (`"EVFD"`).
+pub const MAGIC: [u8; 4] = *b"EVFD";
+
+/// Current format version.
+pub const VERSION: u16 = 1;
+
+/// Error produced when decoding a weight payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Payload does not start with the expected magic bytes.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u16),
+    /// Payload ended before the declared content.
+    Truncated,
+    /// A declared tensor shape is implausibly large (corrupt header).
+    OversizedTensor {
+        /// Declared rows.
+        rows: u32,
+        /// Declared cols.
+        cols: u32,
+    },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::BadMagic => write!(f, "payload is not an EVFD weight blob"),
+            WireError::BadVersion(v) => write!(f, "unsupported wire version {v}"),
+            WireError::Truncated => write!(f, "payload truncated"),
+            WireError::OversizedTensor { rows, cols } => {
+                write!(f, "tensor of {rows}x{cols} exceeds sanity bounds")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Maximum accepted elements per tensor (64 MiB of f64) — a sanity bound
+/// against corrupt headers, far above any model in this workspace.
+const MAX_TENSOR_ELEMENTS: u64 = 8 * 1024 * 1024;
+
+/// Encodes a weight vector into the binary wire format.
+///
+/// # Examples
+///
+/// ```
+/// use evfad_federated::wire;
+/// use evfad_tensor::Matrix;
+///
+/// let weights = vec![Matrix::identity(3)];
+/// let blob = wire::encode_weights(&weights);
+/// let back = wire::decode_weights(&blob)?;
+/// assert_eq!(back, weights);
+/// # Ok::<(), evfad_federated::wire::WireError>(())
+/// ```
+pub fn encode_weights(weights: &[Matrix]) -> Bytes {
+    let payload: usize = weights.iter().map(|m| 8 + m.len() * 8).sum();
+    let mut buf = BytesMut::with_capacity(4 + 2 + 4 + payload);
+    buf.put_slice(&MAGIC);
+    buf.put_u16_le(VERSION);
+    buf.put_u32_le(weights.len() as u32);
+    for m in weights {
+        buf.put_u32_le(m.rows() as u32);
+        buf.put_u32_le(m.cols() as u32);
+        for &v in m.as_slice() {
+            buf.put_f64_le(v);
+        }
+    }
+    buf.freeze()
+}
+
+/// Decodes a payload produced by [`encode_weights`].
+///
+/// # Errors
+///
+/// Returns [`WireError`] on a malformed or truncated payload.
+pub fn decode_weights(mut payload: &[u8]) -> Result<Vec<Matrix>, WireError> {
+    if payload.remaining() < 10 {
+        return Err(WireError::Truncated);
+    }
+    let mut magic = [0u8; 4];
+    payload.copy_to_slice(&mut magic);
+    if magic != MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    let version = payload.get_u16_le();
+    if version != VERSION {
+        return Err(WireError::BadVersion(version));
+    }
+    let count = payload.get_u32_le() as usize;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        if payload.remaining() < 8 {
+            return Err(WireError::Truncated);
+        }
+        let rows = payload.get_u32_le();
+        let cols = payload.get_u32_le();
+        let elements = rows as u64 * cols as u64;
+        if elements > MAX_TENSOR_ELEMENTS {
+            return Err(WireError::OversizedTensor { rows, cols });
+        }
+        if (payload.remaining() as u64) < elements * 8 {
+            return Err(WireError::Truncated);
+        }
+        let mut data = Vec::with_capacity(elements as usize);
+        for _ in 0..elements {
+            data.push(payload.get_f64_le());
+        }
+        out.push(Matrix::from_vec(rows as usize, cols as usize, data));
+    }
+    Ok(out)
+}
+
+/// Size in bytes [`encode_weights`] will produce for these weights.
+pub fn encoded_size(weights: &[Matrix]) -> usize {
+    10 + weights.iter().map(|m| 8 + m.len() * 8).sum::<usize>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_weights() -> Vec<Matrix> {
+        vec![
+            Matrix::from_fn(5, 7, |i, j| (i as f64) - 0.37 * j as f64),
+            Matrix::row_vector(&[1.0, -2.5, f64::MIN_POSITIVE, 1e300]),
+        ]
+    }
+
+    #[test]
+    fn round_trip_is_bit_exact() {
+        let w = sample_weights();
+        let blob = encode_weights(&w);
+        assert_eq!(decode_weights(&blob).unwrap(), w);
+    }
+
+    #[test]
+    fn encoded_size_matches() {
+        let w = sample_weights();
+        assert_eq!(encode_weights(&w).len(), encoded_size(&w));
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut blob = encode_weights(&sample_weights()).to_vec();
+        blob[0] = b'X';
+        assert_eq!(decode_weights(&blob), Err(WireError::BadMagic));
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let mut blob = encode_weights(&sample_weights()).to_vec();
+        blob[4] = 99;
+        assert!(matches!(decode_weights(&blob), Err(WireError::BadVersion(_))));
+    }
+
+    #[test]
+    fn rejects_truncation_everywhere() {
+        let blob = encode_weights(&sample_weights());
+        for cut in [0, 5, 9, 12, 20, blob.len() - 1] {
+            assert!(
+                matches!(decode_weights(&blob[..cut]), Err(WireError::Truncated)),
+                "cut at {cut} not detected"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_oversized_header() {
+        let mut buf = bytes::BytesMut::new();
+        buf.put_slice(&MAGIC);
+        buf.put_u16_le(VERSION);
+        buf.put_u32_le(1);
+        buf.put_u32_le(u32::MAX);
+        buf.put_u32_le(u32::MAX);
+        assert!(matches!(
+            decode_weights(&buf),
+            Err(WireError::OversizedTensor { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_weight_list_round_trips() {
+        let blob = encode_weights(&[]);
+        assert_eq!(decode_weights(&blob).unwrap(), Vec::<Matrix>::new());
+    }
+
+    #[test]
+    fn binary_is_smaller_than_json() {
+        let w = vec![Matrix::from_fn(51, 200, |i, j| (i * j) as f64 * 1e-4)];
+        let binary = encode_weights(&w).len();
+        let json = serde_json::to_vec(&w).unwrap().len();
+        assert!(binary < json, "binary {binary} vs json {json}");
+    }
+
+    #[test]
+    fn model_weights_survive_the_wire() {
+        use evfad_nn::forecaster_model;
+        let mut model = forecaster_model(8, 3);
+        let blob = encode_weights(&model.weights());
+        let restored = decode_weights(&blob).unwrap();
+        model.set_weights(&restored).expect("same shapes");
+    }
+}

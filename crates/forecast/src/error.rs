@@ -1,0 +1,86 @@
+//! Error type for the forecasting layer.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced by pipeline preparation and study execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ForecastError {
+    /// A client series is too short for the configured windowing/split.
+    InsufficientData {
+        /// Client / zone label.
+        client: String,
+        /// Points available.
+        len: usize,
+    },
+    /// Data preparation failed (scaling, splitting).
+    Preparation(String),
+    /// Anomaly-filter training or detection failed.
+    Anomaly(String),
+    /// Model training failed.
+    Training(String),
+    /// Federated orchestration failed.
+    Federated(String),
+}
+
+impl fmt::Display for ForecastError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ForecastError::InsufficientData { client, len } => {
+                write!(f, "client {client}: {len} points are not enough")
+            }
+            ForecastError::Preparation(m) => write!(f, "data preparation failed: {m}"),
+            ForecastError::Anomaly(m) => write!(f, "anomaly filtering failed: {m}"),
+            ForecastError::Training(m) => write!(f, "model training failed: {m}"),
+            ForecastError::Federated(m) => write!(f, "federated run failed: {m}"),
+        }
+    }
+}
+
+impl Error for ForecastError {}
+
+impl From<evfad_timeseries::TimeSeriesError> for ForecastError {
+    fn from(e: evfad_timeseries::TimeSeriesError) -> Self {
+        ForecastError::Preparation(e.to_string())
+    }
+}
+
+impl From<evfad_anomaly::AnomalyError> for ForecastError {
+    fn from(e: evfad_anomaly::AnomalyError) -> Self {
+        ForecastError::Anomaly(e.to_string())
+    }
+}
+
+impl From<evfad_nn::NnError> for ForecastError {
+    fn from(e: evfad_nn::NnError) -> Self {
+        ForecastError::Training(e.to_string())
+    }
+}
+
+impl From<evfad_federated::FederatedError> for ForecastError {
+    fn from(e: evfad_federated::FederatedError) -> Self {
+        ForecastError::Federated(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_conversions() {
+        let e = ForecastError::InsufficientData {
+            client: "102".into(),
+            len: 5,
+        };
+        assert!(e.to_string().contains("102"));
+        let e: ForecastError = evfad_nn::NnError::EmptyDataset.into();
+        assert!(matches!(e, ForecastError::Training(_)));
+        let e: ForecastError = evfad_anomaly::AnomalyError::NotFitted.into();
+        assert!(matches!(e, ForecastError::Anomaly(_)));
+        let e: ForecastError = evfad_federated::FederatedError::NoClients.into();
+        assert!(matches!(e, ForecastError::Federated(_)));
+        let e: ForecastError = evfad_timeseries::TimeSeriesError::EmptySeries.into();
+        assert!(matches!(e, ForecastError::Preparation(_)));
+    }
+}

@@ -1,0 +1,68 @@
+//! Error type for the neural-network substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced by model construction, training, and weight exchange.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NnError {
+    /// Training was requested on an empty dataset.
+    EmptyDataset,
+    /// A weight vector handed to [`set_weights`](crate::Sequential::set_weights)
+    /// does not match the model's parameter count or shapes.
+    WeightMismatch {
+        /// Expected number of parameter tensors.
+        expected: usize,
+        /// Provided number of parameter tensors.
+        got: usize,
+    },
+    /// Loss or activations became non-finite during training (diverged).
+    NonFiniteLoss {
+        /// Epoch (0-based) at which divergence was detected.
+        epoch: usize,
+    },
+    /// An invalid hyper-parameter was supplied.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::EmptyDataset => write!(f, "training dataset is empty"),
+            NnError::WeightMismatch { expected, got } => write!(
+                f,
+                "weight vector mismatch: model has {expected} parameter tensors, got {got}"
+            ),
+            NnError::NonFiniteLoss { epoch } => {
+                write!(f, "loss became non-finite at epoch {epoch}")
+            }
+            NnError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl Error for NnError {}
+
+/// Result alias for this crate.
+pub type NnResult<T> = Result<T, NnError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(NnError::EmptyDataset.to_string().contains("empty"));
+        assert!(NnError::WeightMismatch { expected: 4, got: 2 }
+            .to_string()
+            .contains('4'));
+        assert!(NnError::NonFiniteLoss { epoch: 3 }.to_string().contains('3'));
+        assert!(NnError::InvalidConfig("x".into()).to_string().contains('x'));
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<NnError>();
+    }
+}

@@ -1,0 +1,175 @@
+//! Enum dispatch over the concrete layer types.
+
+use crate::layers::{Dense, Dropout, Gru, Lstm, RepeatVector};
+use crate::seq::Seq;
+use evfad_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Any layer a [`Sequential`](crate::Sequential) model can contain.
+///
+/// Enum dispatch (rather than trait objects) keeps models `Clone` +
+/// `Serialize`, which the federated stack relies on for weight exchange and
+/// checkpointing.
+///
+/// # Examples
+///
+/// ```
+/// use evfad_nn::{Activation, Dense, Layer};
+///
+/// let layer: Layer = Dense::new_seeded(4, 2, Activation::Relu, 0).into();
+/// assert_eq!(layer.param_count(), 2);
+/// assert_eq!(layer.kind(), "dense");
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Layer {
+    /// Fully connected (time-distributed) layer.
+    Dense(Dense),
+    /// LSTM recurrent layer.
+    Lstm(Lstm),
+    /// GRU recurrent layer.
+    Gru(Gru),
+    /// Inverted dropout.
+    Dropout(Dropout),
+    /// Keras-style RepeatVector.
+    RepeatVector(RepeatVector),
+}
+
+impl Layer {
+    /// Forward pass; caches are populated when `training` is `true`.
+    pub fn forward(&mut self, input: &Seq, training: bool) -> Seq {
+        match self {
+            Layer::Dense(l) => l.forward(input, training),
+            Layer::Lstm(l) => l.forward(input, training),
+            Layer::Gru(l) => l.forward(input, training),
+            Layer::Dropout(l) => l.forward(input, training),
+            Layer::RepeatVector(l) => l.forward(input, training),
+        }
+    }
+
+    /// Backward pass; returns the gradient with respect to the layer input.
+    pub fn backward(&mut self, grad: &Seq) -> Seq {
+        match self {
+            Layer::Dense(l) => l.backward(grad),
+            Layer::Lstm(l) => l.backward(grad),
+            Layer::Gru(l) => l.backward(grad),
+            Layer::Dropout(l) => l.backward(grad),
+            Layer::RepeatVector(l) => l.backward(grad),
+        }
+    }
+
+    /// Immutable views of the trainable parameter tensors.
+    pub fn params(&self) -> Vec<&Matrix> {
+        match self {
+            Layer::Dense(l) => l.params(),
+            Layer::Lstm(l) => l.params(),
+            Layer::Gru(l) => l.params(),
+            Layer::Dropout(_) | Layer::RepeatVector(_) => Vec::new(),
+        }
+    }
+
+    /// Mutable `(parameter, gradient)` pairs for the optimiser.
+    pub fn params_and_grads_mut(&mut self) -> Vec<(&mut Matrix, &mut Matrix)> {
+        match self {
+            Layer::Dense(l) => l.params_and_grads_mut(),
+            Layer::Lstm(l) => l.params_and_grads_mut(),
+            Layer::Gru(l) => l.params_and_grads_mut(),
+            Layer::Dropout(_) | Layer::RepeatVector(_) => Vec::new(),
+        }
+    }
+
+    /// Number of trainable parameter tensors.
+    pub fn param_count(&self) -> usize {
+        self.params().len()
+    }
+
+    /// Clears accumulated gradients.
+    pub fn zero_grads(&mut self) {
+        match self {
+            Layer::Dense(l) => l.zero_grads(),
+            Layer::Lstm(l) => l.zero_grads(),
+            Layer::Gru(l) => l.zero_grads(),
+            Layer::Dropout(_) | Layer::RepeatVector(_) => {}
+        }
+    }
+
+    /// Short stable identifier for summaries (`"dense"`, `"lstm"`, ...).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Layer::Dense(_) => "dense",
+            Layer::Lstm(_) => "lstm",
+            Layer::Gru(_) => "gru",
+            Layer::Dropout(_) => "dropout",
+            Layer::RepeatVector(_) => "repeat_vector",
+        }
+    }
+
+    /// Restores transient state (gradients, caches) after deserialisation.
+    pub(crate) fn rebuild_transient(&mut self) {
+        match self {
+            Layer::Dense(l) => l.rebuild_transient(),
+            Layer::Lstm(l) => l.rebuild_transient(),
+            Layer::Gru(l) => l.rebuild_transient(),
+            Layer::Dropout(l) => l.rebuild_transient(),
+            Layer::RepeatVector(_) => {}
+        }
+    }
+}
+
+impl From<Dense> for Layer {
+    fn from(l: Dense) -> Self {
+        Layer::Dense(l)
+    }
+}
+
+impl From<Lstm> for Layer {
+    fn from(l: Lstm) -> Self {
+        Layer::Lstm(l)
+    }
+}
+
+impl From<Gru> for Layer {
+    fn from(l: Gru) -> Self {
+        Layer::Gru(l)
+    }
+}
+
+impl From<Dropout> for Layer {
+    fn from(l: Dropout) -> Self {
+        Layer::Dropout(l)
+    }
+}
+
+impl From<RepeatVector> for Layer {
+    fn from(l: RepeatVector) -> Self {
+        Layer::RepeatVector(l)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Activation;
+
+    #[test]
+    fn kinds_and_param_counts() {
+        let d: Layer = Dense::new_seeded(2, 2, Activation::Linear, 0).into();
+        let l: Layer = Lstm::new_seeded(1, 2, false, 0).into();
+        let p: Layer = Dropout::new(0.1).into();
+        let r: Layer = RepeatVector::new(2).into();
+        assert_eq!(d.kind(), "dense");
+        assert_eq!(l.kind(), "lstm");
+        assert_eq!(p.kind(), "dropout");
+        assert_eq!(r.kind(), "repeat_vector");
+        assert_eq!(d.param_count(), 2);
+        assert_eq!(l.param_count(), 2);
+        assert_eq!(p.param_count(), 0);
+        assert_eq!(r.param_count(), 0);
+    }
+
+    #[test]
+    fn forward_dispatches() {
+        let mut d: Layer = Dense::new_seeded(2, 3, Activation::Linear, 0).into();
+        let y = d.forward(&Seq::single(Matrix::ones(1, 2)), false);
+        assert_eq!(y.step(0).shape(), (1, 3));
+    }
+}

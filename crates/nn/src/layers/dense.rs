@@ -1,0 +1,266 @@
+//! Fully connected (time-distributed) layer.
+
+use crate::activation::Activation;
+use crate::seq::Seq;
+use evfad_tensor::{Initializer, Matrix};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A fully connected layer `y = f(x W + b)` applied to every timestep.
+///
+/// Applying the kernel independently per step makes a `Dense` on a
+/// multi-step [`Seq`] exactly Keras's `TimeDistributed(Dense)`, while on a
+/// single-step `Seq` it is a plain `Dense` — the two usages the paper's
+/// models need (forecaster head and autoencoder output projection).
+///
+/// # Examples
+///
+/// ```
+/// use evfad_nn::{Activation, Dense, Seq};
+/// use evfad_tensor::Matrix;
+///
+/// let mut layer = Dense::new(3, 2, Activation::Relu);
+/// let x = Seq::single(Matrix::ones(4, 3));
+/// let y = layer.forward(&x, false);
+/// assert_eq!(y.step(0).shape(), (4, 2));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dense {
+    w: Matrix,
+    b: Matrix,
+    activation: Activation,
+    #[serde(skip)]
+    grad_w: Matrix,
+    #[serde(skip)]
+    grad_b: Matrix,
+    #[serde(skip)]
+    cache_inputs: Vec<Matrix>,
+    #[serde(skip)]
+    cache_outputs: Vec<Matrix>,
+}
+
+impl Dense {
+    /// Creates a layer with Glorot-uniform kernel and zero bias, seeded from
+    /// the thread RNG. Prefer [`Dense::new_seeded`] for reproducible models;
+    /// [`Sequential::with`](crate::Sequential::with) reseeds layers it adopts.
+    pub fn new(input_dim: usize, output_dim: usize, activation: Activation) -> Self {
+        Self::new_with_rng(input_dim, output_dim, activation, &mut rand::thread_rng())
+    }
+
+    /// Creates a layer using the supplied RNG for initialisation.
+    pub fn new_with_rng(
+        input_dim: usize,
+        output_dim: usize,
+        activation: Activation,
+        rng: &mut impl Rng,
+    ) -> Self {
+        Self {
+            w: Initializer::GlorotUniform.init(input_dim, output_dim, rng),
+            b: Matrix::zeros(1, output_dim),
+            activation,
+            grad_w: Matrix::zeros(input_dim, output_dim),
+            grad_b: Matrix::zeros(1, output_dim),
+            cache_inputs: Vec::new(),
+            cache_outputs: Vec::new(),
+        }
+    }
+
+    /// Creates a layer initialised from a fixed seed.
+    pub fn new_seeded(
+        input_dim: usize,
+        output_dim: usize,
+        activation: Activation,
+        seed: u64,
+    ) -> Self {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        Self::new_with_rng(input_dim, output_dim, activation, &mut rng)
+    }
+
+    /// Re-initialises the kernel from `rng`, zeroing the bias.
+    pub fn reinitialize(&mut self, rng: &mut impl Rng) {
+        let (i, o) = self.w.shape();
+        self.w = Initializer::GlorotUniform.init(i, o, rng);
+        self.b = Matrix::zeros(1, o);
+    }
+
+    /// Input feature width.
+    pub fn input_dim(&self) -> usize {
+        self.w.rows()
+    }
+
+    /// Output feature width.
+    pub fn output_dim(&self) -> usize {
+        self.w.cols()
+    }
+
+    /// The layer's activation function.
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
+
+    /// Forward pass. Caches activations when `training` is `true`.
+    pub fn forward(&mut self, input: &Seq, training: bool) -> Seq {
+        if training {
+            self.cache_inputs.clear();
+            self.cache_outputs.clear();
+        }
+        let act = self.activation;
+        let steps = input
+            .iter()
+            .map(|x| {
+                let y = x.matmul(&self.w).add_row_broadcast(&self.b).map(|v| act.apply(v));
+                if training {
+                    self.cache_inputs.push(x.clone());
+                    self.cache_outputs.push(y.clone());
+                }
+                y
+            })
+            .collect();
+        Seq::from_steps(steps)
+    }
+
+    /// Backward pass: accumulates kernel/bias gradients and returns the
+    /// gradient with respect to the input sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called without a preceding training-mode forward pass or
+    /// with a gradient whose length differs from that pass.
+    pub fn backward(&mut self, grad: &Seq) -> Seq {
+        assert_eq!(
+            grad.len(),
+            self.cache_inputs.len(),
+            "backward called with mismatched sequence length"
+        );
+        let act = self.activation;
+        let mut input_grads = Vec::with_capacity(grad.len());
+        for (t, g) in grad.iter().enumerate() {
+            let y = &self.cache_outputs[t];
+            let dpre = g.zip_map(y, |gv, yv| gv * act.derivative_from_output(yv));
+            self.grad_w += &self.cache_inputs[t].transpose_matmul(&dpre);
+            self.grad_b += &dpre.sum_rows();
+            input_grads.push(dpre.matmul_transpose(&self.w));
+        }
+        Seq::from_steps(input_grads)
+    }
+
+    /// Immutable access to `(kernel, bias)`.
+    pub fn params(&self) -> Vec<&Matrix> {
+        vec![&self.w, &self.b]
+    }
+
+    /// Parameter/gradient pairs for the optimiser.
+    pub fn params_and_grads_mut(&mut self) -> Vec<(&mut Matrix, &mut Matrix)> {
+        vec![(&mut self.w, &mut self.grad_w), (&mut self.b, &mut self.grad_b)]
+    }
+
+    /// Clears accumulated gradients.
+    pub fn zero_grads(&mut self) {
+        self.grad_w = Matrix::zeros(self.w.rows(), self.w.cols());
+        self.grad_b = Matrix::zeros(1, self.b.cols());
+    }
+
+    /// Restores transient state dropped by serde (gradients, caches).
+    pub(crate) fn rebuild_transient(&mut self) {
+        self.zero_grads();
+        self.cache_inputs.clear();
+        self.cache_outputs.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_layer() -> Dense {
+        let mut l = Dense::new_seeded(2, 2, Activation::Linear, 1);
+        // Overwrite with known weights.
+        let pg = l.params_and_grads_mut();
+        drop(pg);
+        l
+    }
+
+    #[test]
+    fn forward_known_values() {
+        let mut l = simple_layer();
+        {
+            let mut pg = l.params_and_grads_mut();
+            *pg[0].0 = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 2.0]]);
+            *pg[1].0 = Matrix::row_vector(&[0.5, -0.5]);
+        }
+        let x = Seq::single(Matrix::from_rows(&[vec![1.0, 1.0]]));
+        let y = l.forward(&x, false);
+        assert_eq!(y.step(0), &Matrix::from_rows(&[vec![1.5, 1.5]]));
+    }
+
+    #[test]
+    fn time_distributed_applies_per_step() {
+        let mut l = Dense::new_seeded(1, 1, Activation::Linear, 3);
+        {
+            let mut pg = l.params_and_grads_mut();
+            *pg[0].0 = Matrix::from_vec(1, 1, vec![2.0]);
+            *pg[1].0 = Matrix::zeros(1, 1);
+        }
+        let x = Seq::from_steps(vec![Matrix::filled(2, 1, 1.0), Matrix::filled(2, 1, 3.0)]);
+        let y = l.forward(&x, false);
+        assert_eq!(y.step(0)[(0, 0)], 2.0);
+        assert_eq!(y.step(1)[(1, 0)], 6.0);
+    }
+
+    #[test]
+    fn relu_zeroes_negative_preactivations() {
+        let mut l = Dense::new_seeded(1, 1, Activation::Relu, 3);
+        {
+            let mut pg = l.params_and_grads_mut();
+            *pg[0].0 = Matrix::from_vec(1, 1, vec![1.0]);
+            *pg[1].0 = Matrix::zeros(1, 1);
+        }
+        let x = Seq::single(Matrix::from_rows(&[vec![-5.0], vec![5.0]]));
+        let y = l.forward(&x, false);
+        assert_eq!(y.step(0)[(0, 0)], 0.0);
+        assert_eq!(y.step(0)[(1, 0)], 5.0);
+    }
+
+    #[test]
+    fn backward_accumulates_bias_gradient() {
+        let mut l = Dense::new_seeded(2, 1, Activation::Linear, 5);
+        let x = Seq::single(Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]));
+        let _ = l.forward(&x, true);
+        let g = Seq::single(Matrix::from_rows(&[vec![1.0], vec![1.0]]));
+        let _ = l.backward(&g);
+        // dL/db = sum over batch of upstream grads = 2.
+        let pg = l.params_and_grads_mut();
+        assert_eq!(pg[1].1[(0, 0)], 2.0);
+    }
+
+    #[test]
+    fn zero_grads_resets() {
+        let mut l = Dense::new_seeded(2, 1, Activation::Linear, 5);
+        let x = Seq::single(Matrix::ones(1, 2));
+        let _ = l.forward(&x, true);
+        let _ = l.backward(&Seq::single(Matrix::ones(1, 1)));
+        l.zero_grads();
+        let pg = l.params_and_grads_mut();
+        assert_eq!(pg[0].1.sum(), 0.0);
+        assert_eq!(pg[1].1.sum(), 0.0);
+    }
+
+    #[test]
+    fn seeded_construction_is_deterministic() {
+        let a = Dense::new_seeded(3, 4, Activation::Tanh, 11);
+        let b = Dense::new_seeded(3, 4, Activation::Tanh, 11);
+        assert_eq!(a.params()[0], b.params()[0]);
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_weights() {
+        let l = Dense::new_seeded(3, 2, Activation::Sigmoid, 7);
+        let json = serde_json::to_string(&l).expect("serialize");
+        let mut back: Dense = serde_json::from_str(&json).expect("deserialize");
+        back.rebuild_transient();
+        assert_eq!(l.params()[0], back.params()[0]);
+        assert_eq!(l.params()[1], back.params()[1]);
+        assert_eq!(l.activation(), back.activation());
+    }
+}

@@ -1,0 +1,174 @@
+//! Inverted-dropout regularisation layer.
+
+use crate::seq::Seq;
+use evfad_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Inverted dropout: during training each element is zeroed with
+/// probability `rate` and the survivors are scaled by `1 / (1 - rate)`, so
+/// inference needs no rescaling (Keras semantics — the paper uses
+/// `Dropout(0.2)` in its autoencoder).
+///
+/// # Examples
+///
+/// ```
+/// use evfad_nn::{Dropout, Seq};
+/// use evfad_tensor::Matrix;
+///
+/// let mut d = Dropout::new(0.5).with_seed(1);
+/// let x = Seq::single(Matrix::ones(1, 100));
+/// // Inference: identity.
+/// assert_eq!(d.forward(&x, false), x);
+/// // Training: some elements dropped, survivors scaled to 2.0.
+/// let y = d.forward(&x, true);
+/// assert!(y.step(0).as_slice().iter().all(|&v| v == 0.0 || v == 2.0));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dropout {
+    rate: f64,
+    seed: u64,
+    #[serde(skip)]
+    rng_state: Option<StdRng>,
+    #[serde(skip)]
+    masks: Vec<Matrix>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with the given drop probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= rate < 1.0`.
+    pub fn new(rate: f64) -> Self {
+        assert!((0.0..1.0).contains(&rate), "dropout rate must be in [0, 1)");
+        Self {
+            rate,
+            seed: 0,
+            rng_state: None,
+            masks: Vec::new(),
+        }
+    }
+
+    /// Sets the RNG seed used for mask sampling (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self.rng_state = None;
+        self
+    }
+
+    /// Re-seeds the mask RNG (used by [`Sequential::with`](crate::Sequential::with)).
+    pub fn reseed(&mut self, seed: u64) {
+        self.seed = seed;
+        self.rng_state = None;
+    }
+
+    /// Drop probability.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Forward pass. Identity at inference; samples fresh masks per call in
+    /// training mode.
+    pub fn forward(&mut self, input: &Seq, training: bool) -> Seq {
+        if !training || self.rate == 0.0 {
+            return input.clone();
+        }
+        let rate = self.rate;
+        let keep_scale = 1.0 / (1.0 - rate);
+        let rng = self
+            .rng_state
+            .get_or_insert_with(|| StdRng::seed_from_u64(self.seed));
+        self.masks.clear();
+        let mut steps = Vec::with_capacity(input.len());
+        for x in input.iter() {
+            let mask = Matrix::from_fn(x.rows(), x.cols(), |_, _| {
+                if rng.gen::<f64>() < rate {
+                    0.0
+                } else {
+                    keep_scale
+                }
+            });
+            steps.push(x.hadamard(&mask));
+            self.masks.push(mask);
+        }
+        Seq::from_steps(steps)
+    }
+
+    /// Backward pass: applies the cached masks to the upstream gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called without a preceding training forward pass.
+    pub fn backward(&mut self, grad: &Seq) -> Seq {
+        assert_eq!(grad.len(), self.masks.len(), "dropout mask/grad mismatch");
+        let steps = grad
+            .iter()
+            .zip(self.masks.iter())
+            .map(|(g, m)| g.hadamard(m))
+            .collect();
+        Seq::from_steps(steps)
+    }
+
+    /// Restores transient state dropped by serde.
+    pub(crate) fn rebuild_transient(&mut self) {
+        self.rng_state = None;
+        self.masks.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inference_is_identity() {
+        let mut d = Dropout::new(0.9).with_seed(3);
+        let x = Seq::single(Matrix::ones(3, 3));
+        assert_eq!(d.forward(&x, false), x);
+    }
+
+    #[test]
+    fn zero_rate_is_identity_even_training() {
+        let mut d = Dropout::new(0.0);
+        let x = Seq::single(Matrix::ones(3, 3));
+        assert_eq!(d.forward(&x, true), x);
+    }
+
+    #[test]
+    fn expected_value_preserved() {
+        let mut d = Dropout::new(0.2).with_seed(7);
+        let x = Seq::single(Matrix::ones(50, 50));
+        let y = d.forward(&x, true);
+        // E[y] = 1; with 2500 samples the mean should be close.
+        assert!((y.step(0).mean() - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn backward_uses_same_mask() {
+        let mut d = Dropout::new(0.5).with_seed(9);
+        let x = Seq::single(Matrix::ones(4, 4));
+        let y = d.forward(&x, true);
+        let g = d.backward(&Seq::single(Matrix::ones(4, 4)));
+        // Gradient is zero exactly where the output was zero.
+        for (yv, gv) in y.step(0).as_slice().iter().zip(g.step(0).as_slice()) {
+            assert_eq!(*yv == 0.0, *gv == 0.0);
+        }
+    }
+
+    #[test]
+    fn masks_differ_across_calls() {
+        let mut d = Dropout::new(0.5).with_seed(11);
+        let x = Seq::single(Matrix::ones(10, 10));
+        let y1 = d.forward(&x, true);
+        let y2 = d.forward(&x, true);
+        assert_ne!(y1, y2, "fresh masks expected per training step");
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be in")]
+    fn invalid_rate_panics() {
+        let _ = Dropout::new(1.0);
+    }
+}

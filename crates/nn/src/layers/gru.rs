@@ -1,0 +1,354 @@
+//! GRU layer with full backpropagation through time.
+
+use crate::activation::stable_sigmoid;
+use crate::seq::Seq;
+use evfad_tensor::{Initializer, Matrix};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Per-timestep forward cache for BPTT.
+#[derive(Debug, Clone, Default)]
+struct StepCache {
+    x: Matrix,
+    h_prev: Matrix,
+    z: Matrix,
+    r: Matrix,
+    h_tilde: Matrix,
+    /// `r ∘ h_prev` (candidate-path recurrent input).
+    rh: Matrix,
+}
+
+/// A Gated Recurrent Unit layer (Cho et al., 2014).
+///
+/// ```text
+/// z = sigmoid([x | h] W_z + b_z)      r = sigmoid([x | h] W_r + b_r)
+/// h~ = tanh([x | r∘h] W_h + b_h)      h' = (1 - z)∘h + z∘h~
+/// ```
+///
+/// Provided as the architecture-ablation counterpart to [`Lstm`](crate::Lstm)
+/// (the paper motivates LSTMs; GRUs are the standard lighter alternative in
+/// the related federated-forecasting literature). API and `return_sequences`
+/// semantics match [`Lstm`](crate::Lstm).
+///
+/// # Examples
+///
+/// ```
+/// use evfad_nn::{Gru, Seq};
+/// use evfad_tensor::Matrix;
+///
+/// let mut gru = Gru::new_seeded(1, 6, false, 3);
+/// let x = Seq::from_samples(&[Matrix::column_vector(&[0.1, -0.4, 0.2])]);
+/// let h = gru.forward(&x, false);
+/// assert_eq!(h.step(0).shape(), (1, 6));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Gru {
+    input_dim: usize,
+    hidden_dim: usize,
+    return_sequences: bool,
+    /// Gate kernel over `[x | h]`, shape `(input+hidden) x 2*hidden`,
+    /// gate order `[z | r]`.
+    w_gates: Matrix,
+    /// Gate bias, `1 x 2*hidden`.
+    b_gates: Matrix,
+    /// Candidate kernel over `[x | r∘h]`, shape `(input+hidden) x hidden`.
+    w_cand: Matrix,
+    /// Candidate bias, `1 x hidden`.
+    b_cand: Matrix,
+    #[serde(skip)]
+    grad_w_gates: Matrix,
+    #[serde(skip)]
+    grad_b_gates: Matrix,
+    #[serde(skip)]
+    grad_w_cand: Matrix,
+    #[serde(skip)]
+    grad_b_cand: Matrix,
+    #[serde(skip)]
+    cache: Vec<StepCache>,
+}
+
+impl Gru {
+    /// Creates a GRU seeded from the thread RNG; prefer [`Gru::new_seeded`].
+    pub fn new(input_dim: usize, hidden_dim: usize, return_sequences: bool) -> Self {
+        Self::new_with_rng(input_dim, hidden_dim, return_sequences, &mut rand::thread_rng())
+    }
+
+    /// Creates a GRU initialised from `rng` (Glorot-uniform kernels).
+    pub fn new_with_rng(
+        input_dim: usize,
+        hidden_dim: usize,
+        return_sequences: bool,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let z_dim = input_dim + hidden_dim;
+        Self {
+            input_dim,
+            hidden_dim,
+            return_sequences,
+            w_gates: Initializer::GlorotUniform.init(z_dim, 2 * hidden_dim, rng),
+            b_gates: Matrix::zeros(1, 2 * hidden_dim),
+            w_cand: Initializer::GlorotUniform.init(z_dim, hidden_dim, rng),
+            b_cand: Matrix::zeros(1, hidden_dim),
+            grad_w_gates: Matrix::zeros(z_dim, 2 * hidden_dim),
+            grad_b_gates: Matrix::zeros(1, 2 * hidden_dim),
+            grad_w_cand: Matrix::zeros(z_dim, hidden_dim),
+            grad_b_cand: Matrix::zeros(1, hidden_dim),
+            cache: Vec::new(),
+        }
+    }
+
+    /// Creates a GRU initialised from a fixed seed.
+    pub fn new_seeded(
+        input_dim: usize,
+        hidden_dim: usize,
+        return_sequences: bool,
+        seed: u64,
+    ) -> Self {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        Self::new_with_rng(input_dim, hidden_dim, return_sequences, &mut rng)
+    }
+
+    /// Re-initialises the weights from `rng`.
+    pub fn reinitialize(&mut self, rng: &mut impl Rng) {
+        let fresh = Gru::new_with_rng(self.input_dim, self.hidden_dim, self.return_sequences, rng);
+        self.w_gates = fresh.w_gates;
+        self.b_gates = fresh.b_gates;
+        self.w_cand = fresh.w_cand;
+        self.b_cand = fresh.b_cand;
+    }
+
+    /// Input feature width.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Hidden-state width.
+    pub fn hidden_dim(&self) -> usize {
+        self.hidden_dim
+    }
+
+    /// Whether the layer emits the full hidden sequence.
+    pub fn return_sequences(&self) -> bool {
+        self.return_sequences
+    }
+
+    /// Forward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input feature width differs from `input_dim`.
+    pub fn forward(&mut self, input: &Seq, training: bool) -> Seq {
+        assert_eq!(
+            input.features(),
+            self.input_dim,
+            "GRU expected {} input features, got {}",
+            self.input_dim,
+            input.features()
+        );
+        let batch = input.batch_size();
+        let h_dim = self.hidden_dim;
+        let mut h = Matrix::zeros(batch, h_dim);
+        if training {
+            self.cache.clear();
+        }
+        let mut outputs = Vec::with_capacity(input.len());
+        for x_t in input.iter() {
+            let xh = x_t.hstack(&h);
+            let pre = xh.matmul(&self.w_gates).add_row_broadcast(&self.b_gates);
+            let z = pre.slice_cols(0..h_dim).map(stable_sigmoid);
+            let r = pre.slice_cols(h_dim..2 * h_dim).map(stable_sigmoid);
+            let rh = r.hadamard(&h);
+            let xrh = x_t.hstack(&rh);
+            let h_tilde = xrh
+                .matmul(&self.w_cand)
+                .add_row_broadcast(&self.b_cand)
+                .map(f64::tanh);
+            let h_new = h
+                .zip_map(&z, |hv, zv| hv * (1.0 - zv))
+                .zip_map(&h_tilde.hadamard(&z), |a, b| a + b);
+            if training {
+                self.cache.push(StepCache {
+                    x: x_t.clone(),
+                    h_prev: h.clone(),
+                    z,
+                    r,
+                    h_tilde,
+                    rh,
+                });
+            }
+            h = h_new;
+            if self.return_sequences {
+                outputs.push(h.clone());
+            }
+        }
+        if self.return_sequences {
+            Seq::from_steps(outputs)
+        } else {
+            Seq::single(h)
+        }
+    }
+
+    /// Backward pass through time; see [`Lstm::backward`](crate::Lstm::backward)
+    /// for the gradient-shape contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called without a preceding training-mode forward pass.
+    pub fn backward(&mut self, grad: &Seq) -> Seq {
+        let steps = self.cache.len();
+        assert!(steps > 0, "backward requires a training forward pass");
+        if self.return_sequences {
+            assert_eq!(grad.len(), steps, "gradient length mismatch");
+        } else {
+            assert_eq!(grad.len(), 1, "single-step gradient expected");
+        }
+        let h_dim = self.hidden_dim;
+        let batch = grad.step(0).rows();
+        let mut dh_next = Matrix::zeros(batch, h_dim);
+        let mut input_grads = vec![Matrix::zeros(batch, self.input_dim); steps];
+
+        for t in (0..steps).rev() {
+            let cache = &self.cache[t];
+            let mut dh = dh_next.clone();
+            if self.return_sequences {
+                dh += grad.step(t);
+            } else if t == steps - 1 {
+                dh += grad.step(0);
+            }
+            // h' = (1 - z)∘h_prev + z∘h~
+            let dz = dh.hadamard(&cache.h_tilde.zip_map(&cache.h_prev, |a, b| a - b));
+            let dh_tilde = dh.hadamard(&cache.z);
+            let mut dh_prev = dh.zip_map(&cache.z, |dv, zv| dv * (1.0 - zv));
+            // Candidate path.
+            let dpre_c = dh_tilde.zip_map(&cache.h_tilde, |d, y| d * (1.0 - y * y));
+            let xrh = cache.x.hstack(&cache.rh);
+            self.grad_w_cand += &xrh.transpose_matmul(&dpre_c);
+            self.grad_b_cand += &dpre_c.sum_rows();
+            let dxrh = dpre_c.matmul_transpose(&self.w_cand);
+            let dx_c = dxrh.slice_cols(0..self.input_dim);
+            let drh = dxrh.slice_cols(self.input_dim..self.input_dim + h_dim);
+            let dr = drh.hadamard(&cache.h_prev);
+            dh_prev += &drh.hadamard(&cache.r);
+            // Gate path.
+            let dpre_z = dz.zip_map(&cache.z, |d, y| d * y * (1.0 - y));
+            let dpre_r = dr.zip_map(&cache.r, |d, y| d * y * (1.0 - y));
+            let dpre_g = dpre_z.hstack(&dpre_r);
+            let xh = cache.x.hstack(&cache.h_prev);
+            self.grad_w_gates += &xh.transpose_matmul(&dpre_g);
+            self.grad_b_gates += &dpre_g.sum_rows();
+            let dxh = dpre_g.matmul_transpose(&self.w_gates);
+            let dx_g = dxh.slice_cols(0..self.input_dim);
+            dh_prev += &dxh.slice_cols(self.input_dim..self.input_dim + h_dim);
+
+            input_grads[t] = &dx_c + &dx_g;
+            dh_next = dh_prev;
+        }
+        Seq::from_steps(input_grads)
+    }
+
+    /// Immutable access to the parameter tensors
+    /// (`w_gates, b_gates, w_cand, b_cand`).
+    pub fn params(&self) -> Vec<&Matrix> {
+        vec![&self.w_gates, &self.b_gates, &self.w_cand, &self.b_cand]
+    }
+
+    /// Parameter/gradient pairs for the optimiser.
+    pub fn params_and_grads_mut(&mut self) -> Vec<(&mut Matrix, &mut Matrix)> {
+        vec![
+            (&mut self.w_gates, &mut self.grad_w_gates),
+            (&mut self.b_gates, &mut self.grad_b_gates),
+            (&mut self.w_cand, &mut self.grad_w_cand),
+            (&mut self.b_cand, &mut self.grad_b_cand),
+        ]
+    }
+
+    /// Clears accumulated gradients.
+    pub fn zero_grads(&mut self) {
+        self.grad_w_gates = Matrix::zeros(self.w_gates.rows(), self.w_gates.cols());
+        self.grad_b_gates = Matrix::zeros(1, self.b_gates.cols());
+        self.grad_w_cand = Matrix::zeros(self.w_cand.rows(), self.w_cand.cols());
+        self.grad_b_cand = Matrix::zeros(1, self.b_cand.cols());
+    }
+
+    /// Restores transient state dropped by serde.
+    pub(crate) fn rebuild_transient(&mut self) {
+        self.zero_grads();
+        self.cache.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_shapes() {
+        let x = Seq::from_samples(&[
+            Matrix::column_vector(&[0.1, 0.2, 0.3]),
+            Matrix::column_vector(&[0.4, 0.5, 0.6]),
+        ]);
+        let mut last = Gru::new_seeded(1, 4, false, 1);
+        assert_eq!(last.forward(&x, false).len(), 1);
+        let mut all = Gru::new_seeded(1, 4, true, 1);
+        let y = all.forward(&x, false);
+        assert_eq!(y.len(), 3);
+        assert_eq!(y.step(2).shape(), (2, 4));
+    }
+
+    #[test]
+    fn final_step_equal_between_modes() {
+        let x = Seq::from_samples(&[Matrix::column_vector(&[0.3, -0.1, 0.7])]);
+        let mut a = Gru::new_seeded(1, 4, false, 9);
+        let mut b = Gru::new_seeded(1, 4, true, 9);
+        assert_eq!(a.forward(&x, false).step(0), b.forward(&x, false).last_step());
+    }
+
+    #[test]
+    fn batch_independence() {
+        let s1 = Matrix::column_vector(&[0.2, 0.4, -0.3]);
+        let s2 = Matrix::column_vector(&[-0.6, 0.1, 0.9]);
+        let mut g = Gru::new_seeded(1, 4, false, 5);
+        let joint = g.forward(&Seq::from_samples(&[s1.clone(), s2.clone()]), false);
+        let solo1 = g.forward(&Seq::from_samples(&[s1]), false);
+        let solo2 = g.forward(&Seq::from_samples(&[s2]), false);
+        for j in 0..4 {
+            assert!((joint.step(0)[(0, j)] - solo1.step(0)[(0, j)]).abs() < 1e-12);
+            assert!((joint.step(0)[(1, j)] - solo2.step(0)[(0, j)]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn outputs_bounded() {
+        // h is a convex combination of tanh values: |h| < 1 always.
+        let x = Seq::from_samples(&[Matrix::column_vector(&[50.0, -50.0, 50.0, -50.0])]);
+        let mut g = Gru::new_seeded(1, 6, true, 7);
+        for step in g.forward(&x, false).iter() {
+            assert!(step.max_abs() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let g = Gru::new_seeded(2, 3, true, 11);
+        let json = serde_json::to_string(&g).expect("ser");
+        let mut back: Gru = serde_json::from_str(&json).expect("de");
+        back.rebuild_transient();
+        assert_eq!(g.params(), back.params());
+    }
+
+    #[test]
+    fn param_count() {
+        let g = Gru::new_seeded(1, 5, false, 0);
+        // w_gates (6x10) + b_gates (10) + w_cand (6x5) + b_cand (5).
+        let total: usize = g.params().iter().map(|m| m.len()).sum();
+        assert_eq!(total, 60 + 10 + 30 + 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "input features")]
+    fn wrong_width_panics() {
+        let mut g = Gru::new_seeded(2, 3, false, 1);
+        let _ = g.forward(&Seq::single(Matrix::ones(1, 5)), false);
+    }
+}

@@ -1,0 +1,390 @@
+//! LSTM layer with full backpropagation through time.
+
+use crate::activation::stable_sigmoid;
+use crate::seq::Seq;
+use evfad_tensor::{Initializer, Matrix};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Per-timestep forward cache used by BPTT.
+#[derive(Debug, Clone, Default)]
+struct StepCache {
+    /// Concatenated `[x_t | h_{t-1}]`, shape `batch x (input + hidden)`.
+    z: Matrix,
+    /// Gate activations, each `batch x hidden`.
+    i: Matrix,
+    f: Matrix,
+    g: Matrix,
+    o: Matrix,
+    /// `tanh` of the cell state after the step.
+    tanh_c: Matrix,
+    /// Cell state before the step.
+    c_prev: Matrix,
+}
+
+/// A Long Short-Term Memory layer.
+///
+/// Implements the standard gate equations
+///
+/// ```text
+/// i = sigmoid(z W_i + b_i)    f = sigmoid(z W_f + b_f)
+/// g = tanh(z W_g + b_g)       o = sigmoid(z W_o + b_o)
+/// c_t = f * c_{t-1} + i * g   h_t = o * tanh(c_t)
+/// ```
+///
+/// with `z = [x_t | h_{t-1}]` and a combined kernel
+/// `W : (input+hidden) x 4*hidden` in gate order `[i | f | g | o]`.
+/// Following Keras defaults the kernel is Glorot-uniform and the forget-gate
+/// bias is initialised to one (`unit_forget_bias`).
+///
+/// With `return_sequences = true` the output has one step per input step
+/// (used to stack LSTMs in the paper's autoencoder); otherwise the output is
+/// a single-step [`Seq`] holding the final hidden state.
+///
+/// # Examples
+///
+/// ```
+/// use evfad_nn::{Lstm, Seq};
+/// use evfad_tensor::Matrix;
+///
+/// let mut lstm = Lstm::new_seeded(1, 8, false, 42);
+/// let x = Seq::from_samples(&[Matrix::column_vector(&[0.1, 0.2, 0.3])]);
+/// let h = lstm.forward(&x, false);
+/// assert_eq!(h.len(), 1);
+/// assert_eq!(h.step(0).shape(), (1, 8));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Lstm {
+    input_dim: usize,
+    hidden_dim: usize,
+    return_sequences: bool,
+    /// Combined kernel over `[x | h]`, shape `(input+hidden) x 4*hidden`.
+    w: Matrix,
+    /// Bias, shape `1 x 4*hidden`.
+    b: Matrix,
+    #[serde(skip)]
+    grad_w: Matrix,
+    #[serde(skip)]
+    grad_b: Matrix,
+    #[serde(skip)]
+    cache: Vec<StepCache>,
+}
+
+impl Lstm {
+    /// Creates an LSTM seeded from the thread RNG. Prefer
+    /// [`Lstm::new_seeded`] for reproducibility;
+    /// [`Sequential::with`](crate::Sequential::with) reseeds adopted layers.
+    pub fn new(input_dim: usize, hidden_dim: usize, return_sequences: bool) -> Self {
+        Self::new_with_rng(input_dim, hidden_dim, return_sequences, &mut rand::thread_rng())
+    }
+
+    /// Creates an LSTM initialised from `rng`.
+    pub fn new_with_rng(
+        input_dim: usize,
+        hidden_dim: usize,
+        return_sequences: bool,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let z_dim = input_dim + hidden_dim;
+        let w = Initializer::GlorotUniform.init(z_dim, 4 * hidden_dim, rng);
+        let mut b = Matrix::zeros(1, 4 * hidden_dim);
+        // unit_forget_bias: the f-gate block starts at 1.0.
+        for j in hidden_dim..2 * hidden_dim {
+            b[(0, j)] = 1.0;
+        }
+        Self {
+            input_dim,
+            hidden_dim,
+            return_sequences,
+            w,
+            b,
+            grad_w: Matrix::zeros(z_dim, 4 * hidden_dim),
+            grad_b: Matrix::zeros(1, 4 * hidden_dim),
+            cache: Vec::new(),
+        }
+    }
+
+    /// Creates an LSTM initialised from a fixed seed.
+    pub fn new_seeded(
+        input_dim: usize,
+        hidden_dim: usize,
+        return_sequences: bool,
+        seed: u64,
+    ) -> Self {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        Self::new_with_rng(input_dim, hidden_dim, return_sequences, &mut rng)
+    }
+
+    /// Re-initialises the weights from `rng`.
+    pub fn reinitialize(&mut self, rng: &mut impl Rng) {
+        let fresh = Lstm::new_with_rng(self.input_dim, self.hidden_dim, self.return_sequences, rng);
+        self.w = fresh.w;
+        self.b = fresh.b;
+    }
+
+    /// Input feature width.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Hidden-state width.
+    pub fn hidden_dim(&self) -> usize {
+        self.hidden_dim
+    }
+
+    /// Whether the layer emits the full hidden sequence.
+    pub fn return_sequences(&self) -> bool {
+        self.return_sequences
+    }
+
+    /// Forward pass over a batched sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input feature width differs from `input_dim`.
+    pub fn forward(&mut self, input: &Seq, training: bool) -> Seq {
+        assert_eq!(
+            input.features(),
+            self.input_dim,
+            "LSTM expected {} input features, got {}",
+            self.input_dim,
+            input.features()
+        );
+        let batch = input.batch_size();
+        let h_dim = self.hidden_dim;
+        let mut h = Matrix::zeros(batch, h_dim);
+        let mut c = Matrix::zeros(batch, h_dim);
+        if training {
+            self.cache.clear();
+        }
+        let mut outputs = Vec::with_capacity(input.len());
+        for x_t in input.iter() {
+            let z = x_t.hstack(&h);
+            let pre = z.matmul(&self.w).add_row_broadcast(&self.b);
+            let i = pre.slice_cols(0..h_dim).map(stable_sigmoid);
+            let f = pre.slice_cols(h_dim..2 * h_dim).map(stable_sigmoid);
+            let g = pre.slice_cols(2 * h_dim..3 * h_dim).map(f64::tanh);
+            let o = pre.slice_cols(3 * h_dim..4 * h_dim).map(stable_sigmoid);
+            let c_prev = c.clone();
+            c = f.hadamard(&c_prev).zip_map(&i.hadamard(&g), |a, b| a + b);
+            let tanh_c = c.map(f64::tanh);
+            h = o.hadamard(&tanh_c);
+            if training {
+                self.cache.push(StepCache {
+                    z,
+                    i,
+                    f,
+                    g,
+                    o,
+                    tanh_c: tanh_c.clone(),
+                    c_prev,
+                });
+            }
+            if self.return_sequences {
+                outputs.push(h.clone());
+            }
+        }
+        if self.return_sequences {
+            Seq::from_steps(outputs)
+        } else {
+            Seq::single(h)
+        }
+    }
+
+    /// Backward pass through time.
+    ///
+    /// `grad` must match the forward output shape: one step per input step
+    /// when `return_sequences`, otherwise a single step (gradient of the
+    /// final hidden state). Returns the gradient with respect to the input
+    /// sequence and accumulates kernel/bias gradients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called without a preceding training-mode forward pass.
+    pub fn backward(&mut self, grad: &Seq) -> Seq {
+        let steps = self.cache.len();
+        assert!(steps > 0, "backward requires a training forward pass");
+        if self.return_sequences {
+            assert_eq!(grad.len(), steps, "gradient length mismatch");
+        } else {
+            assert_eq!(grad.len(), 1, "single-step gradient expected");
+        }
+        let h_dim = self.hidden_dim;
+        let batch = grad.step(0).rows();
+        let mut dh_next = Matrix::zeros(batch, h_dim);
+        let mut dc_next = Matrix::zeros(batch, h_dim);
+        let mut input_grads = vec![Matrix::zeros(batch, self.input_dim); steps];
+
+        for t in (0..steps).rev() {
+            let cache = &self.cache[t];
+            let mut dh = dh_next.clone();
+            if self.return_sequences {
+                dh += grad.step(t);
+            } else if t == steps - 1 {
+                dh += grad.step(0);
+            }
+            // h = o * tanh(c)
+            let d_o = dh.hadamard(&cache.tanh_c);
+            let mut dc = dh
+                .hadamard(&cache.o)
+                .zip_map(&cache.tanh_c, |v, tc| v * (1.0 - tc * tc));
+            dc += &dc_next;
+            // c = f*c_prev + i*g
+            let d_i = dc.hadamard(&cache.g);
+            let d_f = dc.hadamard(&cache.c_prev);
+            let d_g = dc.hadamard(&cache.i);
+            dc_next = dc.hadamard(&cache.f);
+            // Through the gate nonlinearities.
+            let dp_i = d_i.zip_map(&cache.i, |d, y| d * y * (1.0 - y));
+            let dp_f = d_f.zip_map(&cache.f, |d, y| d * y * (1.0 - y));
+            let dp_g = d_g.zip_map(&cache.g, |d, y| d * (1.0 - y * y));
+            let dp_o = d_o.zip_map(&cache.o, |d, y| d * y * (1.0 - y));
+            let dpre = dp_i.hstack(&dp_f).hstack(&dp_g).hstack(&dp_o);
+            // Parameter gradients.
+            self.grad_w += &cache.z.transpose_matmul(&dpre);
+            self.grad_b += &dpre.sum_rows();
+            // Through the concatenation z = [x | h_prev].
+            let dz = dpre.matmul_transpose(&self.w);
+            input_grads[t] = dz.slice_cols(0..self.input_dim);
+            dh_next = dz.slice_cols(self.input_dim..self.input_dim + h_dim);
+        }
+        Seq::from_steps(input_grads)
+    }
+
+    /// Immutable access to `(kernel, bias)`.
+    pub fn params(&self) -> Vec<&Matrix> {
+        vec![&self.w, &self.b]
+    }
+
+    /// Parameter/gradient pairs for the optimiser.
+    pub fn params_and_grads_mut(&mut self) -> Vec<(&mut Matrix, &mut Matrix)> {
+        vec![(&mut self.w, &mut self.grad_w), (&mut self.b, &mut self.grad_b)]
+    }
+
+    /// Clears accumulated gradients.
+    pub fn zero_grads(&mut self) {
+        self.grad_w = Matrix::zeros(self.w.rows(), self.w.cols());
+        self.grad_b = Matrix::zeros(1, self.b.cols());
+    }
+
+    /// Restores transient state dropped by serde.
+    pub(crate) fn rebuild_transient(&mut self) {
+        self.zero_grads();
+        self.cache.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_shapes_respect_return_sequences() {
+        let x = Seq::from_samples(&[
+            Matrix::column_vector(&[0.1, 0.2, 0.3, 0.4]),
+            Matrix::column_vector(&[0.5, 0.6, 0.7, 0.8]),
+        ]);
+        let mut last_only = Lstm::new_seeded(1, 5, false, 1);
+        let y = last_only.forward(&x, false);
+        assert_eq!(y.len(), 1);
+        assert_eq!(y.step(0).shape(), (2, 5));
+
+        let mut all = Lstm::new_seeded(1, 5, true, 1);
+        let y = all.forward(&x, false);
+        assert_eq!(y.len(), 4);
+        assert_eq!(y.step(3).shape(), (2, 5));
+    }
+
+    #[test]
+    fn final_step_equal_between_modes() {
+        let x = Seq::from_samples(&[Matrix::column_vector(&[0.3, -0.1, 0.7])]);
+        let mut a = Lstm::new_seeded(1, 4, false, 9);
+        let mut b = Lstm::new_seeded(1, 4, true, 9);
+        let ya = a.forward(&x, false);
+        let yb = b.forward(&x, false);
+        assert_eq!(ya.step(0), yb.last_step());
+    }
+
+    #[test]
+    fn hidden_state_resets_between_calls() {
+        let x = Seq::from_samples(&[Matrix::column_vector(&[0.5, 0.5])]);
+        let mut l = Lstm::new_seeded(1, 3, false, 2);
+        let y1 = l.forward(&x, false);
+        let y2 = l.forward(&x, false);
+        assert_eq!(y1.step(0), y2.step(0));
+    }
+
+    #[test]
+    fn forget_bias_initialised_to_one() {
+        let l = Lstm::new_seeded(2, 3, false, 4);
+        let b = l.params()[1];
+        for j in 0..3 {
+            assert_eq!(b[(0, j)], 0.0); // i
+            assert_eq!(b[(0, 3 + j)], 1.0); // f
+            assert_eq!(b[(0, 6 + j)], 0.0); // g
+            assert_eq!(b[(0, 9 + j)], 0.0); // o
+        }
+    }
+
+    #[test]
+    fn outputs_bounded_by_gate_ranges() {
+        // |h| <= |o| * |tanh(c)| < 1 for bounded inputs over few steps.
+        let x = Seq::from_samples(&[Matrix::column_vector(&[10.0, -10.0, 10.0])]);
+        let mut l = Lstm::new_seeded(1, 6, true, 7);
+        let y = l.forward(&x, false);
+        for step in y.iter() {
+            assert!(step.max_abs() < 3.0, "hidden state out of expected range");
+        }
+    }
+
+    #[test]
+    fn batch_independence() {
+        // Processing two samples in one batch must equal processing them alone.
+        let s1 = Matrix::column_vector(&[0.2, 0.4, -0.3]);
+        let s2 = Matrix::column_vector(&[-0.6, 0.1, 0.9]);
+        let mut l = Lstm::new_seeded(1, 4, false, 5);
+        let joint = l.forward(&Seq::from_samples(&[s1.clone(), s2.clone()]), false);
+        let solo1 = l.forward(&Seq::from_samples(&[s1]), false);
+        let solo2 = l.forward(&Seq::from_samples(&[s2]), false);
+        for j in 0..4 {
+            assert!((joint.step(0)[(0, j)] - solo1.step(0)[(0, j)]).abs() < 1e-12);
+            assert!((joint.step(0)[(1, j)] - solo2.step(0)[(0, j)]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn backward_produces_input_grad_of_right_shape() {
+        let x = Seq::from_samples(&[
+            Matrix::column_vector(&[0.1, 0.2, 0.3]),
+            Matrix::column_vector(&[0.4, 0.5, 0.6]),
+        ]);
+        let mut l = Lstm::new_seeded(1, 4, false, 6);
+        let y = l.forward(&x, true);
+        let g = Seq::single(Matrix::ones(2, 4));
+        let dx = l.backward(&g);
+        assert_eq!(dx.len(), 3);
+        assert_eq!(dx.step(0).shape(), (2, 1));
+        assert!(dx.is_finite());
+        let _ = y;
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let l = Lstm::new_seeded(2, 3, true, 11);
+        let json = serde_json::to_string(&l).expect("serialize");
+        let mut back: Lstm = serde_json::from_str(&json).expect("deserialize");
+        back.rebuild_transient();
+        assert_eq!(l.params()[0], back.params()[0]);
+        assert_eq!(l.params()[1], back.params()[1]);
+        assert_eq!(back.return_sequences(), true);
+    }
+
+    #[test]
+    #[should_panic(expected = "input features")]
+    fn wrong_feature_width_panics() {
+        let mut l = Lstm::new_seeded(2, 3, false, 1);
+        let x = Seq::single(Matrix::ones(1, 5));
+        let _ = l.forward(&x, false);
+    }
+}

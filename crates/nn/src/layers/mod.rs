@@ -1,0 +1,13 @@
+//! Concrete layer implementations.
+
+mod dense;
+mod dropout;
+mod gru;
+mod lstm;
+mod repeat_vector;
+
+pub use dense::Dense;
+pub use dropout::Dropout;
+pub use gru::Gru;
+pub use lstm::Lstm;
+pub use repeat_vector::RepeatVector;

@@ -1,0 +1,112 @@
+//! Keras-style `RepeatVector` layer.
+
+use crate::seq::Seq;
+use evfad_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Repeats a single-step batch `n` times along the time axis.
+///
+/// This is the bottleneck-to-decoder bridge of the paper's LSTM autoencoder:
+/// the encoder's final hidden state is repeated `SEQUENCE_LENGTH` times so
+/// the decoder LSTM can unroll over it.
+///
+/// # Examples
+///
+/// ```
+/// use evfad_nn::{RepeatVector, Seq};
+/// use evfad_tensor::Matrix;
+///
+/// let mut r = RepeatVector::new(3);
+/// let x = Seq::single(Matrix::ones(2, 4));
+/// let y = r.forward(&x, false);
+/// assert_eq!(y.len(), 3);
+/// assert_eq!(y.step(2), x.step(0));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RepeatVector {
+    n: usize,
+}
+
+impl RepeatVector {
+    /// Creates a layer repeating its input `n` times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "RepeatVector needs n >= 1");
+        Self { n }
+    }
+
+    /// Number of repetitions.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Forward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input has more than one timestep.
+    pub fn forward(&mut self, input: &Seq, _training: bool) -> Seq {
+        assert_eq!(
+            input.len(),
+            1,
+            "RepeatVector expects a single-step input (got {} steps)",
+            input.len()
+        );
+        Seq::from_steps(vec![input.step(0).clone(); self.n])
+    }
+
+    /// Backward pass: sums the per-step gradients back into one step.
+    pub fn backward(&mut self, grad: &Seq) -> Seq {
+        let mut acc = Matrix::zeros(grad.step(0).rows(), grad.step(0).cols());
+        for g in grad.iter() {
+            acc += g;
+        }
+        Seq::single(acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repeats_content() {
+        let mut r = RepeatVector::new(4);
+        let x = Seq::single(Matrix::from_rows(&[vec![1.0, 2.0]]));
+        let y = r.forward(&x, true);
+        assert_eq!(y.len(), 4);
+        for t in 0..4 {
+            assert_eq!(y.step(t), x.step(0));
+        }
+    }
+
+    #[test]
+    fn backward_sums() {
+        let mut r = RepeatVector::new(3);
+        let _ = r.forward(&Seq::single(Matrix::zeros(1, 2)), true);
+        let g = Seq::from_steps(vec![
+            Matrix::from_rows(&[vec![1.0, 2.0]]),
+            Matrix::from_rows(&[vec![3.0, 4.0]]),
+            Matrix::from_rows(&[vec![5.0, 6.0]]),
+        ]);
+        let dx = r.backward(&g);
+        assert_eq!(dx.step(0), &Matrix::from_rows(&[vec![9.0, 12.0]]));
+    }
+
+    #[test]
+    #[should_panic(expected = "single-step")]
+    fn multi_step_input_panics() {
+        let mut r = RepeatVector::new(2);
+        let x = Seq::from_steps(vec![Matrix::zeros(1, 1), Matrix::zeros(1, 1)]);
+        let _ = r.forward(&x, false);
+    }
+
+    #[test]
+    #[should_panic(expected = "n >= 1")]
+    fn zero_n_panics() {
+        let _ = RepeatVector::new(0);
+    }
+}

@@ -1,0 +1,69 @@
+//! From-scratch neural-network substrate for the `evfad` workspace.
+//!
+//! Reimplements the slice of Keras the paper's models rely on:
+//!
+//! * [`Lstm`] — full backpropagation-through-time LSTM with
+//!   `return_sequences`, combined Glorot-initialised kernel and
+//!   unit-initialised forget-gate bias;
+//! * [`Dense`] — time-distributed fully connected layer with selectable
+//!   [`Activation`];
+//! * [`Dropout`] and [`RepeatVector`] — the remaining pieces of the paper's
+//!   LSTM-autoencoder stack;
+//! * [`Sequential`] — a layer container with a Keras-style
+//!   [`fit`](Sequential::fit) loop (mini-batches, shuffling, validation
+//!   split, early stopping with best-weight restoration);
+//! * [`Adam`] / [`Sgd`] optimisers and [`Loss`] functions (MSE / MAE);
+//! * weight export/import ([`Sequential::weights`] /
+//!   [`Sequential::set_weights`]) — the federated-averaging interface.
+//!
+//! All layer gradients are validated against finite differences in this
+//! crate's test-suite (see the [`gradcheck`] helpers).
+//!
+//! # Examples
+//!
+//! Train a single-step forecaster on a toy signal:
+//!
+//! ```
+//! use evfad_nn::{Activation, Dense, Lstm, Sequential, Sample, TrainConfig};
+//! use evfad_tensor::Matrix;
+//!
+//! let mut model = Sequential::new(42)
+//!     .with(Lstm::new(1, 4, false))
+//!     .with(Dense::new(4, 1, Activation::Linear));
+//! let samples: Vec<Sample> = (0..32)
+//!     .map(|i| {
+//!         let xs: Vec<f64> = (0..8).map(|t| ((i + t) as f64 * 0.3).sin()).collect();
+//!         let y = ((i + 8) as f64 * 0.3).sin();
+//!         Sample::new(Matrix::column_vector(&xs), Matrix::from_vec(1, 1, vec![y]))
+//!     })
+//!     .collect();
+//! let cfg = TrainConfig { epochs: 2, batch_size: 8, ..TrainConfig::default() };
+//! let history = model.fit(&samples, &cfg)?;
+//! assert_eq!(history.epochs.len(), 2);
+//! # Ok::<(), evfad_nn::NnError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod activation;
+mod error;
+pub mod gradcheck;
+mod layer;
+mod layers;
+mod loss;
+mod model;
+mod optimizer;
+mod seq;
+
+pub use activation::Activation;
+pub use error::{NnError, NnResult};
+pub use layer::Layer;
+pub use layers::{Dense, Dropout, Gru, Lstm, RepeatVector};
+pub use loss::Loss;
+pub use gradcheck::{check_model_gradients, GradCheckReport};
+pub use model::{
+    autoencoder_model, forecaster_model, EpochStats, Sample, Sequential, TrainConfig, TrainHistory,
+};
+pub use optimizer::{Adam, Optimizer, Sgd};
+pub use seq::Seq;

@@ -1,0 +1,155 @@
+//! Loss functions.
+
+use crate::seq::Seq;
+use serde::{Deserialize, Serialize};
+
+/// Training loss evaluated over an entire output sequence batch.
+///
+/// The value is the mean over all `time x batch x feature` elements, so a
+/// one-step forecaster and a 24-step autoencoder use the same code path
+/// (matching Keras's `mse`/`mae` on 3-D tensors).
+///
+/// # Examples
+///
+/// ```
+/// use evfad_nn::{Loss, Seq};
+/// use evfad_tensor::Matrix;
+///
+/// let pred = Seq::single(Matrix::from_rows(&[vec![1.0], vec![3.0]]));
+/// let target = Seq::single(Matrix::from_rows(&[vec![0.0], vec![1.0]]));
+/// let (value, _grad) = Loss::Mse.evaluate(&pred, &target);
+/// assert!((value - 2.5).abs() < 1e-12); // (1 + 4) / 2
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum Loss {
+    /// Mean squared error.
+    #[default]
+    Mse,
+    /// Mean absolute error.
+    Mae,
+}
+
+impl Loss {
+    /// Returns `(loss value, gradient w.r.t. predictions)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pred` and `target` have different shapes.
+    pub fn evaluate(self, pred: &Seq, target: &Seq) -> (f64, Seq) {
+        assert_eq!(pred.len(), target.len(), "loss sequence length mismatch");
+        let n = pred.element_count() as f64;
+        match self {
+            Loss::Mse => {
+                let diff = pred.zip_map(target, |p, t| p - t);
+                let value = diff
+                    .iter()
+                    .map(|m| m.as_slice().iter().map(|d| d * d).sum::<f64>())
+                    .sum::<f64>()
+                    / n;
+                let grad = diff.map(move |d| 2.0 * d / n);
+                (value, grad)
+            }
+            Loss::Mae => {
+                let diff = pred.zip_map(target, |p, t| p - t);
+                let value = diff
+                    .iter()
+                    .map(|m| m.as_slice().iter().map(|d| d.abs()).sum::<f64>())
+                    .sum::<f64>()
+                    / n;
+                let grad = diff.map(move |d| d.signum() / n);
+                (value, grad)
+            }
+        }
+    }
+
+    /// Loss value only (no gradient allocation).
+    pub fn value(self, pred: &Seq, target: &Seq) -> f64 {
+        assert_eq!(pred.len(), target.len(), "loss sequence length mismatch");
+        let n = pred.element_count() as f64;
+        let mut acc = 0.0;
+        for (p, t) in pred.iter().zip(target.iter()) {
+            for (pv, tv) in p.as_slice().iter().zip(t.as_slice()) {
+                let d = pv - tv;
+                acc += match self {
+                    Loss::Mse => d * d,
+                    Loss::Mae => d.abs(),
+                };
+            }
+        }
+        acc / n
+    }
+
+    /// Stable identifier (`"mse"` / `"mae"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Loss::Mse => "mse",
+            Loss::Mae => "mae",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evfad_tensor::Matrix;
+
+    #[test]
+    fn mse_zero_at_perfect_prediction() {
+        let p = Seq::single(Matrix::ones(2, 2));
+        let (v, g) = Loss::Mse.evaluate(&p, &p.clone());
+        assert_eq!(v, 0.0);
+        assert_eq!(g.step(0).sum(), 0.0);
+    }
+
+    #[test]
+    fn mse_gradient_matches_finite_difference() {
+        let p = Seq::single(Matrix::from_rows(&[vec![1.0, -2.0], vec![0.5, 3.0]]));
+        let t = Seq::single(Matrix::from_rows(&[vec![0.0, 1.0], vec![-1.0, 2.0]]));
+        let (_, g) = Loss::Mse.evaluate(&p, &t);
+        let eps = 1e-6;
+        for i in 0..2 {
+            for j in 0..2 {
+                let mut plus = p.step(0).clone();
+                plus[(i, j)] += eps;
+                let mut minus = p.step(0).clone();
+                minus[(i, j)] -= eps;
+                let num = (Loss::Mse.value(&Seq::single(plus), &t)
+                    - Loss::Mse.value(&Seq::single(minus), &t))
+                    / (2.0 * eps);
+                assert!((num - g.step(0)[(i, j)]).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn mae_value_known() {
+        let p = Seq::single(Matrix::from_rows(&[vec![1.0, -1.0]]));
+        let t = Seq::single(Matrix::from_rows(&[vec![0.0, 1.0]]));
+        assert!((Loss::Mae.value(&p, &t) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multi_step_mean_over_all_elements() {
+        let p = Seq::from_steps(vec![Matrix::filled(1, 1, 2.0), Matrix::filled(1, 1, 4.0)]);
+        let t = Seq::from_steps(vec![Matrix::zeros(1, 1), Matrix::zeros(1, 1)]);
+        // (4 + 16) / 2
+        assert!((Loss::Mse.value(&p, &t) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn value_agrees_with_evaluate() {
+        let p = Seq::single(Matrix::from_rows(&[vec![0.3, 0.7], vec![1.1, -0.2]]));
+        let t = Seq::single(Matrix::from_rows(&[vec![0.1, 0.2], vec![0.9, 0.1]]));
+        for loss in [Loss::Mse, Loss::Mae] {
+            let (v, _) = loss.evaluate(&p, &t);
+            assert!((v - loss.value(&p, &t)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(Loss::Mse.name(), "mse");
+        assert_eq!(Loss::Mae.name(), "mae");
+        assert_eq!(Loss::default(), Loss::Mse);
+    }
+}

@@ -1,0 +1,256 @@
+//! Gradient-descent optimisers.
+
+use evfad_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Optimiser state and update rule.
+///
+/// Parameters are addressed positionally: the caller passes the same ordered
+/// `(param, grad)` list on every step (as produced by
+/// [`Sequential::params_and_grads_mut`](crate::Sequential)); optimiser state
+/// is kept per position.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Optimizer {
+    /// Plain stochastic gradient descent.
+    Sgd(Sgd),
+    /// Adam (Kingma & Ba, 2015) — the paper's optimiser with
+    /// `LEARNING_RATE = 0.001`.
+    Adam(Adam),
+}
+
+impl Optimizer {
+    /// Applies one update step to every `(param, grad)` pair, consuming the
+    /// accumulated gradients (the caller zeroes them afterwards).
+    pub fn step(&mut self, params_and_grads: &mut [(&mut Matrix, &mut Matrix)]) {
+        match self {
+            Optimizer::Sgd(o) => o.step(params_and_grads),
+            Optimizer::Adam(o) => o.step(params_and_grads),
+        }
+    }
+
+    /// The configured learning rate.
+    pub fn learning_rate(&self) -> f64 {
+        match self {
+            Optimizer::Sgd(o) => o.learning_rate,
+            Optimizer::Adam(o) => o.learning_rate,
+        }
+    }
+
+    /// Resets any accumulated moment state (used when a federated client
+    /// receives fresh global weights and should not reuse stale momenta).
+    pub fn reset_state(&mut self) {
+        match self {
+            Optimizer::Sgd(_) => {}
+            Optimizer::Adam(o) => o.reset_state(),
+        }
+    }
+}
+
+impl From<Sgd> for Optimizer {
+    fn from(o: Sgd) -> Self {
+        Optimizer::Sgd(o)
+    }
+}
+
+impl From<Adam> for Optimizer {
+    fn from(o: Adam) -> Self {
+        Optimizer::Adam(o)
+    }
+}
+
+impl Default for Optimizer {
+    fn default() -> Self {
+        Optimizer::Adam(Adam::new(0.001))
+    }
+}
+
+/// Plain SGD: `w -= lr * g`.
+///
+/// # Examples
+///
+/// ```
+/// use evfad_nn::Sgd;
+/// use evfad_tensor::Matrix;
+///
+/// let mut opt = Sgd::new(0.1);
+/// let mut w = Matrix::ones(1, 1);
+/// let mut g = Matrix::filled(1, 1, 2.0);
+/// opt.step(&mut [(&mut w, &mut g)]);
+/// assert!((w[(0, 0)] - 0.8).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Sgd {
+    /// Step size.
+    pub learning_rate: f64,
+}
+
+impl Sgd {
+    /// Creates an SGD optimiser with the given learning rate.
+    pub fn new(learning_rate: f64) -> Self {
+        Self { learning_rate }
+    }
+
+    /// Applies `w -= lr * g` to each pair.
+    pub fn step(&mut self, params_and_grads: &mut [(&mut Matrix, &mut Matrix)]) {
+        for (w, g) in params_and_grads.iter_mut() {
+            w.axpy(-self.learning_rate, g);
+        }
+    }
+}
+
+/// Adam optimiser with bias-corrected first/second moments.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Adam {
+    /// Step size (paper: `0.001`).
+    pub learning_rate: f64,
+    /// First-moment decay (default `0.9`).
+    pub beta1: f64,
+    /// Second-moment decay (default `0.999`).
+    pub beta2: f64,
+    /// Numerical-stability constant (default `1e-8`).
+    pub epsilon: f64,
+    t: u64,
+    m: Vec<Matrix>,
+    v: Vec<Matrix>,
+}
+
+impl Adam {
+    /// Creates an Adam optimiser with Keras-default betas and epsilon.
+    pub fn new(learning_rate: f64) -> Self {
+        Self {
+            learning_rate,
+            beta1: 0.9,
+            beta2: 0.999,
+            epsilon: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// Applies one Adam update to every `(param, grad)` pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of pairs changes between calls.
+    pub fn step(&mut self, params_and_grads: &mut [(&mut Matrix, &mut Matrix)]) {
+        if self.m.is_empty() {
+            self.m = params_and_grads
+                .iter()
+                .map(|(w, _)| Matrix::zeros(w.rows(), w.cols()))
+                .collect();
+            self.v = self.m.clone();
+        }
+        assert_eq!(
+            self.m.len(),
+            params_and_grads.len(),
+            "Adam was initialised for a different parameter set"
+        );
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for (idx, (w, g)) in params_and_grads.iter_mut().enumerate() {
+            let m = &mut self.m[idx];
+            let v = &mut self.v[idx];
+            for ((wv, gv), (mv, vv)) in w
+                .as_mut_slice()
+                .iter_mut()
+                .zip(g.as_slice())
+                .zip(m.as_mut_slice().iter_mut().zip(v.as_mut_slice()))
+            {
+                *mv = self.beta1 * *mv + (1.0 - self.beta1) * gv;
+                *vv = self.beta2 * *vv + (1.0 - self.beta2) * gv * gv;
+                let m_hat = *mv / b1t;
+                let v_hat = *vv / b2t;
+                *wv -= self.learning_rate * m_hat / (v_hat.sqrt() + self.epsilon);
+            }
+        }
+    }
+
+    /// Clears moment estimates and the step counter.
+    pub fn reset_state(&mut self) {
+        self.t = 0;
+        self.m.clear();
+        self.v.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_descent(opt: &mut Optimizer, start: f64, iters: usize) -> f64 {
+        // Minimise f(w) = (w - 3)^2; grad = 2(w - 3).
+        let mut w = Matrix::filled(1, 1, start);
+        for _ in 0..iters {
+            let mut g = Matrix::filled(1, 1, 2.0 * (w[(0, 0)] - 3.0));
+            opt.step(&mut [(&mut w, &mut g)]);
+        }
+        w[(0, 0)]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt: Optimizer = Sgd::new(0.1).into();
+        let w = quadratic_descent(&mut opt, 0.0, 100);
+        assert!((w - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt: Optimizer = Adam::new(0.05).into();
+        let w = quadratic_descent(&mut opt, 0.0, 2000);
+        assert!((w - 3.0).abs() < 1e-3, "w = {w}");
+    }
+
+    #[test]
+    fn adam_first_step_magnitude_is_lr() {
+        // With bias correction, the very first Adam step is ~lr in magnitude.
+        let mut opt = Adam::new(0.001);
+        let mut w = Matrix::zeros(1, 1);
+        let mut g = Matrix::filled(1, 1, 123.0);
+        opt.step(&mut [(&mut w, &mut g)]);
+        assert!((w[(0, 0)].abs() - 0.001).abs() < 1e-6);
+    }
+
+    #[test]
+    fn adam_reset_state_clears_momenta() {
+        let mut opt = Adam::new(0.01);
+        let mut w = Matrix::zeros(1, 1);
+        let mut g = Matrix::filled(1, 1, 1.0);
+        opt.step(&mut [(&mut w, &mut g)]);
+        opt.reset_state();
+        assert_eq!(opt.t, 0);
+        assert!(opt.m.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "different parameter set")]
+    fn adam_rejects_changed_param_count() {
+        let mut opt = Adam::new(0.01);
+        let mut w = Matrix::zeros(1, 1);
+        let mut g = Matrix::zeros(1, 1);
+        opt.step(&mut [(&mut w, &mut g)]);
+        let mut w2 = Matrix::zeros(1, 1);
+        let mut g2 = Matrix::zeros(1, 1);
+        opt.step(&mut [(&mut w, &mut g), (&mut w2, &mut g2)]);
+    }
+
+    #[test]
+    fn default_optimizer_is_paper_adam() {
+        let opt = Optimizer::default();
+        assert!((opt.learning_rate() - 0.001).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sgd_multi_param_update() {
+        let mut opt = Sgd::new(1.0);
+        let mut w1 = Matrix::ones(1, 2);
+        let mut g1 = Matrix::filled(1, 2, 0.5);
+        let mut w2 = Matrix::zeros(2, 1);
+        let mut g2 = Matrix::filled(2, 1, -1.0);
+        opt.step(&mut [(&mut w1, &mut g1), (&mut w2, &mut g2)]);
+        assert_eq!(w1, Matrix::filled(1, 2, 0.5));
+        assert_eq!(w2, Matrix::filled(2, 1, 1.0));
+    }
+}

@@ -1,0 +1,238 @@
+//! Time-major batched sequences.
+
+use evfad_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// A batch of equally long sequences in time-major layout.
+///
+/// `steps[t]` is a `batch x features` matrix holding timestep `t` of every
+/// sequence in the batch. A non-sequential activation (e.g. the output of an
+/// `Lstm` with `return_sequences = false`) is a `Seq` with exactly one step.
+///
+/// # Examples
+///
+/// ```
+/// use evfad_nn::Seq;
+/// use evfad_tensor::Matrix;
+///
+/// // Two samples, three timesteps, one feature each.
+/// let samples = [
+///     Matrix::column_vector(&[1.0, 2.0, 3.0]),
+///     Matrix::column_vector(&[4.0, 5.0, 6.0]),
+/// ];
+/// let seq = Seq::from_samples(&samples);
+/// assert_eq!(seq.len(), 3);
+/// assert_eq!(seq.batch_size(), 2);
+/// assert_eq!(seq.step(1)[(1, 0)], 5.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Seq {
+    steps: Vec<Matrix>,
+}
+
+impl Seq {
+    /// Creates a sequence batch from pre-built time-major steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps` is empty or the step shapes are inconsistent.
+    pub fn from_steps(steps: Vec<Matrix>) -> Self {
+        assert!(!steps.is_empty(), "a Seq needs at least one step");
+        let shape = steps[0].shape();
+        assert!(
+            steps.iter().all(|s| s.shape() == shape),
+            "all steps must share the same batch x features shape"
+        );
+        Self { steps }
+    }
+
+    /// Creates a single-step sequence (a plain batch of feature vectors).
+    pub fn single(step: Matrix) -> Self {
+        Self { steps: vec![step] }
+    }
+
+    /// Builds a time-major batch from per-sample `time x features` matrices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty or the samples disagree on shape.
+    pub fn from_samples(samples: &[Matrix]) -> Self {
+        assert!(!samples.is_empty(), "from_samples requires samples");
+        let (time, feat) = samples[0].shape();
+        assert!(
+            samples.iter().all(|s| s.shape() == (time, feat)),
+            "all samples must share the same time x features shape"
+        );
+        let batch = samples.len();
+        let steps = (0..time)
+            .map(|t| {
+                Matrix::from_fn(batch, feat, |b, f| samples[b][(t, f)])
+            })
+            .collect();
+        Self { steps }
+    }
+
+    /// Splits the batch back into per-sample `time x features` matrices.
+    pub fn to_samples(&self) -> Vec<Matrix> {
+        let (batch, feat) = self.steps[0].shape();
+        (0..batch)
+            .map(|b| Matrix::from_fn(self.len(), feat, |t, f| self.steps[t][(b, f)]))
+            .collect()
+    }
+
+    /// Number of timesteps.
+    #[allow(clippy::len_without_is_empty)] // a Seq is never empty by construction
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Batch size (rows of every step).
+    pub fn batch_size(&self) -> usize {
+        self.steps[0].rows()
+    }
+
+    /// Feature width (columns of every step).
+    pub fn features(&self) -> usize {
+        self.steps[0].cols()
+    }
+
+    /// Borrow of the step at time `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t >= self.len()`.
+    pub fn step(&self, t: usize) -> &Matrix {
+        &self.steps[t]
+    }
+
+    /// Borrow of the final step.
+    pub fn last_step(&self) -> &Matrix {
+        self.steps.last().expect("Seq is never empty")
+    }
+
+    /// Iterator over the steps in time order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Matrix> {
+        self.steps.iter()
+    }
+
+    /// Consumes the batch and returns the time-major steps.
+    pub fn into_steps(self) -> Vec<Matrix> {
+        self.steps
+    }
+
+    /// Total number of scalar elements (`time * batch * features`).
+    pub fn element_count(&self) -> usize {
+        self.len() * self.batch_size() * self.features()
+    }
+
+    /// Elementwise map over every step.
+    pub fn map(&self, f: impl Fn(f64) -> f64 + Copy) -> Seq {
+        Seq {
+            steps: self.steps.iter().map(|s| s.map(f)).collect(),
+        }
+    }
+
+    /// Elementwise combination of two equally-shaped sequences.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn zip_map(&self, rhs: &Seq, f: impl Fn(f64, f64) -> f64 + Copy) -> Seq {
+        assert_eq!(self.len(), rhs.len(), "Seq length mismatch");
+        Seq {
+            steps: self
+                .steps
+                .iter()
+                .zip(rhs.steps.iter())
+                .map(|(a, b)| a.zip_map(b, f))
+                .collect(),
+        }
+    }
+
+    /// Returns `true` if every element is finite.
+    pub fn is_finite(&self) -> bool {
+        self.steps.iter().all(Matrix::is_finite)
+    }
+}
+
+impl<'a> IntoIterator for &'a Seq {
+    type Item = &'a Matrix;
+    type IntoIter = std::slice::Iter<'a, Matrix>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.steps.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_samples_round_trips() {
+        let samples = vec![
+            Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]),
+            Matrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]),
+            Matrix::from_rows(&[vec![9.0, 10.0], vec![11.0, 12.0]]),
+        ];
+        let seq = Seq::from_samples(&samples);
+        assert_eq!(seq.len(), 2);
+        assert_eq!(seq.batch_size(), 3);
+        assert_eq!(seq.features(), 2);
+        assert_eq!(seq.to_samples(), samples);
+    }
+
+    #[test]
+    fn time_major_layout() {
+        let samples = vec![
+            Matrix::column_vector(&[1.0, 2.0]),
+            Matrix::column_vector(&[3.0, 4.0]),
+        ];
+        let seq = Seq::from_samples(&samples);
+        // step 0 holds t=0 of both samples.
+        assert_eq!(seq.step(0).column(0), vec![1.0, 3.0]);
+        assert_eq!(seq.step(1).column(0), vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn single_has_one_step() {
+        let s = Seq::single(Matrix::zeros(4, 2));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.batch_size(), 4);
+        assert_eq!(s.element_count(), 8);
+    }
+
+    #[test]
+    fn map_and_zip_map() {
+        let a = Seq::single(Matrix::filled(1, 2, 2.0));
+        let b = Seq::single(Matrix::filled(1, 2, 3.0));
+        assert_eq!(a.map(|x| x * 2.0).step(0)[(0, 0)], 4.0);
+        assert_eq!(a.zip_map(&b, |x, y| x * y).step(0)[(0, 1)], 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one step")]
+    fn empty_steps_panic() {
+        let _ = Seq::from_steps(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "same time x features")]
+    fn mismatched_samples_panic() {
+        let _ = Seq::from_samples(&[Matrix::zeros(2, 1), Matrix::zeros(3, 1)]);
+    }
+
+    #[test]
+    fn is_finite_propagates() {
+        let mut m = Matrix::ones(1, 1);
+        m[(0, 0)] = f64::INFINITY;
+        assert!(!Seq::single(m).is_finite());
+    }
+
+    #[test]
+    fn iterates_in_time_order() {
+        let seq = Seq::from_steps(vec![Matrix::filled(1, 1, 0.0), Matrix::filled(1, 1, 1.0)]);
+        let vals: Vec<f64> = seq.iter().map(|m| m[(0, 0)]).collect();
+        assert_eq!(vals, vec![0.0, 1.0]);
+    }
+}

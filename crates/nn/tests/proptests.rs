@@ -1,0 +1,95 @@
+//! Property-based tests for the neural-network substrate.
+
+use evfad_nn::{Activation, Dense, Loss, Lstm, Seq, Sequential};
+use evfad_tensor::Matrix;
+use proptest::prelude::*;
+
+fn sequence_strategy(time: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-1.0f64..1.0, time).prop_map(|v| Matrix::column_vector(&v))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The forward pass is a pure function of weights and input.
+    #[test]
+    fn forward_is_deterministic(x in sequence_strategy(6), seed in 0u64..1000) {
+        let mut model = Sequential::new(seed)
+            .with(Lstm::new(1, 4, false))
+            .with(Dense::new(4, 1, Activation::Linear));
+        let a = model.predict(&[x.clone()]);
+        let b = model.predict(&[x]);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Weight export/import is lossless: a cloned-by-weights model predicts
+    /// identically.
+    #[test]
+    fn weight_transfer_preserves_predictions(x in sequence_strategy(5), seed in 0u64..1000) {
+        let mut donor = Sequential::new(seed)
+            .with(Lstm::new(1, 3, false))
+            .with(Dense::new(3, 1, Activation::Linear));
+        let mut receiver = Sequential::new(seed + 1)
+            .with(Lstm::new(1, 3, false))
+            .with(Dense::new(3, 1, Activation::Linear));
+        receiver.set_weights(&donor.weights()).expect("same architecture");
+        prop_assert_eq!(donor.predict(&[x.clone()]), receiver.predict(&[x]));
+    }
+
+    /// LSTM outputs stay bounded (|h| < 1 elementwise by construction).
+    #[test]
+    fn lstm_output_bounded(x in prop::collection::vec(-100.0f64..100.0, 1..12)) {
+        let mut lstm = Lstm::new_seeded(1, 8, true, 1);
+        let y = lstm.forward(&Seq::from_samples(&[Matrix::column_vector(&x)]), false);
+        for step in y.iter() {
+            prop_assert!(step.max_abs() <= 1.0 + 1e-12);
+        }
+    }
+
+    /// Batch evaluation equals per-sample evaluation (no cross-batch leakage).
+    #[test]
+    fn batching_does_not_change_outputs(
+        a in sequence_strategy(4),
+        b in sequence_strategy(4),
+        seed in 0u64..100,
+    ) {
+        let mut model = Sequential::new(seed)
+            .with(Lstm::new(1, 3, false))
+            .with(Dense::new(3, 1, Activation::Tanh));
+        let joint = model.predict(&[a.clone(), b.clone()]);
+        let solo_a = model.predict(&[a]);
+        let solo_b = model.predict(&[b]);
+        prop_assert!((joint[0][(0, 0)] - solo_a[0][(0, 0)]).abs() < 1e-12);
+        prop_assert!((joint[1][(0, 0)] - solo_b[0][(0, 0)]).abs() < 1e-12);
+    }
+
+    /// MSE is non-negative and zero iff prediction equals target.
+    #[test]
+    fn mse_nonnegative(p in prop::collection::vec(-10.0f64..10.0, 1..20)) {
+        let pred = Seq::single(Matrix::row_vector(&p));
+        let target = Seq::single(Matrix::zeros(1, p.len()));
+        let v = Loss::Mse.value(&pred, &target);
+        prop_assert!(v >= 0.0);
+        prop_assert_eq!(Loss::Mse.value(&pred, &pred), 0.0);
+    }
+
+    /// MAE <= sqrt(MSE)·const relationship: mean |e| <= sqrt(mean e^2).
+    #[test]
+    fn mae_bounded_by_rmse(p in prop::collection::vec(-10.0f64..10.0, 1..20)) {
+        let pred = Seq::single(Matrix::row_vector(&p));
+        let target = Seq::single(Matrix::zeros(1, p.len()));
+        let mae = Loss::Mae.value(&pred, &target);
+        let rmse = Loss::Mse.value(&pred, &target).sqrt();
+        prop_assert!(mae <= rmse + 1e-12);
+    }
+
+    /// JSON round trip preserves the model exactly.
+    #[test]
+    fn json_round_trip(x in sequence_strategy(4), seed in 0u64..100) {
+        let mut model = Sequential::new(seed)
+            .with(Lstm::new(1, 3, true))
+            .with(Dense::new(3, 1, Activation::Sigmoid));
+        let mut restored = Sequential::from_json(&model.to_json()).expect("round trip");
+        prop_assert_eq!(model.predict(&[x.clone()]), restored.predict(&[x]));
+    }
+}

@@ -1,0 +1,34 @@
+//! Dense linear-algebra substrate for the `evfad` workspace.
+//!
+//! The paper's stack is built on NumPy; this crate provides the equivalent
+//! primitives needed by the neural-network substrate ([`evfad-nn`]) and the
+//! anomaly-detection pipeline: a row-major [`Matrix`] of `f64` with
+//! cache-aware multiplication, elementwise combinators, weight
+//! initialisers, and the descriptive statistics (percentiles, moments) used
+//! by the reconstruction-error thresholding rule.
+//!
+//! # Examples
+//!
+//! ```
+//! use evfad_tensor::Matrix;
+//!
+//! let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+//! let b = Matrix::identity(2);
+//! let c = a.matmul(&b);
+//! assert_eq!(c, a);
+//! ```
+//!
+//! [`evfad-nn`]: https://example.com/evfad
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod init;
+mod matrix;
+pub mod solve;
+pub mod stats;
+
+pub use error::{ShapeError, TensorResult};
+pub use init::{glorot_limit, Initializer};
+pub use matrix::Matrix;

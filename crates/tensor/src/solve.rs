@@ -1,0 +1,234 @@
+//! Dense linear solves (LU with partial pivoting).
+//!
+//! Used by the classical autoregressive baseline forecaster, which fits its
+//! coefficients by ordinary least squares on the normal equations.
+
+use crate::error::ShapeError;
+use crate::matrix::Matrix;
+
+/// Error returned when a linear solve fails.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolveError {
+    /// Operand shapes are incompatible.
+    Shape(ShapeError),
+    /// The matrix is singular (or numerically so) at the given pivot.
+    Singular {
+        /// Pivot column where elimination broke down.
+        pivot: usize,
+    },
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveError::Shape(e) => write!(f, "{e}"),
+            SolveError::Singular { pivot } => {
+                write!(f, "matrix is singular at pivot {pivot}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+impl From<ShapeError> for SolveError {
+    fn from(e: ShapeError) -> Self {
+        SolveError::Shape(e)
+    }
+}
+
+/// Solves `A x = b` for square `A` using LU decomposition with partial
+/// pivoting. `b` may have multiple right-hand-side columns.
+///
+/// # Errors
+///
+/// * [`SolveError::Shape`] if `A` is not square or `b` has the wrong rows;
+/// * [`SolveError::Singular`] if a pivot is (numerically) zero.
+///
+/// # Examples
+///
+/// ```
+/// use evfad_tensor::{solve::solve, Matrix};
+///
+/// let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 3.0]]);
+/// let b = Matrix::column_vector(&[3.0, 5.0]);
+/// let x = solve(&a, &b)?;
+/// assert!((x[(0, 0)] - 0.8).abs() < 1e-12);
+/// assert!((x[(1, 0)] - 1.4).abs() < 1e-12);
+/// # Ok::<(), evfad_tensor::solve::SolveError>(())
+/// ```
+pub fn solve(a: &Matrix, b: &Matrix) -> Result<Matrix, SolveError> {
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(ShapeError::new("solve", a.shape(), a.shape()).into());
+    }
+    if b.rows() != n {
+        return Err(ShapeError::new("solve", a.shape(), b.shape()).into());
+    }
+    let mut lu = a.clone();
+    let mut x = b.clone();
+    let rhs = x.cols();
+
+    for col in 0..n {
+        // Partial pivot.
+        let mut pivot_row = col;
+        let mut best = lu[(col, col)].abs();
+        for row in col + 1..n {
+            let v = lu[(row, col)].abs();
+            if v > best {
+                best = v;
+                pivot_row = row;
+            }
+        }
+        if best < 1e-12 {
+            return Err(SolveError::Singular { pivot: col });
+        }
+        if pivot_row != col {
+            for j in 0..n {
+                let tmp = lu[(col, j)];
+                lu[(col, j)] = lu[(pivot_row, j)];
+                lu[(pivot_row, j)] = tmp;
+            }
+            for j in 0..rhs {
+                let tmp = x[(col, j)];
+                x[(col, j)] = x[(pivot_row, j)];
+                x[(pivot_row, j)] = tmp;
+            }
+        }
+        // Eliminate below.
+        let pivot = lu[(col, col)];
+        for row in col + 1..n {
+            let factor = lu[(row, col)] / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            lu[(row, col)] = 0.0;
+            for j in col + 1..n {
+                let v = lu[(col, j)];
+                lu[(row, j)] -= factor * v;
+            }
+            for j in 0..rhs {
+                let v = x[(col, j)];
+                x[(row, j)] -= factor * v;
+            }
+        }
+    }
+    // Back substitution.
+    for col in (0..n).rev() {
+        for j in 0..rhs {
+            let mut acc = x[(col, j)];
+            for k in col + 1..n {
+                acc -= lu[(col, k)] * x[(k, j)];
+            }
+            x[(col, j)] = acc / lu[(col, col)];
+        }
+    }
+    Ok(x)
+}
+
+/// Solves the ridge-regularised least-squares problem
+/// `min ||X w - y||² + lambda ||w||²` via the normal equations
+/// `(XᵀX + lambda I) w = Xᵀ y`.
+///
+/// # Errors
+///
+/// Propagates [`SolveError`] from the underlying solve; with `lambda > 0`
+/// the system is positive definite and cannot be singular.
+pub fn ridge_regression(x: &Matrix, y: &Matrix, lambda: f64) -> Result<Matrix, SolveError> {
+    let mut gram = x.transpose_matmul(x);
+    for i in 0..gram.rows() {
+        gram[(i, i)] += lambda;
+    }
+    let xty = x.transpose_matmul(y);
+    solve(&gram, &xty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_solve_returns_rhs() {
+        let b = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
+        let x = solve(&Matrix::identity(3), &b).unwrap();
+        assert_eq!(x, b);
+    }
+
+    #[test]
+    fn known_3x3_system() {
+        let a = Matrix::from_rows(&[
+            vec![2.0, 1.0, -1.0],
+            vec![-3.0, -1.0, 2.0],
+            vec![-2.0, 1.0, 2.0],
+        ]);
+        let b = Matrix::column_vector(&[8.0, -11.0, -3.0]);
+        let x = solve(&a, &b).unwrap();
+        // Classic example: x = 2, y = 3, z = -1.
+        assert!((x[(0, 0)] - 2.0).abs() < 1e-12);
+        assert!((x[(1, 0)] - 3.0).abs() < 1e-12);
+        assert!((x[(2, 0)] + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        let b = Matrix::column_vector(&[2.0, 3.0]);
+        let x = solve(&a, &b).unwrap();
+        assert!((x[(0, 0)] - 3.0).abs() < 1e-12);
+        assert!((x[(1, 0)] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_rejected() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        let b = Matrix::column_vector(&[1.0, 2.0]);
+        assert!(matches!(solve(&a, &b), Err(SolveError::Singular { .. })));
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 1);
+        assert!(matches!(solve(&a, &b), Err(SolveError::Shape(_))));
+        let a = Matrix::identity(2);
+        let b = Matrix::zeros(3, 1);
+        assert!(matches!(solve(&a, &b), Err(SolveError::Shape(_))));
+    }
+
+    #[test]
+    fn solve_round_trips_with_matmul() {
+        let a = Matrix::from_fn(5, 5, |i, j| {
+            if i == j {
+                5.0
+            } else {
+                ((i * 3 + j * 7) % 5) as f64 * 0.3
+            }
+        });
+        let x_true = Matrix::column_vector(&[1.0, -2.0, 0.5, 3.0, -0.7]);
+        let b = a.matmul(&x_true);
+        let x = solve(&a, &b).unwrap();
+        for i in 0..5 {
+            assert!((x[(i, 0)] - x_true[(i, 0)]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ridge_recovers_linear_coefficients() {
+        // y = 2 a - 3 b, no noise, tiny lambda.
+        let x = Matrix::from_fn(50, 2, |i, j| ((i * (j + 2)) % 17) as f64 * 0.1);
+        let w_true = Matrix::column_vector(&[2.0, -3.0]);
+        let y = x.matmul(&w_true);
+        let w = ridge_regression(&x, &y, 1e-9).unwrap();
+        assert!((w[(0, 0)] - 2.0).abs() < 1e-6);
+        assert!((w[(1, 0)] + 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ridge_shrinks_towards_zero() {
+        let x = Matrix::from_fn(20, 1, |i, _| i as f64 * 0.1);
+        let y = x.scale(4.0);
+        let w_small = ridge_regression(&x, &y, 1e-9).unwrap()[(0, 0)];
+        let w_big = ridge_regression(&x, &y, 100.0).unwrap()[(0, 0)];
+        assert!(w_big.abs() < w_small.abs());
+    }
+}

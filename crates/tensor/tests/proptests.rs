@@ -1,0 +1,104 @@
+//! Property-based tests for the tensor substrate.
+
+use evfad_tensor::{stats, Matrix};
+use proptest::prelude::*;
+
+fn matrix_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-100.0f64..100.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+fn approx_eq(a: &Matrix, b: &Matrix, tol: f64) -> bool {
+    a.shape() == b.shape()
+        && a.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .all(|(x, y)| (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())))
+}
+
+proptest! {
+    #[test]
+    fn matmul_associative(
+        a in matrix_strategy(3, 4),
+        b in matrix_strategy(4, 2),
+        c in matrix_strategy(2, 5),
+    ) {
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        prop_assert!(approx_eq(&left, &right, 1e-9));
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        a in matrix_strategy(3, 4),
+        b in matrix_strategy(4, 2),
+        c in matrix_strategy(4, 2),
+    ) {
+        let left = a.matmul(&(&b + &c));
+        let right = &a.matmul(&b) + &a.matmul(&c);
+        prop_assert!(approx_eq(&left, &right, 1e-9));
+    }
+
+    #[test]
+    fn transpose_of_product_swaps(
+        a in matrix_strategy(3, 4),
+        b in matrix_strategy(4, 2),
+    ) {
+        let left = a.matmul(&b).transpose();
+        let right = b.transpose().matmul(&a.transpose());
+        prop_assert!(approx_eq(&left, &right, 1e-9));
+    }
+
+    #[test]
+    fn fused_transpose_products_agree(
+        a in matrix_strategy(3, 4),
+        b in matrix_strategy(5, 4),
+    ) {
+        prop_assert!(approx_eq(&a.matmul_transpose(&b), &a.matmul(&b.transpose()), 1e-9));
+        let c = Matrix::from_vec(3, 6, vec![0.5; 18]);
+        prop_assert!(approx_eq(&a.transpose_matmul(&c), &a.transpose().matmul(&c), 1e-9));
+    }
+
+    #[test]
+    fn scale_is_linear(a in matrix_strategy(4, 4), s in -10.0f64..10.0) {
+        let left = a.scale(s).sum();
+        let right = a.sum() * s;
+        prop_assert!((left - right).abs() < 1e-6 * (1.0 + right.abs()));
+    }
+
+    #[test]
+    fn hstack_preserves_elements(a in matrix_strategy(3, 2), b in matrix_strategy(3, 5)) {
+        let h = a.hstack(&b);
+        prop_assert_eq!(h.shape(), (3, 7));
+        prop_assert!(approx_eq(&h.slice_cols(0..2), &a, 0.0));
+        prop_assert!(approx_eq(&h.slice_cols(2..7), &b, 0.0));
+    }
+
+    #[test]
+    fn percentile_within_min_max(v in prop::collection::vec(-1e6f64..1e6, 1..200), p in 0.0f64..100.0) {
+        let q = stats::percentile(&v, p);
+        prop_assert!(q >= stats::min(&v) - 1e-9);
+        prop_assert!(q <= stats::max(&v) + 1e-9);
+    }
+
+    #[test]
+    fn percentile_monotone_in_p(v in prop::collection::vec(-1e3f64..1e3, 2..100)) {
+        let q25 = stats::percentile(&v, 25.0);
+        let q50 = stats::percentile(&v, 50.0);
+        let q98 = stats::percentile(&v, 98.0);
+        prop_assert!(q25 <= q50 + 1e-12);
+        prop_assert!(q50 <= q98 + 1e-12);
+    }
+
+    #[test]
+    fn mean_within_bounds(v in prop::collection::vec(-1e3f64..1e3, 1..100)) {
+        let m = stats::mean(&v);
+        prop_assert!(m >= stats::min(&v) - 1e-9 && m <= stats::max(&v) + 1e-9);
+    }
+
+    #[test]
+    fn sum_rows_matches_total(a in matrix_strategy(5, 3)) {
+        let sr = a.sum_rows();
+        prop_assert!((sr.sum() - a.sum()).abs() < 1e-9 * (1.0 + a.sum().abs()));
+    }
+}

@@ -1,0 +1,272 @@
+//! Series analysis: seasonal decomposition and autocorrelation.
+//!
+//! Used by the `data_exploration` example to verify that the synthetic
+//! dataset exhibits the structure the paper's dataset has (daily
+//! seasonality, weekly modulation, zone heterogeneity), and by downstream
+//! users to analyse their own charging data before modelling.
+
+use crate::error::TimeSeriesError;
+use serde::{Deserialize, Serialize};
+
+/// A classical additive decomposition `series = trend + seasonal + residual`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Decomposition {
+    /// Centred-moving-average trend (edges hold the nearest estimate).
+    pub trend: Vec<f64>,
+    /// Period-averaged seasonal component (zero mean over one period).
+    pub seasonal: Vec<f64>,
+    /// What remains.
+    pub residual: Vec<f64>,
+    /// The period used.
+    pub period: usize,
+}
+
+impl Decomposition {
+    /// Fraction of the detrended variance explained by the seasonal
+    /// component — a quick "how periodic is this" statistic in `[0, 1]`.
+    pub fn seasonal_strength(&self) -> f64 {
+        let var = |v: &[f64]| {
+            let m = v.iter().sum::<f64>() / v.len().max(1) as f64;
+            v.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / v.len().max(1) as f64
+        };
+        let vs = var(&self.seasonal);
+        let vr = var(&self.residual);
+        if vs + vr == 0.0 {
+            0.0
+        } else {
+            vs / (vs + vr)
+        }
+    }
+}
+
+/// Classical moving-average decomposition with the given `period`.
+///
+/// # Errors
+///
+/// * [`TimeSeriesError::EmptySeries`] for an empty series;
+/// * [`TimeSeriesError::InvalidFraction`] if `period < 2` or the series is
+///   shorter than two periods.
+///
+/// # Examples
+///
+/// ```
+/// let series: Vec<f64> = (0..240)
+///     .map(|i| 10.0 + (i as f64 * std::f64::consts::TAU / 24.0).sin())
+///     .collect();
+/// let d = evfad_timeseries::analysis::decompose(&series, 24)?;
+/// assert!(d.seasonal_strength() > 0.9);
+/// # Ok::<(), evfad_timeseries::TimeSeriesError>(())
+/// ```
+pub fn decompose(series: &[f64], period: usize) -> Result<Decomposition, TimeSeriesError> {
+    if series.is_empty() {
+        return Err(TimeSeriesError::EmptySeries);
+    }
+    if period < 2 || series.len() < 2 * period {
+        return Err(TimeSeriesError::InvalidFraction(period as f64));
+    }
+    let n = series.len();
+    // Centred moving average of width `period` (+1 for even periods, with
+    // half-weights at the ends — the classical construction). Edge points
+    // reuse the nearest fully-covered centre so the window always spans a
+    // whole period and the seasonal component cannot leak into the trend.
+    let half = period / 2;
+    let mut trend = vec![0.0; n];
+    for i in 0..n {
+        let centre = i.clamp(half, n - 1 - half);
+        let window = &series[centre - half..=centre + half];
+        trend[i] = if period % 2 == 0 {
+            let inner: f64 = window[1..window.len() - 1].iter().sum();
+            (inner + 0.5 * (window[0] + window[window.len() - 1])) / period as f64
+        } else {
+            window.iter().sum::<f64>() / window.len() as f64
+        };
+    }
+    // Seasonal means of the detrended series.
+    let mut sums = vec![0.0; period];
+    let mut counts = vec![0usize; period];
+    for i in 0..n {
+        sums[i % period] += series[i] - trend[i];
+        counts[i % period] += 1;
+    }
+    let mut means: Vec<f64> = sums
+        .iter()
+        .zip(&counts)
+        .map(|(s, &c)| if c == 0 { 0.0 } else { s / c as f64 })
+        .collect();
+    let grand = means.iter().sum::<f64>() / period as f64;
+    for m in &mut means {
+        *m -= grand; // zero-mean seasonal component
+    }
+    let seasonal: Vec<f64> = (0..n).map(|i| means[i % period]).collect();
+    let residual: Vec<f64> = (0..n)
+        .map(|i| series[i] - trend[i] - seasonal[i])
+        .collect();
+    Ok(Decomposition {
+        trend,
+        seasonal,
+        residual,
+        period,
+    })
+}
+
+/// Sample autocorrelation at lags `0..=max_lag`.
+///
+/// # Errors
+///
+/// [`TimeSeriesError::EmptySeries`] for an empty series.
+///
+/// # Examples
+///
+/// ```
+/// let series: Vec<f64> = (0..200)
+///     .map(|i| (i as f64 * std::f64::consts::TAU / 24.0).sin())
+///     .collect();
+/// let acf = evfad_timeseries::analysis::autocorrelation(&series, 24)?;
+/// assert!((acf[0] - 1.0).abs() < 1e-12);
+/// assert!(acf[24] > 0.8); // strong daily correlation
+/// assert!(acf[12] < -0.8); // anti-phase at half a day
+/// # Ok::<(), evfad_timeseries::TimeSeriesError>(())
+/// ```
+pub fn autocorrelation(series: &[f64], max_lag: usize) -> Result<Vec<f64>, TimeSeriesError> {
+    if series.is_empty() {
+        return Err(TimeSeriesError::EmptySeries);
+    }
+    let n = series.len();
+    let mean = series.iter().sum::<f64>() / n as f64;
+    let var: f64 = series.iter().map(|x| (x - mean) * (x - mean)).sum();
+    let mut acf = Vec::with_capacity(max_lag + 1);
+    for lag in 0..=max_lag.min(n - 1) {
+        if var == 0.0 {
+            acf.push(if lag == 0 { 1.0 } else { 0.0 });
+            continue;
+        }
+        let cov: f64 = series[..n - lag]
+            .iter()
+            .zip(&series[lag..])
+            .map(|(a, b)| (a - mean) * (b - mean))
+            .sum();
+        acf.push(cov / var);
+    }
+    Ok(acf)
+}
+
+/// The dominant period: the local-maximum lag of the ACF with the highest
+/// correlation (in `2..max_lag`). Restricting to local maxima skips the
+/// trivially high small-lag correlations of smooth or trending series.
+///
+/// Falls back to the global argmax if the ACF has no interior local
+/// maximum (e.g. a pure trend).
+///
+/// # Errors
+///
+/// [`TimeSeriesError::EmptySeries`] for an empty series.
+pub fn dominant_period(series: &[f64], max_lag: usize) -> Result<usize, TimeSeriesError> {
+    let acf = autocorrelation(series, max_lag)?;
+    let mut best: Option<(usize, f64)> = None;
+    for lag in 2..acf.len().saturating_sub(1) {
+        let is_local_max = acf[lag] > acf[lag - 1] && acf[lag] >= acf[lag + 1];
+        if is_local_max && best.map_or(true, |(_, v)| acf[lag] > v) {
+            best = Some((lag, acf[lag]));
+        }
+    }
+    if let Some((lag, _)) = best {
+        return Ok(lag);
+    }
+    let mut arg = 1;
+    let mut val = f64::NEG_INFINITY;
+    for (lag, &v) in acf.iter().enumerate().skip(1) {
+        if v > val {
+            val = v;
+            arg = lag;
+        }
+    }
+    Ok(arg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seasonal_series(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                20.0 + 0.01 * i as f64 + 5.0 * (i as f64 * std::f64::consts::TAU / 24.0).sin()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn decompose_recovers_components() {
+        let series = seasonal_series(24 * 20);
+        let d = decompose(&series, 24).unwrap();
+        // Trend is increasing overall.
+        assert!(d.trend[d.trend.len() - 20] > d.trend[20]);
+        // Seasonal has zero mean over a period.
+        let s: f64 = d.seasonal[..24].iter().sum();
+        assert!(s.abs() < 1e-9);
+        // Residual is small relative to the seasonal swing.
+        let max_resid = d.residual.iter().fold(0.0_f64, |m, &x| m.max(x.abs()));
+        assert!(max_resid < 2.0, "max residual {max_resid}");
+        assert!(d.seasonal_strength() > 0.8);
+    }
+
+    #[test]
+    fn decompose_sums_back_to_series() {
+        let series = seasonal_series(24 * 10);
+        let d = decompose(&series, 24).unwrap();
+        for i in 0..series.len() {
+            let sum = d.trend[i] + d.seasonal[i] + d.residual[i];
+            assert!((sum - series[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn decompose_rejects_short_series() {
+        assert!(decompose(&[1.0; 30], 24).is_err());
+        assert!(decompose(&[], 24).is_err());
+        assert!(decompose(&[1.0; 100], 1).is_err());
+    }
+
+    #[test]
+    fn acf_of_white_noise_is_small() {
+        // Deterministic pseudo-noise via a chaotic map.
+        let mut x = 0.37;
+        let series: Vec<f64> = (0..2000)
+            .map(|_| {
+                x = (3.99 * x * (1.0 - x)) % 1.0;
+                x
+            })
+            .collect();
+        let acf = autocorrelation(&series, 10).unwrap();
+        for &v in &acf[1..] {
+            assert!(v.abs() < 0.2, "noise ACF too high: {v}");
+        }
+    }
+
+    #[test]
+    fn acf_lag_zero_is_one() {
+        let acf = autocorrelation(&[1.0, 3.0, 2.0, 5.0], 2).unwrap();
+        assert!((acf[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn acf_constant_series_defined() {
+        let acf = autocorrelation(&[2.0; 10], 3).unwrap();
+        assert_eq!(acf, vec![1.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn dominant_period_finds_daily_cycle() {
+        let series = seasonal_series(24 * 15);
+        let p = dominant_period(&series, 30).unwrap();
+        assert_eq!(p, 24);
+    }
+
+    #[test]
+    fn seasonal_strength_zero_for_pure_noise_period() {
+        // A linear ramp has no 24h seasonality.
+        let series: Vec<f64> = (0..240).map(|i| i as f64).collect();
+        let d = decompose(&series, 24).unwrap();
+        assert!(d.seasonal_strength() < 0.6);
+    }
+}

@@ -1,0 +1,72 @@
+//! Error type for time-series operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the time-series toolkit.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TimeSeriesError {
+    /// Operation requires a non-empty series.
+    EmptySeries,
+    /// The series is constant, so min-max scaling is undefined.
+    DegenerateRange {
+        /// The constant value observed.
+        value: f64,
+    },
+    /// A fraction parameter was outside `(0, 1)`.
+    InvalidFraction(f64),
+    /// Non-finite value encountered where finite input is required.
+    NonFiniteValue {
+        /// Index of the offending element.
+        index: usize,
+    },
+    /// A mask or auxiliary slice has a different length than the series.
+    LengthMismatch {
+        /// Series length.
+        series: usize,
+        /// Auxiliary slice length.
+        other: usize,
+    },
+}
+
+impl fmt::Display for TimeSeriesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TimeSeriesError::EmptySeries => write!(f, "series is empty"),
+            TimeSeriesError::DegenerateRange { value } => {
+                write!(f, "series is constant at {value}; min-max range is zero")
+            }
+            TimeSeriesError::InvalidFraction(p) => {
+                write!(f, "fraction {p} is outside (0, 1)")
+            }
+            TimeSeriesError::NonFiniteValue { index } => {
+                write!(f, "non-finite value at index {index}")
+            }
+            TimeSeriesError::LengthMismatch { series, other } => {
+                write!(f, "length mismatch: series has {series} points, got {other}")
+            }
+        }
+    }
+}
+
+impl Error for TimeSeriesError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(TimeSeriesError::EmptySeries.to_string().contains("empty"));
+        assert!(TimeSeriesError::DegenerateRange { value: 2.0 }
+            .to_string()
+            .contains('2'));
+        assert!(TimeSeriesError::InvalidFraction(1.5).to_string().contains("1.5"));
+        assert!(TimeSeriesError::NonFiniteValue { index: 7 }
+            .to_string()
+            .contains('7'));
+        assert!(TimeSeriesError::LengthMismatch { series: 3, other: 4 }
+            .to_string()
+            .contains('3'));
+    }
+}

@@ -1,0 +1,231 @@
+//! Regression metrics (paper §III-A).
+
+use crate::error::TimeSeriesError;
+use serde::{Deserialize, Serialize};
+
+/// The paper's forecast-quality triple plus two percentage metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RegressionReport {
+    /// Mean absolute error.
+    pub mae: f64,
+    /// Root mean squared error.
+    pub rmse: f64,
+    /// Coefficient of determination.
+    pub r2: f64,
+    /// Mean absolute percentage error (undefined entries skipped).
+    pub mape: f64,
+    /// Symmetric MAPE in `[0, 200]`.
+    pub smape: f64,
+}
+
+fn check(actual: &[f64], predicted: &[f64]) -> Result<(), TimeSeriesError> {
+    if actual.is_empty() {
+        return Err(TimeSeriesError::EmptySeries);
+    }
+    if actual.len() != predicted.len() {
+        return Err(TimeSeriesError::LengthMismatch {
+            series: actual.len(),
+            other: predicted.len(),
+        });
+    }
+    Ok(())
+}
+
+/// Mean absolute error.
+///
+/// # Errors
+///
+/// [`TimeSeriesError::EmptySeries`] / [`TimeSeriesError::LengthMismatch`].
+///
+/// # Examples
+///
+/// ```
+/// let mae = evfad_timeseries::metrics::mae(&[1.0, 2.0], &[2.0, 0.0])?;
+/// assert_eq!(mae, 1.5);
+/// # Ok::<(), evfad_timeseries::TimeSeriesError>(())
+/// ```
+pub fn mae(actual: &[f64], predicted: &[f64]) -> Result<f64, TimeSeriesError> {
+    check(actual, predicted)?;
+    Ok(actual
+        .iter()
+        .zip(predicted)
+        .map(|(a, p)| (a - p).abs())
+        .sum::<f64>()
+        / actual.len() as f64)
+}
+
+/// Root mean squared error.
+///
+/// # Errors
+///
+/// [`TimeSeriesError::EmptySeries`] / [`TimeSeriesError::LengthMismatch`].
+pub fn rmse(actual: &[f64], predicted: &[f64]) -> Result<f64, TimeSeriesError> {
+    check(actual, predicted)?;
+    let mse = actual
+        .iter()
+        .zip(predicted)
+        .map(|(a, p)| (a - p) * (a - p))
+        .sum::<f64>()
+        / actual.len() as f64;
+    Ok(mse.sqrt())
+}
+
+/// Coefficient of determination `R² = 1 - SS_res / SS_tot`.
+///
+/// Returns `0.0` when the actual series is constant and predictions are
+/// imperfect (sklearn convention would be `-inf`-ish; `0` keeps downstream
+/// aggregation finite, and the EV series is never constant in practice).
+///
+/// # Errors
+///
+/// [`TimeSeriesError::EmptySeries`] / [`TimeSeriesError::LengthMismatch`].
+pub fn r2(actual: &[f64], predicted: &[f64]) -> Result<f64, TimeSeriesError> {
+    check(actual, predicted)?;
+    let mean = actual.iter().sum::<f64>() / actual.len() as f64;
+    let ss_tot: f64 = actual.iter().map(|a| (a - mean) * (a - mean)).sum();
+    let ss_res: f64 = actual
+        .iter()
+        .zip(predicted)
+        .map(|(a, p)| (a - p) * (a - p))
+        .sum();
+    if ss_tot == 0.0 {
+        return Ok(if ss_res == 0.0 { 1.0 } else { 0.0 });
+    }
+    Ok(1.0 - ss_res / ss_tot)
+}
+
+/// Mean absolute percentage error (in percent). Points with
+/// `actual == 0` are skipped; returns `0.0` if every point is skipped.
+///
+/// # Errors
+///
+/// [`TimeSeriesError::EmptySeries`] / [`TimeSeriesError::LengthMismatch`].
+pub fn mape(actual: &[f64], predicted: &[f64]) -> Result<f64, TimeSeriesError> {
+    check(actual, predicted)?;
+    let mut acc = 0.0;
+    let mut n = 0usize;
+    for (a, p) in actual.iter().zip(predicted) {
+        if *a != 0.0 {
+            acc += ((a - p) / a).abs();
+            n += 1;
+        }
+    }
+    Ok(if n == 0 { 0.0 } else { acc / n as f64 * 100.0 })
+}
+
+/// Symmetric MAPE (in percent, range `[0, 200]`). Points where both values
+/// are zero contribute zero error.
+///
+/// # Errors
+///
+/// [`TimeSeriesError::EmptySeries`] / [`TimeSeriesError::LengthMismatch`].
+pub fn smape(actual: &[f64], predicted: &[f64]) -> Result<f64, TimeSeriesError> {
+    check(actual, predicted)?;
+    let acc: f64 = actual
+        .iter()
+        .zip(predicted)
+        .map(|(a, p)| {
+            let denom = (a.abs() + p.abs()) / 2.0;
+            if denom == 0.0 {
+                0.0
+            } else {
+                (a - p).abs() / denom
+            }
+        })
+        .sum();
+    Ok(acc / actual.len() as f64 * 100.0)
+}
+
+/// Computes the full [`RegressionReport`] in one pass.
+///
+/// # Errors
+///
+/// [`TimeSeriesError::EmptySeries`] / [`TimeSeriesError::LengthMismatch`].
+pub fn report(actual: &[f64], predicted: &[f64]) -> Result<RegressionReport, TimeSeriesError> {
+    Ok(RegressionReport {
+        mae: mae(actual, predicted)?,
+        rmse: rmse(actual, predicted)?,
+        r2: r2(actual, predicted)?,
+        mape: mape(actual, predicted)?,
+        smape: smape(actual, predicted)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction() {
+        let a = [1.0, 2.0, 3.0];
+        let rep = report(&a, &a).unwrap();
+        assert_eq!(rep.mae, 0.0);
+        assert_eq!(rep.rmse, 0.0);
+        assert_eq!(rep.r2, 1.0);
+        assert_eq!(rep.mape, 0.0);
+        assert_eq!(rep.smape, 0.0);
+    }
+
+    #[test]
+    fn mean_prediction_has_zero_r2() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let p = [2.5; 4];
+        assert!((r2(&a, &p).unwrap()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn worse_than_mean_is_negative_r2() {
+        let a = [1.0, 2.0, 3.0];
+        let p = [3.0, 2.0, 1.0];
+        assert!(r2(&a, &p).unwrap() < 0.0);
+    }
+
+    #[test]
+    fn constant_actual_conventions() {
+        let a = [5.0, 5.0];
+        assert_eq!(r2(&a, &a).unwrap(), 1.0);
+        assert_eq!(r2(&a, &[5.0, 6.0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn rmse_at_least_mae() {
+        let a = [0.0, 0.0, 0.0, 0.0];
+        let p = [1.0, -1.0, 3.0, 0.5];
+        assert!(rmse(&a, &p).unwrap() >= mae(&a, &p).unwrap());
+    }
+
+    #[test]
+    fn mape_skips_zero_actuals() {
+        let a = [0.0, 10.0];
+        let p = [5.0, 9.0];
+        assert!((mape(&a, &p).unwrap() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mape_all_zero_actuals_is_zero() {
+        assert_eq!(mape(&[0.0, 0.0], &[1.0, 2.0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn smape_bounded_by_200() {
+        let a = [1.0, -1.0];
+        let p = [-1.0, 1.0];
+        assert!((smape(&a, &p).unwrap() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hand_computed_example() {
+        let a = [3.0, -0.5, 2.0, 7.0];
+        let p = [2.5, 0.0, 2.0, 8.0];
+        assert!((mae(&a, &p).unwrap() - 0.5).abs() < 1e-12);
+        // sklearn r2_score for this example is ~0.9486.
+        assert!((r2(&a, &p).unwrap() - 0.9486081370449679).abs() < 1e-12);
+    }
+
+    #[test]
+    fn errors_on_bad_input() {
+        assert!(mae(&[], &[]).is_err());
+        assert!(rmse(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(report(&[1.0], &[]).is_err());
+    }
+}

@@ -1,0 +1,115 @@
+//! Sliding-window sequence construction.
+
+use serde::{Deserialize, Serialize};
+
+/// One supervised learning window: `seq_len` inputs and the next value.
+///
+/// Mirrors the paper's input preparation: `SEQUENCE_LENGTH = 24` hourly
+/// values predict the following hour.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Window {
+    /// Input slice of length `seq_len` (chronological order).
+    pub input: Vec<f64>,
+    /// The value immediately following the input window.
+    pub target: f64,
+    /// Index of `target` within the source series.
+    pub target_index: usize,
+}
+
+/// Builds every sliding forecast window of length `seq_len`.
+///
+/// Returns an empty vector when the series is shorter than `seq_len + 1`.
+///
+/// # Panics
+///
+/// Panics if `seq_len == 0`.
+///
+/// # Examples
+///
+/// ```
+/// let w = evfad_timeseries::windows::sliding(&[1.0, 2.0, 3.0, 4.0], 2);
+/// assert_eq!(w.len(), 2);
+/// assert_eq!(w[0].input, vec![1.0, 2.0]);
+/// assert_eq!(w[0].target, 3.0);
+/// assert_eq!(w[1].target_index, 3);
+/// ```
+pub fn sliding(series: &[f64], seq_len: usize) -> Vec<Window> {
+    assert!(seq_len > 0, "seq_len must be >= 1");
+    if series.len() <= seq_len {
+        return Vec::new();
+    }
+    (0..series.len() - seq_len)
+        .map(|start| Window {
+            input: series[start..start + seq_len].to_vec(),
+            target: series[start + seq_len],
+            target_index: start + seq_len,
+        })
+        .collect()
+}
+
+/// Builds every sliding *reconstruction* window of length `seq_len`
+/// (no target — used to train the LSTM autoencoder on normal data).
+///
+/// The window starting at index `i` covers `series[i..i + seq_len]`.
+///
+/// # Panics
+///
+/// Panics if `seq_len == 0`.
+pub fn reconstruction(series: &[f64], seq_len: usize) -> Vec<Vec<f64>> {
+    assert!(seq_len > 0, "seq_len must be >= 1");
+    if series.len() < seq_len {
+        return Vec::new();
+    }
+    (0..=series.len() - seq_len)
+        .map(|start| series[start..start + seq_len].to_vec())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_matches_formula() {
+        let series: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        assert_eq!(sliding(&series, 24).len(), 76);
+        assert_eq!(reconstruction(&series, 24).len(), 77);
+    }
+
+    #[test]
+    fn windows_are_chronological_and_contiguous() {
+        let series = [10.0, 20.0, 30.0, 40.0, 50.0];
+        let w = sliding(&series, 3);
+        assert_eq!(w[0].input, vec![10.0, 20.0, 30.0]);
+        assert_eq!(w[0].target, 40.0);
+        assert_eq!(w[1].input, vec![20.0, 30.0, 40.0]);
+        assert_eq!(w[1].target, 50.0);
+    }
+
+    #[test]
+    fn short_series_yield_nothing() {
+        assert!(sliding(&[1.0, 2.0], 2).is_empty());
+        assert!(sliding(&[1.0], 5).is_empty());
+        assert!(reconstruction(&[1.0], 5).is_empty());
+    }
+
+    #[test]
+    fn reconstruction_exact_length_gives_one_window() {
+        let w = reconstruction(&[1.0, 2.0, 3.0], 3);
+        assert_eq!(w, vec![vec![1.0, 2.0, 3.0]]);
+    }
+
+    #[test]
+    fn target_index_points_into_series() {
+        let series: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        for w in sliding(&series, 7) {
+            assert_eq!(series[w.target_index], w.target);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "seq_len")]
+    fn zero_seq_len_panics() {
+        let _ = sliding(&[1.0], 0);
+    }
+}

@@ -1,0 +1,93 @@
+//! Attack-vector deep dive for one charging zone.
+//!
+//! The paper's detector targets sustained volume spikes; its future-work
+//! section asks how it fares against subtler vectors. This example trains
+//! one anomaly filter on zone 102 and confronts it with five attack types —
+//! the paper's DDoS spikes plus false-data injection, temporal disruption,
+//! ramp, and pulse attacks — reporting detection quality and how much of
+//! the damage interpolation-based mitigation recovers.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example attack_resilience
+//! ```
+
+use evfad_core::anomaly::{AnomalyFilter, DetectionReport, FilterConfig};
+use evfad_core::attack::vectors::{inject_vector, AttackVector};
+use evfad_core::attack::{AttackOutcome, DdosConfig, DdosInjector};
+use evfad_core::data::{DatasetConfig, ShenzhenGenerator, Zone};
+use evfad_core::timeseries::MinMaxScaler;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let client = ShenzhenGenerator::new(DatasetConfig::small(1440, 42)).generate_zone(Zone::Z102);
+    let clean = &client.demand;
+    let boundary = (clean.len() as f64 * 0.8) as usize;
+
+    // Train the filter once, on the clean training split (scaled).
+    let scaler = MinMaxScaler::fit(&clean[..boundary])?;
+    let mut filter = AnomalyFilter::new(FilterConfig::fast(24));
+    filter.fit(&scaler.transform(&clean[..boundary]))?;
+    println!(
+        "Filter trained on {} normal hours; threshold = {:.6}\n",
+        boundary,
+        filter.threshold().unwrap_or(f64::NAN)
+    );
+
+    let ddos: AttackOutcome = DdosInjector::new(DdosConfig::default()).inject(clean, 7);
+    let vectors: Vec<(String, AttackOutcome)> = vec![
+        ("ddos_volume_spikes".to_string(), ddos),
+        (
+            AttackVector::FalseDataInjection { bias: 1.25 }.name().to_string(),
+            inject_vector(clean, AttackVector::FalseDataInjection { bias: 1.25 }, 0.15, 8),
+        ),
+        (
+            AttackVector::TemporalDisruption.name().to_string(),
+            inject_vector(clean, AttackVector::TemporalDisruption, 0.15, 9),
+        ),
+        (
+            AttackVector::Ramp { peak: 3.0 }.name().to_string(),
+            inject_vector(clean, AttackVector::Ramp { peak: 3.0 }, 0.15, 10),
+        ),
+        (
+            AttackVector::Pulse { magnitude: 3.0 }.name().to_string(),
+            inject_vector(clean, AttackVector::Pulse { magnitude: 3.0 }, 0.15, 11),
+        ),
+    ];
+
+    println!(
+        "{:<24} {:>9} {:>7} {:>6} {:>7} {:>10}",
+        "attack vector", "precision", "recall", "F1", "FPR%", "recovery%"
+    );
+    for (name, outcome) in &vectors {
+        let detection = filter.try_detect(&scaler.transform(&outcome.series))?;
+        let report = DetectionReport::from_flags(&outcome.labels, &detection.flags);
+        let filtered = filter.filter_anomalies(&outcome.series, &detection.flags)?;
+        // Damage = L1 distance to the clean series; recovery = share removed.
+        let damage = |s: &[f64]| -> f64 {
+            s.iter().zip(clean).map(|(a, c)| (a - c).abs()).sum()
+        };
+        let before = damage(&outcome.series);
+        let after = damage(&filtered);
+        let recovery = if before > 0.0 {
+            (before - after) / before * 100.0
+        } else {
+            0.0
+        };
+        println!(
+            "{:<24} {:>9.3} {:>7.3} {:>6.3} {:>7.2} {:>10.1}",
+            name,
+            report.precision(),
+            report.recall(),
+            report.f1(),
+            report.false_positive_rate() * 100.0,
+            recovery
+        );
+    }
+    println!(
+        "\nAs the paper anticipates (SIII-G), the reconstruction-error detector is strong on\n\
+         volume spikes and ramps but weaker on distribution-preserving vectors like\n\
+         temporal disruption and small-bias false-data injection."
+    );
+    Ok(())
+}

@@ -1,0 +1,22 @@
+//! `evfad-repro` — workspace root for the reproduction of *"Federated
+//! Anomaly Detection and Mitigation for EV Charging Forecasting Under
+//! Cyberattacks"*.
+//!
+//! This crate only hosts the runnable examples (`examples/`) and the
+//! cross-crate integration tests (`tests/`); the library surface lives in
+//! [`evfad_core`] and its substrate crates.
+//!
+//! # Examples
+//!
+//! ```
+//! use evfad_repro::core::tensor::Matrix;
+//!
+//! let m = Matrix::identity(2);
+//! assert_eq!(m[(0, 0)], 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// The full framework facade (re-export of [`evfad_core`]).
+pub use evfad_core as core;

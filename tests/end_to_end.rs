@@ -1,0 +1,130 @@
+//! Cross-crate integration test: the full pipeline at smoke scale.
+//!
+//! generate → inject DDoS → detect → mitigate → federated train → evaluate.
+
+use evfad_core::anomaly::{AnomalyFilter, DetectionReport, FilterConfig};
+use evfad_core::attack::{DdosConfig, DdosInjector};
+use evfad_core::data::{DatasetConfig, ShenzhenGenerator, Zone};
+use evfad_core::forecast::{
+    run_study, Architecture, Scale, Scenario, StudyConfig,
+};
+use evfad_core::timeseries::MinMaxScaler;
+
+fn smoke_config(seed: u64) -> StudyConfig {
+    let mut cfg = StudyConfig::at_scale(Scale::Small, seed);
+    cfg.dataset.timestamps = 480;
+    cfg.lstm_units = 8;
+    cfg.rounds = 1;
+    cfg.epochs_per_round = 2;
+    cfg.filter.encoder_units = (8, 4);
+    cfg.filter.epochs = 4;
+    cfg.filter.train_stride = 3;
+    cfg
+}
+
+#[test]
+fn full_study_covers_every_cell_of_the_design() {
+    let report = run_study(&smoke_config(1)).expect("study");
+    // Four (scenario, architecture) cells, three clients each.
+    assert_eq!(report.scenarios.len(), 4);
+    for r in &report.scenarios {
+        assert_eq!(r.per_client.len(), 3);
+        assert!(r.train_seconds > 0.0);
+        for c in &r.per_client {
+            assert!(c.mae.is_finite() && c.mae >= 0.0);
+            assert!(c.rmse >= c.mae);
+            assert!(c.r2 <= 1.0);
+        }
+    }
+    // Detection ran for each client and the counts pool correctly.
+    assert_eq!(report.detection.len(), 3);
+    let pooled: usize = report.detection.iter().map(|d| d.report.total()).sum();
+    assert_eq!(report.overall_detection.total(), pooled);
+    // Fig. 2 series are aligned.
+    let n = report.fig2.actual.len();
+    assert!(n > 0);
+    assert_eq!(report.fig2.clean_pred.len(), n);
+    assert_eq!(report.fig2.attacked_pred.len(), n);
+    assert_eq!(report.fig2.filtered_pred.len(), n);
+    assert_eq!(report.fig2.indices.len(), n);
+}
+
+#[test]
+fn filtering_recovers_attack_damage_end_to_end() {
+    // Deterministic pipeline-level check, independent of model training:
+    // the filtered series must be closer to the clean series than the
+    // attacked one is.
+    let client =
+        ShenzhenGenerator::new(DatasetConfig::small(720, 9)).generate_zone(Zone::Z102);
+    let outcome = DdosInjector::new(DdosConfig::default()).inject(&client.demand, 5);
+    let scaler = MinMaxScaler::fit(&outcome.series).expect("scaler");
+    let mut filter = AnomalyFilter::new(FilterConfig::fast(24));
+    filter
+        .fit(&scaler.transform(&client.demand))
+        .expect("filter fit");
+    let detection = filter
+        .try_detect(&scaler.transform(&outcome.series))
+        .expect("detect");
+    let filtered = filter
+        .filter_anomalies(&outcome.series, &detection.flags)
+        .expect("mitigate");
+
+    let damage = |s: &[f64]| -> f64 {
+        s.iter()
+            .zip(&client.demand)
+            .map(|(a, c)| (a - c).abs())
+            .sum()
+    };
+    let attacked_damage = damage(&outcome.series);
+    let filtered_damage = damage(&filtered);
+    assert!(attacked_damage > 0.0);
+    assert!(
+        filtered_damage < attacked_damage * 0.8,
+        "filtered {filtered_damage} vs attacked {attacked_damage}"
+    );
+
+    // Detection quality floor at smoke scale: far better than chance.
+    let report = DetectionReport::from_flags(&outcome.labels, &detection.flags);
+    assert!(report.precision() > 0.5, "precision {}", report.precision());
+    assert!(report.recall() > 0.2, "recall {}", report.recall());
+    assert!(
+        report.false_positive_rate() < 0.10,
+        "FPR {}",
+        report.false_positive_rate()
+    );
+}
+
+#[test]
+fn study_is_deterministic_per_seed() {
+    let a = run_study(&smoke_config(7)).expect("study a");
+    let b = run_study(&smoke_config(7)).expect("study b");
+    for (ra, rb) in a.scenarios.iter().zip(&b.scenarios) {
+        assert_eq!(ra.scenario, rb.scenario);
+        for (ca, cb) in ra.per_client.iter().zip(&rb.per_client) {
+            assert!(
+                (ca.r2 - cb.r2).abs() < 1e-12,
+                "nondeterministic R² for {}",
+                ca.zone
+            );
+        }
+    }
+    assert_eq!(a.overall_detection, b.overall_detection);
+}
+
+#[test]
+fn different_seeds_give_different_data_but_same_structure() {
+    let a = run_study(&smoke_config(11)).expect("study");
+    let b = run_study(&smoke_config(12)).expect("study");
+    assert_eq!(a.scenarios.len(), b.scenarios.len());
+    let ra = a
+        .result(Scenario::Clean, Architecture::Federated)
+        .unwrap()
+        .per_client[0]
+        .r2;
+    let rb = b
+        .result(Scenario::Clean, Architecture::Federated)
+        .unwrap()
+        .per_client[0]
+        .r2;
+    assert_ne!(ra, rb);
+}

@@ -1,0 +1,144 @@
+//! Cross-crate property-based tests.
+
+use evfad_core::anomaly::{merge_segments, MitigationStrategy};
+use evfad_core::attack::{DdosConfig, DdosInjector};
+use evfad_core::data::{DatasetConfig, ShenzhenGenerator, Zone};
+use evfad_core::federated::{Aggregator, LocalUpdate};
+use evfad_core::tensor::Matrix;
+use evfad_core::timeseries::MinMaxScaler;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Attack injection only ever touches labelled points, and labels are
+    /// exactly the union of the reported episodes.
+    #[test]
+    fn injection_is_label_consistent(seed in 0u64..500, hours in 100usize..800) {
+        let client = ShenzhenGenerator::new(DatasetConfig::small(hours, seed))
+            .generate_zone(Zone::Z105);
+        let out = DdosInjector::new(DdosConfig::default()).inject(&client.demand, seed);
+        prop_assert_eq!(out.series.len(), client.demand.len());
+        for i in 0..out.series.len() {
+            if out.labels[i] {
+                prop_assert!(out.series[i] >= client.demand[i]);
+            } else {
+                prop_assert_eq!(out.series[i], client.demand[i]);
+            }
+        }
+        let mut from_episodes = vec![false; out.series.len()];
+        for ep in &out.episodes {
+            for f in from_episodes.iter_mut().take(ep.end).skip(ep.start) {
+                *f = true;
+            }
+        }
+        prop_assert_eq!(from_episodes, out.labels);
+    }
+
+    /// Mitigation with any strategy keeps the series finite, the same
+    /// length, and untouched outside the merged mask.
+    #[test]
+    fn mitigation_preserves_structure(
+        seed in 0u64..200,
+        strategy_idx in 0usize..3,
+    ) {
+        let strategy = [
+            MitigationStrategy::Linear,
+            MitigationStrategy::SeasonalNaive,
+            MitigationStrategy::HoldLast,
+        ][strategy_idx];
+        let client = ShenzhenGenerator::new(DatasetConfig::small(300, seed))
+            .generate_zone(Zone::Z108);
+        let out = DdosInjector::new(DdosConfig::default()).inject(&client.demand, seed);
+        let merged = merge_segments(&out.labels, 2);
+        let fixed = strategy.apply(&out.series, &merged).unwrap();
+        prop_assert_eq!(fixed.len(), out.series.len());
+        for i in 0..fixed.len() {
+            prop_assert!(fixed[i].is_finite());
+            if !merged[i] {
+                prop_assert_eq!(fixed[i], out.series[i]);
+            }
+        }
+    }
+
+    /// Scaling then inverse-scaling an attacked series is lossless, even
+    /// though spikes exceed the clean range.
+    #[test]
+    fn scaler_round_trips_attacked_series(seed in 0u64..200) {
+        let client = ShenzhenGenerator::new(DatasetConfig::small(400, seed))
+            .generate_zone(Zone::Z102);
+        let out = DdosInjector::new(DdosConfig::default()).inject(&client.demand, seed);
+        let scaler = MinMaxScaler::fit(&client.demand).unwrap();
+        let back = scaler.inverse_transform(&scaler.transform(&out.series));
+        for (a, b) in out.series.iter().zip(&back) {
+            prop_assert!((a - b).abs() < 1e-9 * (1.0 + a.abs()));
+        }
+    }
+
+    /// FedAvg lies in the per-coordinate convex hull of the updates, for
+    /// arbitrary positive sample counts.
+    #[test]
+    fn fedavg_within_hull(
+        va in -10.0f64..10.0,
+        vb in -10.0f64..10.0,
+        vc in -10.0f64..10.0,
+        na in 1usize..1000,
+        nb in 1usize..1000,
+        nc in 1usize..1000,
+    ) {
+        let mk = |id: &str, v: f64, n: usize| LocalUpdate {
+            client_id: id.into(),
+            weights: vec![Matrix::filled(2, 3, v)],
+            sample_count: n,
+            train_loss: 0.0,
+            duration: std::time::Duration::ZERO,
+        };
+        let ups = [mk("a", va, na), mk("b", vb, nb), mk("c", vc, nc)];
+        let g = Aggregator::FedAvg.aggregate(&ups).unwrap();
+        let lo = va.min(vb).min(vc);
+        let hi = va.max(vb).max(vc);
+        for x in g[0].as_slice() {
+            prop_assert!(*x >= lo - 1e-9 && *x <= hi + 1e-9);
+        }
+    }
+
+    /// Robust aggregators agree with FedAvg when all updates are identical.
+    #[test]
+    fn aggregators_agree_on_identical_updates(v in -5.0f64..5.0) {
+        let mk = |id: &str| LocalUpdate {
+            client_id: id.into(),
+            weights: vec![Matrix::filled(3, 2, v)],
+            sample_count: 10,
+            train_loss: 0.0,
+            duration: std::time::Duration::ZERO,
+        };
+        let ups = [mk("a"), mk("b"), mk("c"), mk("d")];
+        let favg = Aggregator::FedAvg.aggregate(&ups).unwrap();
+        for agg in [
+            Aggregator::Median,
+            Aggregator::TrimmedMean { trim: 1 },
+            Aggregator::Krum { byzantine: 1 },
+        ] {
+            let g = agg.aggregate(&ups).unwrap();
+            for (x, y) in g[0].as_slice().iter().zip(favg[0].as_slice()) {
+                prop_assert!((x - y).abs() < 1e-12);
+            }
+        }
+    }
+
+    /// merge_segments is monotone: it only ever adds flags, and wider gaps
+    /// merge supersets of narrower gaps.
+    #[test]
+    fn merge_segments_monotone(mask in prop::collection::vec(any::<bool>(), 1..200)) {
+        let narrow = merge_segments(&mask, 1);
+        let wide = merge_segments(&mask, 3);
+        for i in 0..mask.len() {
+            if mask[i] {
+                prop_assert!(narrow[i]);
+            }
+            if narrow[i] {
+                prop_assert!(wide[i]);
+            }
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Serialisation round-trips across the workspace: model checkpoints,
+//! scalers, attack outcomes, and study reports.
+
+use evfad_core::attack::{DdosConfig, DdosInjector};
+use evfad_core::data::{DatasetConfig, ShenzhenGenerator};
+use evfad_core::forecast::experiment::build_forecaster;
+use evfad_core::nn::Sequential;
+use evfad_core::tensor::Matrix;
+use evfad_core::timeseries::MinMaxScaler;
+
+#[test]
+fn forecaster_checkpoint_round_trip_preserves_predictions() {
+    let mut model = build_forecaster(10, 0.001, 42);
+    let input = vec![Matrix::column_vector(
+        &(0..24).map(|t| (t as f64 * 0.3).sin()).collect::<Vec<_>>(),
+    )];
+    let before = model.predict(&input);
+    let json = model.to_json();
+    let mut restored = Sequential::from_json(&json).expect("restore");
+    assert_eq!(before, restored.predict(&input));
+}
+
+#[test]
+fn restored_model_can_keep_training() {
+    // A checkpoint is only useful if training can resume from it.
+    let mut model = build_forecaster(6, 0.01, 1);
+    let samples: Vec<evfad_core::nn::Sample> = (0..32)
+        .map(|i| {
+            let xs: Vec<f64> = (0..8).map(|t| ((i + t) as f64 * 0.4).sin()).collect();
+            evfad_core::nn::Sample::new(
+                Matrix::column_vector(&xs),
+                Matrix::from_vec(1, 1, vec![((i + 8) as f64 * 0.4).sin()]),
+            )
+        })
+        .collect();
+    let cfg = evfad_core::nn::TrainConfig {
+        epochs: 3,
+        ..evfad_core::nn::TrainConfig::default()
+    };
+    model.fit(&samples, &cfg).expect("first fit");
+    let mut restored = Sequential::from_json(&model.to_json()).expect("restore");
+    let before = restored.evaluate(&samples, evfad_core::nn::Loss::Mse);
+    restored.fit(&samples, &cfg).expect("resumed fit");
+    let after = restored.evaluate(&samples, evfad_core::nn::Loss::Mse);
+    assert!(after <= before * 1.05, "resumed training diverged: {before} -> {after}");
+}
+
+#[test]
+fn scaler_and_attack_outcome_serde() {
+    let client = ShenzhenGenerator::new(DatasetConfig::small(200, 3))
+        .generate_zone(evfad_core::data::Zone::Z105);
+    let scaler = MinMaxScaler::fit(&client.demand).expect("fit");
+    let json = serde_json::to_string(&scaler).expect("ser");
+    let back: MinMaxScaler = serde_json::from_str(&json).expect("de");
+    assert_eq!(scaler, back);
+
+    let outcome = DdosInjector::new(DdosConfig::default()).inject(&client.demand, 1);
+    let json = serde_json::to_string(&outcome).expect("ser");
+    let back: evfad_core::attack::AttackOutcome = serde_json::from_str(&json).expect("de");
+    assert_eq!(outcome, back);
+}
+
+#[test]
+fn client_dataset_serde_round_trip() {
+    let data = ShenzhenGenerator::new(DatasetConfig::small(100, 7)).generate_all();
+    let json = serde_json::to_string(&data).expect("ser");
+    let back: Vec<evfad_core::data::ClientData> = serde_json::from_str(&json).expect("de");
+    assert_eq!(data, back);
+}
+
+#[test]
+fn weights_survive_json_exactly() {
+    // The federated exchange serialises weight tensors; check bit-exact
+    // round-trips through the JSON layer (float_roundtrip feature).
+    let model = build_forecaster(12, 0.001, 9);
+    let weights = model.weights();
+    let json = serde_json::to_string(&weights).expect("ser");
+    let back: Vec<Matrix> = serde_json::from_str(&json).expect("de");
+    assert_eq!(weights, back);
+}
