@@ -238,7 +238,8 @@ impl AnomalyFilter {
     /// * [`AnomalyError::NotFitted`] before [`AnomalyFilter::fit`];
     /// * [`AnomalyError::SeriesTooShort`] if `series` cannot form a window.
     pub fn score(&mut self, series: &[f64]) -> Result<Vec<f64>, AnomalyError> {
-        self.score_with_estimates(series).map(|(min_scores, _)| min_scores)
+        self.score_with_estimates(series)
+            .map(|(min_scores, _)| min_scores)
     }
 
     /// Like [`AnomalyFilter::score`], additionally returning the flat list
@@ -257,10 +258,7 @@ impl AnomalyFilter {
         }
         let model = self.model.as_mut().ok_or(AnomalyError::NotFitted)?;
         let wins = windows::reconstruction(series, seq_len);
-        let inputs: Vec<Matrix> = wins
-            .iter()
-            .map(|w| Matrix::column_vector(w))
-            .collect();
+        let inputs: Vec<Matrix> = wins.iter().map(|w| Matrix::column_vector(w)).collect();
         let recon = model.predict(&inputs);
         let mut best = vec![f64::INFINITY; series.len()];
         let mut estimates = Vec::with_capacity(2 * recon.len());
@@ -298,7 +296,8 @@ impl AnomalyFilter {
     /// Panics if called before [`AnomalyFilter::fit`] (use [`AnomalyFilter::try_detect`]
     /// for a fallible variant).
     pub fn detect(&mut self, series: &[f64]) -> Detection {
-        self.try_detect(series).expect("AnomalyFilter::detect on unfitted filter")
+        self.try_detect(series)
+            .expect("AnomalyFilter::detect on unfitted filter")
     }
 
     /// Fallible variant of [`AnomalyFilter::detect`].
@@ -373,7 +372,10 @@ mod tests {
         let mut f = AnomalyFilter::new(FilterConfig::fast(12));
         assert!(!f.is_fitted());
         assert_eq!(f.score(&sine(50)).unwrap_err(), AnomalyError::NotFitted);
-        assert_eq!(f.try_detect(&sine(50)).unwrap_err(), AnomalyError::NotFitted);
+        assert_eq!(
+            f.try_detect(&sine(50)).unwrap_err(),
+            AnomalyError::NotFitted
+        );
     }
 
     #[test]

@@ -34,7 +34,10 @@ impl fmt::Display for AnomalyError {
             }
             AnomalyError::NotFitted => write!(f, "filter must be fitted before use"),
             AnomalyError::LengthMismatch { series, mask } => {
-                write!(f, "mask length {mask} does not match series length {series}")
+                write!(
+                    f,
+                    "mask length {mask} does not match series length {series}"
+                )
             }
             AnomalyError::Training(msg) => write!(f, "autoencoder training failed: {msg}"),
         }

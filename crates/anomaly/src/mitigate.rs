@@ -75,8 +75,8 @@ impl MitigationStrategy {
 pub fn merge_segments(mask: &[bool], max_gap: usize) -> Vec<bool> {
     let mut out = mask.to_vec();
     let mut last_true: Option<usize> = None;
-    for i in 0..mask.len() {
-        if mask[i] {
+    for (i, &flag) in mask.iter().enumerate() {
+        if flag {
             if let Some(prev) = last_true {
                 let gap = i - prev - 1;
                 if gap > 0 && gap <= max_gap {
@@ -116,15 +116,14 @@ mod tests {
     fn merge_empty_and_all_true() {
         assert_eq!(merge_segments(&[], 2), Vec::<bool>::new());
         assert_eq!(merge_segments(&[true, true], 2), vec![true, true]);
-        assert_eq!(
-            merge_segments(&[false, false], 2),
-            vec![false, false]
-        );
+        assert_eq!(merge_segments(&[false, false], 2), vec![false, false]);
     }
 
     #[test]
     fn merge_is_idempotent() {
-        let mask = [true, false, false, true, false, true, false, false, false, true];
+        let mask = [
+            true, false, false, true, false, true, false, false, false, true,
+        ];
         let once = merge_segments(&mask, 2);
         let twice = merge_segments(&once, 2);
         assert_eq!(once, twice);

@@ -61,11 +61,7 @@ impl OnlineDetector {
     /// # Errors
     ///
     /// Propagates [`AnomalyFilter::fit`] failures.
-    pub fn fit(
-        config: FilterConfig,
-        train: &[f64],
-        sanitize: bool,
-    ) -> Result<Self, AnomalyError> {
+    pub fn fit(config: FilterConfig, train: &[f64], sanitize: bool) -> Result<Self, AnomalyError> {
         let mut filter = AnomalyFilter::new(config);
         let _: TrainHistory = filter.fit(train)?;
         let threshold = filter.threshold().ok_or(AnomalyError::NotFitted)?;

@@ -179,8 +179,7 @@ impl DdosInjector {
                 // Triangular ramp: 0 at edges, 1 at the episode midpoint.
                 let pos = (offset as f64 + 0.5) / dur as f64;
                 let ramp = 1.0 - (2.0 * pos - 1.0).abs();
-                let intensity =
-                    (self.config.peak_intensity * (0.05 + 0.95 * ramp)).clamp(0.0, 1.0);
+                let intensity = (self.config.peak_intensity * (0.05 + 0.95 * ramp)).clamp(0.0, 1.0);
                 let packet_mult = self.config.traffic.hourly_multiplier(intensity, &mut rng);
                 // Translate packet-level inflation into volume inflation.
                 let volume_mult = 1.0 + (packet_mult - 1.0) * self.config.coupling;

@@ -205,7 +205,10 @@ mod tests {
             AttackVector::FalseDataInjection { bias: 1.1 }.name(),
             "false_data_injection"
         );
-        assert_eq!(AttackVector::TemporalDisruption.name(), "temporal_disruption");
+        assert_eq!(
+            AttackVector::TemporalDisruption.name(),
+            "temporal_disruption"
+        );
         assert_eq!(AttackVector::Ramp { peak: 2.0 }.name(), "ramp");
         assert_eq!(AttackVector::Pulse { magnitude: 2.0 }.name(), "pulse");
     }

@@ -18,10 +18,24 @@ fn bench_matmul(c: &mut Criterion) {
 fn bench_lstm_forward_backward(c: &mut Criterion) {
     let mut model = Sequential::new(1)
         .with(evfad_core::nn::Lstm::new(1, 50, false))
-        .with(evfad_core::nn::Dense::new(50, 10, evfad_core::nn::Activation::Relu))
-        .with(evfad_core::nn::Dense::new(10, 1, evfad_core::nn::Activation::Linear));
+        .with(evfad_core::nn::Dense::new(
+            50,
+            10,
+            evfad_core::nn::Activation::Relu,
+        ))
+        .with(evfad_core::nn::Dense::new(
+            10,
+            1,
+            evfad_core::nn::Activation::Linear,
+        ));
     let samples: Vec<Matrix> = (0..32)
-        .map(|i| Matrix::column_vector(&(0..24).map(|t| ((i + t) as f64 * 0.1).sin()).collect::<Vec<_>>()))
+        .map(|i| {
+            Matrix::column_vector(
+                &(0..24)
+                    .map(|t| ((i + t) as f64 * 0.1).sin())
+                    .collect::<Vec<_>>(),
+            )
+        })
         .collect();
     let batch = Seq::from_samples(&samples);
     c.bench_function("nn/lstm50_forward_batch32_seq24", |bench| {
@@ -56,13 +70,17 @@ fn bench_fedavg(c: &mut Criterion) {
 }
 
 fn bench_mitigation(c: &mut Criterion) {
-    let series: Vec<f64> = (0..4344).map(|i| (i as f64 * 0.26).sin() * 10.0 + 30.0).collect();
+    let series: Vec<f64> = (0..4344)
+        .map(|i| (i as f64 * 0.26).sin() * 10.0 + 30.0)
+        .collect();
     let mask: Vec<bool> = (0..4344).map(|i| i % 97 < 3).collect();
     c.bench_function("anomaly/merge_segments_4344", |bench| {
         bench.iter(|| std::hint::black_box(merge_segments(&mask, 2)))
     });
     c.bench_function("anomaly/linear_interpolation_4344", |bench| {
-        bench.iter(|| std::hint::black_box(MitigationStrategy::Linear.apply(&series, &mask).unwrap()))
+        bench.iter(|| {
+            std::hint::black_box(MitigationStrategy::Linear.apply(&series, &mask).unwrap())
+        })
     });
     c.bench_function("timeseries/seasonal_impute_4344", |bench| {
         bench.iter(|| std::hint::black_box(impute::seasonal_naive(&series, &mask, 24).unwrap()))
@@ -70,7 +88,9 @@ fn bench_mitigation(c: &mut Criterion) {
 }
 
 fn bench_scaler_and_metrics(c: &mut Criterion) {
-    let series: Vec<f64> = (0..4344).map(|i| (i as f64 * 0.26).sin() * 10.0 + 30.0).collect();
+    let series: Vec<f64> = (0..4344)
+        .map(|i| (i as f64 * 0.26).sin() * 10.0 + 30.0)
+        .collect();
     c.bench_function("timeseries/minmax_fit_transform_4344", |bench| {
         bench.iter_batched(
             || series.clone(),

@@ -32,9 +32,7 @@ fn bench_preparation(c: &mut Criterion) {
     let client = ShenzhenGenerator::new(DatasetConfig::small(2000, 2)).generate_zone(Zone::Z105);
     c.bench_function("pipeline/prepare_client_2000h_seq24", |b| {
         b.iter(|| {
-            std::hint::black_box(
-                PreparedClient::prepare("105", &client.demand, 24, 0.8).unwrap(),
-            )
+            std::hint::black_box(PreparedClient::prepare("105", &client.demand, 24, 0.8).unwrap())
         })
     });
 }

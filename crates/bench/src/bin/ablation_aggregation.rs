@@ -46,7 +46,10 @@ fn main() {
     twin.client_id = "102-twin".into();
     updates.push(twin);
 
-    println!("{:<14} {:>12} {:>12}", "aggregator", "clean R2", "poisoned R2");
+    println!(
+        "{:<14} {:>12} {:>12}",
+        "aggregator", "clean R2", "poisoned R2"
+    );
     for agg in [
         Aggregator::FedAvg,
         Aggregator::Median,

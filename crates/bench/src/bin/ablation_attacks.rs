@@ -33,7 +33,10 @@ fn main() {
         scalers.push(scaler);
     }
 
-    let vectors: Vec<(&str, Box<dyn Fn(&[f64], u64) -> evfad_core::attack::AttackOutcome>)> = vec![
+    let vectors: Vec<(
+        &str,
+        Box<dyn Fn(&[f64], u64) -> evfad_core::attack::AttackOutcome>,
+    )> = vec![
         (
             "ddos_volume_spikes",
             Box::new(|s, seed| DdosInjector::new(DdosConfig::default()).inject(s, seed)),
@@ -41,7 +44,12 @@ fn main() {
         (
             "false_data_injection",
             Box::new(|s, seed| {
-                inject_vector(s, AttackVector::FalseDataInjection { bias: 1.25 }, 0.15, seed)
+                inject_vector(
+                    s,
+                    AttackVector::FalseDataInjection { bias: 1.25 },
+                    0.15,
+                    seed,
+                )
             }),
         ),
         (
@@ -54,7 +62,9 @@ fn main() {
         ),
         (
             "pulse",
-            Box::new(|s, seed| inject_vector(s, AttackVector::Pulse { magnitude: 3.0 }, 0.15, seed)),
+            Box::new(|s, seed| {
+                inject_vector(s, AttackVector::Pulse { magnitude: 3.0 }, 0.15, seed)
+            }),
         ),
     ];
 

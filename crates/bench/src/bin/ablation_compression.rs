@@ -52,7 +52,10 @@ fn main() {
         u.weights = q.dequantize();
     }
 
-    println!("{:<12} {:>10} {:>10} {:>10}", "variant", "102 R2", "105 R2", "108 R2");
+    println!(
+        "{:<12} {:>10} {:>10} {:>10}",
+        "variant", "102 R2", "105 R2", "108 R2"
+    );
     for (name, updates) in [("exact", &exact_updates), ("quantized", &quant_updates)] {
         let global = Aggregator::FedAvg.aggregate(updates).expect("aggregate");
         let mut model = build_forecaster(cfg.lstm_units, cfg.learning_rate, cfg.seed);

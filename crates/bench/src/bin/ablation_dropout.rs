@@ -51,7 +51,11 @@ fn main() {
             .expect("global model");
         let r2s: Vec<f64> = prepared
             .iter()
-            .map(|p| p.evaluate_raw(&mut global).map(|e| e.r2).unwrap_or(f64::NAN))
+            .map(|p| {
+                p.evaluate_raw(&mut global)
+                    .map(|e| e.r2)
+                    .unwrap_or(f64::NAN)
+            })
             .collect();
         let mean = r2s.iter().sum::<f64>() / r2s.len() as f64;
         println!(

@@ -19,7 +19,10 @@ fn main() {
         match run_study(&cfg) {
             Ok(report) => {
                 println!("\nread_out = {read_out:?}");
-                println!("{:<8} {:>10} {:>10} {:>10}", "zone", "clean R2", "attacked", "filtered");
+                println!(
+                    "{:<8} {:>10} {:>10} {:>10}",
+                    "zone", "clean R2", "attacked", "filtered"
+                );
                 for zone in ["102", "105", "108"] {
                     let r2 = |s| {
                         report

@@ -43,7 +43,10 @@ fn main() {
             let detection = filter
                 .try_detect(&scaler.transform(&outcome.series))
                 .expect("detect");
-            overall = overall.merged(DetectionReport::from_flags(&outcome.labels, &detection.flags));
+            overall = overall.merged(DetectionReport::from_flags(
+                &outcome.labels,
+                &detection.flags,
+            ));
         }
         let label = match rule {
             ThresholdRule::Percentile(p) => format!("percentile({p})"),

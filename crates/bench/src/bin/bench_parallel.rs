@@ -1,0 +1,160 @@
+//! Benchmarks the deterministic parallel compute layer and emits
+//! `BENCH_parallel.json`.
+//!
+//! For each GEMM-family kernel and size, the serial path (`threads = 1`)
+//! and the pool path (`threads = EVFAD_BENCH_THREADS`, default
+//! `max(4, cpus)`) are timed back to back on identical inputs, and the
+//! outputs are compared bitwise — the layer's core guarantee. The JSON
+//! schema is documented in `EXPERIMENTS.md`.
+//!
+//! Usage: `cargo run --release --bin bench_parallel [output-path]`
+
+use evfad_core::tensor::{parallel, Matrix};
+use std::time::Instant;
+
+struct KernelResult {
+    kernel: &'static str,
+    m: usize,
+    k: usize,
+    n: usize,
+    serial_ms: f64,
+    parallel_ms: f64,
+    bitwise_identical: bool,
+}
+
+fn median_ms(reps: usize, mut f: impl FnMut() -> Matrix) -> (f64, Matrix) {
+    let mut times: Vec<f64> = Vec::with_capacity(reps);
+    let mut last = f(); // warm-up (also starts the pool on the parallel pass)
+    for _ in 0..reps {
+        let start = Instant::now();
+        last = f();
+        times.push(start.elapsed().as_secs_f64() * 1e3);
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    (times[times.len() / 2], last)
+}
+
+fn bench_kernel(
+    kernel: &'static str,
+    m: usize,
+    k: usize,
+    n: usize,
+    threads: usize,
+    reps: usize,
+    f: impl Fn(&Matrix, &Matrix) -> Matrix,
+) -> KernelResult {
+    let a = Matrix::from_fn(m, k, |i, j| ((i * 31 + j * 7) as f64 * 0.013).sin());
+    let b = Matrix::from_fn(k, n, |i, j| ((i * 13 + j * 3) as f64 * 0.017).cos());
+    parallel::set_threads(1);
+    let (serial_ms, serial_out) = median_ms(reps, || f(&a, &b));
+    parallel::set_threads(threads);
+    let (parallel_ms, parallel_out) = median_ms(reps, || f(&a, &b));
+    parallel::set_threads(0);
+    KernelResult {
+        kernel,
+        m,
+        k,
+        n,
+        serial_ms,
+        parallel_ms,
+        bitwise_identical: serial_out.as_slice() == parallel_out.as_slice(),
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_parallel.json".to_string());
+    let host_cpus = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let threads = std::env::var("EVFAD_BENCH_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or_else(|| host_cpus.max(4));
+    let reps = 9;
+
+    println!("parallel compute layer bench: host_cpus={host_cpus} threads={threads}");
+    let mut results = Vec::new();
+    for size in [64usize, 128, 256] {
+        results.push(bench_kernel(
+            "matmul",
+            size,
+            size,
+            size,
+            threads,
+            reps,
+            |a, b| a.matmul(b),
+        ));
+    }
+    results.push(bench_kernel(
+        "transpose_matmul",
+        256,
+        256,
+        256,
+        threads,
+        reps,
+        |a, b| a.transpose_matmul(b),
+    ));
+    results.push(bench_kernel(
+        "matmul_transpose",
+        256,
+        256,
+        256,
+        threads,
+        reps,
+        |a, b| a.matmul_transpose(b),
+    ));
+
+    let mut kernels_json = Vec::new();
+    for r in &results {
+        let speedup = if r.parallel_ms > 0.0 {
+            r.serial_ms / r.parallel_ms
+        } else {
+            0.0
+        };
+        println!(
+            "{:<18} {:>4}x{:<4}x{:<4} serial {:>9.3} ms  parallel {:>9.3} ms  speedup {:>5.2}x  bitwise={}",
+            r.kernel, r.m, r.k, r.n, r.serial_ms, r.parallel_ms, speedup, r.bitwise_identical
+        );
+        kernels_json.push(format!(
+            concat!(
+                "    {{\n",
+                "      \"kernel\": \"{}\",\n",
+                "      \"m\": {},\n",
+                "      \"k\": {},\n",
+                "      \"n\": {},\n",
+                "      \"serial_ms\": {:.4},\n",
+                "      \"parallel_ms\": {:.4},\n",
+                "      \"speedup\": {:.3},\n",
+                "      \"bitwise_identical\": {}\n",
+                "    }}"
+            ),
+            r.kernel, r.m, r.k, r.n, r.serial_ms, r.parallel_ms, speedup, r.bitwise_identical
+        ));
+    }
+
+    let all_bitwise = results.iter().all(|r| r.bitwise_identical);
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"parallel_compute_layer\",\n",
+            "  \"host_cpus\": {},\n",
+            "  \"threads\": {},\n",
+            "  \"reps\": {},\n",
+            "  \"serial_flop_threshold\": {},\n",
+            "  \"all_bitwise_identical\": {},\n",
+            "  \"kernels\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        host_cpus,
+        threads,
+        reps,
+        parallel::serial_flop_threshold(),
+        all_bitwise,
+        kernels_json.join(",\n")
+    );
+    std::fs::write(&out_path, &json).expect("write BENCH_parallel.json");
+    println!("wrote {out_path}");
+    assert!(all_bitwise, "parallel output diverged from serial");
+}

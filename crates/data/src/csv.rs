@@ -66,12 +66,7 @@ pub fn to_csv(client: &ClientData) -> String {
     let mut out = String::with_capacity(client.demand.len() * 48);
     out.push_str(HEADER);
     out.push('\n');
-    for (t, (demand, weather)) in client
-        .demand
-        .iter()
-        .zip(&client.weather)
-        .enumerate()
-    {
+    for (t, (demand, weather)) in client.demand.iter().zip(&client.weather).enumerate() {
         let _ = writeln!(
             out,
             "{t},{demand},{},{},{}",
@@ -172,10 +167,7 @@ mod tests {
     fn rejects_short_row() {
         let text = format!("{HEADER}\n0,1.0,20.0\n");
         let err = from_csv(&text, Zone::Z102).unwrap_err();
-        assert_eq!(
-            err,
-            CsvError::BadRowShape { line: 2, fields: 3 }
-        );
+        assert_eq!(err, CsvError::BadRowShape { line: 2, fields: 3 });
     }
 
     #[test]
@@ -184,7 +176,10 @@ mod tests {
         let err = from_csv(&text, Zone::Z102).unwrap_err();
         assert!(matches!(
             err,
-            CsvError::BadField { line: 2, column: "demand" }
+            CsvError::BadField {
+                line: 2,
+                column: "demand"
+            }
         ));
     }
 
@@ -210,8 +205,11 @@ mod tests {
         assert!(CsvError::BadRowShape { line: 3, fields: 2 }
             .to_string()
             .contains('3'));
-        assert!(CsvError::BadField { line: 4, column: "demand" }
-            .to_string()
-            .contains("demand"));
+        assert!(CsvError::BadField {
+            line: 4,
+            column: "demand"
+        }
+        .to_string()
+        .contains("demand"));
     }
 }

@@ -105,9 +105,7 @@ impl ShenzhenGenerator {
             let mut v = det + ar_noise;
             if rng.gen::<f64>() < profile.natural_spike_rate {
                 // Natural demand burst (fleet arrival, event traffic).
-                v += profile.base
-                    * profile.natural_spike_scale
-                    * rng.gen_range(0.5..1.5);
+                v += profile.base * profile.natural_spike_scale * rng.gen_range(0.5..1.5);
             }
             demand.push(v.max(0.0));
         }
@@ -212,7 +210,8 @@ mod tests {
 
     #[test]
     fn strong_daily_autocorrelation() {
-        let client = ShenzhenGenerator::new(DatasetConfig::small(24 * 60, 4)).generate_zone(Zone::Z102);
+        let client =
+            ShenzhenGenerator::new(DatasetConfig::small(24 * 60, 4)).generate_zone(Zone::Z102);
         let ac24 = autocorrelation_at_lag(&client.demand, 24);
         assert!(ac24 > 0.5, "24h autocorrelation too weak: {ac24}");
     }

@@ -50,8 +50,7 @@ pub fn generate_weather(timestamps: usize, seed: u64) -> Vec<WeatherPoint> {
                 rng.gen::<f64>() < 0.03
             };
             let rain_boost = if raining { 25.0 } else { 0.0 };
-            let humidity =
-                (62.0_f64 + rain_boost + rng.gen_range(-8.0..8.0)).clamp(20.0, 100.0);
+            let humidity = (62.0_f64 + rain_boost + rng.gen_range(-8.0..8.0)).clamp(20.0, 100.0);
             WeatherPoint {
                 temperature_c: seasonal + diurnal + temp_noise - if raining { 1.5 } else { 0.0 },
                 humidity_pct: humidity,
@@ -74,10 +73,12 @@ mod tests {
     #[test]
     fn cools_over_the_window() {
         let w = generate_weather(4344, 1);
-        let first_week: f64 =
-            w[..168].iter().map(|p| p.temperature_c).sum::<f64>() / 168.0;
-        let last_week: f64 =
-            w[w.len() - 168..].iter().map(|p| p.temperature_c).sum::<f64>() / 168.0;
+        let first_week: f64 = w[..168].iter().map(|p| p.temperature_c).sum::<f64>() / 168.0;
+        let last_week: f64 = w[w.len() - 168..]
+            .iter()
+            .map(|p| p.temperature_c)
+            .sum::<f64>()
+            / 168.0;
         assert!(first_week > last_week + 5.0);
     }
 
@@ -115,8 +116,6 @@ mod tests {
     #[test]
     fn humidity_stays_in_bounds() {
         let w = generate_weather(2000, 4);
-        assert!(w
-            .iter()
-            .all(|p| (20.0..=100.0).contains(&p.humidity_pct)));
+        assert!(w.iter().all(|p| (20.0..=100.0).contains(&p.humidity_pct)));
     }
 }

@@ -55,8 +55,7 @@ impl Aggregator {
         if updates.is_empty() {
             return Err(FederatedError::NoClients);
         }
-        let reference: Vec<(usize, usize)> =
-            updates[0].weights.iter().map(Matrix::shape).collect();
+        let reference: Vec<(usize, usize)> = updates[0].weights.iter().map(Matrix::shape).collect();
         for u in updates {
             let shapes: Vec<(usize, usize)> = u.weights.iter().map(Matrix::shape).collect();
             if shapes != reference {
@@ -175,7 +174,10 @@ mod tests {
     fn update(id: &str, value: f64, samples: usize) -> LocalUpdate {
         LocalUpdate {
             client_id: id.into(),
-            weights: vec![Matrix::filled(2, 2, value), Matrix::filled(1, 2, value * 10.0)],
+            weights: vec![
+                Matrix::filled(2, 2, value),
+                Matrix::filled(1, 2, value * 10.0),
+            ],
             sample_count: samples,
             train_loss: 0.0,
             duration: Duration::ZERO,

@@ -163,13 +163,12 @@ impl FedClient {
         };
         let mut train_loss = f64::NAN;
         for _ in 0..cfg.epochs {
-            let history =
-                self.model
-                    .fit(&self.samples, &per_epoch)
-                    .map_err(|e| FederatedError::ClientTraining {
-                        client: self.id.clone(),
-                        message: e.to_string(),
-                    })?;
+            let history = self.model.fit(&self.samples, &per_epoch).map_err(|e| {
+                FederatedError::ClientTraining {
+                    client: self.id.clone(),
+                    message: e.to_string(),
+                }
+            })?;
             train_loss = history.final_train_loss().unwrap_or(f64::NAN);
             if mu > 0.0 {
                 self.apply_proximal(global, mu);
@@ -193,7 +192,9 @@ mod tests {
     fn samples(n: usize, phase: f64) -> Vec<Sample> {
         (0..n)
             .map(|i| {
-                let xs: Vec<f64> = (0..4).map(|t| ((i + t) as f64 * 0.7 + phase).sin()).collect();
+                let xs: Vec<f64> = (0..4)
+                    .map(|t| ((i + t) as f64 * 0.7 + phase).sin())
+                    .collect();
                 Sample::new(
                     Matrix::column_vector(&xs),
                     Matrix::from_vec(1, 1, vec![((i + 4) as f64 * 0.7 + phase).sin()]),
@@ -304,7 +305,10 @@ mod proximal_tests {
         let ua = a.train_local_proximal(&cfg, &global, 0.0).expect("train");
         // Same client trained epoch-by-epoch manually.
         let mut b = FedClient::new("b", forecaster_model(3, 9), samples(8));
-        let per_epoch = TrainConfig { epochs: 1, ..cfg.clone() };
+        let per_epoch = TrainConfig {
+            epochs: 1,
+            ..cfg.clone()
+        };
         b.train_local(&per_epoch).expect("e1");
         let ub = b.train_local(&per_epoch).expect("e2");
         for (x, y) in ua.weights.iter().zip(&ub.weights) {

@@ -106,7 +106,10 @@ impl QuantizedUpdate {
 
     /// Reconstructs the weight vector.
     pub fn dequantize(&self) -> Vec<Matrix> {
-        self.tensors.iter().map(QuantizedTensor::dequantize).collect()
+        self.tensors
+            .iter()
+            .map(QuantizedTensor::dequantize)
+            .collect()
     }
 
     /// Total payload bytes.

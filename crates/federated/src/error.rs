@@ -48,16 +48,20 @@ mod tests {
     #[test]
     fn displays() {
         assert!(FederatedError::NoClients.to_string().contains("no clients"));
-        assert!(FederatedError::IncompatibleUpdate { client: "c1".into() }
-            .to_string()
-            .contains("c1"));
+        assert!(FederatedError::IncompatibleUpdate {
+            client: "c1".into()
+        }
+        .to_string()
+        .contains("c1"));
         assert!(FederatedError::ClientTraining {
             client: "c2".into(),
             message: "boom".into()
         }
         .to_string()
         .contains("boom"));
-        assert!(FederatedError::Aggregation("few".into()).to_string().contains("few"));
+        assert!(FederatedError::Aggregation("few".into())
+            .to_string()
+            .contains("few"));
     }
 
     #[test]

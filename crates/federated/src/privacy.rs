@@ -110,12 +110,7 @@ mod tests {
             noise_multiplier: 0.0,
         };
         let out = privatize(&w, &global, cfg, 2);
-        let norm: f64 = out[0]
-            .as_slice()
-            .iter()
-            .map(|x| x * x)
-            .sum::<f64>()
-            .sqrt();
+        let norm: f64 = out[0].as_slice().iter().map(|x| x * x).sum::<f64>().sqrt();
         assert!((norm - 1.0).abs() < 1e-9, "clipped norm {norm}");
     }
 

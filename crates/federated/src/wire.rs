@@ -165,7 +165,10 @@ mod tests {
     fn rejects_bad_version() {
         let mut blob = encode_weights(&sample_weights()).to_vec();
         blob[4] = 99;
-        assert!(matches!(decode_weights(&blob), Err(WireError::BadVersion(_))));
+        assert!(matches!(
+            decode_weights(&blob),
+            Err(WireError::BadVersion(_))
+        ));
     }
 
     #[test]

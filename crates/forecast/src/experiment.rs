@@ -331,7 +331,8 @@ fn run_centralized_scenario(
     // data, which would have tripled the wall clock. Pooled data has
     // `clients`-times the samples, so epochs divide by the client count.
     let total_epochs = (cfg.rounds * cfg.epochs_per_round) as f64;
-    let central_epochs = ((total_epochs * 1.2 / prepared.len().max(1) as f64).round() as usize).max(1);
+    let central_epochs =
+        ((total_epochs * 1.2 / prepared.len().max(1) as f64).round() as usize).max(1);
     let train_cfg = TrainConfig {
         epochs: central_epochs,
         batch_size: cfg.batch_size,
@@ -427,7 +428,9 @@ impl StudyReport {
         let filtered = get(Scenario::Filtered, Architecture::Federated);
         let central = get(Scenario::Filtered, Architecture::Centralized);
         let r2 = |r: Option<&ScenarioResult>| {
-            r.and_then(|r| r.client("102")).map(|c| c.r2).unwrap_or(f64::NAN)
+            r.and_then(|r| r.client("102"))
+                .map(|c| c.r2)
+                .unwrap_or(f64::NAN)
         };
         let (rc, ra, rf, rx) = (r2(clean), r2(attacked), r2(filtered), r2(central));
         let recovery_pct = if (rc - ra).abs() > 1e-9 {
@@ -449,7 +452,10 @@ impl StudyReport {
     /// Table I: complete performance comparison for Client 1.
     pub fn table1(&self) -> String {
         let mut out = String::new();
-        let _ = writeln!(out, "TABLE I: Complete performance comparison for Client 1.");
+        let _ = writeln!(
+            out,
+            "TABLE I: Complete performance comparison for Client 1."
+        );
         let _ = writeln!(
             out,
             "{:<15} {:<13} {:>8} {:>8} {:>8} {:>9}",
@@ -596,7 +602,11 @@ impl StudyReport {
             out,
             "FIG 3: R2, federated vs centralized LSTM on filtered data"
         );
-        let _ = writeln!(out, "{:<10} {:>10} {:>12}", "Client", "Federated", "Centralized");
+        let _ = writeln!(
+            out,
+            "{:<10} {:>10} {:>12}",
+            "Client", "Federated", "Centralized"
+        );
         for zone in ["102", "105", "108"] {
             let fed = self
                 .result(Scenario::Filtered, Architecture::Federated)

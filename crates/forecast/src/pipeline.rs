@@ -93,11 +93,7 @@ impl PreparedClient {
     /// Runs `model` over the test windows and returns raw-unit predictions.
     pub fn predict_raw(&self, model: &mut Sequential) -> Vec<f64> {
         let inputs: Vec<Matrix> = self.test.iter().map(|s| s.input.clone()).collect();
-        let scaled: Vec<f64> = model
-            .predict(&inputs)
-            .iter()
-            .map(|m| m[(0, 0)])
-            .collect();
+        let scaled: Vec<f64> = model.predict(&inputs).iter().map(|m| m[(0, 0)]).collect();
         self.scaler.inverse_transform(&scaled)
     }
 

@@ -109,8 +109,8 @@ impl ClientScenarios {
         // had by construction, exactly as we do. So: scaler fitted on the
         // full attacked series (the observable data), autoencoder fitted on
         // the full clean series under that scaler.
-        let scaler = MinMaxScaler::fit(&attacked)
-            .map_err(|e| ForecastError::Preparation(e.to_string()))?;
+        let scaler =
+            MinMaxScaler::fit(&attacked).map_err(|e| ForecastError::Preparation(e.to_string()))?;
         let clean_scaled = scaler.transform(&clean);
         let attacked_scaled = scaler.transform(&attacked);
 
@@ -182,13 +182,9 @@ mod tests {
     #[test]
     fn build_produces_consistent_lengths() {
         let client = tiny_client();
-        let scen = ClientScenarios::build(
-            &client,
-            &DdosInjector::default(),
-            FilterConfig::fast(12),
-            1,
-        )
-        .expect("build");
+        let scen =
+            ClientScenarios::build(&client, &DdosInjector::default(), FilterConfig::fast(12), 1)
+                .expect("build");
         let n = client.demand.len();
         assert_eq!(scen.clean.len(), n);
         assert_eq!(scen.attacked.len(), n);
@@ -201,13 +197,9 @@ mod tests {
     #[test]
     fn filtering_reduces_attack_damage() {
         let client = tiny_client();
-        let scen = ClientScenarios::build(
-            &client,
-            &DdosInjector::default(),
-            FilterConfig::fast(12),
-            2,
-        )
-        .expect("build");
+        let scen =
+            ClientScenarios::build(&client, &DdosInjector::default(), FilterConfig::fast(12), 2)
+                .expect("build");
         let damage = |series: &[f64]| -> f64 {
             series
                 .iter()
@@ -218,19 +210,18 @@ mod tests {
         let before = damage(&scen.attacked);
         let after = damage(&scen.filtered);
         assert!(before > 0.0);
-        assert!(after < before, "filtering made things worse: {after} vs {before}");
+        assert!(
+            after < before,
+            "filtering made things worse: {after} vs {before}"
+        );
     }
 
     #[test]
     fn scenario_accessor_returns_right_series() {
         let client = tiny_client();
-        let scen = ClientScenarios::build(
-            &client,
-            &DdosInjector::default(),
-            FilterConfig::fast(12),
-            3,
-        )
-        .expect("build");
+        let scen =
+            ClientScenarios::build(&client, &DdosInjector::default(), FilterConfig::fast(12), 3)
+                .expect("build");
         assert_eq!(scen.series(Scenario::Clean), &scen.clean[..]);
         assert_eq!(scen.series(Scenario::Attacked), &scen.attacked[..]);
         assert_eq!(scen.series(Scenario::Filtered), &scen.filtered[..]);

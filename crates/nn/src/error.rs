@@ -53,10 +53,15 @@ mod tests {
     #[test]
     fn display_variants() {
         assert!(NnError::EmptyDataset.to_string().contains("empty"));
-        assert!(NnError::WeightMismatch { expected: 4, got: 2 }
+        assert!(NnError::WeightMismatch {
+            expected: 4,
+            got: 2
+        }
+        .to_string()
+        .contains('4'));
+        assert!(NnError::NonFiniteLoss { epoch: 3 }
             .to_string()
-            .contains('4'));
-        assert!(NnError::NonFiniteLoss { epoch: 3 }.to_string().contains('3'));
+            .contains('3'));
         assert!(NnError::InvalidConfig("x".into()).to_string().contains('x'));
     }
 

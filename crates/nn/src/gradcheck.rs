@@ -132,11 +132,9 @@ mod tests {
 
     #[test]
     fn dense_gradients_match() {
-        let mut model = Sequential::new(1).with(Dense::new(1, 3, Activation::Tanh)).with(Dense::new(
-            3,
-            1,
-            Activation::Linear,
-        ));
+        let mut model = Sequential::new(1)
+            .with(Dense::new(1, 3, Activation::Tanh))
+            .with(Dense::new(3, 1, Activation::Linear));
         let samples: Vec<Sample> = random_samples(4, 1, 2);
         let report = check_model_gradients(&mut model, &samples, Loss::Mse, 1e-5, 1);
         assert!(report.passes(1e-4), "max rel err {}", report.max_rel_error);

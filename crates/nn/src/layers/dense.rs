@@ -109,7 +109,10 @@ impl Dense {
         let steps = input
             .iter()
             .map(|x| {
-                let y = x.matmul(&self.w).add_row_broadcast(&self.b).map(|v| act.apply(v));
+                let y = x
+                    .matmul(&self.w)
+                    .add_row_broadcast(&self.b)
+                    .map(|v| act.apply(v));
                 if training {
                     self.cache_inputs.push(x.clone());
                     self.cache_outputs.push(y.clone());
@@ -152,7 +155,10 @@ impl Dense {
 
     /// Parameter/gradient pairs for the optimiser.
     pub fn params_and_grads_mut(&mut self) -> Vec<(&mut Matrix, &mut Matrix)> {
-        vec![(&mut self.w, &mut self.grad_w), (&mut self.b, &mut self.grad_b)]
+        vec![
+            (&mut self.w, &mut self.grad_w),
+            (&mut self.b, &mut self.grad_b),
+        ]
     }
 
     /// Clears accumulated gradients.

@@ -70,7 +70,12 @@ pub struct Gru {
 impl Gru {
     /// Creates a GRU seeded from the thread RNG; prefer [`Gru::new_seeded`].
     pub fn new(input_dim: usize, hidden_dim: usize, return_sequences: bool) -> Self {
-        Self::new_with_rng(input_dim, hidden_dim, return_sequences, &mut rand::thread_rng())
+        Self::new_with_rng(
+            input_dim,
+            hidden_dim,
+            return_sequences,
+            &mut rand::thread_rng(),
+        )
     }
 
     /// Creates a GRU initialised from `rng` (Glorot-uniform kernels).
@@ -301,7 +306,10 @@ mod tests {
         let x = Seq::from_samples(&[Matrix::column_vector(&[0.3, -0.1, 0.7])]);
         let mut a = Gru::new_seeded(1, 4, false, 9);
         let mut b = Gru::new_seeded(1, 4, true, 9);
-        assert_eq!(a.forward(&x, false).step(0), b.forward(&x, false).last_step());
+        assert_eq!(
+            a.forward(&x, false).step(0),
+            b.forward(&x, false).last_step()
+        );
     }
 
     #[test]

@@ -75,7 +75,12 @@ impl Lstm {
     /// [`Lstm::new_seeded`] for reproducibility;
     /// [`Sequential::with`](crate::Sequential::with) reseeds adopted layers.
     pub fn new(input_dim: usize, hidden_dim: usize, return_sequences: bool) -> Self {
-        Self::new_with_rng(input_dim, hidden_dim, return_sequences, &mut rand::thread_rng())
+        Self::new_with_rng(
+            input_dim,
+            hidden_dim,
+            return_sequences,
+            &mut rand::thread_rng(),
+        )
     }
 
     /// Creates an LSTM initialised from `rng`.
@@ -259,7 +264,10 @@ impl Lstm {
 
     /// Parameter/gradient pairs for the optimiser.
     pub fn params_and_grads_mut(&mut self) -> Vec<(&mut Matrix, &mut Matrix)> {
-        vec![(&mut self.w, &mut self.grad_w), (&mut self.b, &mut self.grad_b)]
+        vec![
+            (&mut self.w, &mut self.grad_w),
+            (&mut self.b, &mut self.grad_b),
+        ]
     }
 
     /// Clears accumulated gradients.

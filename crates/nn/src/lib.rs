@@ -58,10 +58,10 @@ mod seq;
 
 pub use activation::Activation;
 pub use error::{NnError, NnResult};
+pub use gradcheck::{check_model_gradients, GradCheckReport};
 pub use layer::Layer;
 pub use layers::{Dense, Dropout, Gru, Lstm, RepeatVector};
 pub use loss::Loss;
-pub use gradcheck::{check_model_gradients, GradCheckReport};
 pub use model::{
     autoencoder_model, forecaster_model, EpochStats, Sample, Sequential, TrainConfig, TrainHistory,
 };

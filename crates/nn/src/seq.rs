@@ -65,9 +65,7 @@ impl Seq {
         );
         let batch = samples.len();
         let steps = (0..time)
-            .map(|t| {
-                Matrix::from_fn(batch, feat, |b, f| samples[b][(t, f)])
-            })
+            .map(|t| Matrix::from_fn(batch, feat, |b, f| samples[b][(t, f)]))
             .collect();
         Self { steps }
     }
@@ -126,7 +124,7 @@ impl Seq {
     }
 
     /// Elementwise map over every step.
-    pub fn map(&self, f: impl Fn(f64) -> f64 + Copy) -> Seq {
+    pub fn map(&self, f: impl Fn(f64) -> f64 + Copy + Sync) -> Seq {
         Seq {
             steps: self.steps.iter().map(|s| s.map(f)).collect(),
         }
@@ -137,7 +135,7 @@ impl Seq {
     /// # Panics
     ///
     /// Panics if the shapes differ.
-    pub fn zip_map(&self, rhs: &Seq, f: impl Fn(f64, f64) -> f64 + Copy) -> Seq {
+    pub fn zip_map(&self, rhs: &Seq, f: impl Fn(f64, f64) -> f64 + Copy + Sync) -> Seq {
         assert_eq!(self.len(), rhs.len(), "Seq length mismatch");
         Seq {
             steps: self

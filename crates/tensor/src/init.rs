@@ -32,7 +32,7 @@ pub fn glorot_limit(fan_in: usize, fan_out: usize) -> f64 {
 /// assert_eq!(w.shape(), (4, 8));
 /// assert!(w.max_abs() <= evfad_tensor::glorot_limit(4, 8));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum Initializer {
     /// All zeros (used for biases).
     Zeros,
@@ -46,6 +46,7 @@ pub enum Initializer {
     /// Glorot/Xavier uniform: `U(-l, l)` with `l = sqrt(6/(fan_in+fan_out))`.
     ///
     /// `fan_in`/`fan_out` are taken from the matrix shape (`rows`/`cols`).
+    #[default]
     GlorotUniform,
 }
 
@@ -63,12 +64,6 @@ impl Initializer {
                 Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-l..=l))
             }
         }
-    }
-}
-
-impl Default for Initializer {
-    fn default() -> Self {
-        Initializer::GlorotUniform
     }
 }
 

@@ -7,6 +7,10 @@
 //! initialisers, and the descriptive statistics (percentiles, moments) used
 //! by the reconstruction-error thresholding rule.
 //!
+//! Large kernels execute on a deterministic worker pool (see [`parallel`]):
+//! outputs are partitioned into disjoint row blocks, so results are bitwise
+//! identical to serial execution for every thread count.
+//!
 //! # Examples
 //!
 //! ```
@@ -20,12 +24,16 @@
 //!
 //! [`evfad-nn`]: https://example.com/evfad
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the one audited exception is the lifetime
+// erasure in `parallel::run_scoped`, which hands stack-borrowing jobs to the
+// persistent worker pool and joins them before returning.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod error;
 mod init;
 mod matrix;
+pub mod parallel;
 pub mod solve;
 pub mod stats;
 

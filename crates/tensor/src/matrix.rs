@@ -196,18 +196,25 @@ impl Matrix {
     }
 
     /// Iterator over rows as slices.
+    ///
+    /// Degenerate shapes behave like indexing: a `rows x 0` matrix yields
+    /// `rows` empty slices (not zero rows), and a `0 x cols` matrix yields
+    /// nothing.
     pub fn iter_rows(&self) -> impl Iterator<Item = &[f64]> {
-        self.data.chunks_exact(self.cols.max(1))
+        let cols = self.cols;
+        (0..self.rows).map(move |i| &self.data[i * cols..(i + 1) * cols])
     }
 
     /// Matrix product `self * rhs` using a cache-friendly i-k-j loop order.
+    ///
+    /// Large products are row-partitioned across the [`crate::parallel`]
+    /// worker pool; the result is bitwise identical to serial execution.
     ///
     /// # Panics
     ///
     /// Panics if `self.cols() != rhs.rows()`.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
-        self.checked_matmul(rhs)
-            .unwrap_or_else(|e| panic!("{e}"))
+        self.checked_matmul(rhs).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Shape-checked matrix product.
@@ -221,23 +228,29 @@ impl Matrix {
         }
         let mut out = Matrix::zeros(self.rows, rhs.cols);
         let n = rhs.cols;
-        for i in 0..self.rows {
-            let out_row = &mut out.data[i * n..(i + 1) * n];
-            let lhs_row = &self.data[i * self.cols..(i + 1) * self.cols];
-            for (k, &a) in lhs_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let rhs_row = &rhs.data[k * n..(k + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(rhs_row.iter()) {
-                    *o += a * b;
+        let flops = self.rows * self.cols * n;
+        crate::parallel::row_partitioned(flops, &mut out.data, self.rows, n, |r0, r1, block| {
+            for (bi, i) in (r0..r1).enumerate() {
+                let out_row = &mut block[bi * n..(bi + 1) * n];
+                let lhs_row = &self.data[i * self.cols..(i + 1) * self.cols];
+                for (k, &a) in lhs_row.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let rhs_row = &rhs.data[k * n..(k + 1) * n];
+                    for (o, &b) in out_row.iter_mut().zip(rhs_row.iter()) {
+                        *o += a * b;
+                    }
                 }
             }
-        }
+        });
         Ok(out)
     }
 
     /// `self * rhs^T` without materialising the transpose.
+    ///
+    /// Large products are row-partitioned across the [`crate::parallel`]
+    /// worker pool; the result is bitwise identical to serial execution.
     ///
     /// # Panics
     ///
@@ -249,21 +262,31 @@ impl Matrix {
             self.rows, self.cols, rhs.rows, rhs.cols
         );
         let mut out = Matrix::zeros(self.rows, rhs.rows);
-        for i in 0..self.rows {
-            let a = self.row(i);
-            for j in 0..rhs.rows {
-                let b = rhs.row(j);
-                let mut acc = 0.0;
-                for (x, y) in a.iter().zip(b.iter()) {
-                    acc += x * y;
+        let n = rhs.rows;
+        let flops = self.rows * n * self.cols;
+        crate::parallel::row_partitioned(flops, &mut out.data, self.rows, n, |r0, r1, block| {
+            for (bi, i) in (r0..r1).enumerate() {
+                let a = self.row(i);
+                let out_row = &mut block[bi * n..(bi + 1) * n];
+                for (j, o) in out_row.iter_mut().enumerate() {
+                    let b = rhs.row(j);
+                    let mut acc = 0.0;
+                    for (x, y) in a.iter().zip(b.iter()) {
+                        acc += x * y;
+                    }
+                    *o = acc;
                 }
-                out[(i, j)] = acc;
             }
-        }
+        });
         out
     }
 
     /// `self^T * rhs` without materialising the transpose.
+    ///
+    /// Large products are row-partitioned across the [`crate::parallel`]
+    /// worker pool. Every output row accumulates over `k` in ascending
+    /// order exactly as the serial kernel does, so the result is bitwise
+    /// identical to serial execution.
     ///
     /// # Panics
     ///
@@ -275,40 +298,69 @@ impl Matrix {
             self.rows, self.cols, rhs.rows, rhs.cols
         );
         let mut out = Matrix::zeros(self.cols, rhs.cols);
-        for k in 0..self.rows {
-            let a = self.row(k);
-            let b = rhs.row(k);
-            for (i, &ai) in a.iter().enumerate() {
-                if ai == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-                for (o, &bj) in out_row.iter_mut().zip(b.iter()) {
-                    *o += ai * bj;
+        let n = rhs.cols;
+        let flops = self.rows * self.cols * n;
+        crate::parallel::row_partitioned(flops, &mut out.data, self.cols, n, |r0, r1, block| {
+            for k in 0..self.rows {
+                let a = &self.row(k)[r0..r1];
+                let b = rhs.row(k);
+                for (bi, &ai) in a.iter().enumerate() {
+                    if ai == 0.0 {
+                        continue;
+                    }
+                    let out_row = &mut block[bi * n..(bi + 1) * n];
+                    for (o, &bj) in out_row.iter_mut().zip(b.iter()) {
+                        *o += ai * bj;
+                    }
                 }
             }
-        }
+        });
         out
     }
 
     /// Returns the transpose of the matrix.
+    ///
+    /// Large matrices gather their output rows in parallel; transposition
+    /// is a pure permutation, so the result is identical for every thread
+    /// count.
     pub fn transpose(&self) -> Matrix {
         let mut out = Matrix::zeros(self.cols, self.rows);
-        for i in 0..self.rows {
-            for j in 0..self.cols {
-                out[(j, i)] = self[(i, j)];
-            }
-        }
+        let work = self.rows * self.cols;
+        crate::parallel::row_partitioned(
+            work,
+            &mut out.data,
+            self.cols,
+            self.rows,
+            |r0, r1, block| {
+                for (bi, j) in (r0..r1).enumerate() {
+                    let out_row = &mut block[bi * self.rows..(bi + 1) * self.rows];
+                    for (i, o) in out_row.iter_mut().enumerate() {
+                        *o = self.data[i * self.cols + j];
+                    }
+                }
+            },
+        );
         out
     }
 
     /// Applies `f` to every element, returning a new matrix.
-    pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
-        Matrix {
+    ///
+    /// Large matrices are chunk-partitioned across the [`crate::parallel`]
+    /// worker pool; `f` is applied to each element independently, so the
+    /// result is identical for every thread count.
+    pub fn map(&self, f: impl Fn(f64) -> f64 + Sync) -> Matrix {
+        let len = self.data.len();
+        let mut out = Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().map(|&x| f(x)).collect(),
-        }
+            data: vec![0.0; len],
+        };
+        crate::parallel::row_partitioned(len, &mut out.data, len, 1, |r0, r1, block| {
+            for (o, &x) in block.iter_mut().zip(self.data[r0..r1].iter()) {
+                *o = f(x);
+            }
+        });
+        out
     }
 
     /// Applies `f` to every element in place.
@@ -323,18 +375,22 @@ impl Matrix {
     /// # Panics
     ///
     /// Panics if the shapes differ.
-    pub fn zip_map(&self, rhs: &Matrix, f: impl Fn(f64, f64) -> f64) -> Matrix {
+    pub fn zip_map(&self, rhs: &Matrix, f: impl Fn(f64, f64) -> f64 + Sync) -> Matrix {
         assert_eq!(self.shape(), rhs.shape(), "zip_map shape mismatch");
-        Matrix {
+        let len = self.data.len();
+        let mut out = Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self
-                .data
-                .iter()
-                .zip(rhs.data.iter())
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
-        }
+            data: vec![0.0; len],
+        };
+        crate::parallel::row_partitioned(len, &mut out.data, len, 1, |r0, r1, block| {
+            let lhs = &self.data[r0..r1];
+            let rhs = &rhs.data[r0..r1];
+            for (o, (&a, &b)) in block.iter_mut().zip(lhs.iter().zip(rhs.iter())) {
+                *o = f(a, b);
+            }
+        });
+        out
     }
 
     /// Elementwise (Hadamard) product.
@@ -487,14 +543,20 @@ impl Index<(usize, usize)> for Matrix {
     type Output = f64;
 
     fn index(&self, (i, j): (usize, usize)) -> &f64 {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         &self.data[i * self.cols + j]
     }
 }
 
 impl IndexMut<(usize, usize)> for Matrix {
     fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         &mut self.data[i * self.cols + j]
     }
 }
@@ -597,7 +659,10 @@ mod tests {
         let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
         let b = Matrix::from_rows(&[vec![7.0, 8.0], vec![9.0, 10.0], vec![11.0, 12.0]]);
         let c = a.matmul(&b);
-        assert_eq!(c, Matrix::from_rows(&[vec![58.0, 64.0], vec![139.0, 154.0]]));
+        assert_eq!(
+            c,
+            Matrix::from_rows(&[vec![58.0, 64.0], vec![139.0, 154.0]])
+        );
     }
 
     #[test]
@@ -741,5 +806,73 @@ mod tests {
         let m = Matrix::from_rows(&[vec![-4.0, 1.0], vec![2.0, 1.0]]);
         assert_eq!(m.max_abs(), 4.0);
         assert_eq!(m.mean(), 0.0);
+    }
+
+    #[test]
+    fn iter_rows_zero_cols_yields_each_empty_row() {
+        let m = Matrix::zeros(3, 0);
+        let rows: Vec<&[f64]> = m.iter_rows().collect();
+        assert_eq!(rows.len(), 3, "a 3x0 matrix has three (empty) rows");
+        assert!(rows.iter().all(|r| r.is_empty()));
+    }
+
+    #[test]
+    fn iter_rows_zero_rows_yields_nothing() {
+        let m = Matrix::zeros(0, 5);
+        assert_eq!(m.iter_rows().count(), 0);
+    }
+
+    #[test]
+    fn iter_rows_matches_row_indexing() {
+        let m = Matrix::from_fn(4, 3, |i, j| (i * 3 + j) as f64);
+        for (i, row) in m.iter_rows().enumerate() {
+            assert_eq!(row, m.row(i));
+        }
+        assert_eq!(m.iter_rows().count(), m.rows());
+    }
+
+    #[test]
+    fn sum_rows_degenerate_shapes() {
+        assert_eq!(Matrix::zeros(3, 0).sum_rows().shape(), (1, 0));
+        let z = Matrix::zeros(0, 4).sum_rows();
+        assert_eq!(z.shape(), (1, 4));
+        assert!(z.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn transpose_degenerate_shapes() {
+        assert_eq!(Matrix::zeros(3, 0).transpose().shape(), (0, 3));
+        assert_eq!(Matrix::zeros(0, 4).transpose().shape(), (4, 0));
+        assert_eq!(Matrix::zeros(0, 0).transpose().shape(), (0, 0));
+    }
+
+    #[test]
+    fn matmul_parallel_matches_serial_bitwise() {
+        use crate::parallel;
+        let _guard = parallel::test_config_guard();
+        // Force both paths regardless of machine size: threshold 0 makes
+        // every dispatch eligible, threads=1 forces serial.
+        let a = Matrix::from_fn(33, 17, |i, j| ((i * 31 + j * 7) as f64).sin());
+        let b = Matrix::from_fn(17, 29, |i, j| ((i * 13 + j * 3) as f64).cos());
+        let c = Matrix::from_fn(33, 29, |i, j| ((i * 5 + j * 11) as f64).sin());
+        let before = parallel::serial_flop_threshold();
+        parallel::set_threads(1);
+        let serial = a.matmul(&b);
+        let serial_t = a.transpose_matmul(&c);
+        let serial_mt = a.matmul_transpose(&Matrix::from_fn(21, 17, |i, j| (i + j) as f64));
+        parallel::set_serial_flop_threshold(0);
+        parallel::set_threads(4);
+        let par = a.matmul(&b);
+        let par_t = a.transpose_matmul(&c);
+        let par_mt = a.matmul_transpose(&Matrix::from_fn(21, 17, |i, j| (i + j) as f64));
+        parallel::set_threads(0);
+        parallel::set_serial_flop_threshold(before);
+        assert_eq!(
+            serial.as_slice(),
+            par.as_slice(),
+            "matmul must be bitwise stable"
+        );
+        assert_eq!(serial_t.as_slice(), par_t.as_slice());
+        assert_eq!(serial_mt.as_slice(), par_mt.as_slice());
     }
 }

@@ -1,0 +1,355 @@
+//! Deterministic parallel execution for the dense kernels.
+//!
+//! The hot kernels in [`crate::Matrix`] (`matmul`, `matmul_transpose`,
+//! `transpose_matmul`, `transpose`, and the `zip_map`-style elementwise
+//! family) partition their **output** into disjoint, contiguous row blocks
+//! and hand each block to a lazily-initialised process-wide worker pool.
+//! Every block runs the *same inner loop in the same order* as the serial
+//! kernel, and no two blocks share an output element, so the result is
+//! **bitwise identical** to the serial computation for every thread count —
+//! floating-point summation order never changes, only who computes which
+//! rows.
+//!
+//! Small operations stay serial: a dispatch only goes parallel when its
+//! estimated FLOP count reaches [`serial_flop_threshold`] (tunable via
+//! [`set_serial_flop_threshold`]) and the effective thread count
+//! ([`threads`], tunable via [`set_threads`], `0` = one per CPU) is at
+//! least two.
+//!
+//! The pool itself is plain `std` — a shared injector queue drained by
+//! long-lived workers, plus the calling thread, which participates in the
+//! work instead of blocking idle. Worker threads are started on first
+//! parallel dispatch and live for the rest of the process.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Requested thread count; `0` means "one per available CPU".
+static CONFIGURED_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Minimum estimated FLOPs before a kernel goes parallel.
+///
+/// The default corresponds to a 64x64x64 GEMM — below that, enqueue and
+/// wake-up latency eats the gain.
+static SERIAL_FLOP_THRESHOLD: AtomicUsize = AtomicUsize::new(64 * 64 * 64);
+
+/// Sets the thread count used by parallel kernels (`0` = one per CPU).
+///
+/// Affects how many row blocks future dispatches are split into; results
+/// are bitwise identical for every setting. Safe to call at any time,
+/// including after the pool has started.
+pub fn set_threads(n: usize) {
+    CONFIGURED_THREADS.store(n, Ordering::Relaxed);
+}
+
+/// Effective thread count for the next parallel dispatch.
+pub fn threads() -> usize {
+    let configured = CONFIGURED_THREADS.load(Ordering::Relaxed);
+    if configured != 0 {
+        configured
+    } else {
+        available_cpus()
+    }
+}
+
+/// Sets the serial-fallback threshold in estimated FLOPs.
+pub fn set_serial_flop_threshold(flops: usize) {
+    SERIAL_FLOP_THRESHOLD.store(flops, Ordering::Relaxed);
+}
+
+/// Current serial-fallback threshold in estimated FLOPs.
+pub fn serial_flop_threshold() -> usize {
+    SERIAL_FLOP_THRESHOLD.load(Ordering::Relaxed)
+}
+
+fn available_cpus() -> usize {
+    // `available_parallelism` is a syscall; cache it — the hot kernels
+    // consult the thread count on every dispatch.
+    static CPUS: OnceLock<usize> = OnceLock::new();
+    *CPUS.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Injector {
+    queue: Mutex<VecDeque<Job>>,
+    ready: Condvar,
+}
+
+impl Injector {
+    fn push(&self, job: Job) {
+        self.queue.lock().expect("injector lock").push_back(job);
+        self.ready.notify_one();
+    }
+
+    fn try_pop(&self) -> Option<Job> {
+        self.queue.lock().expect("injector lock").pop_front()
+    }
+}
+
+struct Pool {
+    injector: Arc<Injector>,
+    #[allow(dead_code)]
+    workers: usize,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+/// Starts (on first call) and returns the process-wide worker pool.
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| {
+        let injector = Arc::new(Injector {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+        });
+        // The calling thread participates in every dispatch, so `cpus - 1`
+        // workers saturate the machine. Capped to keep a huge box from
+        // spawning hundreds of mostly-idle threads.
+        let workers = available_cpus().saturating_sub(1).min(63);
+        for w in 0..workers {
+            let injector = Arc::clone(&injector);
+            std::thread::Builder::new()
+                .name(format!("evfad-par-{w}"))
+                .spawn(move || worker_loop(&injector))
+                .expect("spawn parallel worker");
+        }
+        Pool { injector, workers }
+    })
+}
+
+fn worker_loop(injector: &Injector) {
+    loop {
+        let mut queue = injector.queue.lock().expect("injector lock");
+        loop {
+            if let Some(job) = queue.pop_front() {
+                drop(queue);
+                job();
+                break;
+            }
+            queue = injector.ready.wait(queue).expect("injector wait");
+        }
+    }
+}
+
+/// Completion latch for one dispatch: counts outstanding blocks and records
+/// whether any of them panicked.
+struct Latch {
+    remaining: AtomicUsize,
+    poisoned: AtomicBool,
+    done: Mutex<bool>,
+    all_done: Condvar,
+}
+
+impl Latch {
+    fn new(count: usize) -> Self {
+        Latch {
+            remaining: AtomicUsize::new(count),
+            poisoned: AtomicBool::new(false),
+            done: Mutex::new(false),
+            all_done: Condvar::new(),
+        }
+    }
+
+    fn complete_one(&self, panicked: bool) {
+        if panicked {
+            self.poisoned.store(true, Ordering::Relaxed);
+        }
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            *self.done.lock().expect("latch lock") = true;
+            self.all_done.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut done = self.done.lock().expect("latch lock");
+        while !*done {
+            done = self.all_done.wait(done).expect("latch wait");
+        }
+    }
+}
+
+/// Runs `kernel(row_start, row_end, block)` over disjoint, contiguous row
+/// blocks of `out`, in parallel when the work is large enough.
+///
+/// `out` must hold exactly `out_rows * out_cols` elements; each block it is
+/// split into covers rows `row_start..row_end`. The serial path invokes the
+/// kernel once over the full range, so parallel and serial execute the same
+/// per-row code — combined with disjoint blocks, that makes the output
+/// bitwise independent of the thread count.
+pub(crate) fn row_partitioned<K>(
+    estimated_flops: usize,
+    out: &mut [f64],
+    out_rows: usize,
+    out_cols: usize,
+    kernel: K,
+) where
+    K: Fn(usize, usize, &mut [f64]) + Sync,
+{
+    debug_assert_eq!(out.len(), out_rows * out_cols);
+    // Cheap gates first: the threshold test keeps small dispatches off the
+    // atomics/thread-count lookups entirely.
+    if estimated_flops < serial_flop_threshold() || out_rows < 2 {
+        kernel(0, out_rows, out);
+        return;
+    }
+    let threads = threads();
+    if threads < 2 {
+        kernel(0, out_rows, out);
+        return;
+    }
+
+    // Balanced contiguous split: the first `rows % blocks` blocks get one
+    // extra row. Block boundaries depend only on (out_rows, blocks), never
+    // on scheduling.
+    let blocks = threads.min(out_rows);
+    let base = out_rows / blocks;
+    let extra = out_rows % blocks;
+
+    let mut tasks: Vec<(usize, usize, &mut [f64])> = Vec::with_capacity(blocks);
+    let mut rest = out;
+    let mut row = 0;
+    for b in 0..blocks {
+        let height = base + usize::from(b < extra);
+        let (chunk, tail) = rest.split_at_mut(height * out_cols);
+        tasks.push((row, row + height, chunk));
+        row += height;
+        rest = tail;
+    }
+
+    run_scoped(tasks, &kernel);
+}
+
+/// Executes one kernel invocation per task across the pool plus the calling
+/// thread, returning once every task has finished.
+///
+/// Panics from tasks are caught in the workers and re-raised here, so a
+/// kernel bug fails the caller rather than killing a pool thread.
+#[allow(unsafe_code)]
+fn run_scoped<K>(tasks: Vec<(usize, usize, &mut [f64])>, kernel: &K)
+where
+    K: Fn(usize, usize, &mut [f64]) + Sync,
+{
+    let latch = Arc::new(Latch::new(tasks.len()));
+    let pool = pool();
+
+    for (row_start, row_end, chunk) in tasks {
+        let latch = Arc::clone(&latch);
+        let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+            let outcome = catch_unwind(AssertUnwindSafe(|| kernel(row_start, row_end, chunk)));
+            latch.complete_one(outcome.is_err());
+        });
+        // SAFETY: the job borrows `kernel` and `out` from the caller's
+        // stack, but `row_partitioned` does not return until `latch.wait()`
+        // has observed every job complete, so the borrows outlive every
+        // use. Panics inside the job are caught before the latch fires.
+        let job: Job = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Box<dyn FnOnce() + Send + 'static>>(
+                job,
+            )
+        };
+        pool.injector.push(job);
+    }
+
+    // Work-conserving wait: drain the queue (our jobs or a concurrent
+    // caller's) instead of blocking while the pool is busy.
+    while let Some(job) = pool.injector.try_pop() {
+        job();
+    }
+    latch.wait();
+
+    if latch.poisoned.load(Ordering::Relaxed) {
+        panic!("a parallel tensor kernel panicked");
+    }
+}
+
+/// Serialises tests that touch the process-wide thread configuration.
+#[cfg(test)]
+pub(crate) fn test_config_guard() -> std::sync::MutexGuard<'static, ()> {
+    static GUARD: Mutex<()> = Mutex::new(());
+    GUARD
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config_guard() -> std::sync::MutexGuard<'static, ()> {
+        test_config_guard()
+    }
+
+    #[test]
+    fn serial_below_threshold() {
+        let _guard = config_guard();
+        let mut out = vec![0.0; 8];
+        let calls = AtomicUsize::new(0);
+        // A 2-row output under the FLOP threshold must take the serial
+        // path and see the full range in one invocation.
+        row_partitioned(1, &mut out, 2, 4, |r0, r1, block| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            assert_eq!((r0, r1), (0, 2));
+            assert_eq!(block.len(), 8);
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn parallel_covers_all_rows_exactly_once() {
+        let _guard = config_guard();
+        set_threads(4);
+        let rows = 37;
+        let cols = 3;
+        let mut out = vec![0.0; rows * cols];
+        row_partitioned(usize::MAX, &mut out, rows, cols, |r0, r1, block| {
+            assert_eq!(block.len(), (r1 - r0) * cols);
+            for (offset, v) in block.iter_mut().enumerate() {
+                *v += (r0 * cols + offset) as f64;
+            }
+        });
+        set_threads(0);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i as f64, "row element {i} written wrongly");
+        }
+    }
+
+    #[test]
+    fn effective_threads_reflects_configuration() {
+        let _guard = config_guard();
+        set_threads(3);
+        assert_eq!(threads(), 3);
+        set_threads(0);
+        assert!(threads() >= 1);
+    }
+
+    #[test]
+    fn threshold_is_tunable() {
+        let _guard = config_guard();
+        let before = serial_flop_threshold();
+        set_serial_flop_threshold(10);
+        assert_eq!(serial_flop_threshold(), 10);
+        set_serial_flop_threshold(before);
+    }
+
+    #[test]
+    fn panics_propagate_to_caller() {
+        let _guard = config_guard();
+        set_threads(2);
+        let result = std::panic::catch_unwind(|| {
+            let mut out = vec![0.0; 64];
+            row_partitioned(usize::MAX, &mut out, 64, 1, |r0, _r1, _block| {
+                if r0 > 0 {
+                    panic!("boom");
+                }
+            });
+        });
+        set_threads(0);
+        assert!(result.is_err(), "worker panic must reach the caller");
+    }
+}

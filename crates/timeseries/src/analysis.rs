@@ -71,10 +71,10 @@ pub fn decompose(series: &[f64], period: usize) -> Result<Decomposition, TimeSer
     // whole period and the seasonal component cannot leak into the trend.
     let half = period / 2;
     let mut trend = vec![0.0; n];
-    for i in 0..n {
+    for (i, t) in trend.iter_mut().enumerate() {
         let centre = i.clamp(half, n - 1 - half);
         let window = &series[centre - half..=centre + half];
-        trend[i] = if period % 2 == 0 {
+        *t = if period.is_multiple_of(2) {
             let inner: f64 = window[1..window.len() - 1].iter().sum();
             (inner + 0.5 * (window[0] + window[window.len() - 1])) / period as f64
         } else {
@@ -98,9 +98,7 @@ pub fn decompose(series: &[f64], period: usize) -> Result<Decomposition, TimeSer
         *m -= grand; // zero-mean seasonal component
     }
     let seasonal: Vec<f64> = (0..n).map(|i| means[i % period]).collect();
-    let residual: Vec<f64> = (0..n)
-        .map(|i| series[i] - trend[i] - seasonal[i])
-        .collect();
+    let residual: Vec<f64> = (0..n).map(|i| series[i] - trend[i] - seasonal[i]).collect();
     Ok(Decomposition {
         trend,
         seasonal,
@@ -165,7 +163,7 @@ pub fn dominant_period(series: &[f64], max_lag: usize) -> Result<usize, TimeSeri
     let mut best: Option<(usize, f64)> = None;
     for lag in 2..acf.len().saturating_sub(1) {
         let is_local_max = acf[lag] > acf[lag - 1] && acf[lag] >= acf[lag + 1];
-        if is_local_max && best.map_or(true, |(_, v)| acf[lag] > v) {
+        if is_local_max && best.is_none_or(|(_, v)| acf[lag] > v) {
             best = Some((lag, acf[lag]));
         }
     }
@@ -189,9 +187,7 @@ mod tests {
 
     fn seasonal_series(n: usize) -> Vec<f64> {
         (0..n)
-            .map(|i| {
-                20.0 + 0.01 * i as f64 + 5.0 * (i as f64 * std::f64::consts::TAU / 24.0).sin()
-            })
+            .map(|i| 20.0 + 0.01 * i as f64 + 5.0 * (i as f64 * std::f64::consts::TAU / 24.0).sin())
             .collect()
     }
 

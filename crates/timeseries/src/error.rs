@@ -43,7 +43,10 @@ impl fmt::Display for TimeSeriesError {
                 write!(f, "non-finite value at index {index}")
             }
             TimeSeriesError::LengthMismatch { series, other } => {
-                write!(f, "length mismatch: series has {series} points, got {other}")
+                write!(
+                    f,
+                    "length mismatch: series has {series} points, got {other}"
+                )
             }
         }
     }
@@ -61,12 +64,17 @@ mod tests {
         assert!(TimeSeriesError::DegenerateRange { value: 2.0 }
             .to_string()
             .contains('2'));
-        assert!(TimeSeriesError::InvalidFraction(1.5).to_string().contains("1.5"));
+        assert!(TimeSeriesError::InvalidFraction(1.5)
+            .to_string()
+            .contains("1.5"));
         assert!(TimeSeriesError::NonFiniteValue { index: 7 }
             .to_string()
             .contains('7'));
-        assert!(TimeSeriesError::LengthMismatch { series: 3, other: 4 }
-            .to_string()
-            .contains('3'));
+        assert!(TimeSeriesError::LengthMismatch {
+            series: 3,
+            other: 4
+        }
+        .to_string()
+        .contains('3'));
     }
 }

@@ -216,9 +216,7 @@ mod tests {
     fn seasonal_skips_masked_donor() {
         // Donor at i-3 is masked; walks back to i-6.
         let s = [1.0, 0.0, 0.0, 9.0, 0.0, 0.0, 9.0, 0.0, 0.0];
-        let m = [
-            false, false, false, true, false, false, true, false, false,
-        ];
+        let m = [false, false, false, true, false, false, true, false, false];
         let fixed = seasonal_naive(&s, &m, 3).unwrap();
         assert_eq!(fixed[6], 1.0); // donor i=3 masked -> i=0
     }

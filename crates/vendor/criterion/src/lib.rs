@@ -1,0 +1,153 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Keeps the `criterion_group!` / `criterion_main!` / `bench_function`
+//! surface so the workspace's benches compile and run without the real
+//! crate. Measurement is deliberately simple: a warm-up pass sizes the
+//! iteration count, then `sample_size` samples are timed and min / median /
+//! mean are printed. Good enough to spot order-of-magnitude regressions;
+//! not a statistics engine.
+
+use std::time::{Duration, Instant};
+
+/// Batch sizing hint for [`Bencher::iter_batched`] (accepted, unused).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration setup output.
+    SmallInput,
+    /// Large per-iteration setup output.
+    LargeInput,
+    /// One setup per sample.
+    PerIteration,
+}
+
+/// Times closures handed over by a benchmark body.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, running it enough times per sample to be measurable.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut routine: F) {
+        // Warm-up: find an iteration count taking ≥ ~1 ms, capped.
+        let mut iters_per_sample = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || iters_per_sample >= 1 << 20 {
+                break;
+            }
+            iters_per_sample *= 4;
+        }
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            self.samples.push(start.elapsed() / iters_per_sample as u32);
+        }
+    }
+
+    /// Times `routine` over fresh inputs built by `setup` (setup excluded
+    /// from timing).
+    pub fn iter_batched<I, T, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> T,
+    {
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// Bench registry and configuration (subset of `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Accepted for CLI compatibility; filtering is not implemented.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs one benchmark and prints its timing summary.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut body: F) {
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            sample_size: self.sample_size,
+        };
+        body(&mut bencher);
+        let mut sorted = bencher.samples.clone();
+        sorted.sort_unstable();
+        if sorted.is_empty() {
+            println!("{name:<48} (no samples)");
+            return;
+        }
+        let min = sorted[0];
+        let median = sorted[sorted.len() / 2];
+        let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+        println!(
+            "{name:<48} min {:>12?}  median {:>12?}  mean {:>12?}  ({} samples)",
+            min,
+            median,
+            mean,
+            sorted.len()
+        );
+    }
+}
+
+/// Declares a group of benchmark functions (named-field form only).
+#[macro_export]
+macro_rules! criterion_group {
+    (
+        name = $name:ident;
+        config = $config:expr;
+        targets = $($target:path),+ $(,)?
+    ) => {
+        fn $name() {
+            $(
+                {
+                    let mut criterion = $config.configure_from_args();
+                    $target(&mut criterion);
+                }
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

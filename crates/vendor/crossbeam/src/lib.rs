@@ -1,0 +1,79 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides `crossbeam::thread::scope` built on `std::thread::scope`
+//! (stable since Rust 1.63), which gives the same guarantee the workspace
+//! relies on: scoped threads may borrow from the enclosing stack frame and
+//! are joined before `scope` returns.
+//!
+//! API notes versus upstream: the closure passed to [`thread::Scope::spawn`]
+//! receives a placeholder `()` instead of a nested `&Scope` (every call
+//! site in this workspace ignores the argument), and [`thread::scope`]
+//! returns `Ok` unless the *caller's* closure itself panics across the
+//! scope boundary, since `std` propagates child panics at join time.
+
+pub mod thread {
+    //! Scoped threads.
+
+    use std::thread as std_thread;
+
+    /// Handle for spawning scoped threads.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std_thread::Scope<'scope, 'env>,
+    }
+
+    /// Join handle for a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std_thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish, returning its result or the
+        /// panic payload.
+        pub fn join(self) -> Result<T, Box<dyn std::any::Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives a placeholder `()`
+        /// where upstream crossbeam passes a nested scope reference.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(()) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(())),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowing threads can be spawned;
+    /// all of them are joined before this returns.
+    ///
+    /// # Errors
+    ///
+    /// Mirrors upstream's signature; with the `std` backend, child panics
+    /// surface either through [`ScopedJoinHandle::join`] or by resuming the
+    /// panic at scope exit, so this in practice returns `Ok`.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std_thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = vec![1u64, 2, 3, 4];
+        let total: u64 = crate::thread::scope(|s| {
+            let handles: Vec<_> = data.iter().map(|&x| s.spawn(move |_| x * 10)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 100);
+    }
+}

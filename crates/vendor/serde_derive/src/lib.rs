@@ -1,0 +1,566 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against
+//! the vendored JSON-only `serde` data model, parsing the item by hand
+//! (no `syn`/`quote` — the build environment has no registry access).
+//!
+//! Supported shapes — exactly what this workspace uses:
+//! * structs with named fields (plus tuple/unit structs for completeness);
+//! * enums with unit, tuple, and struct variants (externally tagged, like
+//!   upstream serde's default representation);
+//! * field attributes `#[serde(skip)]` and `#[serde(skip, default)]`:
+//!   the field is not serialised and is restored via `Default::default()`.
+//!
+//! Generics, lifetimes, and other serde attributes are intentionally
+//! rejected with a compile error rather than silently mis-handled.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------------
+// Item model
+// ---------------------------------------------------------------------------
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Item {
+    NamedStruct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    /// Consumes attributes (`#[...]`), returning any `#[serde(...)]` idents.
+    fn skip_attributes(&mut self) -> Vec<String> {
+        let mut serde_idents = Vec::new();
+        loop {
+            match self.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    self.next();
+                    match self.next() {
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                            if let Some(TokenTree::Ident(id)) = inner.first() {
+                                if id.to_string() == "serde" {
+                                    if let Some(TokenTree::Group(args)) = inner.get(1) {
+                                        for t in args.stream() {
+                                            if let TokenTree::Ident(arg) = t {
+                                                serde_idents.push(arg.to_string());
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        other => panic!("serde derive: malformed attribute: {other:?}"),
+                    }
+                }
+                _ => return serde_idents,
+            }
+        }
+    }
+
+    /// Consumes `pub`, `pub(crate)`, `pub(super)`, ... if present.
+    fn skip_visibility(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.next();
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.next();
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde derive: expected {what}, found {other:?}"),
+        }
+    }
+
+    /// Consumes a type (or expression) up to a top-level `,`, tracking
+    /// `<...>` depth so generic argument commas are not treated as
+    /// terminators. The terminating comma itself is consumed.
+    fn skip_until_top_level_comma(&mut self) {
+        let mut angle_depth: i64 = 0;
+        while let Some(tok) = self.peek() {
+            match tok {
+                TokenTree::Punct(p) => {
+                    let c = p.as_char();
+                    if c == ',' && angle_depth == 0 {
+                        self.next();
+                        return;
+                    }
+                    if c == '<' {
+                        angle_depth += 1;
+                    } else if c == '>' {
+                        angle_depth -= 1;
+                    }
+                    self.next();
+                }
+                _ => {
+                    self.next();
+                }
+            }
+        }
+    }
+}
+
+fn reject_generics(cursor: &Cursor, name: &str) {
+    if let Some(TokenTree::Punct(p)) = cursor.peek() {
+        if p.as_char() == '<' {
+            panic!("serde derive (vendored): generics on `{name}` are not supported");
+        }
+    }
+}
+
+/// Parses the fields of a `{ ... }` group into (name, skip) pairs.
+fn parse_named_fields(group: TokenStream) -> Vec<Field> {
+    let mut cursor = Cursor::new(group);
+    let mut fields = Vec::new();
+    while !cursor.at_end() {
+        let serde_args = cursor.skip_attributes();
+        if cursor.at_end() {
+            break;
+        }
+        cursor.skip_visibility();
+        let name = cursor.expect_ident("field name");
+        match cursor.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde derive: expected `:` after field `{name}`, found {other:?}"),
+        }
+        cursor.skip_until_top_level_comma();
+        fields.push(Field {
+            name,
+            skip: serde_args.iter().any(|a| a == "skip"),
+        });
+    }
+    fields
+}
+
+/// Counts comma-separated entries in a tuple field list `( ... )`.
+fn count_tuple_fields(group: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = group.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut angle_depth: i64 = 0;
+    let mut count = 1;
+    let mut trailing_comma = false;
+    for tok in &tokens {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    count += 1;
+                    trailing_comma = true;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        trailing_comma = false;
+    }
+    if trailing_comma {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(group: TokenStream) -> Vec<Variant> {
+    let mut cursor = Cursor::new(group);
+    let mut variants = Vec::new();
+    while !cursor.at_end() {
+        cursor.skip_attributes();
+        if cursor.at_end() {
+            break;
+        }
+        let name = cursor.expect_ident("variant name");
+        let kind = match cursor.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                cursor.next();
+                VariantKind::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                cursor.next();
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Consume an optional discriminant and the trailing comma.
+        cursor.skip_until_top_level_comma();
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut cursor = Cursor::new(input);
+    cursor.skip_attributes();
+    cursor.skip_visibility();
+    let keyword = cursor.expect_ident("`struct` or `enum`");
+    let name = cursor.expect_ident("item name");
+    reject_generics(&cursor, &name);
+    match keyword.as_str() {
+        "struct" => match cursor.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(g.stream()),
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::UnitStruct { name },
+            other => panic!("serde derive: unexpected struct body: {other:?}"),
+        },
+        "enum" => match cursor.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("serde derive: unexpected enum body: {other:?}"),
+        },
+        other => panic!("serde derive: expected struct or enum, found `{other}`"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+const VALUE: &str = "::serde::__private::Value";
+const DE_ERROR: &str = "::serde::__private::DeError";
+
+fn generate_serialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let mut pushes = String::new();
+            for f in fields.iter().filter(|f| !f.skip) {
+                let fname = &f.name;
+                pushes.push_str(&format!(
+                    "__entries.push((\"{fname}\".to_string(), \
+                     ::serde::Serialize::to_value(&self.{fname})));\n"
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> {VALUE} {{\n\
+                         let mut __entries: Vec<(String, {VALUE})> = Vec::new();\n\
+                         {pushes}\
+                         {VALUE}::Object(__entries)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            if *arity == 1 {
+                // Newtype struct: transparent, like upstream serde.
+                format!(
+                    "impl ::serde::Serialize for {name} {{\n\
+                         fn to_value(&self) -> {VALUE} {{\n\
+                             ::serde::Serialize::to_value(&self.0)\n\
+                         }}\n\
+                     }}"
+                )
+            } else {
+                let items: Vec<String> = (0..*arity)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!(
+                    "impl ::serde::Serialize for {name} {{\n\
+                         fn to_value(&self) -> {VALUE} {{\n\
+                             {VALUE}::Array(vec![{}])\n\
+                         }}\n\
+                     }}",
+                    items.join(", ")
+                )
+            }
+        }
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> {VALUE} {{ {VALUE}::Null }}\n\
+             }}"
+        ),
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => {VALUE}::String(\"{vname}\".to_string()),\n"
+                    )),
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vname}(__f0) => {VALUE}::Object(vec![(\
+                         \"{vname}\".to_string(), ::serde::Serialize::to_value(__f0))]),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => {VALUE}::Object(vec![(\
+                             \"{vname}\".to_string(), {VALUE}::Array(vec![{}]))]),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("{}: __b_{}", f.name, f.name))
+                            .collect();
+                        let mut pushes = String::new();
+                        for f in fields.iter().filter(|f| !f.skip) {
+                            pushes.push_str(&format!(
+                                "__inner.push((\"{0}\".to_string(), \
+                                 ::serde::Serialize::to_value(__b_{0})));\n",
+                                f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => {{\n\
+                                 let mut __inner: Vec<(String, {VALUE})> = Vec::new();\n\
+                                 {pushes}\
+                                 {VALUE}::Object(vec![(\"{vname}\".to_string(), \
+                                 {VALUE}::Object(__inner))])\n\
+                             }},\n",
+                            binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> {VALUE} {{\n\
+                         match self {{\n{arms}}}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn generate_deserialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let mut inits = String::new();
+            for f in fields {
+                if f.skip {
+                    inits.push_str(&format!(
+                        "{}: ::core::default::Default::default(),\n",
+                        f.name
+                    ));
+                } else {
+                    inits.push_str(&format!(
+                        "{0}: ::serde::__private::field(__value, \"{0}\")?,\n",
+                        f.name
+                    ));
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__value: &{VALUE}) -> Result<Self, {DE_ERROR}> {{\n\
+                         if !matches!(__value, {VALUE}::Object(_)) {{\n\
+                             return Err({DE_ERROR}::expected(\"struct {name}\", __value));\n\
+                         }}\n\
+                         Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            if *arity == 1 {
+                format!(
+                    "impl ::serde::Deserialize for {name} {{\n\
+                         fn from_value(__value: &{VALUE}) -> Result<Self, {DE_ERROR}> {{\n\
+                             Ok({name}(::serde::Deserialize::from_value(__value)?))\n\
+                         }}\n\
+                     }}"
+                )
+            } else {
+                let inits: Vec<String> = (0..*arity)
+                    .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                    .collect();
+                format!(
+                    "impl ::serde::Deserialize for {name} {{\n\
+                         fn from_value(__value: &{VALUE}) -> Result<Self, {DE_ERROR}> {{\n\
+                             match __value {{\n\
+                                 {VALUE}::Array(__items) if __items.len() == {arity} => \
+                                     Ok({name}({inits})),\n\
+                                 other => Err({DE_ERROR}::expected(\
+                                     \"tuple struct {name}\", other)),\n\
+                             }}\n\
+                         }}\n\
+                     }}",
+                    inits = inits.join(", ")
+                )
+            }
+        }
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(_: &{VALUE}) -> Result<Self, {DE_ERROR}> {{ Ok({name}) }}\n\
+             }}"
+        ),
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!("\"{vname}\" => Ok({name}::{vname}),\n"));
+                    }
+                    VariantKind::Tuple(1) => tagged_arms.push_str(&format!(
+                        "\"{vname}\" => Ok({name}::{vname}(\
+                         ::serde::Deserialize::from_value(__payload)?)),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let inits: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vname}\" => match __payload {{\n\
+                                 {VALUE}::Array(__items) if __items.len() == {n} => \
+                                     Ok({name}::{vname}({inits})),\n\
+                                 other => Err({DE_ERROR}::expected(\
+                                     \"{n} fields for {name}::{vname}\", other)),\n\
+                             }},\n",
+                            inits = inits.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            if f.skip {
+                                inits.push_str(&format!(
+                                    "{}: ::core::default::Default::default(),\n",
+                                    f.name
+                                ));
+                            } else {
+                                inits.push_str(&format!(
+                                    "{0}: ::serde::__private::field(__payload, \"{0}\")?,\n",
+                                    f.name
+                                ));
+                            }
+                        }
+                        tagged_arms.push_str(&format!(
+                            "\"{vname}\" => Ok({name}::{vname} {{ {inits} }}),\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__value: &{VALUE}) -> Result<Self, {DE_ERROR}> {{\n\
+                         match __value {{\n\
+                             {VALUE}::String(__s) => match __s.as_str() {{\n\
+                                 {unit_arms}\
+                                 other => Err({DE_ERROR}::new(format!(\
+                                     \"unknown {name} variant `{{other}}`\"))),\n\
+                             }},\n\
+                             {VALUE}::Object(__entries) if __entries.len() == 1 => {{\n\
+                                 let (__tag, __payload) = &__entries[0];\n\
+                                 match __tag.as_str() {{\n\
+                                     {tagged_arms}\
+                                     other => Err({DE_ERROR}::new(format!(\
+                                         \"unknown {name} variant `{{other}}`\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             other => Err({DE_ERROR}::expected(\"enum {name}\", other)),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+/// Derives `serde::Serialize` (vendored JSON-only data model).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate_serialize(&item)
+        .parse()
+        .expect("serde derive: generated Serialize impl failed to parse")
+}
+
+/// Derives `serde::Deserialize` (vendored JSON-only data model).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate_deserialize(&item)
+        .parse()
+        .expect("serde derive: generated Deserialize impl failed to parse")
+}

@@ -1,0 +1,533 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Serialises the vendored `serde` data model to JSON text and parses JSON
+//! text back. Floats are written with Rust's shortest-round-trip formatting
+//! and parsed with the standard library's correctly-rounded `str::parse`,
+//! so `f64` values survive a round-trip bit-exactly (the behaviour the
+//! workspace's tests pin down, matching upstream's `float_roundtrip`
+//! feature).
+
+pub use serde::json::{Number, Value};
+use serde::{Deserialize, Serialize};
+
+/// Error raised while parsing or (never, in practice) while serialising.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+    /// Byte offset of the failure in the input, when parsing.
+    offset: Option<usize>,
+}
+
+impl Error {
+    fn parse(message: impl Into<String>, offset: usize) -> Self {
+        Error {
+            message: message.into(),
+            offset: Some(offset),
+        }
+    }
+
+    fn data(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+            offset: None,
+        }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.offset {
+            Some(off) => write!(f, "{} at byte {off}", self.message),
+            None => f.write_str(&self.message),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+// ---------------------------------------------------------------------------
+// Serialisation
+// ---------------------------------------------------------------------------
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_number(out: &mut String, n: Number) {
+    match n {
+        Number::I64(v) => out.push_str(&v.to_string()),
+        Number::U64(v) => out.push_str(&v.to_string()),
+        Number::F64(v) => {
+            if v.is_finite() {
+                // `{:?}` is Rust's shortest representation that parses back
+                // to the identical bits, and always keeps a `.0`/exponent so
+                // the value re-parses as a float.
+                out.push_str(&format!("{v:?}"));
+            } else {
+                // JSON has no NaN/inf; mirror upstream serde_json.
+                out.push_str("null");
+            }
+        }
+    }
+}
+
+fn write_value(out: &mut String, value: &Value, indent: Option<usize>) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => write_number(out, *n),
+        Value::String(s) => write_escaped(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if let Some(level) = indent {
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(level + 1));
+                }
+                write_value(out, item, indent.map(|l| l + 1));
+            }
+            if let Some(level) = indent {
+                out.push('\n');
+                out.push_str(&"  ".repeat(level));
+            }
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if let Some(level) = indent {
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(level + 1));
+                }
+                write_escaped(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent.map(|l| l + 1));
+            }
+            if let Some(level) = indent {
+                out.push('\n');
+                out.push_str(&"  ".repeat(level));
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Serialises `value` to compact JSON text.
+///
+/// # Errors
+///
+/// Never fails for the vendored data model; the `Result` mirrors upstream.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None);
+    Ok(out)
+}
+
+/// Serialises `value` to two-space-indented JSON text.
+///
+/// # Errors
+///
+/// Never fails for the vendored data model.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(0));
+    Ok(out)
+}
+
+/// Serialises `value` to compact JSON bytes.
+///
+/// # Errors
+///
+/// Never fails for the vendored data model.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    to_string(value).map(String::into_bytes)
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_whitespace(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::parse(format!("expected `{}`", b as char), self.pos))
+        }
+    }
+
+    fn parse_literal(&mut self, literal: &str, value: Value) -> Result<Value> {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            Ok(value)
+        } else {
+            Err(Error::parse(
+                format!("invalid literal, expected `{literal}`"),
+                self.pos,
+            ))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: copy a run of plain bytes at once.
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if self.pos > start {
+                // Input is valid UTF-8 and the run contains no escapes.
+                out.push_str(
+                    std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| Error::parse("invalid UTF-8", start))?,
+                );
+            }
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| Error::parse("unterminated escape", self.pos))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0C}'),
+                        b'u' => {
+                            let hi = self.parse_hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair.
+                                self.expect(b'\\')?;
+                                self.expect(b'u')?;
+                                let lo = self.parse_hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(Error::parse("invalid low surrogate", self.pos));
+                                }
+                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::parse("invalid codepoint", self.pos))?,
+                            );
+                        }
+                        other => {
+                            return Err(Error::parse(
+                                format!("invalid escape `\\{}`", other as char),
+                                self.pos,
+                            ))
+                        }
+                    }
+                }
+                Some(_) => return Err(Error::parse("control character in string", self.pos)),
+                None => return Err(Error::parse("unterminated string", self.pos)),
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(Error::parse("truncated \\u escape", self.pos));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| Error::parse("invalid \\u escape", self.pos))?;
+        let code = u32::from_str_radix(hex, 16)
+            .map_err(|_| Error::parse("invalid \\u escape", self.pos))?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    fn parse_number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::parse("invalid number", start))?;
+        if text.is_empty() || text == "-" {
+            return Err(Error::parse("invalid number", start));
+        }
+        let number = if is_float {
+            Number::F64(
+                text.parse::<f64>()
+                    .map_err(|_| Error::parse(format!("invalid number `{text}`"), start))?,
+            )
+        } else if let Ok(v) = text.parse::<i64>() {
+            Number::I64(v)
+        } else if let Ok(v) = text.parse::<u64>() {
+            Number::U64(v)
+        } else {
+            Number::F64(
+                text.parse::<f64>()
+                    .map_err(|_| Error::parse(format!("invalid number `{text}`"), start))?,
+            )
+        };
+        Ok(Value::Number(number))
+    }
+
+    fn parse_value(&mut self, depth: usize) -> Result<Value> {
+        if depth > 128 {
+            return Err(Error::parse("recursion limit exceeded", self.pos));
+        }
+        self.skip_whitespace();
+        match self.peek() {
+            Some(b'n') => self.parse_literal("null", Value::Null),
+            Some(b't') => self.parse_literal("true", Value::Bool(true)),
+            Some(b'f') => self.parse_literal("false", Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::String),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_whitespace();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                loop {
+                    items.push(self.parse_value(depth + 1)?);
+                    self.skip_whitespace();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Value::Array(items));
+                        }
+                        _ => return Err(Error::parse("expected `,` or `]`", self.pos)),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut entries = Vec::new();
+                self.skip_whitespace();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                loop {
+                    self.skip_whitespace();
+                    let key = self.parse_string()?;
+                    self.skip_whitespace();
+                    self.expect(b':')?;
+                    let value = self.parse_value(depth + 1)?;
+                    entries.push((key, value));
+                    self.skip_whitespace();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Value::Object(entries));
+                        }
+                        _ => return Err(Error::parse("expected `,` or `}`", self.pos)),
+                    }
+                }
+            }
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
+            Some(b) => Err(Error::parse(
+                format!("unexpected character `{}`", b as char),
+                self.pos,
+            )),
+            None => Err(Error::parse("unexpected end of input", self.pos)),
+        }
+    }
+}
+
+/// Parses JSON text into a [`Value`] tree.
+///
+/// # Errors
+///
+/// Returns [`Error`] with the byte offset of the first syntax error.
+pub fn parse_value(input: &str) -> Result<Value> {
+    let mut parser = Parser::new(input);
+    let value = parser.parse_value(0)?;
+    parser.skip_whitespace();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error::parse("trailing characters", parser.pos));
+    }
+    Ok(value)
+}
+
+/// Deserialises a `T` from JSON text.
+///
+/// # Errors
+///
+/// Returns [`Error`] on malformed JSON or a shape mismatch.
+pub fn from_str<T: Deserialize>(input: &str) -> Result<T> {
+    let value = parse_value(input)?;
+    T::from_value(&value).map_err(|e| Error::data(e.to_string()))
+}
+
+/// Deserialises a `T` from JSON bytes.
+///
+/// # Errors
+///
+/// Returns [`Error`] on invalid UTF-8, malformed JSON, or a shape mismatch.
+pub fn from_slice<T: Deserialize>(input: &[u8]) -> Result<T> {
+    let text = std::str::from_utf8(input).map_err(|e| Error::data(e.to_string()))?;
+    from_str(text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn floats_round_trip_bit_exactly() {
+        for v in [
+            0.1,
+            -0.1,
+            1.0 / 3.0,
+            f64::MIN_POSITIVE,
+            1e300,
+            -2.5e-10,
+            5.0,
+            0.0,
+            123456789.123456789,
+        ] {
+            let json = to_string(&v).unwrap();
+            let back: f64 = from_str(&json).unwrap();
+            assert_eq!(v.to_bits(), back.to_bits(), "value {v} via {json}");
+        }
+    }
+
+    #[test]
+    fn integers_round_trip() {
+        let json = to_string(&u64::MAX).unwrap();
+        assert_eq!(from_str::<u64>(&json).unwrap(), u64::MAX);
+        let json = to_string(&i64::MIN).unwrap();
+        assert_eq!(from_str::<i64>(&json).unwrap(), i64::MIN);
+    }
+
+    #[test]
+    fn nested_collections_round_trip() {
+        let v: Vec<Vec<f64>> = vec![vec![1.5, -2.0], vec![], vec![3.25]];
+        let json = to_string(&v).unwrap();
+        assert_eq!(from_str::<Vec<Vec<f64>>>(&json).unwrap(), v);
+    }
+
+    #[test]
+    fn strings_escape_and_unescape() {
+        let s = "line\nbreak \"quoted\" tab\t backslash\\ unicode \u{1F980} nul-ish \u{01}";
+        let json = to_string(&s).unwrap();
+        assert_eq!(from_str::<String>(&json).unwrap(), s);
+    }
+
+    #[test]
+    fn surrogate_pair_parses() {
+        let v: String = from_str("\"\\ud83e\\udd80\"").unwrap();
+        assert_eq!(v, "\u{1F980}");
+    }
+
+    #[test]
+    fn options_use_null() {
+        assert_eq!(to_string(&Option::<f64>::None).unwrap(), "null");
+        assert_eq!(from_str::<Option<f64>>("null").unwrap(), None);
+        assert_eq!(from_str::<Option<f64>>("2.5").unwrap(), Some(2.5));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(from_str::<f64>("").is_err());
+        assert!(from_str::<Vec<f64>>("[1,").is_err());
+        assert!(from_str::<f64>("1.0 garbage").is_err());
+        assert!(parse_value("{\"a\":}").is_err());
+    }
+
+    #[test]
+    fn pretty_output_is_reparsable() {
+        let v: Vec<Vec<f64>> = vec![vec![1.0], vec![2.0, 3.0]];
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains('\n'));
+        assert_eq!(from_str::<Vec<Vec<f64>>>(&pretty).unwrap(), v);
+    }
+}

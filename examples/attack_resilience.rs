@@ -38,8 +38,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let vectors: Vec<(String, AttackOutcome)> = vec![
         ("ddos_volume_spikes".to_string(), ddos),
         (
-            AttackVector::FalseDataInjection { bias: 1.25 }.name().to_string(),
-            inject_vector(clean, AttackVector::FalseDataInjection { bias: 1.25 }, 0.15, 8),
+            AttackVector::FalseDataInjection { bias: 1.25 }
+                .name()
+                .to_string(),
+            inject_vector(
+                clean,
+                AttackVector::FalseDataInjection { bias: 1.25 },
+                0.15,
+                8,
+            ),
         ),
         (
             AttackVector::TemporalDisruption.name().to_string(),
@@ -64,9 +71,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let report = DetectionReport::from_flags(&outcome.labels, &detection.flags);
         let filtered = filter.filter_anomalies(&outcome.series, &detection.flags)?;
         // Damage = L1 distance to the clean series; recovery = share removed.
-        let damage = |s: &[f64]| -> f64 {
-            s.iter().zip(clean).map(|(a, c)| (a - c).abs()).sum()
-        };
+        let damage = |s: &[f64]| -> f64 { s.iter().zip(clean).map(|(a, c)| (a - c).abs()).sum() };
         let before = damage(&outcome.series);
         let after = damage(&filtered);
         let recovery = if before > 0.0 {

@@ -25,8 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for client in &dataset {
         let v = &client.demand;
         let mean = v.iter().sum::<f64>() / v.len() as f64;
-        let std =
-            (v.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / v.len() as f64).sqrt();
+        let std = (v.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / v.len() as f64).sqrt();
         let acf = autocorrelation(v, 24 * 7)?;
         let decomp = decompose(v, 24)?;
         println!(

@@ -43,7 +43,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Centralized: one model over the pooled windows, serial. ---
     let mut central = build_forecaster(16, 0.005, 2);
-    let pooled: Vec<_> = prepared.iter().flat_map(|p| p.train.iter().cloned()).collect();
+    let pooled: Vec<_> = prepared
+        .iter()
+        .flat_map(|p| p.train.iter().cloned())
+        .collect();
     let started = Instant::now();
     central.fit(
         &pooled,
@@ -54,7 +57,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     let central_time = started.elapsed();
 
-    println!("{:<14} {:>10} {:>10} {:>8}", "client", "fed R2", "central R2", "winner");
+    println!(
+        "{:<14} {:>10} {:>10} {:>8}",
+        "client", "fed R2", "central R2", "winner"
+    );
     for (i, p) in prepared.iter().enumerate() {
         let fed = p.evaluate_raw(sim.clients_mut()[i].model_mut())?;
         let cen = p.evaluate_raw(&mut central)?;

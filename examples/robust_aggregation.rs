@@ -59,10 +59,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     updates.push(poison);
 
-    println!(
-        "{:<14} {:>14} {:>12}",
-        "aggregator", "mean R2", "verdict"
-    );
+    println!("{:<14} {:>14} {:>12}", "aggregator", "mean R2", "verdict");
     for agg in [
         Aggregator::FedAvg,
         Aggregator::Median,
@@ -81,7 +78,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "{:<14} {:>14.4} {:>12}",
             agg.name(),
             mean_r2,
-            if mean_r2 > 0.0 { "survives" } else { "poisoned" }
+            if mean_r2 > 0.0 {
+                "survives"
+            } else {
+                "poisoned"
+            }
         );
     }
 

@@ -5,9 +5,7 @@
 use evfad_core::anomaly::{AnomalyFilter, DetectionReport, FilterConfig};
 use evfad_core::attack::{DdosConfig, DdosInjector};
 use evfad_core::data::{DatasetConfig, ShenzhenGenerator, Zone};
-use evfad_core::forecast::{
-    run_study, Architecture, Scale, Scenario, StudyConfig,
-};
+use evfad_core::forecast::{run_study, Architecture, Scale, Scenario, StudyConfig};
 use evfad_core::timeseries::MinMaxScaler;
 
 fn smoke_config(seed: u64) -> StudyConfig {
@@ -54,8 +52,7 @@ fn filtering_recovers_attack_damage_end_to_end() {
     // Deterministic pipeline-level check, independent of model training:
     // the filtered series must be closer to the clean series than the
     // attacked one is.
-    let client =
-        ShenzhenGenerator::new(DatasetConfig::small(720, 9)).generate_zone(Zone::Z102);
+    let client = ShenzhenGenerator::new(DatasetConfig::small(720, 9)).generate_zone(Zone::Z102);
     let outcome = DdosInjector::new(DdosConfig::default()).inject(&client.demand, 5);
     let scaler = MinMaxScaler::fit(&outcome.series).expect("scaler");
     let mut filter = AnomalyFilter::new(FilterConfig::fast(24));

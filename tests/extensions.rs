@@ -42,8 +42,8 @@ fn online_detector_agrees_with_batch_on_strong_attacks() {
     let outcome = DdosInjector::new(DdosConfig::default()).inject(&client.demand, 3);
     let stream_scaled = scaler.transform(&outcome.series[boundary..]);
 
-    let mut online = OnlineDetector::fit(FilterConfig::fast(24), &train_scaled, false)
-        .expect("online fit");
+    let mut online =
+        OnlineDetector::fit(FilterConfig::fast(24), &train_scaled, false).expect("online fit");
     let decisions = online.push_all(&stream_scaled);
     assert_eq!(decisions.len(), stream_scaled.len());
 
@@ -82,8 +82,7 @@ fn episode_metrics_on_real_injection() {
     let client = ShenzhenGenerator::new(DatasetConfig::small(900, 9)).generate_zone(Zone::Z105);
     let outcome = DdosInjector::new(DdosConfig::default()).inject(&client.demand, 4);
     // A perfect detector detects every episode with zero false alarms.
-    let episodes: Vec<(usize, usize)> =
-        outcome.episodes.iter().map(|e| (e.start, e.end)).collect();
+    let episodes: Vec<(usize, usize)> = outcome.episodes.iter().map(|e| (e.start, e.end)).collect();
     let perfect = EpisodeReport::from_episodes(&episodes, &outcome.labels, 0.5);
     assert_eq!(perfect.detected, perfect.episodes);
     assert_eq!(perfect.false_alarm_events, 0);
@@ -105,7 +104,10 @@ fn wire_and_quantization_compose() {
     let quant = QuantizedUpdate::quantize(&weights);
     let deq = quant.dequantize();
     let wire_exact = wire::encoded_size(&weights);
-    assert!(quant.byte_size() < wire_exact / 6, "quantization not paying off");
+    assert!(
+        quant.byte_size() < wire_exact / 6,
+        "quantization not paying off"
+    );
     for (a, b) in weights.iter().zip(&deq) {
         let max_err = a
             .as_slice()

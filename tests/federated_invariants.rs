@@ -31,11 +31,8 @@ fn fedavg_global_is_convex_combination_of_client_weights() {
     let outcome = sim.run().expect("run");
     // Every coordinate of the global model lies within [min, max] of the
     // client weights at that coordinate.
-    let client_weights: Vec<Vec<Matrix>> = sim
-        .clients()
-        .iter()
-        .map(|c| c.model().weights())
-        .collect();
+    let client_weights: Vec<Vec<Matrix>> =
+        sim.clients().iter().map(|c| c.model().weights()).collect();
     for (t, g) in outcome.global_weights.iter().enumerate() {
         for flat in 0..g.len() {
             let vals: Vec<f64> = client_weights
@@ -99,7 +96,10 @@ fn robust_aggregators_survive_a_poisoned_update_but_fedavg_does_not() {
     updates.push(honest("evil", 1e6));
 
     let fedavg = Aggregator::FedAvg.aggregate(&updates).unwrap();
-    assert!(fedavg[0][(0, 0)] > 1000.0, "FedAvg should absorb the poison");
+    assert!(
+        fedavg[0][(0, 0)] > 1000.0,
+        "FedAvg should absorb the poison"
+    );
 
     for agg in [
         Aggregator::Median,
@@ -163,5 +163,8 @@ fn simulated_distributed_time_is_bounded_by_wall_clock_sum() {
         .flat_map(|r| r.client_seconds.iter())
         .sum();
     assert!(simulated > 0.0);
-    assert!(simulated <= serial_sum + 1e-9, "{simulated} vs {serial_sum}");
+    assert!(
+        simulated <= serial_sum + 1e-9,
+        "{simulated} vs {serial_sum}"
+    );
 }

@@ -3,8 +3,9 @@
 use evfad_core::anomaly::{merge_segments, MitigationStrategy};
 use evfad_core::attack::{DdosConfig, DdosInjector};
 use evfad_core::data::{DatasetConfig, ShenzhenGenerator, Zone};
-use evfad_core::federated::{Aggregator, LocalUpdate};
-use evfad_core::tensor::Matrix;
+use evfad_core::federated::{Aggregator, FederatedConfig, FederatedSimulation, LocalUpdate};
+use evfad_core::nn::{forecaster_model, Sample};
+use evfad_core::tensor::{parallel, Matrix};
 use evfad_core::timeseries::MinMaxScaler;
 use proptest::prelude::*;
 
@@ -140,5 +141,111 @@ proptest! {
                 prop_assert!(wide[i]);
             }
         }
+    }
+
+    /// The parallel compute layer is bitwise deterministic: every kernel
+    /// produces the same bits whether it runs serial or split across the
+    /// worker pool, for arbitrary shapes (including 1×n and n×1).
+    #[test]
+    fn parallel_kernels_bitwise_equal_serial(
+        rows in 1usize..48,
+        inner in 1usize..48,
+        cols in 1usize..48,
+        seed in 0u64..1000,
+    ) {
+        let mix = |i: usize, j: usize, salt: u64| {
+            (((seed ^ salt).wrapping_add((i * 131 + j * 17) as u64)) as f64 * 0.6180339887).sin()
+        };
+        let a = Matrix::from_fn(rows, inner, |i, j| mix(i, j, 1));
+        let b = Matrix::from_fn(inner, cols, |i, j| mix(i, j, 2));
+        let c = Matrix::from_fn(rows, cols, |i, j| mix(i, j, 3));
+        let d = Matrix::from_fn(cols, inner, |i, j| mix(i, j, 4));
+
+        parallel::set_threads(1);
+        let mm_s = a.matmul(&b);
+        let tm_s = a.transpose_matmul(&c);
+        let mt_s = a.matmul_transpose(&d);
+        let tr_s = a.transpose();
+        let zm_s = a.zip_map(&Matrix::from_fn(rows, inner, |i, j| mix(i, j, 5)), |x, y| x.mul_add(1.25, y));
+
+        // Threshold 0 makes every dispatch eligible for the pool.
+        parallel::set_serial_flop_threshold(0);
+        parallel::set_threads(5);
+        let mm_p = a.matmul(&b);
+        let tm_p = a.transpose_matmul(&c);
+        let mt_p = a.matmul_transpose(&d);
+        let tr_p = a.transpose();
+        let zm_p = a.zip_map(&Matrix::from_fn(rows, inner, |i, j| mix(i, j, 5)), |x, y| x.mul_add(1.25, y));
+        parallel::set_threads(0);
+        parallel::set_serial_flop_threshold(64 * 64 * 64);
+
+        prop_assert_eq!(mm_s.as_slice(), mm_p.as_slice());
+        prop_assert_eq!(tm_s.as_slice(), tm_p.as_slice());
+        prop_assert_eq!(mt_s.as_slice(), mt_p.as_slice());
+        prop_assert_eq!(tr_s.as_slice(), tr_p.as_slice());
+        prop_assert_eq!(zm_s.as_slice(), zm_p.as_slice());
+    }
+
+    /// Tall/thin extremes: row counts far above the thread count and
+    /// single-column outputs still partition correctly.
+    #[test]
+    fn parallel_tall_thin_bitwise_equal_serial(
+        rows in 200usize..400,
+        cols in 1usize..4,
+        seed in 0u64..500,
+    ) {
+        let a = Matrix::from_fn(rows, 7, |i, j| ((seed.wrapping_add((i * 7 + j) as u64)) as f64 * 0.37).cos());
+        let b = Matrix::from_fn(7, cols, |i, j| ((i * 3 + j) as f64 * 0.11).sin());
+        parallel::set_threads(1);
+        let serial = a.matmul(&b);
+        parallel::set_serial_flop_threshold(0);
+        parallel::set_threads(7);
+        let par = a.matmul(&b);
+        parallel::set_threads(0);
+        parallel::set_serial_flop_threshold(64 * 64 * 64);
+        prop_assert_eq!(serial.as_slice(), par.as_slice());
+    }
+}
+
+proptest! {
+    // A federated round is expensive; a few cases suffice to exercise the
+    // whole train/aggregate path under both thread settings.
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// A full federated round is bitwise independent of the intra-op
+    /// thread count: `threads = 4` reproduces `threads = 1` exactly.
+    #[test]
+    fn federated_round_bitwise_independent_of_threads(seed in 0u64..100) {
+        let samples = |phase: f64| -> Vec<Sample> {
+            (0..24)
+                .map(|i| {
+                    let xs: Vec<f64> = (0..6)
+                        .map(|t| ((i + t) as f64 * 0.5 + phase + seed as f64 * 0.01).sin())
+                        .collect();
+                    Sample::new(
+                        Matrix::column_vector(&xs),
+                        Matrix::from_vec(1, 1, vec![((i + 6) as f64 * 0.5 + phase).sin()]),
+                    )
+                })
+                .collect()
+        };
+        let build = |threads: usize| {
+            let cfg = FederatedConfig {
+                rounds: 1,
+                epochs_per_round: 1,
+                batch_size: 8,
+                parallel: false,
+                threads,
+                ..FederatedConfig::default()
+            };
+            let mut sim = FederatedSimulation::new(forecaster_model(3, 3), cfg);
+            sim.add_client("a", samples(0.0));
+            sim.add_client("b", samples(0.9));
+            sim
+        };
+        let out_one = build(1).run().expect("threads=1 run");
+        let out_four = build(4).run().expect("threads=4 run");
+        parallel::set_threads(0);
+        prop_assert_eq!(out_one.global_weights, out_four.global_weights);
     }
 }

@@ -42,7 +42,10 @@ fn restored_model_can_keep_training() {
     let before = restored.evaluate(&samples, evfad_core::nn::Loss::Mse);
     restored.fit(&samples, &cfg).expect("resumed fit");
     let after = restored.evaluate(&samples, evfad_core::nn::Loss::Mse);
-    assert!(after <= before * 1.05, "resumed training diverged: {before} -> {after}");
+    assert!(
+        after <= before * 1.05,
+        "resumed training diverged: {before} -> {after}"
+    );
 }
 
 #[test]
