@@ -59,6 +59,7 @@ fn bench_fedavg(c: &mut Criterion) {
         sample_count: 100,
         train_loss: 0.0,
         duration: std::time::Duration::ZERO,
+        simulated_extra_seconds: 0.0,
     };
     let updates = vec![update(0.1), update(0.2), update(0.3)];
     c.bench_function("federated/fedavg_3clients_lstm50", |bench| {

@@ -40,6 +40,7 @@ fn main() {
             sample_count: p.train.len(),
             train_loss: 0.0,
             duration: std::time::Duration::ZERO,
+            simulated_extra_seconds: 0.0,
         });
     }
     let mut twin = updates[0].clone();

@@ -11,7 +11,16 @@ use serde::{Deserialize, Serialize};
 /// ([`Aggregator::FedAvg`]). The Byzantine-robust rules harden the server
 /// against poisoned updates — relevant because the paper's threat model is
 /// an adversary attacking the *data* path; a natural escalation (bench
-/// `ablation_aggregation`) is an adversary compromising a *client*.
+/// `ablation_aggregation`, exercised end-to-end by the chaos harness in
+/// `tests/chaos.rs` via [`crate::faults`]) is an adversary compromising a
+/// *client*.
+///
+/// The robust rules tolerate non-finite updates (a NaN-flood attack must
+/// not panic the server): the median ignores non-finite contributions, the
+/// trimmed mean and Krum order with IEEE total ordering so NaN sorts as an
+/// extreme, and a candidate whose Krum score is NaN is never selected.
+/// `FedAvg` deliberately propagates NaN — it is the paper's baseline the
+/// robust rules are measured against.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum Aggregator {
     /// Sample-count-weighted mean of client weights (McMahan et al.).
@@ -67,9 +76,7 @@ impl Aggregator {
         }
         match self {
             Aggregator::FedAvg => Ok(fed_avg(updates)),
-            Aggregator::Median => Ok(coordinate_wise(updates, |vals| {
-                evfad_tensor::stats::median(vals)
-            })),
+            Aggregator::Median => Ok(coordinate_wise(updates, robust_median)),
             Aggregator::TrimmedMean { trim } => {
                 if 2 * trim >= updates.len() {
                     return Err(FederatedError::Aggregation(format!(
@@ -79,7 +86,10 @@ impl Aggregator {
                 }
                 Ok(coordinate_wise(updates, move |vals| {
                     let mut sorted = vals.to_vec();
-                    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite weights"));
+                    // Total ordering keeps a NaN-flooding client from
+                    // panicking the sort; NaN lands at an end and is
+                    // trimmed away like any other extreme.
+                    sorted.sort_by(f64::total_cmp);
                     let kept = &sorted[trim..sorted.len() - trim];
                     kept.iter().sum::<f64>() / kept.len() as f64
                 }))
@@ -108,6 +118,17 @@ fn fed_avg(updates: &[LocalUpdate]) -> Vec<Matrix> {
         }
     }
     out
+}
+
+/// Coordinate-wise median over the *finite* contributions; NaN/∞ values
+/// (a corrupted client) cannot be "the middle" under any robust reading,
+/// so they are ignored. All-non-finite coordinates yield NaN.
+fn robust_median(vals: &[f64]) -> f64 {
+    let finite: Vec<f64> = vals.iter().copied().filter(|v| v.is_finite()).collect();
+    if finite.is_empty() {
+        return f64::NAN;
+    }
+    evfad_tensor::stats::median(&finite)
 }
 
 fn coordinate_wise(updates: &[LocalUpdate], combine: impl Fn(&[f64]) -> f64) -> Vec<Matrix> {
@@ -156,8 +177,13 @@ fn krum(updates: &[LocalUpdate], byzantine: usize) -> Result<Vec<Matrix>, Federa
             .filter(|&j| j != i)
             .map(|j| dist(&updates[i], &updates[j]))
             .collect();
-        distances.sort_by(|a, b| a.partial_cmp(b).expect("finite distances"));
+        // Total ordering: distances to a NaN-corrupted update sort last,
+        // past the honest neighbours, instead of panicking.
+        distances.sort_by(f64::total_cmp);
         let score: f64 = distances.iter().take(neighbours).sum();
+        // A NaN score (candidate is itself corrupted) never wins: `<` is
+        // false for NaN, and `best` starts at a finite-scored candidate
+        // whenever one exists because INFINITY > any finite score.
         if score < best_score {
             best_score = score;
             best = i;
@@ -181,6 +207,7 @@ mod tests {
             sample_count: samples,
             train_loss: 0.0,
             duration: Duration::ZERO,
+            simulated_extra_seconds: 0.0,
         }
     }
 
@@ -247,6 +274,71 @@ mod tests {
         let agg = Aggregator::Krum { byzantine: 1 }.aggregate(&ups).unwrap();
         let v = agg[0][(0, 0)];
         assert!((0.9..=1.1).contains(&v), "krum picked {v}");
+    }
+
+    fn nan_update(id: &str) -> LocalUpdate {
+        let mut u = update(id, 0.0, 10);
+        for m in &mut u.weights {
+            for v in m.as_mut_slice() {
+                *v = f64::NAN;
+            }
+        }
+        u
+    }
+
+    #[test]
+    fn median_ignores_a_nan_flooded_client() {
+        let ups = [
+            update("a", 1.0, 10),
+            update("b", 1.2, 10),
+            update("c", 1.4, 10),
+            nan_update("evil"),
+        ];
+        let agg = Aggregator::Median.aggregate(&ups).unwrap();
+        assert!((agg[0][(0, 0)] - 1.2).abs() < 1e-12);
+        assert!(agg.iter().all(Matrix::is_finite));
+    }
+
+    #[test]
+    fn median_of_all_nan_is_nan_not_a_panic() {
+        let ups = [nan_update("e1"), nan_update("e2")];
+        let agg = Aggregator::Median.aggregate(&ups).unwrap();
+        assert!(agg[0][(0, 0)].is_nan());
+    }
+
+    #[test]
+    fn trimmed_mean_trims_a_nan_flooded_client() {
+        let ups = [
+            update("a", 1.0, 10),
+            update("b", 2.0, 10),
+            update("c", 3.0, 10),
+            nan_update("evil"),
+        ];
+        let agg = Aggregator::TrimmedMean { trim: 1 }.aggregate(&ups).unwrap();
+        // NaN sorts as an extreme and is trimmed; kept = {2.0, 3.0}.
+        assert!((agg[0][(0, 0)] - 2.5).abs() < 1e-12);
+        assert!(agg.iter().all(Matrix::is_finite));
+    }
+
+    #[test]
+    fn krum_never_selects_a_nan_flooded_client() {
+        let ups = [
+            update("a", 1.0, 10),
+            update("b", 1.1, 10),
+            update("c", 0.9, 10),
+            nan_update("evil"),
+        ];
+        let agg = Aggregator::Krum { byzantine: 1 }.aggregate(&ups).unwrap();
+        assert!(agg.iter().all(Matrix::is_finite));
+        let v = agg[0][(0, 0)];
+        assert!((0.8..=1.2).contains(&v), "krum picked {v}");
+    }
+
+    #[test]
+    fn fedavg_propagates_nan_by_design() {
+        let ups = [update("a", 1.0, 10), nan_update("evil")];
+        let agg = Aggregator::FedAvg.aggregate(&ups).unwrap();
+        assert!(agg[0][(0, 0)].is_nan());
     }
 
     #[test]

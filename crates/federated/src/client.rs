@@ -20,6 +20,15 @@ pub struct LocalUpdate {
     /// Wall-clock time spent training.
     #[serde(skip, default)]
     pub duration: Duration,
+    /// Simulated extra seconds the update spent in transit — straggler
+    /// delay and retry backoff injected by the fault layer
+    /// ([`crate::faults`]). Deterministic (unlike `duration`) and counted
+    /// by [`FederatedOutcome::simulated_distributed_seconds`].
+    ///
+    /// [`FederatedOutcome::simulated_distributed_seconds`]:
+    ///   crate::FederatedOutcome::simulated_distributed_seconds
+    #[serde(default)]
+    pub simulated_extra_seconds: f64,
 }
 
 /// One participant in the federation.
@@ -117,6 +126,7 @@ impl FedClient {
             sample_count: self.samples.len(),
             train_loss: history.final_train_loss().unwrap_or(f64::NAN),
             duration: start.elapsed(),
+            simulated_extra_seconds: 0.0,
         })
     }
 
@@ -180,6 +190,7 @@ impl FedClient {
             sample_count: self.samples.len(),
             train_loss,
             duration: start.elapsed(),
+            simulated_extra_seconds: 0.0,
         })
     }
 }

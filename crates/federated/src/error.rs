@@ -22,6 +22,22 @@ pub enum FederatedError {
     },
     /// Aggregation could not run (e.g. Krum with too few clients).
     Aggregation(String),
+    /// A configuration knob failed up-front validation.
+    InvalidConfig {
+        /// Offending field (e.g. `"participation"`).
+        field: String,
+        /// Why the value was rejected.
+        message: String,
+    },
+    /// Too few updates survived a round's fault model to aggregate.
+    InsufficientParticipants {
+        /// Round that starved.
+        round: usize,
+        /// Updates that survived the fault model.
+        survivors: usize,
+        /// The configured `min_participants` floor.
+        required: usize,
+    },
 }
 
 impl fmt::Display for FederatedError {
@@ -35,6 +51,18 @@ impl fmt::Display for FederatedError {
                 write!(f, "training failed on client {client}: {message}")
             }
             FederatedError::Aggregation(msg) => write!(f, "aggregation failed: {msg}"),
+            FederatedError::InvalidConfig { field, message } => {
+                write!(f, "invalid federated config: {field}: {message}")
+            }
+            FederatedError::InsufficientParticipants {
+                round,
+                survivors,
+                required,
+            } => write!(
+                f,
+                "round {round} starved: {survivors} participants survived the fault \
+                 model but min_participants = {required}"
+            ),
         }
     }
 }
@@ -62,6 +90,19 @@ mod tests {
         assert!(FederatedError::Aggregation("few".into())
             .to_string()
             .contains("few"));
+        assert!(FederatedError::InvalidConfig {
+            field: "participation".into(),
+            message: "must be in (0, 1]".into()
+        }
+        .to_string()
+        .contains("participation"));
+        let starved = FederatedError::InsufficientParticipants {
+            round: 3,
+            survivors: 1,
+            required: 2,
+        }
+        .to_string();
+        assert!(starved.contains("round 3") && starved.contains("min_participants = 2"));
     }
 
     #[test]

@@ -10,9 +10,14 @@
 //! production deployment would need (and which the benches ablate):
 //!
 //! * [`Aggregator`] — FedAvg plus Byzantine-robust rules (coordinate-wise
-//!   median, trimmed mean, Krum);
+//!   median, trimmed mean, Krum), NaN-tolerant against weight-level
+//!   corruption;
+//! * [`faults`] — seeded, bit-reproducible fault injection (drop-out,
+//!   stragglers with a server-side round timeout, update corruption,
+//!   transient failures with retry/backoff) driven by a [`FaultPlan`];
 //! * [`privacy`] — clipped Gaussian noise on client updates;
-//! * [`transport`] — update-size accounting for the communication story;
+//! * [`transport`] — update-size and retry accounting for the
+//!   communication story;
 //! * parallel client training on threads (the mechanism behind the paper's
 //!   18.1 % training-time advantage over centralized training).
 //!
@@ -52,6 +57,7 @@ mod aggregate;
 mod client;
 pub mod compression;
 mod error;
+pub mod faults;
 pub mod privacy;
 mod simulation;
 pub mod transport;
@@ -60,4 +66,10 @@ pub mod wire;
 pub use aggregate::Aggregator;
 pub use client::{FedClient, LocalUpdate};
 pub use error::FederatedError;
-pub use simulation::{FederatedConfig, FederatedOutcome, FederatedSimulation, RoundStats};
+pub use faults::{
+    Corruption, FaultEvent, FaultInjector, FaultKind, FaultOutcome, FaultPlan, FaultRule,
+    RoundSelector,
+};
+pub use simulation::{
+    FederatedConfig, FederatedOutcome, FederatedSimulation, OutcomeDigest, RoundDigest, RoundStats,
+};

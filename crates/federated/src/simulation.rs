@@ -1,8 +1,10 @@
-//! Round orchestration: broadcast → parallel local training → aggregate.
+//! Round orchestration: broadcast → parallel local training → fault
+//! model → aggregate.
 
 use crate::aggregate::Aggregator;
 use crate::client::{FedClient, LocalUpdate};
 use crate::error::FederatedError;
+use crate::faults::{FaultEvent, FaultInjector, FaultKind, FaultOutcome, FaultPlan};
 use crate::privacy::DpConfig;
 use crate::transport::MeteredChannel;
 use evfad_nn::{Sample, Sequential, TrainConfig};
@@ -45,6 +47,67 @@ pub struct FederatedConfig {
     pub participation: f64,
     /// Seed for the per-round participant sampling.
     pub sampling_seed: u64,
+    /// Optional fault model applied on top of participant sampling:
+    /// drop-outs, stragglers (with an optional server-side round timeout),
+    /// update corruption, and transient upload failures with retry/backoff.
+    /// `None` (the default) runs the fault-free protocol.
+    #[serde(default)]
+    pub faults: Option<FaultPlan>,
+}
+
+impl FederatedConfig {
+    /// Validates the schedule before any training starts.
+    ///
+    /// `run()` calls this with the registered client count; call it
+    /// directly to fail fast when configs come from users or files.
+    ///
+    /// # Errors
+    ///
+    /// [`FederatedError::InvalidConfig`] naming the offending field when a
+    /// knob is out of range: zero `rounds`/`epochs_per_round`/`batch_size`,
+    /// `participation` outside `(0, 1]` (NaN included), a non-finite or
+    /// out-of-range `proximal_mu`, or an invalid [`FaultPlan`] (including a
+    /// `min_participants` larger than the client count).
+    pub fn validate(&self, client_count: usize) -> Result<(), FederatedError> {
+        let bad = |field: &str, message: String| FederatedError::InvalidConfig {
+            field: field.to_string(),
+            message,
+        };
+        if self.rounds == 0 {
+            return Err(bad("rounds", "must be at least 1".to_string()));
+        }
+        if self.epochs_per_round == 0 {
+            return Err(bad("epochs_per_round", "must be at least 1".to_string()));
+        }
+        if self.batch_size == 0 {
+            return Err(bad("batch_size", "must be at least 1".to_string()));
+        }
+        if !(self.participation > 0.0 && self.participation <= 1.0) {
+            return Err(bad(
+                "participation",
+                format!("must be in (0, 1], got {}", self.participation),
+            ));
+        }
+        if !self.proximal_mu.is_finite() || !(0.0..=1.0).contains(&self.proximal_mu) {
+            return Err(bad(
+                "proximal_mu",
+                format!("must be in [0, 1], got {}", self.proximal_mu),
+            ));
+        }
+        if let Some(plan) = &self.faults {
+            plan.validate()?;
+            if plan.min_participants > client_count {
+                return Err(bad(
+                    "faults.min_participants",
+                    format!(
+                        "requires {} surviving clients but only {client_count} are registered",
+                        plan.min_participants
+                    ),
+                ));
+            }
+        }
+        Ok(())
+    }
 }
 
 impl Default for FederatedConfig {
@@ -60,6 +123,7 @@ impl Default for FederatedConfig {
             proximal_mu: 0.0,
             participation: 1.0,
             sampling_seed: 0,
+            faults: None,
         }
     }
 }
@@ -76,6 +140,20 @@ pub struct RoundStats {
     /// Per-client local-training seconds (client order). On truly
     /// distributed hardware a round lasts as long as its slowest client.
     pub client_seconds: Vec<f64>,
+    /// Per-client *simulated* extra seconds (straggler delay plus retry
+    /// backoff) injected by the fault model, aligned with
+    /// [`RoundStats::participants`]. All zeros on a fault-free run.
+    #[serde(default)]
+    pub client_extra_seconds: Vec<f64>,
+    /// Simulated seconds the server spent waiting for updates that then
+    /// timed out (the round timeout, if any straggler exceeded it). Zero
+    /// when nothing timed out.
+    #[serde(default)]
+    pub timeout_wait_seconds: f64,
+    /// Fault events injected this round (drop-outs, delays, corruption,
+    /// retries), in deterministic client order. Empty on a clean round.
+    #[serde(default)]
+    pub faults: Vec<FaultEvent>,
     /// Wall-clock duration of the round (broadcast + training + aggregate)
     /// on *this* host.
     #[serde(skip, default)]
@@ -98,16 +176,97 @@ pub struct FederatedOutcome {
 
 impl FederatedOutcome {
     /// Training time the federation would take on truly distributed
-    /// hardware: each round lasts as long as its slowest client, rounds run
-    /// back to back. (On a single-core simulation host the wall clock in
-    /// [`FederatedOutcome::total_duration`] serialises the clients and
+    /// hardware: each round lasts as long as its slowest client —
+    /// including simulated straggler delay and retry backoff, floored at
+    /// the round-timeout wait when a straggler was cut off — and rounds
+    /// run back to back. (On a single-core simulation host the wall clock
+    /// in [`FederatedOutcome::total_duration`] serialises the clients and
     /// hides the parallelism the paper measures.)
     pub fn simulated_distributed_seconds(&self) -> f64 {
         self.rounds
             .iter()
-            .map(|r| r.client_seconds.iter().copied().fold(0.0_f64, f64::max))
+            .map(|r| {
+                let slowest = r
+                    .client_seconds
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| s + r.client_extra_seconds.get(i).copied().unwrap_or(0.0))
+                    .fold(0.0_f64, f64::max);
+                slowest.max(r.timeout_wait_seconds)
+            })
             .sum()
     }
+
+    /// All fault events across all rounds, in (round, client) order.
+    pub fn fault_events(&self) -> impl Iterator<Item = &FaultEvent> {
+        self.rounds.iter().flat_map(|r| r.faults.iter())
+    }
+
+    /// Deterministic fingerprint of the run: everything the protocol
+    /// decides, nothing the wall clock does. Two runs of the same
+    /// configuration (same seeds, same fault plan) produce digests that
+    /// serialise to byte-identical JSON — the chaos suite's reproducibility
+    /// anchor.
+    pub fn digest(&self) -> OutcomeDigest {
+        OutcomeDigest {
+            weights_checksum: format!(
+                "{:016x}",
+                crate::wire::weights_checksum(&self.global_weights)
+            ),
+            messages: self.traffic.messages,
+            bytes: self.traffic.bytes,
+            retries: self.traffic.retries,
+            rounds: self
+                .rounds
+                .iter()
+                .map(|r| RoundDigest {
+                    round: r.round,
+                    participants: r.participants.clone(),
+                    client_losses: r.client_losses.clone(),
+                    client_extra_seconds: r.client_extra_seconds.clone(),
+                    timeout_wait_seconds: r.timeout_wait_seconds,
+                    faults: r.faults.clone(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// The deterministic slice of a [`FederatedOutcome`] — see
+/// [`FederatedOutcome::digest`]. Wall-clock fields (`duration`,
+/// `client_seconds`) are deliberately absent: they vary run to run, while
+/// everything here is a pure function of configuration and seeds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OutcomeDigest {
+    /// FNV-1a checksum of the binary-encoded final global weights
+    /// (see [`crate::wire::weights_checksum`]), as 16 lowercase hex digits.
+    pub weights_checksum: String,
+    /// Total messages exchanged, retries included.
+    pub messages: usize,
+    /// Total serialised bytes exchanged.
+    pub bytes: usize,
+    /// Retry messages among `messages`.
+    pub retries: usize,
+    /// Per-round deterministic stats.
+    pub rounds: Vec<RoundDigest>,
+}
+
+/// Per-round slice of an [`OutcomeDigest`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoundDigest {
+    /// Zero-based round index.
+    pub round: usize,
+    /// Clients whose updates were aggregated.
+    pub participants: Vec<String>,
+    /// Final local losses, aligned with `participants`.
+    pub client_losses: Vec<f64>,
+    /// Simulated extra seconds (delay + backoff), aligned with
+    /// `participants`.
+    pub client_extra_seconds: Vec<f64>,
+    /// Simulated server wait for timed-out stragglers.
+    pub timeout_wait_seconds: f64,
+    /// Fault events injected this round.
+    pub faults: Vec<FaultEvent>,
 }
 
 /// Orchestrates FedAvg-style training over in-process clients.
@@ -167,17 +326,41 @@ impl FederatedSimulation {
 
     /// Runs the full schedule.
     ///
+    /// When [`FederatedConfig::faults`] is set the round degrades
+    /// gracefully: dropped-out clients are skipped, stragglers past the
+    /// round timeout are excluded from aggregation (their late upload is
+    /// still metered), corrupted updates are aggregated as transmitted
+    /// (robust rules are the defence, not the server), and transient
+    /// upload failures are retried with exponential backoff up to the
+    /// plan's budget. The round aborts with
+    /// [`FederatedError::InsufficientParticipants`] only when fewer than
+    /// `min_participants` usable updates survive.
+    ///
     /// # Errors
     ///
     /// * [`FederatedError::NoClients`] when no client was added;
+    /// * [`FederatedError::InvalidConfig`] from up-front validation
+    ///   (see [`FederatedConfig::validate`]);
+    /// * [`FederatedError::InsufficientParticipants`] when the fault model
+    ///   starves a round;
     /// * client-training and aggregation errors are propagated.
     pub fn run(&mut self) -> Result<FederatedOutcome, FederatedError> {
         if self.clients.is_empty() {
             return Err(FederatedError::NoClients);
         }
+        self.config.validate(self.clients.len())?;
         evfad_tensor::parallel::set_threads(self.config.threads);
         self.channel.reset();
         let start = Instant::now();
+        let injector = self.config.faults.clone().map(FaultInjector::new);
+        let (min_participants, round_timeout, retry_budget) = match &self.config.faults {
+            Some(plan) => (
+                plan.min_participants,
+                plan.round_timeout_seconds,
+                plan.retry_budget,
+            ),
+            None => (1, None, 0),
+        };
         let mut rounds = Vec::with_capacity(self.config.rounds);
         let mut global = self.template.weights();
         let train_cfg = TrainConfig {
@@ -199,38 +382,154 @@ impl FederatedSimulation {
             // Sample this round's participants (all of them at the
             // paper's participation = 1.0).
             let participants = self.sample_participants(round);
+            // Consult the fault plan serially, in client order, *before*
+            // training: fault decisions must never depend on thread
+            // scheduling. Dropped-out clients never even train.
+            let mut faults: Vec<FaultEvent> = Vec::new();
+            let mut active: Vec<usize> = Vec::new();
+            let mut active_faults: Vec<Option<FaultKind>> = Vec::new();
+            for &ci in &participants {
+                let client_id = self.clients[ci].id().to_string();
+                let fault = injector
+                    .as_ref()
+                    .and_then(|inj| inj.fault_for(round, &client_id));
+                if matches!(fault, Some(FaultKind::DropOut)) {
+                    faults.push(FaultEvent {
+                        round,
+                        client_id,
+                        fault: FaultKind::DropOut,
+                        outcome: FaultOutcome::Dropped,
+                    });
+                } else {
+                    active.push(ci);
+                    active_faults.push(fault);
+                }
+            }
             // Local training (parallel across clients, as on real
             // distributed hardware).
-            let updates = self.train_selected(&train_cfg, &participants, &global)?;
-            // Optional client-side DP before anything leaves the client.
-            let updates = if let Some(dp) = self.config.dp {
-                updates
-                    .into_iter()
-                    .enumerate()
-                    .map(|(i, mut u)| {
-                        u.weights = crate::privacy::privatize(
-                            &u.weights,
-                            &global,
-                            dp,
-                            (round * 1000 + i) as u64,
-                        );
-                        u
-                    })
-                    .collect()
-            } else {
-                updates
-            };
-            // Meter the payload that actually crosses the channel — after
-            // privatisation, so DP noise is part of the measured bytes.
-            for update in &updates {
-                self.channel.record(&update.weights);
+            let updates = self.train_selected(&train_cfg, &active, &global)?;
+            // Apply the fault model to each trained update, still in
+            // client order.
+            let mut kept: Vec<LocalUpdate> = Vec::new();
+            let mut kept_attempts: Vec<usize> = Vec::new();
+            // Updates that crossed the channel but never reached
+            // aggregation (timed-out stragglers; exhausted retries), with
+            // the number of send attempts to meter.
+            let mut wasted: Vec<(LocalUpdate, usize)> = Vec::new();
+            let mut timeout_wait_seconds = 0.0_f64;
+            for (mut update, fault) in updates.into_iter().zip(active_faults) {
+                let client_id = update.client_id.clone();
+                let event = |fault: FaultKind, outcome: FaultOutcome| FaultEvent {
+                    round,
+                    client_id: client_id.clone(),
+                    fault,
+                    outcome,
+                };
+                match fault {
+                    None => {
+                        kept.push(update);
+                        kept_attempts.push(1);
+                    }
+                    Some(FaultKind::DropOut) => unreachable!("drop-outs filtered before training"),
+                    Some(f @ FaultKind::Straggler { delay_seconds }) => match round_timeout {
+                        Some(timeout) if delay_seconds > timeout => {
+                            timeout_wait_seconds = timeout_wait_seconds.max(timeout);
+                            faults.push(event(
+                                f,
+                                FaultOutcome::TimedOut {
+                                    delay_seconds,
+                                    timeout_seconds: timeout,
+                                },
+                            ));
+                            // The late update still arrives eventually and
+                            // still costs bandwidth; it is just ignored.
+                            wasted.push((update, 1));
+                        }
+                        _ => {
+                            update.simulated_extra_seconds += delay_seconds;
+                            faults.push(event(f, FaultOutcome::Delayed { delay_seconds }));
+                            kept.push(update);
+                            kept_attempts.push(1);
+                        }
+                    },
+                    Some(f @ FaultKind::Corrupt { corruption }) => {
+                        corruption.apply(&mut update.weights);
+                        faults.push(event(f, FaultOutcome::Corrupted));
+                        kept.push(update);
+                        kept_attempts.push(1);
+                    }
+                    Some(f @ FaultKind::Transient { failures }) => {
+                        if failures <= retry_budget {
+                            let backoff = self
+                                .config
+                                .faults
+                                .as_ref()
+                                .expect("transient fault implies a plan")
+                                .backoff_total_seconds(failures);
+                            update.simulated_extra_seconds += backoff;
+                            faults.push(event(
+                                f,
+                                FaultOutcome::Recovered {
+                                    failed_attempts: failures,
+                                    backoff_seconds: backoff,
+                                },
+                            ));
+                            kept.push(update);
+                            kept_attempts.push(failures + 1);
+                        } else {
+                            let attempts = retry_budget + 1;
+                            faults.push(event(
+                                f,
+                                FaultOutcome::RetriesExhausted {
+                                    failed_attempts: attempts,
+                                },
+                            ));
+                            wasted.push((update, attempts));
+                        }
+                    }
+                }
             }
-            global = self.config.aggregator.aggregate(&updates)?;
+            // Optional client-side DP before anything leaves the client —
+            // including uploads the server will end up discarding.
+            if let Some(dp) = self.config.dp {
+                for (i, u) in kept
+                    .iter_mut()
+                    .chain(wasted.iter_mut().map(|(u, _)| u))
+                    .enumerate()
+                {
+                    u.weights = crate::privacy::privatize(
+                        &u.weights,
+                        &global,
+                        dp,
+                        (round * 1000 + i) as u64,
+                    );
+                }
+            }
+            // Meter everything that crossed the channel — after
+            // privatisation, so DP noise is part of the measured bytes.
+            for (update, attempts) in kept.iter().zip(&kept_attempts) {
+                self.channel.record_attempts(&update.weights, *attempts);
+            }
+            for (update, attempts) in &wasted {
+                self.channel.record_attempts(&update.weights, *attempts);
+            }
+            // Graceful degradation: proceed iff enough updates survived.
+            if kept.len() < min_participants {
+                return Err(FederatedError::InsufficientParticipants {
+                    round,
+                    survivors: kept.len(),
+                    required: min_participants,
+                });
+            }
+            global = self.config.aggregator.aggregate(&kept)?;
             rounds.push(RoundStats {
                 round,
-                participants: updates.iter().map(|u| u.client_id.clone()).collect(),
-                client_losses: updates.iter().map(|u| u.train_loss).collect(),
-                client_seconds: updates.iter().map(|u| u.duration.as_secs_f64()).collect(),
+                participants: kept.iter().map(|u| u.client_id.clone()).collect(),
+                client_losses: kept.iter().map(|u| u.train_loss).collect(),
+                client_seconds: kept.iter().map(|u| u.duration.as_secs_f64()).collect(),
+                client_extra_seconds: kept.iter().map(|u| u.simulated_extra_seconds).collect(),
+                timeout_wait_seconds,
+                faults,
                 duration: round_start.elapsed(),
             });
         }
@@ -244,9 +543,14 @@ impl FederatedSimulation {
     }
 
     /// Indices of this round's participating clients, in client order.
+    ///
+    /// `participation` is validated to `(0, 1]` by
+    /// [`FederatedConfig::validate`] before any round runs — no silent
+    /// clamping here. Rounding still floors at one participant so a tiny
+    /// fraction of a small federation never yields an empty round.
     fn sample_participants(&self, round: usize) -> Vec<usize> {
         let n = self.clients.len();
-        let take = ((n as f64) * self.config.participation.clamp(0.0, 1.0)).round() as usize;
+        let take = ((n as f64) * self.config.participation).round() as usize;
         let take = take.clamp(1, n);
         if take == n {
             return (0..n).collect();
@@ -527,5 +831,270 @@ mod tests {
         let model = sim.model_with_weights(&out.global_weights).expect("fits");
         assert_eq!(model.weights(), out.global_weights);
         assert!(sim.model_with_weights(&[Matrix::zeros(1, 1)]).is_err());
+    }
+
+    #[test]
+    fn invalid_participation_is_rejected_up_front() {
+        for bad in [0.0, -0.5, 1.5, f64::NAN] {
+            let mut sim = small_sim(false);
+            sim.config.participation = bad;
+            match sim.run().unwrap_err() {
+                FederatedError::InvalidConfig { field, .. } => {
+                    assert_eq!(field, "participation", "for participation = {bad}");
+                }
+                other => panic!("expected InvalidConfig, got {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn zero_schedule_knobs_are_rejected() {
+        for (field, mutate) in [
+            (
+                "rounds",
+                Box::new(|c: &mut FederatedConfig| c.rounds = 0) as Box<dyn Fn(&mut _)>,
+            ),
+            (
+                "epochs_per_round",
+                Box::new(|c: &mut FederatedConfig| c.epochs_per_round = 0),
+            ),
+            (
+                "batch_size",
+                Box::new(|c: &mut FederatedConfig| c.batch_size = 0),
+            ),
+        ] {
+            let mut sim = small_sim(false);
+            mutate(&mut sim.config);
+            match sim.run().unwrap_err() {
+                FederatedError::InvalidConfig { field: f, .. } => assert_eq!(f, field),
+                other => panic!("expected InvalidConfig for {field}, got {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn bad_proximal_mu_is_rejected() {
+        let mut sim = small_sim(false);
+        sim.config.proximal_mu = f64::INFINITY;
+        assert!(matches!(
+            sim.run().unwrap_err(),
+            FederatedError::InvalidConfig { field, .. } if field == "proximal_mu"
+        ));
+    }
+
+    #[test]
+    fn min_participants_beyond_client_count_is_rejected() {
+        let mut sim = small_sim(false);
+        sim.config.faults = Some(crate::faults::FaultPlan::new(7).with_min_participants(4));
+        assert!(matches!(
+            sim.run().unwrap_err(),
+            FederatedError::InvalidConfig { field, .. } if field == "faults.min_participants"
+        ));
+    }
+
+    #[test]
+    fn invalid_fault_plan_is_rejected_before_training() {
+        let mut sim = small_sim(false);
+        sim.config.faults = Some(crate::faults::FaultPlan::new(7).with_timeout(-1.0));
+        assert!(matches!(
+            sim.run().unwrap_err(),
+            FederatedError::InvalidConfig { .. }
+        ));
+    }
+
+    #[test]
+    fn dropped_client_is_excluded_and_logged() {
+        use crate::faults::{FaultPlan, RoundSelector};
+        let mut sim = small_sim(false);
+        sim.config.faults =
+            Some(FaultPlan::new(3).with_rule("z105", RoundSelector::Every, FaultKind::DropOut));
+        let out = sim.run().expect("run");
+        for r in &out.rounds {
+            assert_eq!(r.participants, vec!["z102", "z108"]);
+            assert_eq!(r.faults.len(), 1);
+            assert_eq!(r.faults[0].client_id, "z105");
+            assert_eq!(r.faults[0].outcome, FaultOutcome::Dropped);
+        }
+        assert_eq!(out.fault_events().count(), 2);
+    }
+
+    #[test]
+    fn empty_fault_plan_matches_the_clean_run() {
+        let mut clean = small_sim(false);
+        let clean_out = clean.run().expect("clean");
+        let mut nofaults = small_sim(false);
+        nofaults.config.faults = Some(crate::faults::FaultPlan::new(99));
+        let fault_out = nofaults.run().expect("empty plan");
+        assert_eq!(clean_out.global_weights, fault_out.global_weights);
+        assert_eq!(clean_out.traffic, fault_out.traffic);
+        assert!(fault_out.fault_events().next().is_none());
+    }
+
+    #[test]
+    fn starved_round_errors_cleanly() {
+        use crate::faults::{FaultPlan, RoundSelector};
+        let mut sim = small_sim(false);
+        let mut plan = FaultPlan::new(1).with_min_participants(2);
+        for id in ["z105", "z108"] {
+            plan = plan.with_rule(id, RoundSelector::Every, FaultKind::DropOut);
+        }
+        sim.config.faults = Some(plan);
+        assert_eq!(
+            sim.run().unwrap_err(),
+            FederatedError::InsufficientParticipants {
+                round: 0,
+                survivors: 1,
+                required: 2,
+            }
+        );
+    }
+
+    #[test]
+    fn straggler_delay_extends_simulated_time() {
+        use crate::faults::{FaultPlan, RoundSelector};
+        let mut clean = small_sim(false);
+        let clean_out = clean.run().expect("clean");
+        let mut slow = small_sim(false);
+        slow.config.faults = Some(FaultPlan::new(5).with_rule(
+            "z102",
+            RoundSelector::Only { round: 1 },
+            FaultKind::Straggler {
+                delay_seconds: 100.0,
+            },
+        ));
+        let out = slow.run().expect("straggler");
+        // No timeout configured: the delayed update is still aggregated.
+        assert_eq!(out.rounds[1].participants.len(), 3);
+        assert_eq!(out.rounds[1].client_extra_seconds[0], 100.0);
+        assert!(
+            out.simulated_distributed_seconds() >= clean_out.simulated_distributed_seconds() + 99.0
+        );
+    }
+
+    #[test]
+    fn timed_out_straggler_is_metered_but_not_aggregated() {
+        use crate::faults::{FaultPlan, RoundSelector};
+        let mut clean = small_sim(false);
+        let clean_out = clean.run().expect("clean");
+        let mut sim = small_sim(false);
+        sim.config.faults = Some(FaultPlan::new(5).with_timeout(10.0).with_rule(
+            "z108",
+            RoundSelector::Every,
+            FaultKind::Straggler {
+                delay_seconds: 50.0,
+            },
+        ));
+        let out = sim.run().expect("timeout run");
+        for r in &out.rounds {
+            assert_eq!(r.participants, vec!["z102", "z105"]);
+            assert_eq!(r.timeout_wait_seconds, 10.0);
+            assert!(matches!(
+                r.faults[0].outcome,
+                FaultOutcome::TimedOut { delay_seconds, timeout_seconds }
+                    if delay_seconds == 50.0 && timeout_seconds == 10.0
+            ));
+        }
+        // The late upload still crossed the channel: same message count as
+        // a clean run, fewer aggregated participants.
+        assert_eq!(out.traffic.messages, clean_out.traffic.messages);
+    }
+
+    #[test]
+    fn transient_retries_are_counted_in_traffic() {
+        use crate::faults::{FaultPlan, RoundSelector};
+        let mut clean = small_sim(false);
+        let clean_out = clean.run().expect("clean");
+        let mut sim = small_sim(false);
+        sim.config.faults = Some(FaultPlan::new(5).with_retry(3, 0.5).with_rule(
+            "z105",
+            RoundSelector::Every,
+            FaultKind::Transient { failures: 2 },
+        ));
+        let out = sim.run().expect("transient");
+        // 2 extra sends per round × 2 rounds.
+        assert_eq!(out.traffic.retries, 4);
+        assert_eq!(out.traffic.messages, clean_out.traffic.messages + 4);
+        assert_eq!(
+            out.traffic.messages - out.traffic.retries,
+            clean_out.traffic.messages
+        );
+        // Backoff 0.5 * (2^2 - 1) = 1.5 simulated seconds of extra wait.
+        let r0 = &out.rounds[0];
+        assert_eq!(r0.participants.len(), 3);
+        assert_eq!(r0.client_extra_seconds[1], 1.5);
+        assert!(matches!(
+            r0.faults[0].outcome,
+            FaultOutcome::Recovered { failed_attempts: 2, backoff_seconds } if backoff_seconds == 1.5
+        ));
+    }
+
+    #[test]
+    fn exhausted_retries_drop_the_update_but_meter_the_attempts() {
+        use crate::faults::{FaultPlan, RoundSelector};
+        let mut sim = small_sim(false);
+        sim.config.faults = Some(FaultPlan::new(5).with_retry(1, 1.0).with_rule(
+            "z105",
+            RoundSelector::Only { round: 0 },
+            FaultKind::Transient { failures: 5 },
+        ));
+        let out = sim.run().expect("exhausted");
+        assert_eq!(out.rounds[0].participants, vec!["z102", "z108"]);
+        assert!(matches!(
+            out.rounds[0].faults[0].outcome,
+            FaultOutcome::RetriesExhausted { failed_attempts: 2 }
+        ));
+        // budget 1 → initial + 1 retry metered.
+        assert_eq!(out.traffic.retries, 1);
+        assert_eq!(out.rounds[1].participants.len(), 3);
+    }
+
+    #[test]
+    fn digest_is_reproducible_and_ignores_wall_clock() {
+        use crate::faults::{FaultPlan, RoundSelector};
+        let plan = FaultPlan::new(11)
+            .with_retry(2, 1.0)
+            .with_rule(
+                "z105",
+                RoundSelector::Probability { p: 0.5 },
+                FaultKind::DropOut,
+            )
+            .with_rule(
+                "z108",
+                RoundSelector::Every,
+                FaultKind::Transient { failures: 1 },
+            );
+        let run = |parallel: bool| {
+            let mut sim = small_sim(parallel);
+            sim.config.faults = Some(plan.clone());
+            sim.run().expect("run").digest()
+        };
+        let a = run(false);
+        let b = run(true);
+        assert_eq!(a, b);
+        let ja = serde_json::to_vec(&a).expect("json");
+        let jb = serde_json::to_vec(&b).expect("json");
+        assert_eq!(ja, jb, "digest JSON must be byte-identical");
+        assert_eq!(a.weights_checksum.len(), 16);
+    }
+
+    #[test]
+    fn config_with_faults_serde_round_trips() {
+        use crate::faults::{FaultPlan, RoundSelector};
+        let cfg = FederatedConfig {
+            faults: Some(FaultPlan::new(3).with_timeout(5.0).with_rule(
+                "a",
+                RoundSelector::From { round: 1 },
+                FaultKind::Straggler { delay_seconds: 2.0 },
+            )),
+            ..FederatedConfig::default()
+        };
+        let json = serde_json::to_string(&cfg).expect("serialize");
+        let back: FederatedConfig = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(cfg, back);
+        // Old configs without the field still parse.
+        let legacy: FederatedConfig =
+            serde_json::from_str(&serde_json::to_string(&FederatedConfig::default()).unwrap())
+                .expect("legacy");
+        assert_eq!(legacy.faults, None);
     }
 }

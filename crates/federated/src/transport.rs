@@ -13,10 +13,15 @@ use std::sync::Arc;
 /// Byte counters for one direction of traffic.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct TrafficTotals {
-    /// Number of payloads sent.
+    /// Number of payloads sent (including re-sends).
     pub messages: usize,
     /// Total serialised bytes.
     pub bytes: usize,
+    /// Payloads that were *re*-sends: retry attempts after a transient
+    /// upload failure (see [`crate::faults::FaultKind::Transient`]). Each
+    /// retry is also counted in `messages`/`bytes` — the payload crossed
+    /// the channel — so `messages - retries` is the first-attempt count.
+    pub retries: usize,
 }
 
 /// A thread-safe channel meter.
@@ -49,6 +54,21 @@ impl MeteredChannel {
         let mut t = self.totals.lock();
         t.messages += 1;
         t.bytes += bytes;
+    }
+
+    /// Records one payload sent `attempts` times (an initial attempt plus
+    /// `attempts - 1` retries). Every attempt crosses the channel, so each
+    /// one is metered in full; the extra attempts are also tallied in
+    /// [`TrafficTotals::retries`]. `attempts == 0` records nothing.
+    pub fn record_attempts<T: Serialize>(&self, payload: &T, attempts: usize) {
+        if attempts == 0 {
+            return;
+        }
+        let bytes = serde_json::to_vec(payload).map(|v| v.len()).unwrap_or(0);
+        let mut t = self.totals.lock();
+        t.messages += attempts;
+        t.bytes += bytes * attempts;
+        t.retries += attempts - 1;
     }
 
     /// Current counters.
@@ -118,6 +138,34 @@ mod tests {
         })
         .expect("threads");
         assert_eq!(ch.totals().messages, 40);
+    }
+
+    #[test]
+    fn record_attempts_meters_every_attempt() {
+        let ch = MeteredChannel::new();
+        ch.record(&[1.0f64; 4]);
+        let single = ch.totals();
+        ch.reset();
+        ch.record_attempts(&[1.0f64; 4], 3);
+        let tripled = ch.totals();
+        assert_eq!(tripled.messages, 3);
+        assert_eq!(tripled.bytes, 3 * single.bytes);
+        assert_eq!(tripled.retries, 2);
+    }
+
+    #[test]
+    fn record_attempts_zero_is_a_no_op() {
+        let ch = MeteredChannel::new();
+        ch.record_attempts(&42u8, 0);
+        assert_eq!(ch.totals(), TrafficTotals::default());
+    }
+
+    #[test]
+    fn plain_record_never_counts_retries() {
+        let ch = MeteredChannel::new();
+        ch.record(&1u8);
+        ch.record(&2u8);
+        assert_eq!(ch.totals().retries, 0);
     }
 
     #[test]

@@ -7,11 +7,15 @@
 //! [`compression`](crate::compression) it completes the communication
 //! story of the paper's §II-C2 ("only model parameters were exchanged").
 
+use crate::faults::{Corruption, FaultEvent, FaultKind, FaultOutcome};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use evfad_tensor::Matrix;
 
-/// Format magic (`"EVFD"`).
+/// Format magic for weight payloads (`"EVFD"`).
 pub const MAGIC: [u8; 4] = *b"EVFD";
+
+/// Format magic for fault-log payloads (`"EVFL"`).
+pub const FAULT_MAGIC: [u8; 4] = *b"EVFL";
 
 /// Current format version.
 pub const VERSION: u16 = 1;
@@ -32,6 +36,8 @@ pub enum WireError {
         /// Declared cols.
         cols: u32,
     },
+    /// An enum discriminant byte not defined by this format version.
+    UnknownTag(u8),
 }
 
 impl std::fmt::Display for WireError {
@@ -43,6 +49,7 @@ impl std::fmt::Display for WireError {
             WireError::OversizedTensor { rows, cols } => {
                 write!(f, "tensor of {rows}x{cols} exceeds sanity bounds")
             }
+            WireError::UnknownTag(tag) => write!(f, "unknown discriminant byte {tag:#04x}"),
         }
     }
 }
@@ -130,6 +137,238 @@ pub fn encoded_size(weights: &[Matrix]) -> usize {
     10 + weights.iter().map(|m| 8 + m.len() * 8).sum::<usize>()
 }
 
+/// FNV-1a checksum of the binary wire encoding of `weights`.
+///
+/// Bit-exact by construction ([`encode_weights`] stores raw f64 little-
+/// endian bytes), so two weight vectors share a checksum iff every
+/// coordinate is bit-identical — the property the golden regression
+/// fixture (`tests/fixtures/golden_outcome.json`) pins across PRs.
+pub fn weights_checksum(weights: &[Matrix]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &byte in encode_weights(weights).iter() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Maximum accepted events per fault log (sanity bound, far above any
+/// simulation in this workspace: rounds × clients × rules).
+const MAX_FAULT_EVENTS: u32 = 1 << 24;
+
+// Fault-kind discriminants.
+const TAG_DROP_OUT: u8 = 0;
+const TAG_STRAGGLER: u8 = 1;
+const TAG_CORRUPT: u8 = 2;
+const TAG_TRANSIENT: u8 = 3;
+// Corruption discriminants.
+const TAG_NAN_FLOOD: u8 = 0;
+const TAG_SIGN_FLIP: u8 = 1;
+const TAG_SCALE: u8 = 2;
+// Fault-outcome discriminants.
+const TAG_DROPPED: u8 = 0;
+const TAG_DELAYED: u8 = 1;
+const TAG_TIMED_OUT: u8 = 2;
+const TAG_CORRUPTED: u8 = 3;
+const TAG_RECOVERED: u8 = 4;
+const TAG_EXHAUSTED: u8 = 5;
+
+/// Encodes a fault log into the binary wire format — the telemetry a real
+/// deployment would ship alongside round stats so operators can audit
+/// which clients misbehaved when.
+///
+/// # Examples
+///
+/// ```
+/// use evfad_federated::faults::{FaultEvent, FaultKind, FaultOutcome};
+/// use evfad_federated::wire;
+///
+/// let log = vec![FaultEvent {
+///     round: 2,
+///     client_id: "z105".into(),
+///     fault: FaultKind::DropOut,
+///     outcome: FaultOutcome::Dropped,
+/// }];
+/// let blob = wire::encode_fault_log(&log);
+/// assert_eq!(wire::decode_fault_log(&blob)?, log);
+/// # Ok::<(), evfad_federated::wire::WireError>(())
+/// ```
+pub fn encode_fault_log(events: &[FaultEvent]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(10 + events.len() * 32);
+    buf.put_slice(&FAULT_MAGIC);
+    buf.put_u16_le(VERSION);
+    buf.put_u32_le(events.len() as u32);
+    for e in events {
+        buf.put_u32_le(e.round as u32);
+        buf.put_u16_le(e.client_id.len() as u16);
+        buf.put_slice(e.client_id.as_bytes());
+        match e.fault {
+            FaultKind::DropOut => buf.put_u8(TAG_DROP_OUT),
+            FaultKind::Straggler { delay_seconds } => {
+                buf.put_u8(TAG_STRAGGLER);
+                buf.put_f64_le(delay_seconds);
+            }
+            FaultKind::Corrupt { corruption } => {
+                buf.put_u8(TAG_CORRUPT);
+                match corruption {
+                    Corruption::NanFlood => buf.put_u8(TAG_NAN_FLOOD),
+                    Corruption::SignFlip => buf.put_u8(TAG_SIGN_FLIP),
+                    Corruption::Scale { factor } => {
+                        buf.put_u8(TAG_SCALE);
+                        buf.put_f64_le(factor);
+                    }
+                }
+            }
+            FaultKind::Transient { failures } => {
+                buf.put_u8(TAG_TRANSIENT);
+                buf.put_u32_le(failures as u32);
+            }
+        }
+        match e.outcome {
+            FaultOutcome::Dropped => buf.put_u8(TAG_DROPPED),
+            FaultOutcome::Delayed { delay_seconds } => {
+                buf.put_u8(TAG_DELAYED);
+                buf.put_f64_le(delay_seconds);
+            }
+            FaultOutcome::TimedOut {
+                delay_seconds,
+                timeout_seconds,
+            } => {
+                buf.put_u8(TAG_TIMED_OUT);
+                buf.put_f64_le(delay_seconds);
+                buf.put_f64_le(timeout_seconds);
+            }
+            FaultOutcome::Corrupted => buf.put_u8(TAG_CORRUPTED),
+            FaultOutcome::Recovered {
+                failed_attempts,
+                backoff_seconds,
+            } => {
+                buf.put_u8(TAG_RECOVERED);
+                buf.put_u32_le(failed_attempts as u32);
+                buf.put_f64_le(backoff_seconds);
+            }
+            FaultOutcome::RetriesExhausted { failed_attempts } => {
+                buf.put_u8(TAG_EXHAUSTED);
+                buf.put_u32_le(failed_attempts as u32);
+            }
+        }
+    }
+    buf.freeze()
+}
+
+/// Decodes a payload produced by [`encode_fault_log`].
+///
+/// # Errors
+///
+/// Returns [`WireError`] on a malformed, truncated, or unknown-tag
+/// payload.
+pub fn decode_fault_log(mut payload: &[u8]) -> Result<Vec<FaultEvent>, WireError> {
+    if payload.remaining() < 10 {
+        return Err(WireError::Truncated);
+    }
+    let mut magic = [0u8; 4];
+    payload.copy_to_slice(&mut magic);
+    if magic != FAULT_MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    let version = payload.get_u16_le();
+    if version != VERSION {
+        return Err(WireError::BadVersion(version));
+    }
+    let count = payload.get_u32_le();
+    if count > MAX_FAULT_EVENTS {
+        return Err(WireError::Truncated);
+    }
+    fn need(payload: &[u8], n: usize) -> Result<(), WireError> {
+        if payload.remaining() < n {
+            Err(WireError::Truncated)
+        } else {
+            Ok(())
+        }
+    }
+    let mut out = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        need(payload, 6)?;
+        let round = payload.get_u32_le() as usize;
+        let id_len = payload.get_u16_le() as usize;
+        need(payload, id_len)?;
+        let mut id_bytes = vec![0u8; id_len];
+        payload.copy_to_slice(&mut id_bytes);
+        let client_id = String::from_utf8(id_bytes).map_err(|_| WireError::BadMagic)?;
+        need(payload, 1)?;
+        let fault = match payload.get_u8() {
+            TAG_DROP_OUT => FaultKind::DropOut,
+            TAG_STRAGGLER => {
+                need(payload, 8)?;
+                FaultKind::Straggler {
+                    delay_seconds: payload.get_f64_le(),
+                }
+            }
+            TAG_CORRUPT => {
+                need(payload, 1)?;
+                let corruption = match payload.get_u8() {
+                    TAG_NAN_FLOOD => Corruption::NanFlood,
+                    TAG_SIGN_FLIP => Corruption::SignFlip,
+                    TAG_SCALE => {
+                        need(payload, 8)?;
+                        Corruption::Scale {
+                            factor: payload.get_f64_le(),
+                        }
+                    }
+                    tag => return Err(WireError::UnknownTag(tag)),
+                };
+                FaultKind::Corrupt { corruption }
+            }
+            TAG_TRANSIENT => {
+                need(payload, 4)?;
+                FaultKind::Transient {
+                    failures: payload.get_u32_le() as usize,
+                }
+            }
+            tag => return Err(WireError::UnknownTag(tag)),
+        };
+        need(payload, 1)?;
+        let outcome = match payload.get_u8() {
+            TAG_DROPPED => FaultOutcome::Dropped,
+            TAG_DELAYED => {
+                need(payload, 8)?;
+                FaultOutcome::Delayed {
+                    delay_seconds: payload.get_f64_le(),
+                }
+            }
+            TAG_TIMED_OUT => {
+                need(payload, 16)?;
+                FaultOutcome::TimedOut {
+                    delay_seconds: payload.get_f64_le(),
+                    timeout_seconds: payload.get_f64_le(),
+                }
+            }
+            TAG_CORRUPTED => FaultOutcome::Corrupted,
+            TAG_RECOVERED => {
+                need(payload, 12)?;
+                FaultOutcome::Recovered {
+                    failed_attempts: payload.get_u32_le() as usize,
+                    backoff_seconds: payload.get_f64_le(),
+                }
+            }
+            TAG_EXHAUSTED => {
+                need(payload, 4)?;
+                FaultOutcome::RetriesExhausted {
+                    failed_attempts: payload.get_u32_le() as usize,
+                }
+            }
+            tag => return Err(WireError::UnknownTag(tag)),
+        };
+        out.push(FaultEvent {
+            round,
+            client_id,
+            fault,
+            outcome,
+        });
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -208,6 +447,111 @@ mod tests {
         let binary = encode_weights(&w).len();
         let json = serde_json::to_vec(&w).unwrap().len();
         assert!(binary < json, "binary {binary} vs json {json}");
+    }
+
+    fn sample_fault_log() -> Vec<FaultEvent> {
+        vec![
+            FaultEvent {
+                round: 0,
+                client_id: "z102".into(),
+                fault: FaultKind::DropOut,
+                outcome: FaultOutcome::Dropped,
+            },
+            FaultEvent {
+                round: 1,
+                client_id: "z105".into(),
+                fault: FaultKind::Straggler {
+                    delay_seconds: 42.5,
+                },
+                outcome: FaultOutcome::TimedOut {
+                    delay_seconds: 42.5,
+                    timeout_seconds: 30.0,
+                },
+            },
+            FaultEvent {
+                round: 1,
+                client_id: "z108".into(),
+                fault: FaultKind::Corrupt {
+                    corruption: Corruption::Scale { factor: -2.25 },
+                },
+                outcome: FaultOutcome::Corrupted,
+            },
+            FaultEvent {
+                round: 2,
+                client_id: "z111".into(),
+                fault: FaultKind::Transient { failures: 2 },
+                outcome: FaultOutcome::Recovered {
+                    failed_attempts: 2,
+                    backoff_seconds: 3.0,
+                },
+            },
+            FaultEvent {
+                round: 3,
+                client_id: "z114".into(),
+                fault: FaultKind::Transient { failures: 9 },
+                outcome: FaultOutcome::RetriesExhausted { failed_attempts: 3 },
+            },
+            FaultEvent {
+                round: 4,
+                client_id: "z117".into(),
+                fault: FaultKind::Corrupt {
+                    corruption: Corruption::NanFlood,
+                },
+                outcome: FaultOutcome::Delayed { delay_seconds: 1.5 },
+            },
+        ]
+    }
+
+    #[test]
+    fn fault_log_round_trips() {
+        let log = sample_fault_log();
+        let blob = encode_fault_log(&log);
+        assert_eq!(decode_fault_log(&blob).unwrap(), log);
+    }
+
+    #[test]
+    fn empty_fault_log_round_trips() {
+        let blob = encode_fault_log(&[]);
+        assert_eq!(decode_fault_log(&blob).unwrap(), Vec::<FaultEvent>::new());
+    }
+
+    #[test]
+    fn fault_log_rejects_weight_magic_and_vice_versa() {
+        let weights = encode_weights(&sample_weights());
+        assert_eq!(decode_fault_log(&weights), Err(WireError::BadMagic));
+        let log = encode_fault_log(&sample_fault_log());
+        assert_eq!(decode_weights(&log), Err(WireError::BadMagic));
+    }
+
+    #[test]
+    fn fault_log_rejects_truncation_everywhere() {
+        let blob = encode_fault_log(&sample_fault_log());
+        for cut in 0..blob.len() {
+            let err = decode_fault_log(&blob[..cut]).unwrap_err();
+            assert!(
+                matches!(err, WireError::Truncated | WireError::UnknownTag(_)),
+                "cut at {cut} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fault_log_rejects_unknown_tags() {
+        let mut blob = encode_fault_log(&sample_fault_log()[..1]).to_vec();
+        let tag_at = blob.len() - 2; // fault tag of the single DropOut event
+        blob[tag_at] = 250;
+        assert_eq!(decode_fault_log(&blob), Err(WireError::UnknownTag(250)));
+    }
+
+    #[test]
+    fn checksum_is_sensitive_to_single_bit_flips() {
+        let w = sample_weights();
+        let base = weights_checksum(&w);
+        assert_eq!(base, weights_checksum(&w), "deterministic");
+        let mut flipped = w.clone();
+        let v = flipped[0].as_slice()[0];
+        flipped[0].as_mut_slice()[0] = f64::from_bits(v.to_bits() ^ 1);
+        assert_ne!(base, weights_checksum(&flipped));
     }
 
     #[test]

@@ -219,6 +219,57 @@ mod tests {
     }
 
     #[test]
+    fn dropout_in_eval_mode_passes_gradients_through() {
+        // A dropout layer pinned to eval behaviour must be gradient-exact
+        // inside a recurrent stack: identity forward, pass-through backward.
+        let mut model = Sequential::new(17)
+            .with(Lstm::new(1, 3, false))
+            .with(crate::layers::Dropout::new(0.4).eval_mode(true))
+            .with(Dense::new(3, 1, Activation::Linear));
+        let samples = random_samples(3, 4, 18);
+        let report = check_model_gradients(&mut model, &samples, Loss::Mse, 1e-5, 1);
+        assert!(report.passes(1e-4), "max rel err {}", report.max_rel_error);
+    }
+
+    #[test]
+    fn zero_rate_dropout_is_gradient_exact_in_training() {
+        // rate = 0 takes the same identity path as eval mode, inside a
+        // full training-mode forward/backward.
+        let mut model = Sequential::new(19)
+            .with(Dense::new(1, 4, Activation::Tanh))
+            .with(crate::layers::Dropout::new(0.0))
+            .with(Dense::new(4, 1, Activation::Linear));
+        let samples = random_samples(4, 1, 20);
+        let report = check_model_gradients(&mut model, &samples, Loss::Mse, 1e-5, 1);
+        assert!(report.passes(1e-4), "max rel err {}", report.max_rel_error);
+    }
+
+    #[test]
+    fn gru_autoencoder_with_eval_dropout_gradients_match() {
+        // GRU counterpart of the paper's dropout-regularised autoencoder:
+        // encoder → bottleneck → decoder, with the Dropout(0.2) layer
+        // pinned to eval so finite differences see the same function.
+        let seq_len = 3;
+        let mut model = Sequential::new(21)
+            .with(crate::layers::Gru::new(1, 4, true))
+            .with(crate::layers::Dropout::new(0.2).eval_mode(true))
+            .with(crate::layers::Gru::new(4, 2, false))
+            .with(RepeatVector::new(seq_len))
+            .with(crate::layers::Gru::new(2, 4, true))
+            .with(Dense::new(4, 1, Activation::Linear));
+        let mut rng = StdRng::seed_from_u64(22);
+        let samples: Vec<Sample> = (0..2)
+            .map(|_| {
+                let xs: Vec<f64> = (0..seq_len).map(|_| rng.gen_range(-1.0..1.0)).collect();
+                Sample::autoencoding(Matrix::column_vector(&xs))
+            })
+            .collect();
+        let report = check_model_gradients(&mut model, &samples, Loss::Mse, 1e-5, 3);
+        // Deep recurrent stacks accumulate more finite-difference noise.
+        assert!(report.passes(1e-3), "max rel err {}", report.max_rel_error);
+    }
+
+    #[test]
     fn relu_head_gradients_match() {
         let mut model = Sequential::new(11)
             .with(Lstm::new(1, 3, false))

@@ -29,6 +29,8 @@ use serde::{Deserialize, Serialize};
 pub struct Dropout {
     rate: f64,
     seed: u64,
+    #[serde(default)]
+    eval_only: bool,
     #[serde(skip)]
     rng_state: Option<StdRng>,
     #[serde(skip)]
@@ -46,9 +48,20 @@ impl Dropout {
         Self {
             rate,
             seed: 0,
+            eval_only: false,
             rng_state: None,
             masks: Vec::new(),
         }
+    }
+
+    /// Pins the layer to inference behaviour (identity) even when the
+    /// surrounding forward pass runs in training mode — the per-module
+    /// `eval()` of other frameworks. Useful to freeze regularisation during
+    /// fine-tuning, and to make stacks containing dropout amenable to
+    /// finite-difference gradient checking (builder style).
+    pub fn eval_mode(mut self, enabled: bool) -> Self {
+        self.eval_only = enabled;
+        self
     }
 
     /// Sets the RNG seed used for mask sampling (builder style).
@@ -72,7 +85,11 @@ impl Dropout {
     /// Forward pass. Identity at inference; samples fresh masks per call in
     /// training mode.
     pub fn forward(&mut self, input: &Seq, training: bool) -> Seq {
-        if !training || self.rate == 0.0 {
+        if !training || self.eval_only || self.rate == 0.0 {
+            // Clear any masks from an earlier training pass: a backward
+            // call after an identity forward must also be the identity,
+            // not a replay of stale masks (or a shape panic).
+            self.masks.clear();
             return input.clone();
         }
         let rate = self.rate;
@@ -97,11 +114,18 @@ impl Dropout {
     }
 
     /// Backward pass: applies the cached masks to the upstream gradient.
+    /// After an inference (or rate-0) forward pass there are no masks and
+    /// the gradient passes through unchanged — matching the identity
+    /// forward.
     ///
     /// # Panics
     ///
-    /// Panics if called without a preceding training forward pass.
+    /// Panics if the cached masks disagree with the gradient's length
+    /// (forward and backward saw different sequences).
     pub fn backward(&mut self, grad: &Seq) -> Seq {
+        if self.masks.is_empty() {
+            return grad.clone();
+        }
         assert_eq!(grad.len(), self.masks.len(), "dropout mask/grad mismatch");
         let steps = grad
             .iter()
@@ -170,5 +194,36 @@ mod tests {
     #[should_panic(expected = "rate must be in")]
     fn invalid_rate_panics() {
         let _ = Dropout::new(1.0);
+    }
+
+    #[test]
+    fn backward_after_inference_forward_is_identity() {
+        let mut d = Dropout::new(0.5).with_seed(3);
+        let x = Seq::single(Matrix::ones(4, 4));
+        let _ = d.forward(&x, false);
+        let g = Seq::single(Matrix::from_fn(4, 4, |r, c| (r * 4 + c) as f64));
+        assert_eq!(d.backward(&g), g);
+    }
+
+    #[test]
+    fn backward_after_zero_rate_forward_is_identity() {
+        let mut d = Dropout::new(0.0);
+        let x = Seq::single(Matrix::ones(2, 3));
+        let _ = d.forward(&x, true);
+        let g = Seq::single(Matrix::ones(2, 3));
+        assert_eq!(d.backward(&g), g);
+    }
+
+    #[test]
+    fn inference_forward_clears_stale_training_masks() {
+        let mut d = Dropout::new(0.5).with_seed(5);
+        let train_x = Seq::single(Matrix::ones(3, 3));
+        let _ = d.forward(&train_x, true);
+        // Switch to eval on a *different* shape: the stale 3×3 masks must
+        // not be replayed onto (or panic against) the new gradient.
+        let eval_x = Seq::single(Matrix::ones(2, 5));
+        let _ = d.forward(&eval_x, false);
+        let g = Seq::single(Matrix::ones(2, 5));
+        assert_eq!(d.backward(&g), g);
     }
 }

@@ -42,6 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             sample_count: p.train.len(),
             train_loss: 0.0,
             duration: std::time::Duration::ZERO,
+            simulated_extra_seconds: 0.0,
         });
         if i == 0 {
             // A twin of client 0 so the honest majority is 4 vs 1.

@@ -1,0 +1,408 @@
+//! Chaos suite: deterministic fault injection against the federated loop.
+//!
+//! Every fault decision flows from the seeded [`FaultPlan`], so a chaotic
+//! run is exactly as reproducible as a clean one — same seed, same faults,
+//! same bytes. These tests pin that guarantee and the paper's resilience
+//! story: a corrupted client poisons plain FedAvg while the robust
+//! aggregation rules shrug it off, and a federation degrades gracefully
+//! through drop-outs, stragglers, and flaky uplinks.
+
+use evfad_core::federated::{
+    Aggregator, Corruption, FaultKind, FaultOutcome, FaultPlan, FederatedConfig, FederatedError,
+    FederatedSimulation, RoundSelector,
+};
+use evfad_core::nn::{forecaster_model, Loss, Sample, Sequential};
+use evfad_core::tensor::Matrix;
+
+/// Tiny per-client dataset: a phase-shifted sine, 6-step windows.
+fn sine_samples(n: usize, phase: f64) -> Vec<Sample> {
+    (0..n)
+        .map(|i| {
+            let xs: Vec<f64> = (0..6)
+                .map(|t| ((i + t) as f64 * 0.5 + phase).sin())
+                .collect();
+            Sample::new(
+                Matrix::column_vector(&xs),
+                Matrix::from_vec(1, 1, vec![((i + 6) as f64 * 0.5 + phase).sin()]),
+            )
+        })
+        .collect()
+}
+
+/// A four-client federation (Krum with f = 1 needs n ≥ 4).
+fn four_client_sim(aggregator: Aggregator, faults: Option<FaultPlan>) -> FederatedSimulation {
+    let cfg = FederatedConfig {
+        rounds: 2,
+        epochs_per_round: 2,
+        batch_size: 16,
+        aggregator,
+        parallel: false,
+        faults,
+        ..FederatedConfig::default()
+    };
+    let mut sim = FederatedSimulation::new(forecaster_model(4, 3), cfg);
+    sim.add_client("z102", sine_samples(32, 0.0));
+    sim.add_client("z105", sine_samples(32, 0.8));
+    sim.add_client("z108", sine_samples(32, 1.6));
+    sim.add_client("z111", sine_samples(32, 2.4));
+    sim
+}
+
+/// Euclidean distance between two weight sets.
+fn weights_distance(a: &[Matrix], b: &[Matrix]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            x.as_slice()
+                .iter()
+                .zip(y.as_slice())
+                .map(|(u, v)| (u - v) * (u - v))
+                .sum::<f64>()
+        })
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// A plan exercising every fault kind at once, with a probabilistic rule.
+fn kitchen_sink_plan() -> FaultPlan {
+    FaultPlan::new(42)
+        .with_timeout(30.0)
+        .with_retry(2, 0.5)
+        .with_min_participants(1)
+        .with_rule(
+            "z102",
+            RoundSelector::Probability { p: 0.5 },
+            FaultKind::DropOut,
+        )
+        .with_rule(
+            "z105",
+            RoundSelector::Every,
+            FaultKind::Straggler {
+                delay_seconds: 12.0,
+            },
+        )
+        .with_rule(
+            "z108",
+            RoundSelector::Only { round: 1 },
+            FaultKind::Corrupt {
+                corruption: Corruption::SignFlip,
+            },
+        )
+        .with_rule(
+            "z111",
+            RoundSelector::Every,
+            FaultKind::Transient { failures: 1 },
+        )
+}
+
+#[test]
+fn same_seed_yields_byte_identical_outcomes() {
+    let run = |parallel: bool| {
+        let cfg = FederatedConfig {
+            rounds: 2,
+            epochs_per_round: 2,
+            batch_size: 16,
+            parallel,
+            faults: Some(kitchen_sink_plan()),
+            ..FederatedConfig::default()
+        };
+        let mut sim = FederatedSimulation::new(forecaster_model(4, 3), cfg);
+        sim.add_client("z102", sine_samples(32, 0.0));
+        sim.add_client("z105", sine_samples(32, 0.8));
+        sim.add_client("z108", sine_samples(32, 1.6));
+        sim.add_client("z111", sine_samples(32, 2.4));
+        sim.run().expect("chaotic run")
+    };
+    let a = run(false);
+    let b = run(true);
+    // Identical weights bit for bit, identical fault logs, identical
+    // digest JSON — thread scheduling must not leak into any of them.
+    assert_eq!(a.global_weights, b.global_weights);
+    let events_a: Vec<_> = a.fault_events().cloned().collect();
+    let events_b: Vec<_> = b.fault_events().cloned().collect();
+    assert_eq!(events_a, events_b);
+    assert!(!events_a.is_empty(), "the kitchen-sink plan must fire");
+    let digest_a = serde_json::to_vec(&a.digest()).expect("digest json");
+    let digest_b = serde_json::to_vec(&b.digest()).expect("digest json");
+    assert_eq!(digest_a, digest_b, "digest JSON must be byte-identical");
+}
+
+#[test]
+fn a_different_fault_seed_changes_only_the_probabilistic_faults() {
+    let run = |seed: u64| {
+        let plan = FaultPlan::new(seed).with_rule(
+            "z102",
+            RoundSelector::Probability { p: 0.5 },
+            FaultKind::DropOut,
+        );
+        let mut sim = four_client_sim(Aggregator::FedAvg, Some(plan));
+        sim.run().expect("run").digest()
+    };
+    let digests: Vec<_> = (0..16).map(run).collect();
+    // Across 16 seeds of a p = 0.5 × 2-round plan, at least two digests
+    // must differ (the chance of a 16-way tie is ~2⁻³⁰).
+    assert!(
+        digests.iter().any(|d| *d != digests[0]),
+        "probabilistic faults never varied across seeds"
+    );
+    // And the same seed reproduces its own digest exactly.
+    assert_eq!(run(7), run(7));
+}
+
+#[test]
+fn sign_flip_poisons_fedavg_but_not_robust_rules() {
+    let corrupt_plan = || {
+        Some(FaultPlan::new(9).with_rule(
+            "z105",
+            RoundSelector::Every,
+            FaultKind::Corrupt {
+                corruption: Corruption::SignFlip,
+            },
+        ))
+    };
+    let final_weights = |agg: Aggregator, faults: Option<FaultPlan>| {
+        four_client_sim(agg, faults)
+            .run()
+            .expect("run")
+            .global_weights
+    };
+    let fedavg_shift = weights_distance(
+        &final_weights(Aggregator::FedAvg, None),
+        &final_weights(Aggregator::FedAvg, corrupt_plan()),
+    );
+    assert!(
+        fedavg_shift > 1e-3,
+        "sign-flip should visibly move FedAvg (shift = {fedavg_shift})"
+    );
+    for agg in [
+        Aggregator::Median,
+        Aggregator::TrimmedMean { trim: 1 },
+        Aggregator::Krum { byzantine: 1 },
+    ] {
+        let shift = weights_distance(
+            &final_weights(agg, None),
+            &final_weights(agg, corrupt_plan()),
+        );
+        assert!(
+            shift < fedavg_shift * 0.25,
+            "{agg:?} shifted {shift} under sign-flip vs FedAvg's {fedavg_shift}"
+        );
+    }
+}
+
+#[test]
+fn nan_flood_breaks_fedavg_but_robust_rules_stay_finite() {
+    let plan = || {
+        Some(FaultPlan::new(9).with_rule(
+            "z108",
+            RoundSelector::Every,
+            FaultKind::Corrupt {
+                corruption: Corruption::NanFlood,
+            },
+        ))
+    };
+    // Under FedAvg the round-0 aggregate is already NaN; broadcasting it
+    // poisons every client's round-1 training. The loop surfaces that as a
+    // clean error rather than silently converging to garbage.
+    let mut poisoned = four_client_sim(Aggregator::FedAvg, plan());
+    assert!(matches!(
+        poisoned.run().unwrap_err(),
+        FederatedError::ClientTraining { .. }
+    ));
+    // A single round shows the mechanism: the NaN flood reaches the
+    // global weights untouched — that is the vulnerability.
+    let one_round = FederatedConfig {
+        rounds: 1,
+        epochs_per_round: 2,
+        batch_size: 16,
+        parallel: false,
+        faults: plan(),
+        ..FederatedConfig::default()
+    };
+    let mut sim = FederatedSimulation::new(forecaster_model(4, 3), one_round);
+    sim.add_client("z102", sine_samples(32, 0.0));
+    sim.add_client("z108", sine_samples(32, 1.6));
+    let weights = sim.run().expect("one round").global_weights;
+    assert!(
+        weights.iter().any(|m| !m.is_finite()),
+        "FedAvg must propagate a NaN flood"
+    );
+    for agg in [
+        Aggregator::Median,
+        Aggregator::TrimmedMean { trim: 1 },
+        Aggregator::Krum { byzantine: 1 },
+    ] {
+        let weights = four_client_sim(agg, plan())
+            .run()
+            .expect("run")
+            .global_weights;
+        assert!(
+            weights.iter().all(Matrix::is_finite),
+            "{agg:?} let NaNs through"
+        );
+    }
+}
+
+#[test]
+fn dropout_every_round_still_completes_and_learns() {
+    let plan = FaultPlan::new(5).with_min_participants(3).with_rule(
+        "z111",
+        RoundSelector::Every,
+        FaultKind::DropOut,
+    );
+    let mut sim = four_client_sim(Aggregator::FedAvg, Some(plan));
+    let out = sim.run().expect("run survives a permanent drop-out");
+    for r in &out.rounds {
+        assert_eq!(r.participants, vec!["z102", "z105", "z108"]);
+        assert_eq!(r.faults.len(), 1);
+        assert_eq!(r.faults[0].outcome, FaultOutcome::Dropped);
+    }
+    // The surviving majority still trains a useful global model.
+    let test = sine_samples(32, 0.0);
+    let mut init: Sequential = forecaster_model(4, 3);
+    let before = init.evaluate(&test, Loss::Mse);
+    let mut global = sim.model_with_weights(&out.global_weights).expect("fits");
+    let after = global.evaluate(&test, Loss::Mse);
+    assert!(after < before, "before={before} after={after}");
+}
+
+#[test]
+fn min_participants_is_honoured_when_the_fault_model_starves_a_round() {
+    let mut plan = FaultPlan::new(5).with_min_participants(2);
+    for id in ["z105", "z108", "z111"] {
+        plan = plan.with_rule(id, RoundSelector::Every, FaultKind::DropOut);
+    }
+    let mut sim = four_client_sim(Aggregator::FedAvg, Some(plan));
+    assert_eq!(
+        sim.run().unwrap_err(),
+        FederatedError::InsufficientParticipants {
+            round: 0,
+            survivors: 1,
+            required: 2,
+        }
+    );
+}
+
+#[test]
+fn stragglers_within_the_timeout_only_slow_the_round_down() {
+    let clean = four_client_sim(Aggregator::FedAvg, None)
+        .run()
+        .expect("clean");
+    let plan = FaultPlan::new(5).with_timeout(60.0).with_rule(
+        "z105",
+        RoundSelector::Every,
+        FaultKind::Straggler {
+            delay_seconds: 20.0,
+        },
+    );
+    let out = four_client_sim(Aggregator::FedAvg, Some(plan))
+        .run()
+        .expect("straggler run");
+    // Same weights — a slow-but-in-time client changes nothing numeric.
+    assert_eq!(out.global_weights, clean.global_weights);
+    // But the simulated distributed clock pays 20 s per round. (Compare
+    // against the injected delay, not the clean run's wall clock — real
+    // training seconds jitter between runs.)
+    assert!(out.simulated_distributed_seconds() >= 2.0 * 20.0);
+    for r in &out.rounds {
+        assert_eq!(r.client_extra_seconds[1], 20.0);
+        assert!(matches!(
+            r.faults[0].outcome,
+            FaultOutcome::Delayed {
+                delay_seconds: 20.0
+            }
+        ));
+    }
+}
+
+#[test]
+fn stragglers_past_the_timeout_are_cut_from_aggregation() {
+    let plan = FaultPlan::new(5).with_timeout(5.0).with_rule(
+        "z105",
+        RoundSelector::Every,
+        FaultKind::Straggler {
+            delay_seconds: 50.0,
+        },
+    );
+    let out = four_client_sim(Aggregator::FedAvg, Some(plan))
+        .run()
+        .expect("timeout run");
+    for r in &out.rounds {
+        assert_eq!(r.participants, vec!["z102", "z108", "z111"]);
+        assert_eq!(r.timeout_wait_seconds, 5.0);
+        assert!(matches!(
+            r.faults[0].outcome,
+            FaultOutcome::TimedOut {
+                delay_seconds: 50.0,
+                timeout_seconds: 5.0,
+            }
+        ));
+    }
+    // The server waited out the timeout even though it discarded the update.
+    assert!(out.simulated_distributed_seconds() >= 2.0 * 5.0);
+}
+
+#[test]
+fn retry_accounting_matches_the_transport_meter() {
+    let clean = four_client_sim(Aggregator::FedAvg, None)
+        .run()
+        .expect("clean");
+    let plan = FaultPlan::new(5)
+        .with_retry(3, 2.0)
+        .with_rule(
+            "z102",
+            RoundSelector::Every,
+            FaultKind::Transient { failures: 2 },
+        )
+        .with_rule(
+            "z108",
+            RoundSelector::Only { round: 1 },
+            FaultKind::Transient { failures: 9 },
+        );
+    let out = four_client_sim(Aggregator::FedAvg, Some(plan))
+        .run()
+        .expect("flaky run");
+    // Cross-check the transport meter against the fault log: every retry
+    // the log claims must appear in the channel totals, and vice versa.
+    let logged_retries: usize = out
+        .fault_events()
+        .map(|e| match e.outcome {
+            FaultOutcome::Recovered {
+                failed_attempts, ..
+            } => failed_attempts,
+            // An exhausted client burned its full retry budget; its
+            // failed_attempts counts the initial send too.
+            FaultOutcome::RetriesExhausted { failed_attempts } => failed_attempts - 1,
+            _ => 0,
+        })
+        .sum();
+    assert!(logged_retries > 0);
+    assert_eq!(out.traffic.retries, logged_retries);
+    // First-attempt traffic is exactly the clean protocol's traffic.
+    assert_eq!(
+        out.traffic.messages - out.traffic.retries,
+        clean.traffic.messages
+    );
+    // z102 recovers every round (2 retries each); z108 exhausts a budget
+    // of 3 in round 1. 2 + 2 + 3 = 7 retries.
+    assert_eq!(out.traffic.retries, 7);
+    // Recovered uploads are aggregated; exhausted ones are not.
+    assert_eq!(out.rounds[0].participants.len(), 4);
+    assert_eq!(out.rounds[1].participants, vec!["z102", "z105", "z111"]);
+    // Backoff: 2 failures at base 2 s → 2·(2² − 1) = 6 s of extra wait.
+    assert_eq!(out.rounds[0].client_extra_seconds[0], 6.0);
+}
+
+#[test]
+fn fault_logs_round_trip_through_the_wire_format() {
+    use evfad_core::federated::wire::{decode_fault_log, encode_fault_log};
+    let out = four_client_sim(Aggregator::Median, Some(kitchen_sink_plan()))
+        .run()
+        .expect("run");
+    let events: Vec<_> = out.fault_events().cloned().collect();
+    assert!(!events.is_empty());
+    let encoded = encode_fault_log(&events);
+    let decoded = decode_fault_log(&encoded).expect("decode");
+    assert_eq!(events, decoded);
+}

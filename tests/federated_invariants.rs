@@ -86,6 +86,7 @@ fn robust_aggregators_survive_a_poisoned_update_but_fedavg_does_not() {
         sample_count: 100,
         train_loss: 0.0,
         duration: std::time::Duration::ZERO,
+        simulated_extra_seconds: 0.0,
     };
     let mut updates = vec![
         honest("a", 1.0),

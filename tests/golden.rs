@@ -1,0 +1,147 @@
+//! Golden regression fixture: a small clean federated run whose forecast
+//! metrics and final-weights checksum are pinned bit-exactly in
+//! `tests/fixtures/golden_outcome.json`.
+//!
+//! Any change to the numeric stack — tensor kernels, LSTM backward pass,
+//! aggregation order, scaler arithmetic, RNG streams — shifts at least one
+//! bit somewhere in this run and fails the comparison. That is the point:
+//! refactors must be bit-neutral or consciously regenerate the fixture.
+//!
+//! To regenerate after an intentional numeric change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden
+//! ```
+//!
+//! and commit the updated fixture together with the change that moved it.
+
+use evfad_core::data::{DatasetConfig, ShenzhenGenerator};
+use evfad_core::federated::{wire, FederatedConfig, FederatedSimulation};
+use evfad_core::forecast::experiment::build_forecaster;
+use evfad_core::forecast::pipeline::PreparedClient;
+use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+        .join("golden_outcome.json")
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct GoldenFixture {
+    scenario: String,
+    weights_checksum: String,
+    clients: Vec<GoldenClient>,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct GoldenClient {
+    label: String,
+    mae: f64,
+    rmse: f64,
+    r2: f64,
+}
+
+/// The pinned scenario: 3 synthetic Shenzhen zones, 360 hours, 24-step
+/// windows, 2 federated rounds × 2 local epochs, plain FedAvg, no faults.
+/// Everything is seeded; the run is bit-reproducible.
+fn run_golden_scenario() -> GoldenFixture {
+    let prepared: Vec<PreparedClient> = ShenzhenGenerator::new(DatasetConfig::small(360, 11))
+        .generate_all()
+        .iter()
+        .map(|c| PreparedClient::prepare(c.zone.label(), &c.demand, 24, 0.8).expect("prepare"))
+        .collect();
+    let cfg = FederatedConfig {
+        rounds: 2,
+        epochs_per_round: 2,
+        batch_size: 32,
+        parallel: false,
+        ..FederatedConfig::default()
+    };
+    let mut sim = FederatedSimulation::new(build_forecaster(6, 0.01, 1), cfg);
+    for p in &prepared {
+        sim.add_client(p.label.clone(), p.train.clone());
+    }
+    let outcome = sim.run().expect("golden run");
+    let mut global = sim
+        .model_with_weights(&outcome.global_weights)
+        .expect("weights fit");
+    let clients = prepared
+        .iter()
+        .map(|p| {
+            let eval = p.evaluate_raw(&mut global).expect("evaluate");
+            GoldenClient {
+                label: p.label.clone(),
+                mae: eval.mae,
+                rmse: eval.rmse,
+                r2: eval.r2,
+            }
+        })
+        .collect();
+    GoldenFixture {
+        scenario: "shenzhen-small-360h | window 24 | split 0.8 | fedavg 2x2 | \
+                   forecaster(6, 0.01, seed 1)"
+            .to_string(),
+        weights_checksum: format!("{:016x}", wire::weights_checksum(&outcome.global_weights)),
+        clients,
+    }
+}
+
+#[test]
+fn golden_outcome_matches_the_committed_fixture() {
+    let run = run_golden_scenario();
+    let path = fixture_path();
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::create_dir_all(path.parent().expect("fixture dir")).expect("mkdir");
+        let pretty = serde_json::to_string_pretty(&run).expect("serialize");
+        std::fs::write(&path, pretty + "\n").expect("write fixture");
+        eprintln!("regenerated {}", path.display());
+        return;
+    }
+    let raw = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {} ({e}); run UPDATE_GOLDEN=1 cargo test --test golden",
+            path.display()
+        )
+    });
+    let expected: GoldenFixture = serde_json::from_str(&raw).expect("fixture parses");
+    assert_eq!(
+        expected.weights_checksum, run.weights_checksum,
+        "final global weights changed bit-for-bit"
+    );
+    assert_eq!(expected.clients.len(), run.clients.len());
+    for (exp, actual) in expected.clients.iter().zip(&run.clients) {
+        assert_eq!(exp.label, actual.label);
+        // The vendored serde_json parses floats shortest-roundtrip, so a
+        // bit-exact comparison through JSON is sound.
+        for (key, pinned, current) in [
+            ("mae", exp.mae, actual.mae),
+            ("rmse", exp.rmse, actual.rmse),
+            ("r2", exp.r2, actual.r2),
+        ] {
+            assert_eq!(
+                pinned.to_bits(),
+                current.to_bits(),
+                "{}.{key}: fixture {pinned:?} vs current {current:?}",
+                exp.label
+            );
+        }
+    }
+}
+
+#[test]
+fn golden_scenario_is_reproducible_within_a_build() {
+    // The fixture test above is only meaningful if the scenario itself is
+    // deterministic; pin that independently of the committed file.
+    let a = run_golden_scenario();
+    let b = run_golden_scenario();
+    assert_eq!(a.weights_checksum, b.weights_checksum);
+    for (ca, cb) in a.clients.iter().zip(&b.clients) {
+        assert_eq!(ca.label, cb.label);
+        assert_eq!(ca.mae.to_bits(), cb.mae.to_bits());
+        assert_eq!(ca.rmse.to_bits(), cb.rmse.to_bits());
+        assert_eq!(ca.r2.to_bits(), cb.r2.to_bits());
+    }
+}

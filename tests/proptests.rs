@@ -93,6 +93,7 @@ proptest! {
             sample_count: n,
             train_loss: 0.0,
             duration: std::time::Duration::ZERO,
+        simulated_extra_seconds: 0.0,
         };
         let ups = [mk("a", va, na), mk("b", vb, nb), mk("c", vc, nc)];
         let g = Aggregator::FedAvg.aggregate(&ups).unwrap();
@@ -112,6 +113,7 @@ proptest! {
             sample_count: 10,
             train_loss: 0.0,
             duration: std::time::Duration::ZERO,
+        simulated_extra_seconds: 0.0,
         };
         let ups = [mk("a"), mk("b"), mk("c"), mk("d")];
         let favg = Aggregator::FedAvg.aggregate(&ups).unwrap();
