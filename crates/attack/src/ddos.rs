@@ -225,11 +225,11 @@ mod tests {
     fn attacked_points_are_inflated() {
         let clean = flat(2000);
         let out = DdosInjector::default().inject(&clean, 2);
-        for i in 0..clean.len() {
+        for (i, &v) in clean.iter().enumerate() {
             if out.labels[i] {
-                assert!(out.series[i] > clean[i], "attacked point not inflated");
+                assert!(out.series[i] > v, "attacked point not inflated");
             } else {
-                assert_eq!(out.series[i], clean[i]);
+                assert_eq!(out.series[i], v);
             }
         }
     }
@@ -249,7 +249,7 @@ mod tests {
             assert!(w[0].end <= w[1].start, "episodes overlap");
         }
         for ep in &out.episodes {
-            assert!(ep.len() >= 1 && ep.len() <= cfg.max_episode_hours + cfg.min_episode_hours);
+            assert!(!ep.is_empty() && ep.len() <= cfg.max_episode_hours + cfg.min_episode_hours);
         }
     }
 

@@ -12,6 +12,9 @@ use evfad_core::attack::{DdosConfig, DdosInjector};
 use evfad_core::data::ShenzhenGenerator;
 use evfad_core::timeseries::MinMaxScaler;
 
+/// Named attack generator: `(label, series ⨯ seed → outcome)`.
+type AttackFn = Box<dyn Fn(&[f64], u64) -> evfad_core::attack::AttackOutcome>;
+
 fn main() {
     let opts = BenchOpts::from_env();
     println!("{}", opts.banner("Ablation: attack vectors"));
@@ -33,10 +36,7 @@ fn main() {
         scalers.push(scaler);
     }
 
-    let vectors: Vec<(
-        &str,
-        Box<dyn Fn(&[f64], u64) -> evfad_core::attack::AttackOutcome>,
-    )> = vec![
+    let vectors: Vec<(&str, AttackFn)> = vec![
         (
             "ddos_volume_spikes",
             Box::new(|s, seed| DdosInjector::new(DdosConfig::default()).inject(s, seed)),

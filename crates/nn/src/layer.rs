@@ -48,12 +48,20 @@ impl Layer {
 
     /// Backward pass; returns the gradient with respect to the layer input.
     pub fn backward(&mut self, grad: &Seq) -> Seq {
+        self.backward_input(grad, true)
+            .expect("input gradient requested")
+    }
+
+    /// Backward pass that skips the input-gradient product when the caller
+    /// does not need it (e.g. the first layer of a model). Parameter
+    /// gradients are always accumulated identically.
+    pub fn backward_input(&mut self, grad: &Seq, need_input_grad: bool) -> Option<Seq> {
         match self {
-            Layer::Dense(l) => l.backward(grad),
-            Layer::Lstm(l) => l.backward(grad),
-            Layer::Gru(l) => l.backward(grad),
-            Layer::Dropout(l) => l.backward(grad),
-            Layer::RepeatVector(l) => l.backward(grad),
+            Layer::Dense(l) => l.backward_input(grad, need_input_grad),
+            Layer::Lstm(l) => l.backward_input(grad, need_input_grad),
+            Layer::Gru(l) => l.backward_input(grad, need_input_grad),
+            Layer::Dropout(l) => Some(l.backward(grad)),
+            Layer::RepeatVector(l) => Some(l.backward(grad)),
         }
     }
 

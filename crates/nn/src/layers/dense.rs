@@ -1,10 +1,26 @@
 //! Fully connected (time-distributed) layer.
+//!
+//! The hot path is workspace-backed: the forward pass concatenates all
+//! timesteps into one `(T*B) x I` buffer and runs a single GEMM (rows are
+//! independent, so this is bitwise identical to the per-step products), and
+//! the activations are cached in reusable arena slots instead of cloned
+//! `Matrix` vectors.
 
 use crate::activation::Activation;
 use crate::seq::Seq;
-use evfad_tensor::{Initializer, Matrix};
+use crate::workspace::Workspace;
+use evfad_tensor::{kernels, Initializer, MatMut, MatRef, Matrix};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+
+// Workspace slots; forward slots double as the backward cache, eval-mode
+// forwards shift to `EVAL_BASE`.
+const X_CAT: usize = 0; // (T*B) x I
+const Y_CAT: usize = 1; // (T*B) x O (post-activation)
+const DPRE: usize = 2; // B x O
+const TW: usize = 3; // I x O
+const BSUM: usize = 4; // 1 x O
+const EVAL_BASE: usize = 8;
 
 /// A fully connected layer `y = f(x W + b)` applied to every timestep.
 ///
@@ -34,9 +50,11 @@ pub struct Dense {
     #[serde(skip)]
     grad_b: Matrix,
     #[serde(skip)]
-    cache_inputs: Vec<Matrix>,
+    ws: Workspace,
     #[serde(skip)]
-    cache_outputs: Vec<Matrix>,
+    cached_steps: usize,
+    #[serde(skip)]
+    cached_batch: usize,
 }
 
 impl Dense {
@@ -60,8 +78,9 @@ impl Dense {
             activation,
             grad_w: Matrix::zeros(input_dim, output_dim),
             grad_b: Matrix::zeros(1, output_dim),
-            cache_inputs: Vec::new(),
-            cache_outputs: Vec::new(),
+            ws: Workspace::new(),
+            cached_steps: 0,
+            cached_batch: 0,
         }
     }
 
@@ -101,26 +120,45 @@ impl Dense {
 
     /// Forward pass. Caches activations when `training` is `true`.
     pub fn forward(&mut self, input: &Seq, training: bool) -> Seq {
-        if training {
-            self.cache_inputs.clear();
-            self.cache_outputs.clear();
+        let base = if training { 0 } else { EVAL_BASE };
+        let steps = input.len();
+        let batch = input.batch_size();
+        let (i_dim, o_dim) = (self.w.rows(), self.w.cols());
+        let (bi, bo) = (batch * i_dim, batch * o_dim);
+
+        let mut x_cat = self.ws.take(base + X_CAT, steps * bi);
+        let mut y_cat = self.ws.take(base + Y_CAT, steps * bo);
+        for (t, x_t) in input.iter().enumerate() {
+            x_cat[t * bi..(t + 1) * bi].copy_from_slice(x_t.as_slice());
         }
+        // One GEMM for all timesteps: each output row only depends on its
+        // own input row, so this matches the per-step products bitwise.
+        kernels::matmul_into(
+            MatRef::new(steps * batch, i_dim, &x_cat),
+            self.w.view(),
+            MatMut::new(steps * batch, o_dim, &mut y_cat),
+        );
+        kernels::add_row_broadcast_into(
+            MatMut::new(steps * batch, o_dim, &mut y_cat),
+            self.b.view(),
+        );
         let act = self.activation;
-        let steps = input
-            .iter()
-            .map(|x| {
-                let y = x
-                    .matmul(&self.w)
-                    .add_row_broadcast(&self.b)
-                    .map(|v| act.apply(v));
-                if training {
-                    self.cache_inputs.push(x.clone());
-                    self.cache_outputs.push(y.clone());
-                }
-                y
-            })
-            .collect();
-        Seq::from_steps(steps)
+        for v in y_cat.iter_mut() {
+            *v = act.apply(*v);
+        }
+
+        let out = Seq::from_steps(
+            (0..steps)
+                .map(|t| Matrix::from_vec(batch, o_dim, y_cat[t * bo..(t + 1) * bo].to_vec()))
+                .collect(),
+        );
+        self.ws.put(base + X_CAT, x_cat);
+        self.ws.put(base + Y_CAT, y_cat);
+        if training {
+            self.cached_steps = steps;
+            self.cached_batch = batch;
+        }
+        out
     }
 
     /// Backward pass: accumulates kernel/bias gradients and returns the
@@ -131,21 +169,68 @@ impl Dense {
     /// Panics if called without a preceding training-mode forward pass or
     /// with a gradient whose length differs from that pass.
     pub fn backward(&mut self, grad: &Seq) -> Seq {
+        self.backward_input(grad, true)
+            .expect("input gradient requested")
+    }
+
+    /// [`Dense::backward`] with an optional input-gradient computation; see
+    /// [`Lstm::backward_input`](crate::Lstm::backward_input).
+    pub fn backward_input(&mut self, grad: &Seq, need_input_grad: bool) -> Option<Seq> {
         assert_eq!(
             grad.len(),
-            self.cache_inputs.len(),
+            self.cached_steps,
             "backward called with mismatched sequence length"
         );
+        let steps = self.cached_steps;
+        let batch = self.cached_batch;
+        let (i_dim, o_dim) = (self.w.rows(), self.w.cols());
+        let (bi, bo) = (batch * i_dim, batch * o_dim);
+
+        let x_cat = self.ws.take(X_CAT, steps * bi);
+        let y_cat = self.ws.take(Y_CAT, steps * bo);
+        let mut dpre = self.ws.take(DPRE, bo);
+        let mut tw = self.ws.take(TW, i_dim * o_dim);
+        let mut bsum = self.ws.take(BSUM, o_dim);
+
         let act = self.activation;
-        let mut input_grads = Vec::with_capacity(grad.len());
+        let mut input_grads = need_input_grad.then(|| Vec::with_capacity(steps));
         for (t, g) in grad.iter().enumerate() {
-            let y = &self.cache_outputs[t];
-            let dpre = g.zip_map(y, |gv, yv| gv * act.derivative_from_output(yv));
-            self.grad_w += &self.cache_inputs[t].transpose_matmul(&dpre);
-            self.grad_b += &dpre.sum_rows();
-            input_grads.push(dpre.matmul_transpose(&self.w));
+            let y_t = &y_cat[t * bo..(t + 1) * bo];
+            for ((d, &gv), &yv) in dpre.iter_mut().zip(g.as_slice()).zip(y_t.iter()) {
+                *d = gv * act.derivative_from_output(yv);
+            }
+            let dpre_ref = MatRef::new(batch, o_dim, &dpre);
+            kernels::transpose_matmul_into(
+                MatRef::new(batch, i_dim, &x_cat[t * bi..(t + 1) * bi]),
+                dpre_ref,
+                MatMut::new(i_dim, o_dim, &mut tw),
+            );
+            for (gw, &v) in self.grad_w.as_mut_slice().iter_mut().zip(tw.iter()) {
+                *gw += v;
+            }
+            bsum.fill(0.0);
+            for r in 0..batch {
+                let row = &dpre[r * o_dim..(r + 1) * o_dim];
+                for (o, &x) in bsum.iter_mut().zip(row.iter()) {
+                    *o += x;
+                }
+            }
+            for (gb, &v) in self.grad_b.as_mut_slice().iter_mut().zip(bsum.iter()) {
+                *gb += v;
+            }
+            if let Some(grads) = input_grads.as_mut() {
+                let mut dx = Matrix::zeros(batch, i_dim);
+                kernels::matmul_transpose_into(dpre_ref, self.w.view(), dx.view_mut());
+                grads.push(dx);
+            }
         }
-        Seq::from_steps(input_grads)
+
+        self.ws.put(X_CAT, x_cat);
+        self.ws.put(Y_CAT, y_cat);
+        self.ws.put(DPRE, dpre);
+        self.ws.put(TW, tw);
+        self.ws.put(BSUM, bsum);
+        input_grads.map(Seq::from_steps)
     }
 
     /// Immutable access to `(kernel, bias)`.
@@ -161,17 +246,25 @@ impl Dense {
         ]
     }
 
-    /// Clears accumulated gradients.
+    /// Clears accumulated gradients (in place once correctly shaped).
     pub fn zero_grads(&mut self) {
-        self.grad_w = Matrix::zeros(self.w.rows(), self.w.cols());
-        self.grad_b = Matrix::zeros(1, self.b.cols());
+        if self.grad_w.shape() == self.w.shape() {
+            self.grad_w.as_mut_slice().fill(0.0);
+        } else {
+            self.grad_w = Matrix::zeros(self.w.rows(), self.w.cols());
+        }
+        if self.grad_b.shape() == self.b.shape() {
+            self.grad_b.as_mut_slice().fill(0.0);
+        } else {
+            self.grad_b = Matrix::zeros(1, self.b.cols());
+        }
     }
 
     /// Restores transient state dropped by serde (gradients, caches).
     pub(crate) fn rebuild_transient(&mut self) {
         self.zero_grads();
-        self.cache_inputs.clear();
-        self.cache_outputs.clear();
+        self.cached_steps = 0;
+        self.cached_batch = 0;
     }
 }
 

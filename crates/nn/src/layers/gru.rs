@@ -1,22 +1,40 @@
 //! GRU layer with full backpropagation through time.
+//!
+//! Like [`Lstm`](crate::Lstm), the hot path is fused and workspace-backed:
+//! both input projections (`x W_gx`, `x W_cx`) are batched over all
+//! timesteps, the combined kernels are addressed through zero-copy row
+//! views, and the per-step state lives in reusable arena slots. All
+//! floating-point expressions reproduce the original allocating
+//! implementation bitwise.
 
 use crate::activation::stable_sigmoid;
 use crate::seq::Seq;
-use evfad_tensor::{Initializer, Matrix};
+use crate::workspace::Workspace;
+use evfad_tensor::{kernels, Initializer, MatMut, MatRef, Matrix};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-/// Per-timestep forward cache for BPTT.
-#[derive(Debug, Clone, Default)]
-struct StepCache {
-    x: Matrix,
-    h_prev: Matrix,
-    z: Matrix,
-    r: Matrix,
-    h_tilde: Matrix,
-    /// `r ∘ h_prev` (candidate-path recurrent input).
-    rh: Matrix,
-}
+// Workspace slot layout; forward slots double as the BPTT cache and
+// eval-mode forwards shift to `EVAL_BASE`.
+const X_ALL: usize = 0; // (T*B) x I   inputs
+const PREG_ALL: usize = 1; // (T*B) x 2H  gate pre-activations, then [z|r]
+const CAND_ALL: usize = 2; // (T*B) x H   candidate pre, then tanh (h~)
+const RH_ALL: usize = 3; // (T*B) x H   r ∘ h_prev
+const H_ALL: usize = 4; // (T*B) x H   hidden states
+const ZEROS: usize = 5; // B x H       zero h_-1 (re-zeroed per call)
+const DH: usize = 6; // B x H       running dh
+const DHP: usize = 7; // B x H       dh_prev accumulator
+const DPRE_C: usize = 8; // B x H
+const DPRE_G: usize = 9; // B x 2H
+const TGX: usize = 10; // I x 2H      x^T @ dpre_g staging
+const TGH: usize = 11; // H x 2H      h^T @ dpre_g staging
+const TCX: usize = 12; // I x H       x^T @ dpre_c staging
+const TCH: usize = 13; // H x H       rh^T @ dpre_c staging
+const BSUM_G: usize = 14; // 1 x 2H
+const BSUM_C: usize = 15; // 1 x H
+const DRH: usize = 16; // B x H
+const DXG: usize = 17; // B x I       gate-path input gradient staging
+const EVAL_BASE: usize = 24;
 
 /// A Gated Recurrent Unit layer (Cho et al., 2014).
 ///
@@ -64,7 +82,11 @@ pub struct Gru {
     #[serde(skip)]
     grad_b_cand: Matrix,
     #[serde(skip)]
-    cache: Vec<StepCache>,
+    ws: Workspace,
+    #[serde(skip)]
+    cached_steps: usize,
+    #[serde(skip)]
+    cached_batch: usize,
 }
 
 impl Gru {
@@ -98,7 +120,9 @@ impl Gru {
             grad_b_gates: Matrix::zeros(1, 2 * hidden_dim),
             grad_w_cand: Matrix::zeros(z_dim, hidden_dim),
             grad_b_cand: Matrix::zeros(1, hidden_dim),
-            cache: Vec::new(),
+            ws: Workspace::new(),
+            cached_steps: 0,
+            cached_batch: 0,
         }
     }
 
@@ -151,47 +175,120 @@ impl Gru {
             self.input_dim,
             input.features()
         );
+        let base = if training { 0 } else { EVAL_BASE };
+        let steps = input.len();
         let batch = input.batch_size();
-        let h_dim = self.hidden_dim;
-        let mut h = Matrix::zeros(batch, h_dim);
-        if training {
-            self.cache.clear();
+        let (i_dim, h_dim) = (self.input_dim, self.hidden_dim);
+        let (bi, bh, b2h) = (batch * i_dim, batch * h_dim, batch * 2 * h_dim);
+
+        let mut x_all = self.ws.take(base + X_ALL, steps * bi);
+        let mut preg_all = self.ws.take(base + PREG_ALL, steps * b2h);
+        let mut cand_all = self.ws.take(base + CAND_ALL, steps * bh);
+        let mut rh_all = self.ws.take(base + RH_ALL, steps * bh);
+        let mut h_all = self.ws.take(base + H_ALL, steps * bh);
+        let mut zeros = self.ws.take(base + ZEROS, bh);
+        zeros.fill(0.0);
+
+        for (t, x_t) in input.iter().enumerate() {
+            x_all[t * bi..(t + 1) * bi].copy_from_slice(x_t.as_slice());
         }
-        let mut outputs = Vec::with_capacity(input.len());
-        for x_t in input.iter() {
-            let xh = x_t.hstack(&h);
-            let pre = xh.matmul(&self.w_gates).add_row_broadcast(&self.b_gates);
-            let z = pre.slice_cols(0..h_dim).map(stable_sigmoid);
-            let r = pre.slice_cols(h_dim..2 * h_dim).map(stable_sigmoid);
-            let rh = r.hadamard(&h);
-            let xrh = x_t.hstack(&rh);
-            let h_tilde = xrh
-                .matmul(&self.w_cand)
-                .add_row_broadcast(&self.b_cand)
-                .map(f64::tanh);
-            let h_new = h
-                .zip_map(&z, |hv, zv| hv * (1.0 - zv))
-                .zip_map(&h_tilde.hadamard(&z), |a, b| a + b);
-            if training {
-                self.cache.push(StepCache {
-                    x: x_t.clone(),
-                    h_prev: h.clone(),
-                    z,
-                    r,
-                    h_tilde,
-                    rh,
-                });
+        // Batched input projections for both kernels (the x-columns of the
+        // combined products accumulate first, so this is bitwise identical
+        // to the per-step `[x|h] @ W` / `[x|r∘h] @ W` forms).
+        let x_ref = MatRef::new(steps * batch, i_dim, &x_all);
+        kernels::matmul_into(
+            x_ref,
+            self.w_gates.rows_view(0..i_dim),
+            MatMut::new(steps * batch, 2 * h_dim, &mut preg_all),
+        );
+        kernels::matmul_into(
+            x_ref,
+            self.w_cand.rows_view(0..i_dim),
+            MatMut::new(steps * batch, h_dim, &mut cand_all),
+        );
+        let w_gh = self.w_gates.rows_view(i_dim..i_dim + h_dim);
+        let w_ch = self.w_cand.rows_view(i_dim..i_dim + h_dim);
+
+        for t in 0..steps {
+            let (h_done, h_rest) = h_all.split_at_mut(t * bh);
+            let h_prev = if t == 0 {
+                &zeros[..]
+            } else {
+                &h_done[(t - 1) * bh..]
+            };
+            let preg_t = &mut preg_all[t * b2h..(t + 1) * b2h];
+            kernels::matmul_acc_into(
+                MatRef::new(batch, h_dim, h_prev),
+                w_gh,
+                MatMut::new(batch, 2 * h_dim, preg_t),
+            );
+            kernels::add_row_broadcast_into(
+                MatMut::new(batch, 2 * h_dim, preg_t),
+                self.b_gates.view(),
+            );
+            let rh_t = &mut rh_all[t * bh..(t + 1) * bh];
+            for r in 0..batch {
+                let gates = &mut preg_t[r * 2 * h_dim..(r + 1) * 2 * h_dim];
+                for j in 0..h_dim {
+                    let idx = r * h_dim + j;
+                    let z_v = stable_sigmoid(gates[j]);
+                    let r_v = stable_sigmoid(gates[h_dim + j]);
+                    gates[j] = z_v;
+                    gates[h_dim + j] = r_v;
+                    rh_t[idx] = r_v * h_prev[idx];
+                }
             }
-            h = h_new;
-            if self.return_sequences {
-                outputs.push(h.clone());
+            let cand_t = &mut cand_all[t * bh..(t + 1) * bh];
+            kernels::matmul_acc_into(
+                MatRef::new(batch, h_dim, rh_t),
+                w_ch,
+                MatMut::new(batch, h_dim, cand_t),
+            );
+            kernels::add_row_broadcast_into(MatMut::new(batch, h_dim, cand_t), self.b_cand.view());
+            let preg_t = &preg_all[t * b2h..(t + 1) * b2h];
+            let h_t = &mut h_rest[..bh];
+            for r in 0..batch {
+                let gates = &preg_t[r * 2 * h_dim..(r + 1) * 2 * h_dim];
+                let row = r * h_dim..(r + 1) * h_dim;
+                let it = gates[..h_dim]
+                    .iter()
+                    .zip(&mut cand_t[row.clone()])
+                    .zip(&h_prev[row.clone()])
+                    .zip(&mut h_t[row]);
+                for (((&z_v, ct), &hp), ht) in it {
+                    let ht_v = ct.tanh();
+                    *ct = ht_v;
+                    // h' = (1 - z)∘h_prev + z∘h~
+                    *ht = (hp * (1.0 - z_v)) + (ht_v * z_v);
+                }
             }
         }
-        if self.return_sequences {
-            Seq::from_steps(outputs)
+
+        let out = if self.return_sequences {
+            Seq::from_steps(
+                (0..steps)
+                    .map(|t| Matrix::from_vec(batch, h_dim, h_all[t * bh..(t + 1) * bh].to_vec()))
+                    .collect(),
+            )
         } else {
-            Seq::single(h)
+            Seq::single(Matrix::from_vec(
+                batch,
+                h_dim,
+                h_all[(steps - 1) * bh..].to_vec(),
+            ))
+        };
+
+        self.ws.put(base + X_ALL, x_all);
+        self.ws.put(base + PREG_ALL, preg_all);
+        self.ws.put(base + CAND_ALL, cand_all);
+        self.ws.put(base + RH_ALL, rh_all);
+        self.ws.put(base + H_ALL, h_all);
+        self.ws.put(base + ZEROS, zeros);
+        if training {
+            self.cached_steps = steps;
+            self.cached_batch = batch;
         }
+        out
     }
 
     /// Backward pass through time; see [`Lstm::backward`](crate::Lstm::backward)
@@ -201,55 +298,212 @@ impl Gru {
     ///
     /// Panics if called without a preceding training-mode forward pass.
     pub fn backward(&mut self, grad: &Seq) -> Seq {
-        let steps = self.cache.len();
+        self.backward_input(grad, true)
+            .expect("input gradient requested")
+    }
+
+    /// [`Gru::backward`] with an optional input-gradient computation; see
+    /// [`Lstm::backward_input`](crate::Lstm::backward_input).
+    pub fn backward_input(&mut self, grad: &Seq, need_input_grad: bool) -> Option<Seq> {
+        let steps = self.cached_steps;
         assert!(steps > 0, "backward requires a training forward pass");
         if self.return_sequences {
             assert_eq!(grad.len(), steps, "gradient length mismatch");
         } else {
             assert_eq!(grad.len(), 1, "single-step gradient expected");
         }
-        let h_dim = self.hidden_dim;
-        let batch = grad.step(0).rows();
-        let mut dh_next = Matrix::zeros(batch, h_dim);
-        let mut input_grads = vec![Matrix::zeros(batch, self.input_dim); steps];
+        let (i_dim, h_dim) = (self.input_dim, self.hidden_dim);
+        let batch = self.cached_batch;
+        let (bi, bh, b2h) = (batch * i_dim, batch * h_dim, batch * 2 * h_dim);
+
+        let x_all = self.ws.take(X_ALL, steps * bi);
+        let preg_all = self.ws.take(PREG_ALL, steps * b2h);
+        let cand_all = self.ws.take(CAND_ALL, steps * bh);
+        let rh_all = self.ws.take(RH_ALL, steps * bh);
+        let h_all = self.ws.take(H_ALL, steps * bh);
+        let zeros = self.ws.take(ZEROS, bh);
+        let mut dh = self.ws.take(DH, bh);
+        let mut dhp = self.ws.take(DHP, bh);
+        let mut dpre_c = self.ws.take(DPRE_C, bh);
+        let mut dpre_g = self.ws.take(DPRE_G, b2h);
+        let mut tgx = self.ws.take(TGX, i_dim * 2 * h_dim);
+        let mut tgh = self.ws.take(TGH, h_dim * 2 * h_dim);
+        let mut tcx = self.ws.take(TCX, i_dim * h_dim);
+        let mut tch = self.ws.take(TCH, h_dim * h_dim);
+        let mut bsum_g = self.ws.take(BSUM_G, 2 * h_dim);
+        let mut bsum_c = self.ws.take(BSUM_C, h_dim);
+        let mut drh = self.ws.take(DRH, bh);
+        let mut dxg = self.ws.take(DXG, bi);
+        dh.fill(0.0);
+
+        let w_gx = self.w_gates.rows_view(0..i_dim);
+        let w_gh = self.w_gates.rows_view(i_dim..i_dim + h_dim);
+        let w_cx = self.w_cand.rows_view(0..i_dim);
+        let w_ch = self.w_cand.rows_view(i_dim..i_dim + h_dim);
+        let mut input_grads = need_input_grad.then(|| Vec::with_capacity(steps));
 
         for t in (0..steps).rev() {
-            let cache = &self.cache[t];
-            let mut dh = dh_next.clone();
             if self.return_sequences {
-                dh += grad.step(t);
+                for (d, &g) in dh.iter_mut().zip(grad.step(t).as_slice()) {
+                    *d += g;
+                }
             } else if t == steps - 1 {
-                dh += grad.step(0);
+                for (d, &g) in dh.iter_mut().zip(grad.step(0).as_slice()) {
+                    *d += g;
+                }
             }
-            // h' = (1 - z)∘h_prev + z∘h~
-            let dz = dh.hadamard(&cache.h_tilde.zip_map(&cache.h_prev, |a, b| a - b));
-            let dh_tilde = dh.hadamard(&cache.z);
-            let mut dh_prev = dh.zip_map(&cache.z, |dv, zv| dv * (1.0 - zv));
-            // Candidate path.
-            let dpre_c = dh_tilde.zip_map(&cache.h_tilde, |d, y| d * (1.0 - y * y));
-            let xrh = cache.x.hstack(&cache.rh);
-            self.grad_w_cand += &xrh.transpose_matmul(&dpre_c);
-            self.grad_b_cand += &dpre_c.sum_rows();
-            let dxrh = dpre_c.matmul_transpose(&self.w_cand);
-            let dx_c = dxrh.slice_cols(0..self.input_dim);
-            let drh = dxrh.slice_cols(self.input_dim..self.input_dim + h_dim);
-            let dr = drh.hadamard(&cache.h_prev);
-            dh_prev += &drh.hadamard(&cache.r);
-            // Gate path.
-            let dpre_z = dz.zip_map(&cache.z, |d, y| d * y * (1.0 - y));
-            let dpre_r = dr.zip_map(&cache.r, |d, y| d * y * (1.0 - y));
-            let dpre_g = dpre_z.hstack(&dpre_r);
-            let xh = cache.x.hstack(&cache.h_prev);
-            self.grad_w_gates += &xh.transpose_matmul(&dpre_g);
-            self.grad_b_gates += &dpre_g.sum_rows();
-            let dxh = dpre_g.matmul_transpose(&self.w_gates);
-            let dx_g = dxh.slice_cols(0..self.input_dim);
-            dh_prev += &dxh.slice_cols(self.input_dim..self.input_dim + h_dim);
-
-            input_grads[t] = &dx_c + &dx_g;
-            dh_next = dh_prev;
+            let preg_t = &preg_all[t * b2h..(t + 1) * b2h];
+            let cand_t = &cand_all[t * bh..(t + 1) * bh];
+            let rh_t = &rh_all[t * bh..(t + 1) * bh];
+            let x_t = &x_all[t * bi..(t + 1) * bi];
+            let h_prev = if t == 0 {
+                &zeros[..]
+            } else {
+                &h_all[(t - 1) * bh..t * bh]
+            };
+            // Candidate path: dpre_c = (dh∘z) * (1 - h~²), dh_prev = dh∘(1-z).
+            for r in 0..batch {
+                let gates = &preg_t[r * 2 * h_dim..(r + 1) * 2 * h_dim];
+                let row = r * h_dim..(r + 1) * h_dim;
+                let it = gates[..h_dim]
+                    .iter()
+                    .zip(&cand_t[row.clone()])
+                    .zip(&dh[row.clone()])
+                    .zip(&mut dpre_c[row.clone()])
+                    .zip(&mut dhp[row]);
+                for ((((&z_v, &ht_v), &dh_v), dpc), dp) in it {
+                    *dpc = (dh_v * z_v) * (1.0 - ht_v * ht_v);
+                    *dp = dh_v * (1.0 - z_v);
+                }
+            }
+            let dpre_c_ref = MatRef::new(batch, h_dim, &dpre_c);
+            kernels::transpose_matmul_into(
+                MatRef::new(batch, i_dim, x_t),
+                dpre_c_ref,
+                MatMut::new(i_dim, h_dim, &mut tcx),
+            );
+            kernels::transpose_matmul_into(
+                MatRef::new(batch, h_dim, rh_t),
+                dpre_c_ref,
+                MatMut::new(h_dim, h_dim, &mut tch),
+            );
+            let gwc = self.grad_w_cand.as_mut_slice();
+            for (g, &v) in gwc[..i_dim * h_dim].iter_mut().zip(tcx.iter()) {
+                *g += v;
+            }
+            for (g, &v) in gwc[i_dim * h_dim..].iter_mut().zip(tch.iter()) {
+                *g += v;
+            }
+            bsum_c.fill(0.0);
+            for r in 0..batch {
+                let row = &dpre_c[r * h_dim..(r + 1) * h_dim];
+                for (o, &x) in bsum_c.iter_mut().zip(row.iter()) {
+                    *o += x;
+                }
+            }
+            for (g, &v) in self
+                .grad_b_cand
+                .as_mut_slice()
+                .iter_mut()
+                .zip(bsum_c.iter())
+            {
+                *g += v;
+            }
+            kernels::matmul_transpose_into(dpre_c_ref, w_ch, MatMut::new(batch, h_dim, &mut drh));
+            // dh_prev += drh∘r; gate gradients from dz and dr = drh∘h_prev.
+            for r in 0..batch {
+                let gates = &preg_t[r * 2 * h_dim..(r + 1) * 2 * h_dim];
+                let dpre_row = &mut dpre_g[r * 2 * h_dim..(r + 1) * 2 * h_dim];
+                for j in 0..h_dim {
+                    let idx = r * h_dim + j;
+                    let (z_v, r_v) = (gates[j], gates[h_dim + j]);
+                    let drh_v = drh[idx];
+                    dhp[idx] += drh_v * r_v;
+                    let dz_v = dh[idx] * (cand_t[idx] - h_prev[idx]);
+                    dpre_row[j] = (dz_v * z_v) * (1.0 - z_v);
+                    let dr_v = drh_v * h_prev[idx];
+                    dpre_row[h_dim + j] = (dr_v * r_v) * (1.0 - r_v);
+                }
+            }
+            let dpre_g_ref = MatRef::new(batch, 2 * h_dim, &dpre_g);
+            kernels::transpose_matmul_into(
+                MatRef::new(batch, i_dim, x_t),
+                dpre_g_ref,
+                MatMut::new(i_dim, 2 * h_dim, &mut tgx),
+            );
+            kernels::transpose_matmul_into(
+                MatRef::new(batch, h_dim, h_prev),
+                dpre_g_ref,
+                MatMut::new(h_dim, 2 * h_dim, &mut tgh),
+            );
+            let gwg = self.grad_w_gates.as_mut_slice();
+            for (g, &v) in gwg[..i_dim * 2 * h_dim].iter_mut().zip(tgx.iter()) {
+                *g += v;
+            }
+            for (g, &v) in gwg[i_dim * 2 * h_dim..].iter_mut().zip(tgh.iter()) {
+                *g += v;
+            }
+            bsum_g.fill(0.0);
+            for r in 0..batch {
+                let row = &dpre_g[r * 2 * h_dim..(r + 1) * 2 * h_dim];
+                for (o, &x) in bsum_g.iter_mut().zip(row.iter()) {
+                    *o += x;
+                }
+            }
+            for (g, &v) in self
+                .grad_b_gates
+                .as_mut_slice()
+                .iter_mut()
+                .zip(bsum_g.iter())
+            {
+                *g += v;
+            }
+            if let Some(grads) = input_grads.as_mut() {
+                // input_grads[t] = dx_c + dx_g, summed in that order.
+                let mut dx = Matrix::zeros(batch, i_dim);
+                kernels::matmul_transpose_into(dpre_c_ref, w_cx, dx.view_mut());
+                kernels::matmul_transpose_into(
+                    dpre_g_ref,
+                    w_gx,
+                    MatMut::new(batch, i_dim, &mut dxg),
+                );
+                for (o, &v) in dx.as_mut_slice().iter_mut().zip(dxg.iter()) {
+                    *o += v;
+                }
+                grads.push(dx);
+            }
+            // dh_prev += dpre_g @ W_gh^T (full dots, then added).
+            kernels::matmul_transpose_acc_into(
+                dpre_g_ref,
+                w_gh,
+                MatMut::new(batch, h_dim, &mut dhp),
+            );
+            std::mem::swap(&mut dh, &mut dhp);
         }
-        Seq::from_steps(input_grads)
+
+        self.ws.put(X_ALL, x_all);
+        self.ws.put(PREG_ALL, preg_all);
+        self.ws.put(CAND_ALL, cand_all);
+        self.ws.put(RH_ALL, rh_all);
+        self.ws.put(H_ALL, h_all);
+        self.ws.put(ZEROS, zeros);
+        self.ws.put(DH, dh);
+        self.ws.put(DHP, dhp);
+        self.ws.put(DPRE_C, dpre_c);
+        self.ws.put(DPRE_G, dpre_g);
+        self.ws.put(TGX, tgx);
+        self.ws.put(TGH, tgh);
+        self.ws.put(TCX, tcx);
+        self.ws.put(TCH, tch);
+        self.ws.put(BSUM_G, bsum_g);
+        self.ws.put(BSUM_C, bsum_c);
+        self.ws.put(DRH, drh);
+        self.ws.put(DXG, dxg);
+
+        input_grads.map(|mut grads| {
+            grads.reverse();
+            Seq::from_steps(grads)
+        })
     }
 
     /// Immutable access to the parameter tensors
@@ -268,18 +522,28 @@ impl Gru {
         ]
     }
 
-    /// Clears accumulated gradients.
+    /// Clears accumulated gradients (in place once correctly shaped).
     pub fn zero_grads(&mut self) {
-        self.grad_w_gates = Matrix::zeros(self.w_gates.rows(), self.w_gates.cols());
-        self.grad_b_gates = Matrix::zeros(1, self.b_gates.cols());
-        self.grad_w_cand = Matrix::zeros(self.w_cand.rows(), self.w_cand.cols());
-        self.grad_b_cand = Matrix::zeros(1, self.b_cand.cols());
+        let pairs = [
+            (&mut self.grad_w_gates, self.w_gates.shape()),
+            (&mut self.grad_b_gates, self.b_gates.shape()),
+            (&mut self.grad_w_cand, self.w_cand.shape()),
+            (&mut self.grad_b_cand, self.b_cand.shape()),
+        ];
+        for (grad, shape) in pairs {
+            if grad.shape() == shape {
+                grad.as_mut_slice().fill(0.0);
+            } else {
+                *grad = Matrix::zeros(shape.0, shape.1);
+            }
+        }
     }
 
     /// Restores transient state dropped by serde.
     pub(crate) fn rebuild_transient(&mut self) {
         self.zero_grads();
-        self.cache.clear();
+        self.cached_steps = 0;
+        self.cached_batch = 0;
     }
 }
 
@@ -333,6 +597,26 @@ mod tests {
         let mut g = Gru::new_seeded(1, 6, true, 7);
         for step in g.forward(&x, false).iter() {
             assert!(step.max_abs() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn eval_forward_does_not_clobber_training_cache() {
+        let x = Seq::from_samples(&[
+            Matrix::column_vector(&[0.1, 0.2, 0.3]),
+            Matrix::column_vector(&[0.4, 0.5, 0.6]),
+        ]);
+        let mut with_eval = Gru::new_seeded(1, 4, false, 6);
+        let mut plain = Gru::new_seeded(1, 4, false, 6);
+        let _ = with_eval.forward(&x, true);
+        let _ = plain.forward(&x, true);
+        let other = Seq::from_samples(&[Matrix::column_vector(&[0.9, -0.9])]);
+        let _ = with_eval.forward(&other, false);
+        let g = Seq::single(Matrix::ones(2, 4));
+        let dx1 = with_eval.backward(&g);
+        let dx2 = plain.backward(&g);
+        for t in 0..dx1.len() {
+            assert_eq!(dx1.step(t).as_slice(), dx2.step(t).as_slice());
         }
     }
 

@@ -1,26 +1,39 @@
 //! LSTM layer with full backpropagation through time.
+//!
+//! The hot path is fused and allocation-free: all per-timestep state
+//! (pre-activations, gates, cell/hidden trajectories) lives in a reusable
+//! [`Workspace`] arena, the input projection for every timestep is batched
+//! into one `(T*B) x 4H` GEMM, and the combined kernel is addressed through
+//! zero-copy `W_x`/`W_h` row views instead of per-step `hstack`. Every
+//! floating-point expression reproduces the original allocating
+//! implementation bitwise (see DESIGN.md §6 for the summation-order
+//! argument), so the golden fixture is unaffected.
 
 use crate::activation::stable_sigmoid;
 use crate::seq::Seq;
-use evfad_tensor::{Initializer, Matrix};
+use crate::workspace::Workspace;
+use evfad_tensor::{kernels, Initializer, MatMut, MatRef, Matrix};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-/// Per-timestep forward cache used by BPTT.
-#[derive(Debug, Clone, Default)]
-struct StepCache {
-    /// Concatenated `[x_t | h_{t-1}]`, shape `batch x (input + hidden)`.
-    z: Matrix,
-    /// Gate activations, each `batch x hidden`.
-    i: Matrix,
-    f: Matrix,
-    g: Matrix,
-    o: Matrix,
-    /// `tanh` of the cell state after the step.
-    tanh_c: Matrix,
-    /// Cell state before the step.
-    c_prev: Matrix,
-}
+// Workspace slot layout. Forward slots double as the BPTT cache; eval-mode
+// forwards use the same layout at `EVAL_BASE` so they never clobber a
+// pending training cache.
+const X_ALL: usize = 0; // (T*B) x I   input steps, contiguous
+const PRE_ALL: usize = 1; // (T*B) x 4H  pre-activations, then gates in place
+const C_ALL: usize = 2; // (T*B) x H   cell states
+const TANH_ALL: usize = 3; // (T*B) x H   tanh(c)
+const H_ALL: usize = 4; // (T*B) x H   hidden states
+const ZEROS: usize = 5; // B x H       zero h_-1 / c_-1 (re-zeroed per call)
+const DH: usize = 6; // B x H       running dh
+const DC: usize = 7; // B x H       running dc
+const DPRE: usize = 8; // B x 4H      per-step pre-activation gradient
+const TW_X: usize = 9; // I x 4H      x^T @ dpre staging
+const TW_H: usize = 10; // H x 4H      h^T @ dpre staging
+const BSUM: usize = 11; // 1 x 4H      column sums of dpre
+const WXT: usize = 12; // 4H x I      W_x^T, staged once per backward
+const WHT: usize = 13; // 4H x H      W_h^T, staged once per backward
+const EVAL_BASE: usize = 16;
 
 /// A Long Short-Term Memory layer.
 ///
@@ -67,7 +80,12 @@ pub struct Lstm {
     #[serde(skip)]
     grad_b: Matrix,
     #[serde(skip)]
-    cache: Vec<StepCache>,
+    ws: Workspace,
+    /// Timesteps cached by the last training forward (0 = no cache).
+    #[serde(skip)]
+    cached_steps: usize,
+    #[serde(skip)]
+    cached_batch: usize,
 }
 
 impl Lstm {
@@ -105,7 +123,9 @@ impl Lstm {
             b,
             grad_w: Matrix::zeros(z_dim, 4 * hidden_dim),
             grad_b: Matrix::zeros(1, 4 * hidden_dim),
-            cache: Vec::new(),
+            ws: Workspace::new(),
+            cached_steps: 0,
+            cached_batch: 0,
         }
     }
 
@@ -156,45 +176,117 @@ impl Lstm {
             self.input_dim,
             input.features()
         );
+        // Eval forwards run the same fused path in a disjoint slot range so
+        // an in-flight training cache survives them.
+        let base = if training { 0 } else { EVAL_BASE };
+        let steps = input.len();
         let batch = input.batch_size();
-        let h_dim = self.hidden_dim;
-        let mut h = Matrix::zeros(batch, h_dim);
-        let mut c = Matrix::zeros(batch, h_dim);
-        if training {
-            self.cache.clear();
+        let (i_dim, h_dim) = (self.input_dim, self.hidden_dim);
+        let (bi, bh, b4h) = (batch * i_dim, batch * h_dim, batch * 4 * h_dim);
+
+        let mut x_all = self.ws.take(base + X_ALL, steps * bi);
+        let mut pre_all = self.ws.take(base + PRE_ALL, steps * b4h);
+        let mut c_all = self.ws.take(base + C_ALL, steps * bh);
+        let mut tanh_all = self.ws.take(base + TANH_ALL, steps * bh);
+        let mut h_all = self.ws.take(base + H_ALL, steps * bh);
+        let mut zeros = self.ws.take(base + ZEROS, bh);
+        zeros.fill(0.0);
+
+        for (t, x_t) in input.iter().enumerate() {
+            x_all[t * bi..(t + 1) * bi].copy_from_slice(x_t.as_slice());
         }
-        let mut outputs = Vec::with_capacity(input.len());
-        for x_t in input.iter() {
-            let z = x_t.hstack(&h);
-            let pre = z.matmul(&self.w).add_row_broadcast(&self.b);
-            let i = pre.slice_cols(0..h_dim).map(stable_sigmoid);
-            let f = pre.slice_cols(h_dim..2 * h_dim).map(stable_sigmoid);
-            let g = pre.slice_cols(2 * h_dim..3 * h_dim).map(f64::tanh);
-            let o = pre.slice_cols(3 * h_dim..4 * h_dim).map(stable_sigmoid);
-            let c_prev = c.clone();
-            c = f.hadamard(&c_prev).zip_map(&i.hadamard(&g), |a, b| a + b);
-            let tanh_c = c.map(f64::tanh);
-            h = o.hadamard(&tanh_c);
-            if training {
-                self.cache.push(StepCache {
-                    z,
-                    i,
-                    f,
-                    g,
-                    o,
-                    tanh_c: tanh_c.clone(),
-                    c_prev,
-                });
-            }
-            if self.return_sequences {
-                outputs.push(h.clone());
+        // Batched input projection: accumulating the x-columns first and the
+        // h-columns second reproduces the `[x|h] @ W` summation order, so
+        // this is bitwise identical to the per-step concatenated product.
+        kernels::matmul_into(
+            MatRef::new(steps * batch, i_dim, &x_all),
+            self.w.rows_view(0..i_dim),
+            MatMut::new(steps * batch, 4 * h_dim, &mut pre_all),
+        );
+        let w_h = self.w.rows_view(i_dim..i_dim + h_dim);
+
+        for t in 0..steps {
+            let (h_done, h_rest) = h_all.split_at_mut(t * bh);
+            let h_prev = if t == 0 {
+                &zeros[..]
+            } else {
+                &h_done[(t - 1) * bh..]
+            };
+            let pre_t = &mut pre_all[t * b4h..(t + 1) * b4h];
+            kernels::matmul_acc_into(
+                MatRef::new(batch, h_dim, h_prev),
+                w_h,
+                MatMut::new(batch, 4 * h_dim, pre_t),
+            );
+            kernels::add_row_broadcast_into(MatMut::new(batch, 4 * h_dim, pre_t), self.b.view());
+            // Fused gate nonlinearities + cell/hidden update, single pass.
+            let (c_done, c_rest) = c_all.split_at_mut(t * bh);
+            let c_prev = if t == 0 {
+                &zeros[..]
+            } else {
+                &c_done[(t - 1) * bh..]
+            };
+            let c_t = &mut c_rest[..bh];
+            let tanh_t = &mut tanh_all[t * bh..(t + 1) * bh];
+            let h_t = &mut h_rest[..bh];
+            for r in 0..batch {
+                let gates = &mut pre_t[r * 4 * h_dim..(r + 1) * 4 * h_dim];
+                let (gi, rest) = gates.split_at_mut(h_dim);
+                let (gf, rest) = rest.split_at_mut(h_dim);
+                let (gg, go) = rest.split_at_mut(h_dim);
+                let row = r * h_dim..(r + 1) * h_dim;
+                let it = gi
+                    .iter_mut()
+                    .zip(gf.iter_mut())
+                    .zip(gg.iter_mut())
+                    .zip(go.iter_mut())
+                    .zip(&c_prev[row.clone()])
+                    .zip(&mut c_t[row.clone()])
+                    .zip(&mut tanh_t[row.clone()])
+                    .zip(&mut h_t[row]);
+                for (((((((iv, fv), gv), ov), &cp), ct), tt), ht) in it {
+                    let i_v = stable_sigmoid(*iv);
+                    let f_v = stable_sigmoid(*fv);
+                    let g_v = gv.tanh();
+                    let o_v = stable_sigmoid(*ov);
+                    *iv = i_v;
+                    *fv = f_v;
+                    *gv = g_v;
+                    *ov = o_v;
+                    let c_v = (f_v * cp) + (i_v * g_v);
+                    let tc = c_v.tanh();
+                    *ct = c_v;
+                    *tt = tc;
+                    *ht = o_v * tc;
+                }
             }
         }
-        if self.return_sequences {
-            Seq::from_steps(outputs)
+
+        let out = if self.return_sequences {
+            Seq::from_steps(
+                (0..steps)
+                    .map(|t| Matrix::from_vec(batch, h_dim, h_all[t * bh..(t + 1) * bh].to_vec()))
+                    .collect(),
+            )
         } else {
-            Seq::single(h)
+            Seq::single(Matrix::from_vec(
+                batch,
+                h_dim,
+                h_all[(steps - 1) * bh..].to_vec(),
+            ))
+        };
+
+        self.ws.put(base + X_ALL, x_all);
+        self.ws.put(base + PRE_ALL, pre_all);
+        self.ws.put(base + C_ALL, c_all);
+        self.ws.put(base + TANH_ALL, tanh_all);
+        self.ws.put(base + H_ALL, h_all);
+        self.ws.put(base + ZEROS, zeros);
+        if training {
+            self.cached_steps = steps;
+            self.cached_batch = batch;
         }
+        out
     }
 
     /// Backward pass through time.
@@ -208,53 +300,179 @@ impl Lstm {
     ///
     /// Panics if called without a preceding training-mode forward pass.
     pub fn backward(&mut self, grad: &Seq) -> Seq {
-        let steps = self.cache.len();
+        self.backward_input(grad, true)
+            .expect("input gradient requested")
+    }
+
+    /// [`Lstm::backward`] with an optional input-gradient computation.
+    ///
+    /// Passing `need_input_grad = false` skips the `dpre @ W_x^T` product
+    /// per step (the first layer of a model discards that gradient anyway)
+    /// and returns `None`. Parameter gradients are always accumulated.
+    pub fn backward_input(&mut self, grad: &Seq, need_input_grad: bool) -> Option<Seq> {
+        let steps = self.cached_steps;
         assert!(steps > 0, "backward requires a training forward pass");
         if self.return_sequences {
             assert_eq!(grad.len(), steps, "gradient length mismatch");
         } else {
             assert_eq!(grad.len(), 1, "single-step gradient expected");
         }
-        let h_dim = self.hidden_dim;
-        let batch = grad.step(0).rows();
-        let mut dh_next = Matrix::zeros(batch, h_dim);
-        let mut dc_next = Matrix::zeros(batch, h_dim);
-        let mut input_grads = vec![Matrix::zeros(batch, self.input_dim); steps];
+        let (i_dim, h_dim) = (self.input_dim, self.hidden_dim);
+        let batch = self.cached_batch;
+        let (bi, bh, b4h) = (batch * i_dim, batch * h_dim, batch * 4 * h_dim);
+
+        let x_all = self.ws.take(X_ALL, steps * bi);
+        let pre_all = self.ws.take(PRE_ALL, steps * b4h);
+        let c_all = self.ws.take(C_ALL, steps * bh);
+        let tanh_all = self.ws.take(TANH_ALL, steps * bh);
+        let h_all = self.ws.take(H_ALL, steps * bh);
+        let zeros = self.ws.take(ZEROS, bh);
+        let mut dh = self.ws.take(DH, bh);
+        let mut dc = self.ws.take(DC, bh);
+        let mut dpre = self.ws.take(DPRE, b4h);
+        let mut tw_x = self.ws.take(TW_X, i_dim * 4 * h_dim);
+        let mut tw_h = self.ws.take(TW_H, h_dim * 4 * h_dim);
+        let mut bsum = self.ws.take(BSUM, 4 * h_dim);
+        let mut wxt = self.ws.take(WXT, 4 * h_dim * i_dim);
+        let mut wht = self.ws.take(WHT, 4 * h_dim * h_dim);
+        dh.fill(0.0);
+        dc.fill(0.0);
+
+        // Stage W_x^T / W_h^T once so the per-step `dpre @ W^T` products can
+        // run through the streaming matmul kernel instead of the dot kernel
+        // (bitwise identical: same terms in the same ascending-k order).
+        let w_x = self.w.rows_view(0..i_dim);
+        let w_h = self.w.rows_view(i_dim..i_dim + h_dim);
+        kernels::transpose_into(w_x, MatMut::new(4 * h_dim, i_dim, &mut wxt));
+        kernels::transpose_into(w_h, MatMut::new(4 * h_dim, h_dim, &mut wht));
+        let wxt_ref = MatRef::new(4 * h_dim, i_dim, &wxt);
+        let wht_ref = MatRef::new(4 * h_dim, h_dim, &wht);
+        let mut input_grads = need_input_grad.then(|| Vec::with_capacity(steps));
 
         for t in (0..steps).rev() {
-            let cache = &self.cache[t];
-            let mut dh = dh_next.clone();
             if self.return_sequences {
-                dh += grad.step(t);
+                for (d, &g) in dh.iter_mut().zip(grad.step(t).as_slice()) {
+                    *d += g;
+                }
             } else if t == steps - 1 {
-                dh += grad.step(0);
+                for (d, &g) in dh.iter_mut().zip(grad.step(0).as_slice()) {
+                    *d += g;
+                }
             }
-            // h = o * tanh(c)
-            let d_o = dh.hadamard(&cache.tanh_c);
-            let mut dc = dh
-                .hadamard(&cache.o)
-                .zip_map(&cache.tanh_c, |v, tc| v * (1.0 - tc * tc));
-            dc += &dc_next;
-            // c = f*c_prev + i*g
-            let d_i = dc.hadamard(&cache.g);
-            let d_f = dc.hadamard(&cache.c_prev);
-            let d_g = dc.hadamard(&cache.i);
-            dc_next = dc.hadamard(&cache.f);
-            // Through the gate nonlinearities.
-            let dp_i = d_i.zip_map(&cache.i, |d, y| d * y * (1.0 - y));
-            let dp_f = d_f.zip_map(&cache.f, |d, y| d * y * (1.0 - y));
-            let dp_g = d_g.zip_map(&cache.g, |d, y| d * (1.0 - y * y));
-            let dp_o = d_o.zip_map(&cache.o, |d, y| d * y * (1.0 - y));
-            let dpre = dp_i.hstack(&dp_f).hstack(&dp_g).hstack(&dp_o);
-            // Parameter gradients.
-            self.grad_w += &cache.z.transpose_matmul(&dpre);
-            self.grad_b += &dpre.sum_rows();
-            // Through the concatenation z = [x | h_prev].
-            let dz = dpre.matmul_transpose(&self.w);
-            input_grads[t] = dz.slice_cols(0..self.input_dim);
-            dh_next = dz.slice_cols(self.input_dim..self.input_dim + h_dim);
+            let pre_t = &pre_all[t * b4h..(t + 1) * b4h];
+            let tanh_t = &tanh_all[t * bh..(t + 1) * bh];
+            let c_prev = if t == 0 {
+                &zeros[..]
+            } else {
+                &c_all[(t - 1) * bh..t * bh]
+            };
+            let h_prev = if t == 0 {
+                &zeros[..]
+            } else {
+                &h_all[(t - 1) * bh..t * bh]
+            };
+            // Fused gate backward: identical expression trees to the
+            // allocating version (products grouped left-to-right).
+            for r in 0..batch {
+                let gates = &pre_t[r * 4 * h_dim..(r + 1) * 4 * h_dim];
+                let (gi, rest) = gates.split_at(h_dim);
+                let (gf, rest) = rest.split_at(h_dim);
+                let (gg, go) = rest.split_at(h_dim);
+                let dpre_row = &mut dpre[r * 4 * h_dim..(r + 1) * 4 * h_dim];
+                let (di, rest) = dpre_row.split_at_mut(h_dim);
+                let (df, rest) = rest.split_at_mut(h_dim);
+                let (dg, dov) = rest.split_at_mut(h_dim);
+                let row = r * h_dim..(r + 1) * h_dim;
+                let it = di
+                    .iter_mut()
+                    .zip(df.iter_mut())
+                    .zip(dg.iter_mut())
+                    .zip(dov.iter_mut())
+                    .zip(gi)
+                    .zip(gf)
+                    .zip(gg)
+                    .zip(go)
+                    .zip(&tanh_t[row.clone()])
+                    .zip(&c_prev[row.clone()])
+                    .zip(&dh[row.clone()])
+                    .zip(&mut dc[row]);
+                #[allow(clippy::type_complexity)]
+                for (
+                    (
+                        (((((((((di_v, df_v), dg_v), do_v), &i_v), &f_v), &g_v), &o_v), &tc), &cp),
+                        &dh_v,
+                    ),
+                    dc_el,
+                ) in it
+                {
+                    // h = o * tanh(c);  c = f*c_prev + i*g
+                    let d_o = dh_v * tc;
+                    let dc_v = ((dh_v * o_v) * (1.0 - tc * tc)) + *dc_el;
+                    *di_v = ((dc_v * g_v) * i_v) * (1.0 - i_v);
+                    *df_v = ((dc_v * cp) * f_v) * (1.0 - f_v);
+                    *dg_v = (dc_v * i_v) * (1.0 - g_v * g_v);
+                    *do_v = (d_o * o_v) * (1.0 - o_v);
+                    *dc_el = dc_v * f_v;
+                }
+            }
+            // Parameter gradients: full products staged into temporaries,
+            // then added — the grouping the allocating `+=` produced.
+            let dpre_ref = MatRef::new(batch, 4 * h_dim, &dpre);
+            kernels::transpose_matmul_into(
+                MatRef::new(batch, i_dim, &x_all[t * bi..(t + 1) * bi]),
+                dpre_ref,
+                MatMut::new(i_dim, 4 * h_dim, &mut tw_x),
+            );
+            kernels::transpose_matmul_into(
+                MatRef::new(batch, h_dim, h_prev),
+                dpre_ref,
+                MatMut::new(h_dim, 4 * h_dim, &mut tw_h),
+            );
+            let gw = self.grad_w.as_mut_slice();
+            for (g, &v) in gw[..i_dim * 4 * h_dim].iter_mut().zip(tw_x.iter()) {
+                *g += v;
+            }
+            for (g, &v) in gw[i_dim * 4 * h_dim..].iter_mut().zip(tw_h.iter()) {
+                *g += v;
+            }
+            bsum.fill(0.0);
+            for r in 0..batch {
+                let row = &dpre[r * 4 * h_dim..(r + 1) * 4 * h_dim];
+                for (o, &x) in bsum.iter_mut().zip(row.iter()) {
+                    *o += x;
+                }
+            }
+            for (g, &v) in self.grad_b.as_mut_slice().iter_mut().zip(bsum.iter()) {
+                *g += v;
+            }
+            // Through z = [x | h_prev]: column blocks of dpre @ W^T.
+            if let Some(grads) = input_grads.as_mut() {
+                let mut dx = Matrix::zeros(batch, i_dim);
+                kernels::matmul_into(dpre_ref, wxt_ref, dx.view_mut());
+                grads.push(dx);
+            }
+            kernels::matmul_into(dpre_ref, wht_ref, MatMut::new(batch, h_dim, &mut dh));
         }
-        Seq::from_steps(input_grads)
+
+        self.ws.put(X_ALL, x_all);
+        self.ws.put(PRE_ALL, pre_all);
+        self.ws.put(C_ALL, c_all);
+        self.ws.put(TANH_ALL, tanh_all);
+        self.ws.put(H_ALL, h_all);
+        self.ws.put(ZEROS, zeros);
+        self.ws.put(DH, dh);
+        self.ws.put(DC, dc);
+        self.ws.put(DPRE, dpre);
+        self.ws.put(TW_X, tw_x);
+        self.ws.put(TW_H, tw_h);
+        self.ws.put(BSUM, bsum);
+        self.ws.put(WXT, wxt);
+        self.ws.put(WHT, wht);
+
+        input_grads.map(|mut grads| {
+            grads.reverse();
+            Seq::from_steps(grads)
+        })
     }
 
     /// Immutable access to `(kernel, bias)`.
@@ -270,16 +488,25 @@ impl Lstm {
         ]
     }
 
-    /// Clears accumulated gradients.
+    /// Clears accumulated gradients (in place once correctly shaped).
     pub fn zero_grads(&mut self) {
-        self.grad_w = Matrix::zeros(self.w.rows(), self.w.cols());
-        self.grad_b = Matrix::zeros(1, self.b.cols());
+        if self.grad_w.shape() == self.w.shape() {
+            self.grad_w.as_mut_slice().fill(0.0);
+        } else {
+            self.grad_w = Matrix::zeros(self.w.rows(), self.w.cols());
+        }
+        if self.grad_b.shape() == self.b.shape() {
+            self.grad_b.as_mut_slice().fill(0.0);
+        } else {
+            self.grad_b = Matrix::zeros(1, self.b.cols());
+        }
     }
 
     /// Restores transient state dropped by serde.
     pub(crate) fn rebuild_transient(&mut self) {
         self.zero_grads();
-        self.cache.clear();
+        self.cached_steps = 0;
+        self.cached_batch = 0;
     }
 }
 
@@ -378,6 +605,46 @@ mod tests {
     }
 
     #[test]
+    fn eval_forward_does_not_clobber_training_cache() {
+        let x = Seq::from_samples(&[
+            Matrix::column_vector(&[0.1, 0.2, 0.3]),
+            Matrix::column_vector(&[0.4, 0.5, 0.6]),
+        ]);
+        let mut with_eval = Lstm::new_seeded(1, 4, false, 6);
+        let mut plain = Lstm::new_seeded(1, 4, false, 6);
+        let _ = with_eval.forward(&x, true);
+        let _ = plain.forward(&x, true);
+        // An eval forward (e.g. a validation pass) between forward and
+        // backward must not disturb the training cache.
+        let other = Seq::from_samples(&[Matrix::column_vector(&[0.9, -0.9, 0.9, -0.9])]);
+        let _ = with_eval.forward(&other, false);
+        let g = Seq::single(Matrix::ones(2, 4));
+        let dx1 = with_eval.backward(&g);
+        let dx2 = plain.backward(&g);
+        for t in 0..dx1.len() {
+            assert_eq!(dx1.step(t).as_slice(), dx2.step(t).as_slice());
+        }
+    }
+
+    #[test]
+    fn backward_without_input_grad_accumulates_same_params() {
+        let x = Seq::from_samples(&[
+            Matrix::column_vector(&[0.1, 0.2, 0.3]),
+            Matrix::column_vector(&[0.4, 0.5, 0.6]),
+        ]);
+        let g = Seq::single(Matrix::ones(2, 4));
+        let mut a = Lstm::new_seeded(1, 4, false, 6);
+        let mut b = Lstm::new_seeded(1, 4, false, 6);
+        let _ = a.forward(&x, true);
+        let _ = b.forward(&x, true);
+        let _ = a.backward(&g);
+        assert!(b.backward_input(&g, false).is_none());
+        let ga: Vec<f64> = a.params_and_grads_mut()[0].1.as_slice().to_vec();
+        let gb: Vec<f64> = b.params_and_grads_mut()[0].1.as_slice().to_vec();
+        assert_eq!(ga, gb);
+    }
+
+    #[test]
     fn serde_round_trip() {
         let l = Lstm::new_seeded(2, 3, true, 11);
         let json = serde_json::to_string(&l).expect("serialize");
@@ -385,7 +652,7 @@ mod tests {
         back.rebuild_transient();
         assert_eq!(l.params()[0], back.params()[0]);
         assert_eq!(l.params()[1], back.params()[1]);
-        assert_eq!(back.return_sequences(), true);
+        assert!(back.return_sequences());
     }
 
     #[test]

@@ -55,6 +55,7 @@ mod loss;
 mod model;
 mod optimizer;
 mod seq;
+mod workspace;
 
 pub use activation::Activation;
 pub use error::{NnError, NnResult};
@@ -67,3 +68,4 @@ pub use model::{
 };
 pub use optimizer::{Adam, Optimizer, Sgd};
 pub use seq::Seq;
+pub use workspace::Workspace;

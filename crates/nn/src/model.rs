@@ -202,19 +202,25 @@ impl Sequential {
 
     /// Forward pass through every layer.
     pub fn forward(&mut self, input: &Seq, training: bool) -> Seq {
-        let mut x = input.clone();
-        for layer in &mut self.layers {
+        let mut layers = self.layers.iter_mut();
+        let mut x = match layers.next() {
+            Some(first) => first.forward(input, training),
+            None => return input.clone(),
+        };
+        for layer in layers {
             x = layer.forward(&x, training);
         }
         x
     }
 
     /// Backward pass through every layer (reverse order), accumulating
-    /// parameter gradients.
+    /// parameter gradients. The first layer skips its input-gradient
+    /// product — nothing consumes it.
     pub fn backward(&mut self, grad: &Seq) {
-        let mut g = grad.clone();
-        for layer in self.layers.iter_mut().rev() {
-            g = layer.backward(&g);
+        let mut g: Option<Seq> = None;
+        for (i, layer) in self.layers.iter_mut().enumerate().rev() {
+            let upstream = g.as_ref().unwrap_or(grad);
+            g = layer.backward_input(upstream, i > 0);
         }
     }
 
@@ -254,6 +260,35 @@ impl Sequential {
             count += chunk.len();
         }
         total / count as f64
+    }
+
+    /// Runs one mini-batch gradient step — forward, loss, backward,
+    /// optional gradient clipping, optimiser update, gradient reset — and
+    /// returns the batch loss. This is the training hot path
+    /// [`Sequential::fit`] iterates; it is public so benchmarks and custom
+    /// training loops can drive single steps.
+    pub fn train_batch(
+        &mut self,
+        input: &Seq,
+        target: &Seq,
+        loss: Loss,
+        clip_norm: Option<f64>,
+    ) -> f64 {
+        let pred = self.forward(input, true);
+        let (loss_value, grad) = loss.evaluate(&pred, target);
+        self.backward(&grad);
+        if let Some(max_norm) = clip_norm {
+            self.clip_gradients(max_norm);
+        }
+        let mut pg: Vec<(&mut Matrix, &mut Matrix)> = self
+            .layers
+            .iter_mut()
+            .flat_map(|l| l.params_and_grads_mut())
+            .collect();
+        self.optimizer.step(&mut pg);
+        drop(pg);
+        self.zero_grads();
+        loss_value
     }
 
     /// Trains the model with mini-batch gradient descent.

@@ -242,6 +242,68 @@ mod tests {
         assert!((opt.learning_rate() - 0.001).abs() < 1e-12);
     }
 
+    /// Deterministic pseudo-gradient stream (no RNG: reproducible bitwise).
+    fn fake_grad(step: usize, rows: usize, cols: usize) -> Matrix {
+        Matrix::from_fn(rows, cols, |r, c| {
+            ((step * 131 + r * 17 + c * 7) as f64 * 0.37).sin() * 1.5
+        })
+    }
+
+    /// The in-place Adam kernel must follow the exact trajectory of a
+    /// naively allocating reference that evaluates the same expression tree
+    /// (`w - lr * m_hat / (v_hat.sqrt() + eps)`), bit for bit, so optimiser
+    /// state never drifts from the golden fixtures.
+    #[test]
+    fn adam_trajectory_matches_allocating_reference_bitwise() {
+        let (lr, beta1, beta2, eps) = (0.001, 0.9, 0.999, 1e-8);
+        let mut opt = Adam::new(lr);
+        let mut w = Matrix::from_fn(4, 3, |r, c| (r as f64 - c as f64) * 0.25);
+        let mut w_ref = w.clone();
+        let mut m_ref = Matrix::zeros(4, 3);
+        let mut v_ref = Matrix::zeros(4, 3);
+        for step in 1..=50 {
+            let mut g = fake_grad(step, 4, 3);
+            opt.step(&mut [(&mut w, &mut g)]);
+
+            let b1t = 1.0 - beta1_pow(beta1, step);
+            let b2t = 1.0 - beta1_pow(beta2, step);
+            m_ref = m_ref.zip_map(&g, |mv, gv| beta1 * mv + (1.0 - beta1) * gv);
+            v_ref = v_ref.zip_map(&g, |vv, gv| beta2 * vv + (1.0 - beta2) * gv * gv);
+            let num = m_ref.zip_map(&v_ref, |mv, vv| {
+                let m_hat = mv / b1t;
+                let v_hat = vv / b2t;
+                lr * m_hat / (v_hat.sqrt() + eps)
+            });
+            w_ref = w_ref.zip_map(&num, |wv, u| wv - u);
+
+            for (a, b) in w.as_slice().iter().zip(w_ref.as_slice()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "diverged at step {step}");
+            }
+        }
+    }
+
+    fn beta1_pow(beta: f64, t: usize) -> f64 {
+        beta.powi(t as i32)
+    }
+
+    /// `Sgd::step` goes through `Matrix::axpy` (`w += (-lr) * g`); pin it
+    /// against the same expression evaluated through fresh allocations.
+    #[test]
+    fn sgd_trajectory_matches_allocating_reference_bitwise() {
+        let lr = 0.05;
+        let mut opt = Sgd::new(lr);
+        let mut w = Matrix::from_fn(3, 5, |r, c| ((r * 5 + c) as f64).cos());
+        let mut w_ref = w.clone();
+        for step in 1..=50 {
+            let mut g = fake_grad(step, 3, 5);
+            opt.step(&mut [(&mut w, &mut g)]);
+            w_ref = w_ref.zip_map(&g, |wv, gv| wv + (-lr) * gv);
+            for (a, b) in w.as_slice().iter().zip(w_ref.as_slice()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "diverged at step {step}");
+            }
+        }
+    }
+
     #[test]
     fn sgd_multi_param_update() {
         let mut opt = Sgd::new(1.0);

@@ -1,0 +1,82 @@
+//! Allocation-regression gate for the fused recurrent hot path.
+//!
+//! These tests read the process-global matrix-allocation counters from
+//! `evfad_tensor::alloc_stats()`, so they live in their own integration-test
+//! binary (own process) and serialise on a local mutex to keep the deltas
+//! attributable.
+
+use evfad_nn::{forecaster_model, Loss, Seq, Sequential};
+use evfad_tensor::{alloc_stats, AllocStats, Matrix};
+use std::sync::Mutex;
+
+static GUARD: Mutex<()> = Mutex::new(());
+
+fn toy_batch(seq_len: usize, batch: usize) -> (Seq, Seq) {
+    let inputs: Vec<Matrix> = (0..batch)
+        .map(|i| Matrix::from_fn(seq_len, 1, |t, _| ((i * 7 + t) as f64 * 0.31).sin()))
+        .collect();
+    let targets: Vec<Matrix> = (0..batch)
+        .map(|i| Matrix::from_fn(1, 1, |_, _| ((i * 7 + seq_len) as f64 * 0.31).sin()))
+        .collect();
+    (Seq::from_samples(&inputs), Seq::from_samples(&targets))
+}
+
+/// One forward/backward pass (the training hot path; the optimiser update is
+/// fully in place and allocates nothing).
+fn train_step(model: &mut Sequential, x: &Seq, y: &Seq) {
+    let pred = model.forward(x, true);
+    let (_, grad) = Loss::Mse.evaluate(&pred, y);
+    model.backward(&grad);
+    model.zero_grads();
+}
+
+/// Matrix allocations of a *warm* train step (workspaces already sized).
+fn warm_step_allocs(seq_len: usize) -> AllocStats {
+    let mut model = forecaster_model(16, 7);
+    let (x, y) = toy_batch(seq_len, 8);
+    for _ in 0..2 {
+        train_step(&mut model, &x, &y);
+    }
+    let before = alloc_stats();
+    train_step(&mut model, &x, &y);
+    alloc_stats().since(&before)
+}
+
+/// The forecaster's warm train step must allocate a number of matrices that
+/// is independent of the sequence length: all per-timestep scratch lives in
+/// the layer workspaces. Doubling (and tripling) T must not change the count.
+#[test]
+fn warm_train_step_matrix_allocs_are_o1_in_sequence_length() {
+    let _guard = GUARD.lock().unwrap();
+    let short = warm_step_allocs(8);
+    let double = warm_step_allocs(16);
+    let triple = warm_step_allocs(24);
+    assert_eq!(
+        short.matrices, double.matrices,
+        "per-step matrix allocations grew with T: {short:?} vs {double:?}"
+    );
+    assert_eq!(
+        double.matrices, triple.matrices,
+        "per-step matrix allocations grew with T: {double:?} vs {triple:?}"
+    );
+    // Pin an absolute ceiling too, so per-step clones cannot creep back in
+    // behind a coincidentally T-independent count.
+    assert!(
+        short.matrices <= 32,
+        "warm train step allocated {} matrices",
+        short.matrices
+    );
+}
+
+/// A warm step must also not allocate more *bytes* when only T grows; all
+/// T-proportional buffers belong to the reusable workspaces.
+#[test]
+fn warm_train_step_bytes_are_o1_in_sequence_length() {
+    let _guard = GUARD.lock().unwrap();
+    let short = warm_step_allocs(8);
+    let double = warm_step_allocs(16);
+    assert_eq!(
+        short.bytes, double.bytes,
+        "per-step allocated bytes grew with T"
+    );
+}

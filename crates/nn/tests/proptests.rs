@@ -17,7 +17,7 @@ proptest! {
         let mut model = Sequential::new(seed)
             .with(Lstm::new(1, 4, false))
             .with(Dense::new(4, 1, Activation::Linear));
-        let a = model.predict(&[x.clone()]);
+        let a = model.predict(std::slice::from_ref(&x));
         let b = model.predict(&[x]);
         prop_assert_eq!(a, b);
     }
@@ -33,7 +33,7 @@ proptest! {
             .with(Lstm::new(1, 3, false))
             .with(Dense::new(3, 1, Activation::Linear));
         receiver.set_weights(&donor.weights()).expect("same architecture");
-        prop_assert_eq!(donor.predict(&[x.clone()]), receiver.predict(&[x]));
+        prop_assert_eq!(donor.predict(std::slice::from_ref(&x)), receiver.predict(&[x]));
     }
 
     /// LSTM outputs stay bounded (|h| < 1 elementwise by construction).
@@ -90,6 +90,6 @@ proptest! {
             .with(Lstm::new(1, 3, true))
             .with(Dense::new(3, 1, Activation::Sigmoid));
         let mut restored = Sequential::from_json(&model.to_json()).expect("round trip");
-        prop_assert_eq!(model.predict(&[x.clone()]), restored.predict(&[x]));
+        prop_assert_eq!(model.predict(std::slice::from_ref(&x)), restored.predict(&[x]));
     }
 }

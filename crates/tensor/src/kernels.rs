@@ -1,0 +1,729 @@
+//! In-place and accumulating dense kernels over borrowed buffers.
+//!
+//! The allocating [`Matrix`](crate::Matrix) operations are convenient but
+//! force one fresh buffer per call; a recurrent training step strings dozens
+//! of them together per timestep. This module provides the same inner loops
+//! over *caller-owned* storage: lightweight [`MatRef`]/[`MatMut`] views plus
+//! a family of `*_into` (overwrite) and `*_acc_into` (accumulate) kernels.
+//!
+//! # Bitwise contract
+//!
+//! Every kernel here reuses the exact inner loop of its allocating
+//! counterpart — same iteration order, same `a == 0.0` skip in the
+//! `matmul`/`transpose_matmul` accumulation, same per-element expression —
+//! and dispatches through [`crate::parallel::row_partitioned`], so results
+//! are bitwise identical to the `Matrix` methods for every thread count.
+//!
+//! The accumulating forms continue the running sum *element by element* in
+//! ascending `k` order. That gives the splitting identity the recurrent
+//! layers rely on: for row-blocked operands,
+//!
+//! ```text
+//! matmul_into(x, W_x, out); matmul_acc_into(h, W_h, out)
+//!   ==  [x | h] · [W_x ; W_h]     (bitwise)
+//! ```
+//!
+//! because the combined product accumulates over the `x` columns first and
+//! the `h` columns second — exactly the order the two-call form replays.
+//! Note this is *not* the same as `out += x·W_x` computed separately and
+//! added afterwards (that would regroup the floating-point sums).
+//!
+//! # Why the unrolled loops stay bitwise
+//!
+//! The streaming kernels process four (or eight) `k` steps per pass with a
+//! single left-associative chain per element,
+//! `(((o + a0·v0) + a1·v1) + a2·v2) + a3·v3`, which performs the same
+//! successive `+=` updates the reference loop would — same order, same
+//! grouping. The chain is only taken when every multiplier is nonzero;
+//! any exact `0.0` falls back to the reference skip loop, preserving the
+//! skip's observable effects (`-0.0` signs, `0·inf`, `0·NaN`). The dot
+//! kernels unroll across *output elements* instead: each accumulator is a
+//! complete, untouched scalar dot product.
+//!
+//! # Streaming a transposed product
+//!
+//! `dpre · Wᵀ` can be computed either with the dot kernel
+//! ([`matmul_transpose_into`]) or by staging `Wᵀ` once
+//! ([`transpose_into`]) and streaming [`matmul_into`] over it. Both forms
+//! add the same terms in the same ascending-`k` order; they can differ
+//! only through the streaming kernel's `== 0.0` skip, and a skipped term
+//! `0.0 · w` is `±0.0` for every finite `w`, which never changes an
+//! accumulator that started at `+0.0`. The recurrent layers use the
+//! streaming form for `dh`/`dx` (weights are finite by construction —
+//! non-finite weights would already have poisoned the loss).
+//!
+//! # Examples
+//!
+//! ```
+//! use evfad_tensor::{kernels, Matrix};
+//!
+//! let a = Matrix::from_rows(&[vec![1.0, 2.0]]);
+//! let b = Matrix::from_rows(&[vec![3.0], vec![4.0]]);
+//! let mut out = vec![0.0];
+//! kernels::matmul_into(a.view(), b.view(), kernels::MatMut::new(1, 1, &mut out));
+//! assert_eq!(out[0], 11.0);
+//! ```
+
+/// Borrowed, immutable row-major matrix view.
+///
+/// A view is just `(rows, cols, &[f64])`; it can wrap a whole
+/// [`Matrix`](crate::Matrix) ([`Matrix::view`](crate::Matrix::view)), a
+/// contiguous row range of one
+/// ([`Matrix::rows_view`](crate::Matrix::rows_view)), or any caller-owned
+/// scratch buffer.
+#[derive(Debug, Clone, Copy)]
+pub struct MatRef<'a> {
+    rows: usize,
+    cols: usize,
+    data: &'a [f64],
+}
+
+impl<'a> MatRef<'a> {
+    /// Wraps a row-major buffer as a `rows x cols` view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn new(rows: usize, cols: usize, data: &'a [f64]) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer of length {} cannot view a {rows}x{cols} matrix",
+            data.len()
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Flat row-major contents.
+    pub fn as_slice(&self) -> &'a [f64] {
+        self.data
+    }
+
+    /// Borrow of one row.
+    fn row(&self, i: usize) -> &'a [f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+}
+
+/// Borrowed, mutable row-major matrix view (the output of a kernel).
+#[derive(Debug)]
+pub struct MatMut<'a> {
+    rows: usize,
+    cols: usize,
+    data: &'a mut [f64],
+}
+
+impl<'a> MatMut<'a> {
+    /// Wraps a mutable row-major buffer as a `rows x cols` view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn new(rows: usize, cols: usize, data: &'a mut [f64]) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer of length {} cannot view a {rows}x{cols} matrix",
+            data.len()
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+}
+
+/// `out = a · b`, overwriting `out`.
+///
+/// Bitwise identical to [`Matrix::matmul`](crate::Matrix::matmul) into a
+/// fresh buffer: the output is zeroed, then accumulated with the same
+/// i-k-j loop (including the `a == 0.0` skip) for every thread count.
+///
+/// # Panics
+///
+/// Panics on any shape mismatch.
+pub fn matmul_into(a: MatRef<'_>, b: MatRef<'_>, out: MatMut<'_>) {
+    out.data.fill(0.0);
+    matmul_acc_into(a, b, out);
+}
+
+/// `out += a · b`, continuing the element sums in ascending-`k` order.
+///
+/// Together with [`matmul_into`] this reproduces a concatenated product
+/// bitwise (see the [module docs](self) for the splitting identity).
+///
+/// # Panics
+///
+/// Panics on any shape mismatch.
+pub fn matmul_acc_into(a: MatRef<'_>, b: MatRef<'_>, out: MatMut<'_>) {
+    assert_eq!(
+        a.cols, b.rows,
+        "matmul_acc_into: {}x{} vs {}x{}",
+        a.rows, a.cols, b.rows, b.cols
+    );
+    assert_eq!(
+        (out.rows, out.cols),
+        (a.rows, b.cols),
+        "matmul_acc_into: output is {}x{}, expected {}x{}",
+        out.rows,
+        out.cols,
+        a.rows,
+        b.cols
+    );
+    let n = b.cols;
+    let flops = a.rows * a.cols * n;
+    crate::parallel::row_partitioned(flops, out.data, a.rows, n, |r0, r1, block| {
+        for (bi, i) in (r0..r1).enumerate() {
+            let out_row = &mut block[bi * n..(bi + 1) * n];
+            let lhs_row = a.row(i);
+            let mut k = 0;
+            // Eight k-steps per pass over the output row: the left-
+            // associative chain below performs, per element, exactly the
+            // eight successive `+= av * bv` updates of the reference loop,
+            // in ascending-k order — bitwise identical, with 8x less
+            // out-row traffic. Any exact zero falls back to the narrower
+            // passes (which themselves fall back to the skipping
+            // reference loop).
+            while k + 8 <= lhs_row.len() {
+                let av: [f64; 8] = lhs_row[k..k + 8].try_into().expect("length 8");
+                if av.iter().all(|&v| v != 0.0) {
+                    let (b0, b1, b2, b3) = (b.row(k), b.row(k + 1), b.row(k + 2), b.row(k + 3));
+                    let (b4, b5, b6, b7) = (b.row(k + 4), b.row(k + 5), b.row(k + 6), b.row(k + 7));
+                    let it = out_row
+                        .iter_mut()
+                        .zip(b0)
+                        .zip(b1)
+                        .zip(b2)
+                        .zip(b3)
+                        .zip(b4)
+                        .zip(b5)
+                        .zip(b6)
+                        .zip(b7);
+                    for ((((((((o, &v0), &v1), &v2), &v3), &v4), &v5), &v6), &v7) in it {
+                        *o = (((((((*o + av[0] * v0) + av[1] * v1) + av[2] * v2) + av[3] * v3)
+                            + av[4] * v4)
+                            + av[5] * v5)
+                            + av[6] * v6)
+                            + av[7] * v7;
+                    }
+                } else {
+                    acc_rows_x4(out_row, &lhs_row[k..k + 4], b, k);
+                    acc_rows_x4(out_row, &lhs_row[k + 4..k + 8], b, k + 4);
+                }
+                k += 8;
+            }
+            if k + 4 <= lhs_row.len() {
+                acc_rows_x4(out_row, &lhs_row[k..k + 4], b, k);
+                k += 4;
+            }
+            acc_rows(out_row, &lhs_row[k..], b, k);
+        }
+    });
+}
+
+/// Four ascending k-steps into one output row: the fused left-associative
+/// chain when all four multipliers are nonzero, the reference skip loop
+/// otherwise.
+fn acc_rows_x4(out_row: &mut [f64], lhs4: &[f64], b: MatRef<'_>, k0: usize) {
+    let (a0, a1, a2, a3) = (lhs4[0], lhs4[1], lhs4[2], lhs4[3]);
+    if a0 != 0.0 && a1 != 0.0 && a2 != 0.0 && a3 != 0.0 {
+        let (b0, b1, b2, b3) = (b.row(k0), b.row(k0 + 1), b.row(k0 + 2), b.row(k0 + 3));
+        for ((((o, &v0), &v1), &v2), &v3) in out_row.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3) {
+            *o = (((*o + a0 * v0) + a1 * v1) + a2 * v2) + a3 * v3;
+        }
+    } else {
+        acc_rows(out_row, lhs4, b, k0);
+    }
+}
+
+/// Reference ascending-k accumulation of `lhs[kk] * b.row(k0 + kk)` into one
+/// output row, with the `== 0.0` skip (the tail/fallback of the unrolled
+/// kernels).
+fn acc_rows(out_row: &mut [f64], lhs: &[f64], b: MatRef<'_>, k0: usize) {
+    for (kk, &av) in lhs.iter().enumerate() {
+        if av == 0.0 {
+            continue;
+        }
+        let rhs_row = b.row(k0 + kk);
+        for (o, &bv) in out_row.iter_mut().zip(rhs_row.iter()) {
+            *o += av * bv;
+        }
+    }
+}
+
+/// `out = a · bᵀ`, overwriting `out` (no transpose is materialised).
+///
+/// Bitwise identical to
+/// [`Matrix::matmul_transpose`](crate::Matrix::matmul_transpose): each
+/// output element is one full dot product, assigned once.
+///
+/// # Panics
+///
+/// Panics on any shape mismatch.
+pub fn matmul_transpose_into(a: MatRef<'_>, b: MatRef<'_>, out: MatMut<'_>) {
+    matmul_transpose_dispatch(a, b, out, false);
+}
+
+/// `out += a · bᵀ`: each dot product is completed, then added to `out`.
+///
+/// Matches `out += &a.matmul_transpose(&b)` bitwise (the full dot product
+/// is formed before the single addition, exactly as the two-step form
+/// does).
+///
+/// # Panics
+///
+/// Panics on any shape mismatch.
+pub fn matmul_transpose_acc_into(a: MatRef<'_>, b: MatRef<'_>, out: MatMut<'_>) {
+    matmul_transpose_dispatch(a, b, out, true);
+}
+
+fn matmul_transpose_dispatch(a: MatRef<'_>, b: MatRef<'_>, out: MatMut<'_>, accumulate: bool) {
+    assert_eq!(
+        a.cols, b.cols,
+        "matmul_transpose_into: {}x{} vs {}x{}",
+        a.rows, a.cols, b.rows, b.cols
+    );
+    assert_eq!(
+        (out.rows, out.cols),
+        (a.rows, b.rows),
+        "matmul_transpose_into: output is {}x{}, expected {}x{}",
+        out.rows,
+        out.cols,
+        a.rows,
+        b.rows
+    );
+    let n = b.rows;
+    let flops = a.rows * n * a.cols;
+    crate::parallel::row_partitioned(flops, out.data, a.rows, n, |r0, r1, block| {
+        // 2x4 register tile: eight accumulator chains, each an independent
+        // scalar dot product evaluated exactly as the reference single-dot
+        // loop (ascending k, full dot formed before the one store/add) — the
+        // tiling only amortises loads and adds instruction-level
+        // parallelism across output elements.
+        let rows = r1 - r0;
+        let mut bi = 0;
+        while bi + 2 <= rows {
+            let (row0, row1) = block[bi * n..(bi + 2) * n].split_at_mut(n);
+            let l0 = a.row(r0 + bi);
+            let l1 = a.row(r0 + bi + 1);
+            let mut j = 0;
+            while j + 4 <= n {
+                let (b0, b1, b2, b3) = (b.row(j), b.row(j + 1), b.row(j + 2), b.row(j + 3));
+                let (mut s00, mut s01, mut s02, mut s03) = (0.0, 0.0, 0.0, 0.0);
+                let (mut s10, mut s11, mut s12, mut s13) = (0.0, 0.0, 0.0, 0.0);
+                for (((((&x0, &x1), &y0), &y1), &y2), &y3) in
+                    l0.iter().zip(l1).zip(b0).zip(b1).zip(b2).zip(b3)
+                {
+                    s00 += x0 * y0;
+                    s01 += x0 * y1;
+                    s02 += x0 * y2;
+                    s03 += x0 * y3;
+                    s10 += x1 * y0;
+                    s11 += x1 * y1;
+                    s12 += x1 * y2;
+                    s13 += x1 * y3;
+                }
+                store4(&mut row0[j..j + 4], [s00, s01, s02, s03], accumulate);
+                store4(&mut row1[j..j + 4], [s10, s11, s12, s13], accumulate);
+                j += 4;
+            }
+            dot_tail(l0, b, &mut row0[j..], j, accumulate);
+            dot_tail(l1, b, &mut row1[j..], j, accumulate);
+            bi += 2;
+        }
+        if bi < rows {
+            let lhs_row = a.row(r0 + bi);
+            let out_row = &mut block[bi * n..(bi + 1) * n];
+            let mut j = 0;
+            while j + 4 <= n {
+                let (b0, b1, b2, b3) = (b.row(j), b.row(j + 1), b.row(j + 2), b.row(j + 3));
+                let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
+                for ((((&x, &y0), &y1), &y2), &y3) in lhs_row.iter().zip(b0).zip(b1).zip(b2).zip(b3)
+                {
+                    s0 += x * y0;
+                    s1 += x * y1;
+                    s2 += x * y2;
+                    s3 += x * y3;
+                }
+                store4(&mut out_row[j..j + 4], [s0, s1, s2, s3], accumulate);
+                j += 4;
+            }
+            dot_tail(lhs_row, b, &mut out_row[j..], j, accumulate);
+        }
+    });
+}
+
+/// Writes (or adds) four completed dot products into the output slice.
+fn store4(out: &mut [f64], sums: [f64; 4], accumulate: bool) {
+    for (o, s) in out.iter_mut().zip(sums) {
+        if accumulate {
+            *o += s;
+        } else {
+            *o = s;
+        }
+    }
+}
+
+/// Reference single-dot loop for the trailing `< 4` output columns.
+fn dot_tail(lhs_row: &[f64], b: MatRef<'_>, out: &mut [f64], j0: usize, accumulate: bool) {
+    for (o, j) in out.iter_mut().zip(j0..) {
+        let rhs_row = b.row(j);
+        let mut acc = 0.0;
+        for (x, y) in lhs_row.iter().zip(rhs_row.iter()) {
+            acc += x * y;
+        }
+        if accumulate {
+            *o += acc;
+        } else {
+            *o = acc;
+        }
+    }
+}
+
+/// `out = aᵀ · b`, overwriting `out` (no transpose is materialised).
+///
+/// Bitwise identical to
+/// [`Matrix::transpose_matmul`](crate::Matrix::transpose_matmul) into a
+/// fresh buffer.
+///
+/// # Panics
+///
+/// Panics on any shape mismatch.
+pub fn transpose_matmul_into(a: MatRef<'_>, b: MatRef<'_>, out: MatMut<'_>) {
+    out.data.fill(0.0);
+    transpose_matmul_acc_into(a, b, out);
+}
+
+/// `out += aᵀ · b`, continuing the element sums in ascending-`k` order
+/// (`k` runs over the shared row dimension).
+///
+/// Splitting the operands by rows and accumulating block after block
+/// reproduces the stacked product bitwise, mirroring the
+/// [`matmul_acc_into`] identity.
+///
+/// # Panics
+///
+/// Panics on any shape mismatch.
+pub fn transpose_matmul_acc_into(a: MatRef<'_>, b: MatRef<'_>, out: MatMut<'_>) {
+    assert_eq!(
+        a.rows, b.rows,
+        "transpose_matmul_acc_into: {}x{} vs {}x{}",
+        a.rows, a.cols, b.rows, b.cols
+    );
+    assert_eq!(
+        (out.rows, out.cols),
+        (a.cols, b.cols),
+        "transpose_matmul_acc_into: output is {}x{}, expected {}x{}",
+        out.rows,
+        out.cols,
+        a.cols,
+        b.cols
+    );
+    let n = b.cols;
+    let flops = a.rows * a.cols * n;
+    crate::parallel::row_partitioned(flops, out.data, a.cols, n, |r0, r1, block| {
+        // Loop order is out-row-outer (vs the reference's k-outer); every
+        // output element still accumulates its `a[k][r] * b[k][j]` terms in
+        // ascending-k order, and elements are independent, so the result is
+        // bitwise unchanged. Four k-steps fuse into one left-associative
+        // chain exactly as in `matmul_acc_into`.
+        for (bi, r) in (r0..r1).enumerate() {
+            let out_row = &mut block[bi * n..(bi + 1) * n];
+            let mut k = 0;
+            while k + 4 <= a.rows {
+                let (a0, a1, a2, a3) = (
+                    a.data[k * a.cols + r],
+                    a.data[(k + 1) * a.cols + r],
+                    a.data[(k + 2) * a.cols + r],
+                    a.data[(k + 3) * a.cols + r],
+                );
+                if a0 != 0.0 && a1 != 0.0 && a2 != 0.0 && a3 != 0.0 {
+                    let (b0, b1, b2, b3) = (b.row(k), b.row(k + 1), b.row(k + 2), b.row(k + 3));
+                    for ((((o, &v0), &v1), &v2), &v3) in
+                        out_row.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3)
+                    {
+                        *o = (((*o + a0 * v0) + a1 * v1) + a2 * v2) + a3 * v3;
+                    }
+                } else {
+                    for (kk, &av) in [a0, a1, a2, a3].iter().enumerate() {
+                        if av == 0.0 {
+                            continue;
+                        }
+                        let rhs_row = b.row(k + kk);
+                        for (o, &bv) in out_row.iter_mut().zip(rhs_row.iter()) {
+                            *o += av * bv;
+                        }
+                    }
+                }
+                k += 4;
+            }
+            for kk in k..a.rows {
+                let av = a.data[kk * a.cols + r];
+                if av == 0.0 {
+                    continue;
+                }
+                let rhs_row = b.row(kk);
+                for (o, &bv) in out_row.iter_mut().zip(rhs_row.iter()) {
+                    *o += av * bv;
+                }
+            }
+        }
+    });
+}
+
+/// `out[e] = f(a[e], b[e])` elementwise over equally-shaped views.
+///
+/// Bitwise identical to [`Matrix::zip_map`](crate::Matrix::zip_map) into a
+/// fresh buffer.
+///
+/// # Panics
+///
+/// Panics on any shape mismatch.
+pub fn zip_map_into(
+    a: MatRef<'_>,
+    b: MatRef<'_>,
+    out: MatMut<'_>,
+    f: impl Fn(f64, f64) -> f64 + Sync,
+) {
+    assert_eq!(
+        (a.rows, a.cols),
+        (b.rows, b.cols),
+        "zip_map_into shape mismatch"
+    );
+    assert_eq!(
+        (a.rows, a.cols),
+        (out.rows, out.cols),
+        "zip_map_into output shape mismatch"
+    );
+    let len = out.data.len();
+    crate::parallel::row_partitioned(len, out.data, len, 1, |r0, r1, block| {
+        let lhs = &a.data[r0..r1];
+        let rhs = &b.data[r0..r1];
+        for (o, (&x, &y)) in block.iter_mut().zip(lhs.iter().zip(rhs.iter())) {
+            *o = f(x, y);
+        }
+    });
+}
+
+/// Elementwise (Hadamard) product into `out`.
+///
+/// # Panics
+///
+/// Panics on any shape mismatch.
+pub fn hadamard_into(a: MatRef<'_>, b: MatRef<'_>, out: MatMut<'_>) {
+    zip_map_into(a, b, out, |x, y| x * y);
+}
+
+/// Adds a `1 x cols` row vector to every row of `out`, in place.
+///
+/// Bitwise identical to
+/// [`Matrix::add_row_broadcast`](crate::Matrix::add_row_broadcast) (which
+/// clones and then performs the same per-row `+=`).
+///
+/// # Panics
+///
+/// Panics if `bias` is not `1 x out.cols()`.
+pub fn add_row_broadcast_into(out: MatMut<'_>, bias: MatRef<'_>) {
+    assert_eq!(bias.rows, 1, "bias must be a row vector");
+    assert_eq!(bias.cols, out.cols, "bias width mismatch");
+    let n = out.cols;
+    for i in 0..out.rows {
+        let row = &mut out.data[i * n..(i + 1) * n];
+        for (o, &b) in row.iter_mut().zip(bias.data.iter()) {
+            *o += b;
+        }
+    }
+}
+
+/// `out = aᵀ`, overwriting `out`.
+///
+/// A pure data movement — every output element is a copy of one input
+/// element, so there is nothing floating-point about it. Used to stage a
+/// transposed weight matrix once per backward pass so that `dpre · Wᵀ`
+/// products can run through the streaming [`matmul_into`] kernel instead
+/// of the latency-bound dot kernel (see the module docs for why the two
+/// forms are bitwise identical for finite weights).
+///
+/// # Panics
+///
+/// Panics if `out` is not `a.cols x a.rows`.
+pub fn transpose_into(a: MatRef<'_>, out: MatMut<'_>) {
+    assert_eq!(out.rows, a.cols, "transpose rows mismatch");
+    assert_eq!(out.cols, a.rows, "transpose cols mismatch");
+    for i in 0..a.rows {
+        let src = a.row(i);
+        for (j, &v) in src.iter().enumerate() {
+            out.data[j * out.cols + i] = v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Matrix;
+
+    fn m(rows: usize, cols: usize, scale: f64) -> Matrix {
+        Matrix::from_fn(rows, cols, |i, j| ((i * 31 + j * 7) as f64).sin() * scale)
+    }
+
+    #[test]
+    fn matmul_into_matches_matmul_bitwise() {
+        let a = m(5, 7, 1.0);
+        let b = m(7, 4, 0.5);
+        let mut out = vec![f64::NAN; 20];
+        matmul_into(a.view(), b.view(), MatMut::new(5, 4, &mut out));
+        assert_eq!(out, a.matmul(&b).as_slice());
+    }
+
+    #[test]
+    fn split_matmul_reproduces_concatenated_product() {
+        // [x | h] @ [Wx ; Wh] == matmul_into(x, Wx) then matmul_acc_into(h, Wh).
+        let x = m(6, 3, 1.0);
+        let h = m(6, 5, 0.7);
+        let wx = m(3, 8, 0.9);
+        let wh = m(5, 8, 1.1);
+        let combined = x.hstack(&h).matmul(&wx.vstack(&wh));
+        let mut out = vec![0.0; 48];
+        matmul_into(x.view(), wx.view(), MatMut::new(6, 8, &mut out));
+        matmul_acc_into(h.view(), wh.view(), MatMut::new(6, 8, &mut out));
+        assert_eq!(out, combined.as_slice());
+    }
+
+    #[test]
+    fn transpose_into_matches_transpose() {
+        let a = m(5, 7, 1.3);
+        let mut out = vec![f64::NAN; 35];
+        transpose_into(a.view(), MatMut::new(7, 5, &mut out));
+        assert_eq!(out, a.transpose().as_slice());
+    }
+
+    #[test]
+    fn streamed_transposed_product_matches_dot_kernel_bitwise() {
+        // dpre @ W^T via the streaming kernel over a staged transpose must
+        // match the dot kernel bitwise (same terms, same ascending-k order).
+        let dpre = m(6, 12, 1.0);
+        let w = m(4, 12, 0.9);
+        let mut wt = vec![0.0; 48];
+        transpose_into(w.view(), MatMut::new(12, 4, &mut wt));
+        let mut via_stream = vec![f64::NAN; 24];
+        matmul_into(
+            dpre.view(),
+            MatRef::new(12, 4, &wt),
+            MatMut::new(6, 4, &mut via_stream),
+        );
+        let mut via_dot = vec![f64::NAN; 24];
+        matmul_transpose_into(dpre.view(), w.view(), MatMut::new(6, 4, &mut via_dot));
+        assert_eq!(via_stream, via_dot);
+    }
+
+    #[test]
+    fn matmul_transpose_into_matches() {
+        let a = m(4, 6, 1.0);
+        let b = m(3, 6, 0.8);
+        let mut out = vec![0.0; 12];
+        matmul_transpose_into(a.view(), b.view(), MatMut::new(4, 3, &mut out));
+        assert_eq!(out, a.matmul_transpose(&b).as_slice());
+    }
+
+    #[test]
+    fn matmul_transpose_acc_matches_two_step_add() {
+        let a = m(4, 6, 1.0);
+        let b = m(3, 6, 0.8);
+        let mut out_vec: Vec<f64> = (0..12).map(|i| i as f64 * 0.1).collect();
+        let mut expected = Matrix::from_vec(4, 3, out_vec.clone());
+        expected += &a.matmul_transpose(&b);
+        matmul_transpose_acc_into(a.view(), b.view(), MatMut::new(4, 3, &mut out_vec));
+        assert_eq!(out_vec, expected.as_slice());
+    }
+
+    #[test]
+    fn transpose_matmul_into_matches() {
+        let a = m(7, 3, 1.0);
+        let b = m(7, 5, 0.6);
+        let mut out = vec![1.0; 15];
+        transpose_matmul_into(a.view(), b.view(), MatMut::new(3, 5, &mut out));
+        assert_eq!(out, a.transpose_matmul(&b).as_slice());
+    }
+
+    #[test]
+    fn row_split_transpose_matmul_accumulates_in_order() {
+        // [a1 ; a2]ᵀ[b1 ; b2] == acc(a1, b1) then acc(a2, b2).
+        let a1 = m(4, 3, 1.0);
+        let a2 = m(2, 3, 0.5);
+        let b1 = m(4, 5, 0.9);
+        let b2 = m(2, 5, 1.3);
+        let combined = a1.vstack(&a2).transpose_matmul(&b1.vstack(&b2));
+        let mut out = vec![0.0; 15];
+        transpose_matmul_acc_into(a1.view(), b1.view(), MatMut::new(3, 5, &mut out));
+        transpose_matmul_acc_into(a2.view(), b2.view(), MatMut::new(3, 5, &mut out));
+        assert_eq!(out, combined.as_slice());
+    }
+
+    #[test]
+    fn rows_view_addresses_contiguous_blocks() {
+        let w = Matrix::from_fn(6, 4, |i, j| (i * 4 + j) as f64);
+        let top = w.rows_view(0..2);
+        let bottom = w.rows_view(2..6);
+        assert_eq!(top.rows(), 2);
+        assert_eq!(bottom.rows(), 4);
+        assert_eq!(top.as_slice()[7], 7.0);
+        assert_eq!(bottom.as_slice()[0], 8.0);
+    }
+
+    #[test]
+    fn hadamard_and_broadcast_match_matrix_forms() {
+        let a = m(3, 4, 1.0);
+        let b = m(3, 4, 0.3);
+        let mut out = vec![0.0; 12];
+        hadamard_into(a.view(), b.view(), MatMut::new(3, 4, &mut out));
+        assert_eq!(out, a.hadamard(&b).as_slice());
+
+        let bias = Matrix::row_vector(&[0.5, -1.0, 2.0, 0.25]);
+        let mut buf = a.as_slice().to_vec();
+        add_row_broadcast_into(MatMut::new(3, 4, &mut buf), bias.view());
+        assert_eq!(buf, a.add_row_broadcast(&bias).as_slice());
+    }
+
+    #[test]
+    fn degenerate_shapes_are_accepted() {
+        let a = Matrix::zeros(3, 0);
+        let b = Matrix::zeros(0, 4);
+        let mut out = vec![7.0; 12];
+        matmul_into(a.view(), b.view(), MatMut::new(3, 4, &mut out));
+        assert!(out.iter().all(|&x| x == 0.0));
+
+        let mut empty: Vec<f64> = Vec::new();
+        matmul_into(
+            Matrix::zeros(0, 4).view(),
+            Matrix::zeros(4, 3).view(),
+            MatMut::new(0, 3, &mut empty),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul_acc_into")]
+    fn shape_mismatch_panics() {
+        let a = m(2, 3, 1.0);
+        let b = m(4, 2, 1.0);
+        let mut out = vec![0.0; 4];
+        matmul_acc_into(a.view(), b.view(), MatMut::new(2, 2, &mut out));
+    }
+}

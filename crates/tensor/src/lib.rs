@@ -30,13 +30,17 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+mod alloc;
 mod error;
 mod init;
+pub mod kernels;
 mod matrix;
 pub mod parallel;
 pub mod solve;
 pub mod stats;
 
+pub use alloc::{alloc_stats, AllocStats};
 pub use error::{ShapeError, TensorResult};
 pub use init::{glorot_limit, Initializer};
+pub use kernels::{MatMut, MatRef};
 pub use matrix::Matrix;

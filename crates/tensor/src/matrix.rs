@@ -26,11 +26,24 @@ use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub, SubAssign};
 /// assert_eq!(b.shape(), (3, 1));
 /// assert_eq!(a.matmul(&b)[(0, 0)], 14.0);
 /// ```
-#[derive(Clone, PartialEq, Serialize, Deserialize)]
+#[derive(PartialEq, Serialize, Deserialize)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
     data: Vec<f64>,
+}
+
+// Manual impl so that clones hit the allocation counters (see `alloc_stats`);
+// `clone` of a matrix is a fresh heap buffer like any constructor.
+impl Clone for Matrix {
+    fn clone(&self) -> Self {
+        crate::alloc::record_alloc(self.data.len());
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.clone(),
+        }
+    }
 }
 
 impl Matrix {
@@ -53,6 +66,7 @@ impl Matrix {
 
     /// Creates a `rows x cols` matrix filled with `value`.
     pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+        crate::alloc::record_alloc(rows * cols);
         Self {
             rows,
             cols,
@@ -81,6 +95,7 @@ impl Matrix {
             "buffer of length {} cannot form a {rows}x{cols} matrix",
             data.len()
         );
+        crate::alloc::record_alloc(data.len());
         Self { rows, cols, data }
     }
 
@@ -97,6 +112,7 @@ impl Matrix {
             assert_eq!(r.len(), cols, "all rows must have equal length");
             data.extend_from_slice(r);
         }
+        crate::alloc::record_alloc(data.len());
         Self {
             rows: rows.len(),
             cols,
@@ -112,6 +128,7 @@ impl Matrix {
                 data.push(f(i, j));
             }
         }
+        crate::alloc::record_alloc(data.len());
         Self { rows, cols, data }
     }
 
@@ -350,6 +367,7 @@ impl Matrix {
     /// result is identical for every thread count.
     pub fn map(&self, f: impl Fn(f64) -> f64 + Sync) -> Matrix {
         let len = self.data.len();
+        crate::alloc::record_alloc(len);
         let mut out = Matrix {
             rows: self.rows,
             cols: self.cols,
@@ -378,6 +396,7 @@ impl Matrix {
     pub fn zip_map(&self, rhs: &Matrix, f: impl Fn(f64, f64) -> f64 + Sync) -> Matrix {
         assert_eq!(self.shape(), rhs.shape(), "zip_map shape mismatch");
         let len = self.data.len();
+        crate::alloc::record_alloc(len);
         let mut out = Matrix {
             rows: self.rows,
             cols: self.cols,
@@ -495,6 +514,7 @@ impl Matrix {
         assert_eq!(self.cols, rhs.cols, "vstack col mismatch");
         let mut data = self.data.clone();
         data.extend_from_slice(&rhs.data);
+        crate::alloc::record_alloc(data.len());
         Matrix {
             rows: self.rows + rhs.rows,
             cols: self.cols,
@@ -526,6 +546,7 @@ impl Matrix {
     pub fn slice_rows(&self, range: std::ops::Range<usize>) -> Matrix {
         assert!(range.end <= self.rows, "row range out of bounds");
         let data = self.data[range.start * self.cols..range.end * self.cols].to_vec();
+        crate::alloc::record_alloc(data.len());
         Matrix {
             rows: range.end - range.start,
             cols: self.cols,
@@ -536,6 +557,35 @@ impl Matrix {
     /// Returns `true` if every element is finite (no NaN / infinity).
     pub fn is_finite(&self) -> bool {
         self.data.iter().all(|x| x.is_finite())
+    }
+
+    /// Borrows the whole matrix as a [`crate::kernels::MatRef`] view.
+    pub fn view(&self) -> crate::kernels::MatRef<'_> {
+        crate::kernels::MatRef::new(self.rows, self.cols, &self.data)
+    }
+
+    /// Mutably borrows the whole matrix as a [`crate::kernels::MatMut`]
+    /// view, for use as a kernel output.
+    pub fn view_mut(&mut self) -> crate::kernels::MatMut<'_> {
+        crate::kernels::MatMut::new(self.rows, self.cols, &mut self.data)
+    }
+
+    /// Borrows a contiguous row range as a [`crate::kernels::MatRef`] view
+    /// without copying (rows are contiguous in row-major storage).
+    ///
+    /// This is how the recurrent layers address the `W_x` / `W_h` blocks of
+    /// a combined `(I+H) x 4H` kernel without materialising the split.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the row count.
+    pub fn rows_view(&self, range: std::ops::Range<usize>) -> crate::kernels::MatRef<'_> {
+        assert!(range.end <= self.rows, "row range out of bounds");
+        crate::kernels::MatRef::new(
+            range.end - range.start,
+            self.cols,
+            &self.data[range.start * self.cols..range.end * self.cols],
+        )
     }
 }
 

@@ -102,3 +102,177 @@ proptest! {
         prop_assert!((sr.sum() - a.sum()).abs() < 1e-9 * (1.0 + a.sum().abs()));
     }
 }
+
+// ---------------------------------------------------------------------------
+// In-place kernels (`evfad_tensor::kernels`): every `*_into` / `*_acc_into`
+// form must be bitwise equal to its allocating counterpart for random,
+// tall/thin, and degenerate (rx0 / 0xc) shapes, at threads=1 AND threads=4.
+// The golden fixture depends on this equality, so these are exact
+// (`as_slice() ==`) comparisons, not approx.
+// ---------------------------------------------------------------------------
+
+use evfad_tensor::{kernels, parallel, MatMut};
+
+/// Maps a raw draw to a dimension covering degenerate (0), small, and
+/// tall/thin (31) sizes. (The vendored proptest has no union strategies.)
+fn dim(raw: usize) -> usize {
+    if raw == 7 {
+        31
+    } else {
+        raw
+    }
+}
+
+/// Runs `f` under forced-serial and forced-parallel dispatch and returns
+/// both results. Holds a file-local guard so concurrent tests in this
+/// binary don't interleave their process-wide thread-count overrides.
+fn under_both_modes<T>(f: impl Fn() -> T) -> (T, T) {
+    static GUARD: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    let _guard = GUARD
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let before = parallel::serial_flop_threshold();
+    parallel::set_threads(1);
+    let serial = f();
+    parallel::set_serial_flop_threshold(0);
+    parallel::set_threads(4);
+    let par = f();
+    parallel::set_threads(0);
+    parallel::set_serial_flop_threshold(before);
+    (serial, par)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matmul_into_bitwise_equals_matmul(
+        mr in 0usize..=7,
+        kr in 0usize..=7,
+        nr in 0usize..=7,
+        seed in 0u64..1000,
+    ) {
+        let (m, k, n) = (dim(mr), dim(kr), dim(nr));
+        let a = Matrix::from_fn(m, k, |i, j| ((i * 7 + j * 3 + seed as usize) as f64).sin());
+        let b = Matrix::from_fn(k, n, |i, j| ((i * 5 + j * 11 + seed as usize) as f64).cos());
+        let (serial, par) = under_both_modes(|| {
+            let reference = a.matmul(&b);
+            let mut out = vec![f64::NAN; m * n];
+            kernels::matmul_into(a.view(), b.view(), MatMut::new(m, n, &mut out));
+            (reference, out)
+        });
+        prop_assert_eq!(serial.0.as_slice(), &serial.1[..]);
+        prop_assert_eq!(par.0.as_slice(), &par.1[..]);
+        prop_assert_eq!(&serial.1[..], &par.1[..]);
+    }
+
+    #[test]
+    fn split_matmul_acc_reproduces_concat_bitwise(
+        rr in 0usize..=7,
+        ixr in 0usize..=7,
+        ihr in 0usize..=7,
+        nr in 0usize..=7,
+    ) {
+        // [x | h] @ [Wx ; Wh] == into(x, Wx) then acc_into(h, Wh), exactly.
+        let (rows, ix, ih, n) = (dim(rr), dim(ixr), dim(ihr), dim(nr));
+        let xm = Matrix::from_fn(rows, ix, |i, j| ((i * 13 + j) as f64).sin());
+        let hm = Matrix::from_fn(rows, ih, |i, j| ((i + j * 17) as f64).cos());
+        let wx = Matrix::from_fn(ix, n, |i, j| ((i * 3 + j * 7) as f64).sin());
+        let wh = Matrix::from_fn(ih, n, |i, j| ((i * 11 + j) as f64).cos());
+        let (serial, par) = under_both_modes(|| {
+            let combined = xm.hstack(&hm).matmul(&wx.vstack(&wh));
+            let mut out = vec![0.0; rows * n];
+            kernels::matmul_into(xm.view(), wx.view(), MatMut::new(rows, n, &mut out));
+            kernels::matmul_acc_into(hm.view(), wh.view(), MatMut::new(rows, n, &mut out));
+            (combined, out)
+        });
+        prop_assert_eq!(serial.0.as_slice(), &serial.1[..]);
+        prop_assert_eq!(par.0.as_slice(), &par.1[..]);
+    }
+
+    #[test]
+    fn matmul_transpose_kernels_bitwise_equal(
+        mr in 0usize..=7,
+        kr in 0usize..=7,
+        nr in 0usize..=7,
+        seed in 0u64..1000,
+    ) {
+        let (m, k, n) = (dim(mr), dim(kr), dim(nr));
+        let a = Matrix::from_fn(m, k, |i, j| ((i + j * 9 + seed as usize) as f64).sin());
+        let b = Matrix::from_fn(n, k, |i, j| ((i * 2 + j + seed as usize) as f64).cos());
+        let init = Matrix::from_fn(m, n, |i, j| ((i * 19 + j * 23) as f64).sin());
+        let (serial, par) = under_both_modes(|| {
+            let reference = a.matmul_transpose(&b);
+            let mut acc_ref = init.clone();
+            acc_ref += &reference;
+            let mut out = vec![f64::NAN; m * n];
+            kernels::matmul_transpose_into(a.view(), b.view(), MatMut::new(m, n, &mut out));
+            let mut acc = init.as_slice().to_vec();
+            kernels::matmul_transpose_acc_into(a.view(), b.view(), MatMut::new(m, n, &mut acc));
+            (reference, out, acc_ref, acc)
+        });
+        for r in [&serial, &par] {
+            prop_assert_eq!(r.0.as_slice(), &r.1[..]);
+            prop_assert_eq!(r.2.as_slice(), &r.3[..]);
+        }
+        prop_assert_eq!(&serial.1[..], &par.1[..]);
+        prop_assert_eq!(&serial.3[..], &par.3[..]);
+    }
+
+    #[test]
+    fn transpose_matmul_kernels_bitwise_equal(
+        k1r in 0usize..=7,
+        k2r in 0usize..=7,
+        mr in 0usize..=7,
+        nr in 0usize..=7,
+        seed in 0u64..1000,
+    ) {
+        let (k1, k2, m, n) = (dim(k1r), dim(k2r), dim(mr), dim(nr));
+        // Row-blocked accumulation: [a1;a2]^T [b1;b2] == acc(a1,b1); acc(a2,b2).
+        let a1 = Matrix::from_fn(k1, m, |i, j| ((i * 3 + j + seed as usize) as f64).sin());
+        let a2 = Matrix::from_fn(k2, m, |i, j| ((i + j * 5 + seed as usize) as f64).cos());
+        let b1 = Matrix::from_fn(k1, n, |i, j| ((i * 7 + j) as f64).sin());
+        let b2 = Matrix::from_fn(k2, n, |i, j| ((i + j * 11) as f64).cos());
+        let (serial, par) = under_both_modes(|| {
+            let whole = a1.vstack(&a2).transpose_matmul(&b1.vstack(&b2));
+            let single = a1.transpose_matmul(&b1);
+            let mut out = vec![f64::NAN; m * n];
+            kernels::transpose_matmul_into(a1.view(), b1.view(), MatMut::new(m, n, &mut out));
+            let mut acc = vec![0.0; m * n];
+            kernels::transpose_matmul_acc_into(a1.view(), b1.view(), MatMut::new(m, n, &mut acc));
+            kernels::transpose_matmul_acc_into(a2.view(), b2.view(), MatMut::new(m, n, &mut acc));
+            (whole, single, out, acc)
+        });
+        for r in [&serial, &par] {
+            prop_assert_eq!(r.1.as_slice(), &r.2[..]);
+            prop_assert_eq!(r.0.as_slice(), &r.3[..]);
+        }
+        prop_assert_eq!(&serial.3[..], &par.3[..]);
+    }
+
+    #[test]
+    fn elementwise_kernels_bitwise_equal(
+        mr in 0usize..=7,
+        nr in 0usize..=7,
+        seed in 0u64..1000,
+    ) {
+        let (m, n) = (dim(mr), dim(nr));
+        let a = Matrix::from_fn(m, n, |i, j| ((i * 3 + j + seed as usize) as f64).sin());
+        let b = Matrix::from_fn(m, n, |i, j| ((i + j * 7 + seed as usize) as f64).cos());
+        let bias = Matrix::from_fn(1, n, |_, j| ((j + seed as usize) as f64).sin());
+        let (serial, par) = under_both_modes(|| {
+            let had_ref = a.hadamard(&b);
+            let bias_ref = a.add_row_broadcast(&bias);
+            let mut had = vec![f64::NAN; m * n];
+            kernels::hadamard_into(a.view(), b.view(), MatMut::new(m, n, &mut had));
+            let mut biased = a.as_slice().to_vec();
+            kernels::add_row_broadcast_into(MatMut::new(m, n, &mut biased), bias.view());
+            (had_ref, had, bias_ref, biased)
+        });
+        for r in [&serial, &par] {
+            prop_assert_eq!(r.0.as_slice(), &r.1[..]);
+            prop_assert_eq!(r.2.as_slice(), &r.3[..]);
+        }
+        prop_assert_eq!(&serial.1[..], &par.1[..]);
+    }
+}

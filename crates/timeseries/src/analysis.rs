@@ -210,9 +210,9 @@ mod tests {
     fn decompose_sums_back_to_series() {
         let series = seasonal_series(24 * 10);
         let d = decompose(&series, 24).unwrap();
-        for i in 0..series.len() {
+        for (i, &v) in series.iter().enumerate() {
             let sum = d.trend[i] + d.seasonal[i] + d.residual[i];
-            assert!((sum - series[i]).abs() < 1e-9);
+            assert!((sum - v).abs() < 1e-9);
         }
     }
 
