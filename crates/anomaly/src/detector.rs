@@ -4,11 +4,11 @@ use crate::error::AnomalyError;
 use crate::mitigate::{merge_segments, MitigationStrategy};
 use crate::threshold::ThresholdRule;
 use evfad_nn::{
-    Activation, Adam, Dense, Dropout, Lstm, RepeatVector, Sample, Sequential, TrainConfig,
+    Activation, Adam, Dense, Dropout, Lstm, RepeatVector, Sample, SeqBuf, Sequential, TrainConfig,
     TrainHistory,
 };
 use evfad_tensor::Matrix;
-use evfad_timeseries::windows;
+use evfad_timeseries::windows::{self, WindowedSeries};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of [`AnomalyFilter`].
@@ -131,6 +131,14 @@ pub struct AnomalyFilter {
     config: FilterConfig,
     model: Option<Sequential>,
     threshold: Option<f64>,
+    /// Reusable time-major staging batch for full (256-window) chunks.
+    win_buf: SeqBuf,
+    /// Reusable staging batch for the ragged tail chunk, kept separate so
+    /// warm scoring never reshapes as it alternates full chunks and tail.
+    win_buf_tail: SeqBuf,
+    /// Reusable flat reconstruction buffer: window `w`'s reconstruction at
+    /// in-window position `o` lives at `recon[w * seq_len + o]`.
+    recon: Vec<f64>,
 }
 
 impl AnomalyFilter {
@@ -140,6 +148,9 @@ impl AnomalyFilter {
             config,
             model: None,
             threshold: None,
+            win_buf: SeqBuf::new(),
+            win_buf_tail: SeqBuf::new(),
+            recon: Vec::new(),
         }
     }
 
@@ -156,6 +167,12 @@ impl AnomalyFilter {
     /// The fitted decision boundary, if any.
     pub fn threshold(&self) -> Option<f64> {
         self.threshold
+    }
+
+    /// Borrow of the fitted autoencoder, if any (e.g. for benchmarking or
+    /// inspecting the model outside the filter).
+    pub fn model(&self) -> Option<&Sequential> {
+        self.model.as_ref()
     }
 
     /// Builds the autoencoder architecture from the configuration.
@@ -238,8 +255,25 @@ impl AnomalyFilter {
     /// * [`AnomalyError::NotFitted`] before [`AnomalyFilter::fit`];
     /// * [`AnomalyError::SeriesTooShort`] if `series` cannot form a window.
     pub fn score(&mut self, series: &[f64]) -> Result<Vec<f64>, AnomalyError> {
-        self.score_with_estimates(series)
-            .map(|(min_scores, _)| min_scores)
+        let mut scores = Vec::new();
+        self.score_core(series, &mut scores, None)?;
+        Ok(scores)
+    }
+
+    /// Like [`AnomalyFilter::score`] but writing the per-point scores into
+    /// a caller-owned buffer (cleared and resized to `series.len()`), so a
+    /// warm streaming caller — e.g.
+    /// [`OnlineDetector`](crate::OnlineDetector) — allocates nothing.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`AnomalyFilter::score`].
+    pub fn score_into(
+        &mut self,
+        series: &[f64],
+        scores: &mut Vec<f64>,
+    ) -> Result<(), AnomalyError> {
+        self.score_core(series, scores, None)
     }
 
     /// Like [`AnomalyFilter::score`], additionally returning the flat list
@@ -249,6 +283,63 @@ impl AnomalyFilter {
         &mut self,
         series: &[f64],
     ) -> Result<(Vec<f64>, Vec<f64>), AnomalyError> {
+        let mut best = Vec::new();
+        let mut estimates = Vec::new();
+        self.score_core(series, &mut best, Some(&mut estimates))?;
+        Ok((best, estimates))
+    }
+
+    /// Runs the autoencoder over every stride-1 window of `series`,
+    /// filling the flat `self.recon` buffer
+    /// (`recon[w * seq_len + o]` = window `w`'s reconstruction at offset
+    /// `o`). Returns the window count.
+    ///
+    /// Windows are staged straight out of the series: timestep `t` of a
+    /// chunk of stride-1 windows is the contiguous slice
+    /// `series[first + t..first + t + count]`
+    /// ([`WindowedSeries::step`]), copied once into the reusable batch —
+    /// bitwise identical to the historical `reconstruction` →
+    /// per-window `Matrix` → `Seq::from_samples` marshalling, without the
+    /// triple materialisation. Chunked at 256 windows like
+    /// [`Sequential::predict`].
+    fn recon_into(&mut self, series: &[f64], seq_len: usize) -> Result<usize, AnomalyError> {
+        let ws = WindowedSeries::new(series, seq_len).ok_or(AnomalyError::SeriesTooShort {
+            len: series.len(),
+            needed: seq_len,
+        })?;
+        if self.model.is_none() {
+            return Err(AnomalyError::NotFitted);
+        }
+        let n_wins = ws.len();
+        let mut first = 0usize;
+        while first < n_wins {
+            let count = (n_wins - first).min(256);
+            let buf = if count == 256 {
+                &mut self.win_buf
+            } else {
+                &mut self.win_buf_tail
+            };
+            let batch = buf.ensure(seq_len, count, 1);
+            for t in 0..seq_len {
+                batch
+                    .step_data_mut(t)
+                    .copy_from_slice(ws.step(t, first, count));
+            }
+            let model = self.model.as_mut().expect("checked above");
+            model.predict_seq_into(buf.seq(), &mut self.recon, first * seq_len);
+            first += count;
+        }
+        Ok(n_wins)
+    }
+
+    /// Shared scoring loop: fills `best` (cleared, one score per point)
+    /// and, when requested, appends the raw per-window estimates.
+    fn score_core(
+        &mut self,
+        series: &[f64],
+        best: &mut Vec<f64>,
+        mut estimates: Option<&mut Vec<f64>>,
+    ) -> Result<(), AnomalyError> {
         let seq_len = self.config.seq_len;
         if series.len() < seq_len {
             return Err(AnomalyError::SeriesTooShort {
@@ -256,25 +347,29 @@ impl AnomalyFilter {
                 needed: seq_len,
             });
         }
-        let model = self.model.as_mut().ok_or(AnomalyError::NotFitted)?;
-        let wins = windows::reconstruction(series, seq_len);
-        let inputs: Vec<Matrix> = wins.iter().map(|w| Matrix::column_vector(w)).collect();
-        let recon = model.predict(&inputs);
-        let mut best = vec![f64::INFINITY; series.len()];
-        let mut estimates = Vec::with_capacity(2 * recon.len());
-        for (start, r) in recon.iter().enumerate() {
+        let n_wins = self.recon_into(series, seq_len)?;
+        best.clear();
+        best.resize(series.len(), f64::INFINITY);
+        if let Some(est) = estimates.as_deref_mut() {
+            est.clear();
+            est.reserve(2 * n_wins);
+        }
+        for start in 0..n_wins {
+            let r = &self.recon[start * seq_len..(start + 1) * seq_len];
             // Backward estimate: this window's last position scores point
             // `start + seq_len - 1`.
             let last_idx = start + seq_len - 1;
-            let err_last = r[(seq_len - 1, 0)] - series[last_idx];
+            let err_last = r[seq_len - 1] - series[last_idx];
             let sq_last = err_last * err_last;
             best[last_idx] = best[last_idx].min(sq_last);
-            estimates.push(sq_last);
             // Forward estimate: this window's first position scores `start`.
-            let err_first = r[(0, 0)] - series[start];
+            let err_first = r[0] - series[start];
             let sq_first = err_first * err_first;
             best[start] = best[start].min(sq_first);
-            estimates.push(sq_first);
+            if let Some(est) = estimates.as_deref_mut() {
+                est.push(sq_last);
+                est.push(sq_first);
+            }
         }
         // Window starts cover 0..=n-seq_len, so every index is a `start` or
         // a `last_idx`; guard against any future change anyway.
@@ -282,11 +377,11 @@ impl AnomalyFilter {
             if !b.is_finite() {
                 let start = idx.min(series.len() - seq_len);
                 let offset = idx - start;
-                let err = recon[start][(offset, 0)] - series[idx];
+                let err = self.recon[start * seq_len + offset] - series[idx];
                 *b = err * err;
             }
         }
-        Ok((best, estimates))
+        Ok(())
     }
 
     /// Scores a series and applies the fitted threshold.

@@ -51,6 +51,10 @@ pub struct OnlineDetector {
     sanitize: bool,
     threshold: f64,
     seq_len: usize,
+    /// Reusable window assembly buffer (context tail + the new reading).
+    win_scratch: Vec<f64>,
+    /// Reusable per-point score buffer filled by `score_into`.
+    scores_scratch: Vec<f64>,
 }
 
 impl OnlineDetector {
@@ -75,6 +79,8 @@ impl OnlineDetector {
             sanitize,
             threshold,
             seq_len,
+            win_scratch: Vec::new(),
+            scores_scratch: Vec::new(),
         })
     }
 
@@ -93,6 +99,8 @@ impl OnlineDetector {
             sanitize,
             threshold,
             seq_len,
+            win_scratch: Vec::new(),
+            scores_scratch: Vec::new(),
         })
     }
 
@@ -113,14 +121,18 @@ impl OnlineDetector {
             self.buffer.push(value);
             return None;
         }
-        // Score the window ending at this value.
-        let mut window = self.buffer[self.buffer.len() - (self.seq_len - 1)..].to_vec();
-        window.push(value);
-        let scores = self
-            .filter
-            .score(&window)
+        // Score the window ending at this value. The window and score
+        // buffers are reused across pushes, so a warm push makes zero
+        // matrix allocations (the filter's staging batch and the model's
+        // eval arena are shape-stable at window length `seq_len`).
+        self.win_scratch.clear();
+        self.win_scratch
+            .extend_from_slice(&self.buffer[self.buffer.len() - (self.seq_len - 1)..]);
+        self.win_scratch.push(value);
+        self.filter
+            .score_into(&self.win_scratch, &mut self.scores_scratch)
             .expect("window length equals seq_len by construction");
-        let score = scores[self.seq_len - 1];
+        let score = self.scores_scratch[self.seq_len - 1];
         let anomalous = score > self.threshold;
         let admitted = if anomalous && self.sanitize {
             *self.buffer.last().expect("context is non-empty")

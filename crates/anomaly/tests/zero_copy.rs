@@ -1,0 +1,82 @@
+//! Property tests pinning the zero-copy scoring pipeline to the allocating
+//! path it replaced.
+//!
+//! `AnomalyFilter::score` now stages windows straight from a
+//! [`WindowedSeries`] view instead of materialising
+//! `windows::reconstruction` vectors, per-window `Matrix::column_vector`s,
+//! and a `Seq::from_samples` batch. These tests prove the staged batches are
+//! bitwise identical to the old marshal for arbitrary series, so the golden
+//! fixture (and every score downstream) is unaffected.
+
+use evfad_nn::{Seq, SeqBuf};
+use evfad_tensor::Matrix;
+use evfad_timeseries::windows::{self, WindowedSeries};
+use proptest::prelude::*;
+
+/// Stages windows `first..first + count` of `ws` time-major, the way
+/// `AnomalyFilter::recon_into` builds each chunk.
+fn stage_chunk(ws: &WindowedSeries<'_>, first: usize, count: usize, buf: &mut SeqBuf) {
+    let batch = buf.ensure(ws.seq_len(), count, 1);
+    for t in 0..ws.seq_len() {
+        batch
+            .step_data_mut(t)
+            .copy_from_slice(ws.step(t, first, count));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// A staged chunk equals `reconstruction` + `column_vector` +
+    /// `from_samples` over the same window range, bitwise.
+    #[test]
+    fn windowed_series_chunk_matches_allocating_marshal(
+        series in prop::collection::vec(-100.0f64..100.0, 8..80),
+        seq_len in 1usize..8,
+        first_raw in 0usize..64,
+        count_raw in 0usize..64,
+    ) {
+        let ws = WindowedSeries::new(&series, seq_len).expect("series longer than window");
+        let first = first_raw % ws.len();
+        let count = 1 + count_raw % (ws.len() - first);
+
+        let wins = windows::reconstruction(&series, seq_len);
+        prop_assert_eq!(wins.len(), ws.len());
+        let picked: Vec<Matrix> = wins[first..first + count]
+            .iter()
+            .map(|w| Matrix::column_vector(w))
+            .collect();
+        let reference = Seq::from_samples(&picked);
+
+        let mut buf = SeqBuf::new();
+        stage_chunk(&ws, first, count, &mut buf);
+        prop_assert_eq!(buf.seq().len(), reference.len());
+        for t in 0..seq_len {
+            prop_assert_eq!(buf.seq().step(t).as_slice(), reference.step(t).as_slice());
+        }
+    }
+
+    /// Chunked staging (the 256-window chunks `recon_into` uses) covers the
+    /// exact same values as one whole-series marshal.
+    #[test]
+    fn chunked_staging_covers_whole_series(
+        series in prop::collection::vec(-100.0f64..100.0, 12..120),
+        seq_len in 2usize..6,
+        chunk in 1usize..9,
+    ) {
+        let ws = WindowedSeries::new(&series, seq_len).expect("long enough");
+        let wins = windows::reconstruction(&series, seq_len);
+        let mut buf = SeqBuf::new();
+        let mut first = 0;
+        while first < ws.len() {
+            let count = chunk.min(ws.len() - first);
+            stage_chunk(&ws, first, count, &mut buf);
+            for (b, win) in wins[first..first + count].iter().enumerate() {
+                for (t, &v) in win.iter().enumerate() {
+                    prop_assert_eq!(buf.seq().step(t)[(b, 0)].to_bits(), v.to_bits());
+                }
+            }
+            first += count;
+        }
+    }
+}

@@ -1,0 +1,546 @@
+//! Times the zero-copy batch pipeline against the allocating marshalling it
+//! replaced, and emits `BENCH_pipeline.json`.
+//!
+//! Three sections, each gated on bitwise equality before anything is timed:
+//!
+//! * `fit_epoch_marshal` — assembling one epoch's shuffled mini-batches:
+//!   clone-the-samples + `Seq::from_samples` (the old `fit` inner loop)
+//!   versus a prebuilt [`BatchPlan`] gathering into reused buffers. Only the
+//!   marshalling is timed — the optimiser math is identical on both sides
+//!   and dominates a real epoch.
+//! * `warm_predict` — the old `predict` marshal (`Seq::from_samples`, boxed
+//!   per-step outputs, `to_samples` clones) versus `predict_into` writing
+//!   into one flat caller buffer through the persistent eval arena.
+//! * `anomaly_score` — full-series reconstruction scoring: the old
+//!   `reconstruction` + `column_vector` + `predict` path versus
+//!   `AnomalyFilter::score` staging windows straight off the series.
+//!
+//! Usage: `cargo run --release --bin bench_pipeline [output-path] [--smoke]`
+//!
+//! `--smoke` runs tiny shapes with few repetitions and skips the JSON dump —
+//! the CI gate that the zero-copy and allocating paths agree bitwise.
+
+use evfad_core::anomaly::{AnomalyFilter, FilterConfig};
+use evfad_core::nn::{
+    Activation, BatchPlan, Dense, Lstm, RepeatVector, Sample, Seq, SeqBuf, Sequential,
+};
+use evfad_core::tensor::{alloc_stats, Matrix};
+use evfad_core::timeseries::windows;
+use std::hint::black_box;
+use std::time::Instant;
+
+// ---------------------------------------------------------------------------
+// Model configurations (the paper's shapes; dropout layers omitted as in
+// `bench_train_step` — they are identity at inference and allocate nothing).
+// ---------------------------------------------------------------------------
+
+struct Config {
+    name: &'static str,
+    batch: usize,
+    seq_len: usize,
+    hidden: (usize, usize),
+    autoencoding: bool,
+}
+
+fn forecaster_config(batch: usize, seq_len: usize, hidden: usize) -> Config {
+    Config {
+        name: "forecaster",
+        batch,
+        seq_len,
+        hidden: (hidden, 10),
+        autoencoding: false,
+    }
+}
+
+fn autoencoder_config(batch: usize, seq_len: usize, h1: usize, h2: usize) -> Config {
+    Config {
+        name: "autoencoder",
+        batch,
+        seq_len,
+        hidden: (h1, h2),
+        autoencoding: true,
+    }
+}
+
+fn build_model(cfg: &Config) -> Sequential {
+    let (h1, h2) = cfg.hidden;
+    if cfg.autoencoding {
+        Sequential::new(42)
+            .with(Lstm::new(1, h1, true))
+            .with(Lstm::new(h1, h2, false))
+            .with(RepeatVector::new(cfg.seq_len))
+            .with(Lstm::new(h2, h2, true))
+            .with(Lstm::new(h2, h1, true))
+            .with(Dense::new(h1, 1, Activation::Linear))
+    } else {
+        Sequential::new(42)
+            .with(Lstm::new(1, h1, false))
+            .with(Dense::new(h1, h2, Activation::Relu))
+            .with(Dense::new(h2, 1, Activation::Linear))
+    }
+}
+
+fn make_samples(cfg: &Config, n: usize) -> Vec<Sample> {
+    (0..n)
+        .map(|s| {
+            let input = Matrix::from_fn(cfg.seq_len, 1, |t, _| ((s * 13 + t) as f64 * 0.23).sin());
+            let target = if cfg.autoencoding {
+                input.clone()
+            } else {
+                Matrix::from_fn(1, 1, |_, _| ((s * 13 + cfg.seq_len) as f64 * 0.23).sin())
+            };
+            Sample::new(input, target)
+        })
+        .collect()
+}
+
+/// Deterministic Fisher–Yates shuffle (the bench must not depend on the
+/// model's private shuffle RNG — any fixed order exercises both marshals
+/// identically).
+fn shuffled_order(n: usize, seed: u64) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut state = seed | 1;
+    for i in (1..n).rev() {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        order.swap(i, (state >> 33) as usize % (i + 1));
+    }
+    order
+}
+
+fn median(mut times: Vec<f64>) -> f64 {
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    times[times.len() / 2]
+}
+
+struct SectionResult {
+    config: &'static str,
+    detail: String,
+    baseline_ms: f64,
+    zero_copy_ms: f64,
+    baseline_allocs: u64,
+    zero_copy_allocs: u64,
+    bitwise_identical: bool,
+}
+
+impl SectionResult {
+    fn speedup(&self) -> f64 {
+        self.baseline_ms / self.zero_copy_ms
+    }
+
+    fn alloc_reduction(&self) -> f64 {
+        self.baseline_allocs as f64 / self.zero_copy_allocs.max(1) as f64
+    }
+}
+
+fn print_result(section: &str, r: &SectionResult) {
+    println!(
+        "{section:<18} {:<12} {}  baseline {:.3} ms / {} allocs  zero-copy {:.3} ms / {} allocs  speedup {:.2}x  alloc-ratio {:.1}x  bitwise={}",
+        r.config,
+        r.detail,
+        r.baseline_ms,
+        r.baseline_allocs,
+        r.zero_copy_ms,
+        r.zero_copy_allocs,
+        r.speedup(),
+        r.alloc_reduction(),
+        r.bitwise_identical,
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Section 1: fit-epoch marshalling.
+// ---------------------------------------------------------------------------
+
+/// The old `fit` inner loop's marshal: clone every picked sample, then build
+/// a fresh time-major batch from the clones.
+fn baseline_epoch_marshal(samples: &[Sample], order: &[usize], batch: usize) {
+    for chunk in order.chunks(batch) {
+        let inputs: Vec<Matrix> = chunk.iter().map(|&i| samples[i].input.clone()).collect();
+        let targets: Vec<Matrix> = chunk.iter().map(|&i| samples[i].target.clone()).collect();
+        let bi = Seq::from_samples(&inputs);
+        let bt = Seq::from_samples(&targets);
+        black_box((bi.len(), bt.len()));
+    }
+}
+
+/// The new `fit` inner loop's marshal: gather index chunks through the
+/// prebuilt plan into two reused buffer pairs (full batches and the ragged
+/// tail), exactly as `Sequential::fit` stages them.
+fn zero_copy_epoch_marshal(
+    plan: &BatchPlan,
+    order: &[usize],
+    batch: usize,
+    full: &mut (SeqBuf, SeqBuf),
+    tail: &mut (SeqBuf, SeqBuf),
+) {
+    for chunk in order.chunks(batch) {
+        let (bin, btg) = if chunk.len() == batch {
+            &mut *full
+        } else {
+            &mut *tail
+        };
+        plan.gather_into(chunk, bin, btg);
+        black_box((bin.seq().len(), btg.seq().len()));
+    }
+}
+
+fn run_fit_epoch_marshal(cfg: &Config, n_samples: usize, reps: usize) -> SectionResult {
+    let samples = make_samples(cfg, n_samples);
+    let order = shuffled_order(n_samples, 0x5EED);
+    let plan = BatchPlan::new(&samples);
+    let mut full = (SeqBuf::new(), SeqBuf::new());
+    let mut tail = (SeqBuf::new(), SeqBuf::new());
+
+    // Bitwise gate: every gathered batch equals the clone + from_samples
+    // marshal of the same index chunk.
+    let mut bitwise_identical = true;
+    for chunk in order.chunks(cfg.batch) {
+        let inputs: Vec<Matrix> = chunk.iter().map(|&i| samples[i].input.clone()).collect();
+        let targets: Vec<Matrix> = chunk.iter().map(|&i| samples[i].target.clone()).collect();
+        let ref_in = Seq::from_samples(&inputs);
+        let ref_tgt = Seq::from_samples(&targets);
+        let (bin, btg) = if chunk.len() == cfg.batch {
+            &mut full
+        } else {
+            &mut tail
+        };
+        plan.gather_into(chunk, bin, btg);
+        for t in 0..ref_in.len() {
+            bitwise_identical &= bin.seq().step(t).as_slice() == ref_in.step(t).as_slice();
+        }
+        for t in 0..ref_tgt.len() {
+            bitwise_identical &= btg.seq().step(t).as_slice() == ref_tgt.step(t).as_slice();
+        }
+    }
+    assert!(
+        bitwise_identical,
+        "{}: gathered batches diverged from clone + from_samples",
+        cfg.name
+    );
+
+    // Allocation counts for one warm epoch marshal.
+    baseline_epoch_marshal(&samples, &order, cfg.batch);
+    zero_copy_epoch_marshal(&plan, &order, cfg.batch, &mut full, &mut tail);
+    let before = alloc_stats();
+    baseline_epoch_marshal(&samples, &order, cfg.batch);
+    let baseline_allocs = alloc_stats().since(&before).matrices;
+    let before = alloc_stats();
+    zero_copy_epoch_marshal(&plan, &order, cfg.batch, &mut full, &mut tail);
+    let zero_copy_allocs = alloc_stats().since(&before).matrices;
+
+    // Interleaved timing (see `bench_train_step` for the rationale).
+    let mut baseline_samples_ms = Vec::with_capacity(reps);
+    let mut zero_copy_samples_ms = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let start = Instant::now();
+        baseline_epoch_marshal(&samples, &order, cfg.batch);
+        baseline_samples_ms.push(start.elapsed().as_secs_f64() * 1e3);
+        let start = Instant::now();
+        zero_copy_epoch_marshal(&plan, &order, cfg.batch, &mut full, &mut tail);
+        zero_copy_samples_ms.push(start.elapsed().as_secs_f64() * 1e3);
+    }
+
+    SectionResult {
+        config: cfg.name,
+        detail: format!("B={} T={} N={}", cfg.batch, cfg.seq_len, n_samples),
+        baseline_ms: median(baseline_samples_ms),
+        zero_copy_ms: median(zero_copy_samples_ms),
+        baseline_allocs,
+        zero_copy_allocs,
+        bitwise_identical,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Section 2: warm predict.
+// ---------------------------------------------------------------------------
+
+/// The old `Sequential::predict` marshal, reproduced verbatim: chunk,
+/// `from_samples`, boxed forward outputs, `to_samples` clones.
+fn baseline_predict(model: &mut Sequential, inputs: &[Matrix]) -> Vec<Matrix> {
+    let mut outputs = Vec::with_capacity(inputs.len());
+    for chunk in inputs.chunks(256) {
+        let batch = Seq::from_samples(chunk);
+        let out = model.forward(&batch, false);
+        outputs.extend(out.to_samples());
+    }
+    outputs
+}
+
+fn run_warm_predict(cfg: &Config, n_sequences: usize, reps: usize) -> SectionResult {
+    let mut model = build_model(cfg);
+    let inputs: Vec<Matrix> = (0..n_sequences)
+        .map(|s| Matrix::from_fn(cfg.seq_len, 1, |t, _| ((s * 13 + t) as f64 * 0.23).sin()))
+        .collect();
+    let mut flat = Vec::new();
+
+    // Bitwise gate: the flat buffer must hold exactly the old path's
+    // outputs, sample-major.
+    let reference = baseline_predict(&mut model, &inputs);
+    let (t_out, f_out) = model.predict_into(&inputs, &mut flat);
+    let mut bitwise_identical = flat.len() == n_sequences * t_out * f_out;
+    for (i, r) in reference.iter().enumerate() {
+        let got = &flat[i * t_out * f_out..(i + 1) * t_out * f_out];
+        bitwise_identical &= r.as_slice() == got;
+    }
+    assert!(
+        bitwise_identical,
+        "{}: predict_into diverged from the allocating predict",
+        cfg.name
+    );
+
+    // Warm both paths, then count allocations of one call each.
+    let _ = baseline_predict(&mut model, &inputs);
+    let _ = model.predict_into(&inputs, &mut flat);
+    let before = alloc_stats();
+    let _ = baseline_predict(&mut model, &inputs);
+    let baseline_allocs = alloc_stats().since(&before).matrices;
+    let before = alloc_stats();
+    let _ = model.predict_into(&inputs, &mut flat);
+    let zero_copy_allocs = alloc_stats().since(&before).matrices;
+
+    let mut baseline_samples_ms = Vec::with_capacity(reps);
+    let mut zero_copy_samples_ms = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let start = Instant::now();
+        black_box(baseline_predict(&mut model, &inputs).len());
+        baseline_samples_ms.push(start.elapsed().as_secs_f64() * 1e3);
+        let start = Instant::now();
+        black_box(model.predict_into(&inputs, &mut flat));
+        zero_copy_samples_ms.push(start.elapsed().as_secs_f64() * 1e3);
+    }
+
+    SectionResult {
+        config: cfg.name,
+        detail: format!("n={} T={}", n_sequences, cfg.seq_len),
+        baseline_ms: median(baseline_samples_ms),
+        zero_copy_ms: median(zero_copy_samples_ms),
+        baseline_allocs,
+        zero_copy_allocs,
+        bitwise_identical,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Section 3: full-series anomaly scoring.
+// ---------------------------------------------------------------------------
+
+fn sine(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| 0.5 + 0.3 * (i as f64 * std::f64::consts::TAU / 24.0).sin())
+        .collect()
+}
+
+/// The old `AnomalyFilter::score` reproduced verbatim against a clone of the
+/// fitted model: materialised reconstruction windows, one column-vector
+/// matrix per window, the allocating `predict`, then the min-over-estimates
+/// sweep.
+fn baseline_score(model: &mut Sequential, series: &[f64], seq_len: usize) -> Vec<f64> {
+    let wins = windows::reconstruction(series, seq_len);
+    let inputs: Vec<Matrix> = wins.iter().map(|w| Matrix::column_vector(w)).collect();
+    let recon = model.predict(&inputs);
+    let mut best = vec![f64::INFINITY; series.len()];
+    for (start, r) in recon.iter().enumerate() {
+        let last_idx = start + seq_len - 1;
+        let err_last = r[(seq_len - 1, 0)] - series[last_idx];
+        best[last_idx] = best[last_idx].min(err_last * err_last);
+        let err_first = r[(0, 0)] - series[start];
+        best[start] = best[start].min(err_first * err_first);
+    }
+    for (idx, b) in best.iter_mut().enumerate() {
+        if !b.is_finite() {
+            let start = idx.min(series.len() - seq_len);
+            let err = recon[start][(idx - start, 0)] - series[idx];
+            *b = err * err;
+        }
+    }
+    best
+}
+
+fn run_anomaly_score(
+    filter_cfg: FilterConfig,
+    train_len: usize,
+    series_len: usize,
+    reps: usize,
+) -> SectionResult {
+    let seq_len = filter_cfg.seq_len;
+    let mut filter = AnomalyFilter::new(filter_cfg);
+    filter.fit(&sine(train_len)).expect("bench filter fit");
+    let mut base_model = filter.model().expect("fitted").clone();
+    let mut series = sine(series_len);
+    // Perturb a few points so the scores are not trivially symmetric.
+    for (i, v) in series.iter_mut().enumerate().step_by(97) {
+        *v += 0.11 * ((i + 1) as f64 * 0.7).sin();
+    }
+
+    // Bitwise gate over every per-point score.
+    let reference = baseline_score(&mut base_model, &series, seq_len);
+    let scores = filter.score(&series).expect("score");
+    let bitwise_identical = reference.len() == scores.len()
+        && reference
+            .iter()
+            .zip(&scores)
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+    assert!(
+        bitwise_identical,
+        "anomaly: zero-copy scores diverged from the allocating path"
+    );
+
+    // Warm both paths, then count allocations of one full-series score each.
+    let _ = baseline_score(&mut base_model, &series, seq_len);
+    let _ = filter.score(&series).expect("score");
+    let before = alloc_stats();
+    let _ = baseline_score(&mut base_model, &series, seq_len);
+    let baseline_allocs = alloc_stats().since(&before).matrices;
+    let before = alloc_stats();
+    let _ = filter.score(&series).expect("score");
+    let zero_copy_allocs = alloc_stats().since(&before).matrices;
+
+    let mut baseline_samples_ms = Vec::with_capacity(reps);
+    let mut zero_copy_samples_ms = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let start = Instant::now();
+        black_box(baseline_score(&mut base_model, &series, seq_len).len());
+        baseline_samples_ms.push(start.elapsed().as_secs_f64() * 1e3);
+        let start = Instant::now();
+        black_box(filter.score(&series).expect("score").len());
+        zero_copy_samples_ms.push(start.elapsed().as_secs_f64() * 1e3);
+    }
+
+    SectionResult {
+        config: "autoencoder",
+        detail: format!("series={series_len} T={seq_len}"),
+        baseline_ms: median(baseline_samples_ms),
+        zero_copy_ms: median(zero_copy_samples_ms),
+        baseline_allocs,
+        zero_copy_allocs,
+        bitwise_identical,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Harness.
+// ---------------------------------------------------------------------------
+
+fn json_entry(r: &SectionResult) -> String {
+    format!(
+        concat!(
+            "    {{\n",
+            "      \"config\": \"{}\",\n",
+            "      \"detail\": \"{}\",\n",
+            "      \"baseline_ms\": {:.4},\n",
+            "      \"zero_copy_ms\": {:.4},\n",
+            "      \"speedup\": {:.2},\n",
+            "      \"baseline_matrix_allocs\": {},\n",
+            "      \"zero_copy_matrix_allocs\": {},\n",
+            "      \"alloc_reduction\": {:.1},\n",
+            "      \"bitwise_identical\": {}\n",
+            "    }}"
+        ),
+        r.config,
+        r.detail,
+        r.baseline_ms,
+        r.zero_copy_ms,
+        r.speedup(),
+        r.baseline_allocs,
+        r.zero_copy_allocs,
+        r.alloc_reduction(),
+        r.bitwise_identical,
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_pipeline.json".to_string());
+
+    let (configs, n_samples, n_sequences, reps) = if smoke {
+        (
+            vec![forecaster_config(4, 6, 8), autoencoder_config(4, 6, 8, 4)],
+            18,
+            20,
+            3,
+        )
+    } else {
+        (
+            vec![
+                forecaster_config(32, 24, 50),
+                autoencoder_config(32, 24, 50, 25),
+            ],
+            512,
+            300,
+            11,
+        )
+    };
+
+    println!(
+        "pipeline bench: {} (reps={reps})",
+        if smoke { "smoke" } else { "full" }
+    );
+
+    let marshal: Vec<SectionResult> = configs
+        .iter()
+        .map(|c| run_fit_epoch_marshal(c, n_samples, reps.max(25)))
+        .collect();
+    for r in &marshal {
+        print_result("fit_epoch_marshal", r);
+    }
+
+    let predict: Vec<SectionResult> = configs
+        .iter()
+        .map(|c| run_warm_predict(c, n_sequences, reps))
+        .collect();
+    for r in &predict {
+        print_result("warm_predict", r);
+    }
+
+    // The paper's autoencoder shape; training truncated to one epoch — the
+    // scoring cost under test does not depend on how converged the model is.
+    let anomaly_cfg = if smoke {
+        FilterConfig::fast(6)
+    } else {
+        FilterConfig {
+            epochs: 1,
+            patience: 1,
+            train_stride: 8,
+            ..FilterConfig::paper(7)
+        }
+    };
+    let (train_len, series_len) = if smoke { (120, 150) } else { (600, 800) };
+    let anomaly = vec![run_anomaly_score(anomaly_cfg, train_len, series_len, reps)];
+    for r in &anomaly {
+        print_result("anomaly_score", r);
+    }
+
+    if smoke {
+        println!("smoke ok: zero-copy and allocating paths bitwise identical");
+        return;
+    }
+
+    let host_cpus = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let section = |name: &str, rs: &[SectionResult]| {
+        format!(
+            "  \"{}\": [\n{}\n  ]",
+            name,
+            rs.iter().map(json_entry).collect::<Vec<_>>().join(",\n")
+        )
+    };
+    let json = format!(
+        "{{\n  \"bench\": \"pipeline\",\n  \"host_cpus\": {},\n  \"reps\": {},\n{},\n{},\n{}\n}}\n",
+        host_cpus,
+        reps,
+        section("fit_epoch_marshal", &marshal),
+        section("warm_predict", &predict),
+        section("anomaly_score", &anomaly),
+    );
+    std::fs::write(&out_path, json).expect("write bench results");
+    println!("wrote {out_path}");
+}

@@ -46,6 +46,21 @@ impl Layer {
         }
     }
 
+    /// Eval-mode forward pass into a reusable buffer.
+    ///
+    /// Bitwise identical activations to `forward(input, false)`, but the
+    /// output lands in `out` (reusing its storage on the warm path) instead
+    /// of freshly allocated step matrices.
+    pub fn forward_into(&mut self, input: &Seq, out: &mut crate::seq::SeqBuf) {
+        match self {
+            Layer::Dense(l) => l.forward_into(input, out),
+            Layer::Lstm(l) => l.forward_into(input, out),
+            Layer::Gru(l) => l.forward_into(input, out),
+            Layer::Dropout(l) => l.forward_into(input, out),
+            Layer::RepeatVector(l) => l.forward_into(input, out),
+        }
+    }
+
     /// Backward pass; returns the gradient with respect to the layer input.
     pub fn backward(&mut self, grad: &Seq) -> Seq {
         self.backward_input(grad, true)

@@ -120,6 +120,43 @@ impl Dense {
 
     /// Forward pass. Caches activations when `training` is `true`.
     pub fn forward(&mut self, input: &Seq, training: bool) -> Seq {
+        let (steps, batch) = self.forward_core(input, training);
+        let base = if training { 0 } else { EVAL_BASE };
+        let (o_dim, bo) = (self.w.cols(), batch * self.w.cols());
+        // Re-take the activations the core just put back: same length, so
+        // the workspace hands the buffer back with contents intact.
+        let y_cat = self.ws.take(base + Y_CAT, steps * bo);
+        let out = Seq::from_steps(
+            (0..steps)
+                .map(|t| Matrix::from_vec(batch, o_dim, y_cat[t * bo..(t + 1) * bo].to_vec()))
+                .collect(),
+        );
+        self.ws.put(base + Y_CAT, y_cat);
+        out
+    }
+
+    /// Eval-mode forward that writes the output into a reusable buffer.
+    ///
+    /// Runs the exact fused forward ([`Dense::forward`] with
+    /// `training = false` — bitwise identical activations) but copies them
+    /// into `out` instead of materialising fresh step matrices, so a warm
+    /// caller allocates nothing.
+    pub fn forward_into(&mut self, input: &Seq, out: &mut crate::seq::SeqBuf) {
+        let (steps, batch) = self.forward_core(input, false);
+        let (o_dim, bo) = (self.w.cols(), batch * self.w.cols());
+        let y_cat = self.ws.take(EVAL_BASE + Y_CAT, steps * bo);
+        let seq = out.ensure(steps, batch, o_dim);
+        for t in 0..steps {
+            seq.step_data_mut(t)
+                .copy_from_slice(&y_cat[t * bo..(t + 1) * bo]);
+        }
+        self.ws.put(EVAL_BASE + Y_CAT, y_cat);
+    }
+
+    /// The fused forward computation: fills the workspace activation buffer
+    /// and caches backward state when `training`, leaving output
+    /// materialisation to the caller. Returns `(steps, batch)`.
+    fn forward_core(&mut self, input: &Seq, training: bool) -> (usize, usize) {
         let base = if training { 0 } else { EVAL_BASE };
         let steps = input.len();
         let batch = input.batch_size();
@@ -146,19 +183,13 @@ impl Dense {
         for v in y_cat.iter_mut() {
             *v = act.apply(*v);
         }
-
-        let out = Seq::from_steps(
-            (0..steps)
-                .map(|t| Matrix::from_vec(batch, o_dim, y_cat[t * bo..(t + 1) * bo].to_vec()))
-                .collect(),
-        );
         self.ws.put(base + X_CAT, x_cat);
         self.ws.put(base + Y_CAT, y_cat);
         if training {
             self.cached_steps = steps;
             self.cached_batch = batch;
         }
-        out
+        (steps, batch)
     }
 
     /// Backward pass: accumulates kernel/bias gradients and returns the

@@ -113,6 +113,18 @@ impl Dropout {
         Seq::from_steps(steps)
     }
 
+    /// Eval-mode forward into a reusable buffer: the identity, copied.
+    ///
+    /// Clears any stale training masks (same contract as an inference
+    /// [`Dropout::forward`]) and copies the input into `out` step by step.
+    pub fn forward_into(&mut self, input: &Seq, out: &mut crate::seq::SeqBuf) {
+        self.masks.clear();
+        let seq = out.ensure(input.len(), input.batch_size(), input.features());
+        for (t, x_t) in input.iter().enumerate() {
+            seq.step_data_mut(t).copy_from_slice(x_t.as_slice());
+        }
+    }
+
     /// Backward pass: applies the cached masks to the upstream gradient.
     /// After an inference (or rate-0) forward pass there are no masks and
     /// the gradient passes through unchanged — matching the identity

@@ -168,6 +168,60 @@ impl Gru {
     ///
     /// Panics if the input feature width differs from `input_dim`.
     pub fn forward(&mut self, input: &Seq, training: bool) -> Seq {
+        let (steps, batch) = self.forward_core(input, training);
+        let base = if training { 0 } else { EVAL_BASE };
+        let (h_dim, bh) = (self.hidden_dim, batch * self.hidden_dim);
+        // Re-take the hidden trajectory the core just put back: same length,
+        // so the workspace hands the buffer back with contents intact.
+        let h_all = self.ws.take(base + H_ALL, steps * bh);
+        let out = if self.return_sequences {
+            Seq::from_steps(
+                (0..steps)
+                    .map(|t| Matrix::from_vec(batch, h_dim, h_all[t * bh..(t + 1) * bh].to_vec()))
+                    .collect(),
+            )
+        } else {
+            Seq::single(Matrix::from_vec(
+                batch,
+                h_dim,
+                h_all[(steps - 1) * bh..].to_vec(),
+            ))
+        };
+        self.ws.put(base + H_ALL, h_all);
+        out
+    }
+
+    /// Eval-mode forward that writes the output into a reusable buffer.
+    ///
+    /// Runs the exact fused forward ([`Gru::forward`] with
+    /// `training = false` — bitwise identical activations) but copies the
+    /// hidden trajectory into `out` instead of materialising fresh step
+    /// matrices, so a warm caller allocates nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input feature width differs from `input_dim`.
+    pub fn forward_into(&mut self, input: &Seq, out: &mut crate::seq::SeqBuf) {
+        let (steps, batch) = self.forward_core(input, false);
+        let (h_dim, bh) = (self.hidden_dim, batch * self.hidden_dim);
+        let h_all = self.ws.take(EVAL_BASE + H_ALL, steps * bh);
+        let (o_steps, first) = if self.return_sequences {
+            (steps, 0)
+        } else {
+            (1, steps - 1)
+        };
+        let seq = out.ensure(o_steps, batch, h_dim);
+        for t in 0..o_steps {
+            seq.step_data_mut(t)
+                .copy_from_slice(&h_all[(first + t) * bh..(first + t + 1) * bh]);
+        }
+        self.ws.put(EVAL_BASE + H_ALL, h_all);
+    }
+
+    /// The fused forward computation: fills the workspace trajectories and
+    /// caches BPTT state when `training`, leaving output materialisation to
+    /// the caller. Returns `(steps, batch)`.
+    fn forward_core(&mut self, input: &Seq, training: bool) -> (usize, usize) {
         assert_eq!(
             input.features(),
             self.input_dim,
@@ -264,20 +318,6 @@ impl Gru {
             }
         }
 
-        let out = if self.return_sequences {
-            Seq::from_steps(
-                (0..steps)
-                    .map(|t| Matrix::from_vec(batch, h_dim, h_all[t * bh..(t + 1) * bh].to_vec()))
-                    .collect(),
-            )
-        } else {
-            Seq::single(Matrix::from_vec(
-                batch,
-                h_dim,
-                h_all[(steps - 1) * bh..].to_vec(),
-            ))
-        };
-
         self.ws.put(base + X_ALL, x_all);
         self.ws.put(base + PREG_ALL, preg_all);
         self.ws.put(base + CAND_ALL, cand_all);
@@ -288,7 +328,7 @@ impl Gru {
             self.cached_steps = steps;
             self.cached_batch = batch;
         }
-        out
+        (steps, batch)
     }
 
     /// Backward pass through time; see [`Lstm::backward`](crate::Lstm::backward)

@@ -58,6 +58,26 @@ impl RepeatVector {
         Seq::from_steps(vec![input.step(0).clone(); self.n])
     }
 
+    /// Eval-mode forward into a reusable buffer: the repeated step is
+    /// copied into `out` instead of cloned `n` times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input has more than one timestep.
+    pub fn forward_into(&mut self, input: &Seq, out: &mut crate::seq::SeqBuf) {
+        assert_eq!(
+            input.len(),
+            1,
+            "RepeatVector expects a single-step input (got {} steps)",
+            input.len()
+        );
+        let src = input.step(0);
+        let seq = out.ensure(self.n, src.rows(), src.cols());
+        for t in 0..self.n {
+            seq.step_data_mut(t).copy_from_slice(src.as_slice());
+        }
+    }
+
     /// Backward pass: sums the per-step gradients back into one step.
     pub fn backward(&mut self, grad: &Seq) -> Seq {
         let mut acc = Matrix::zeros(grad.step(0).rows(), grad.step(0).cols());

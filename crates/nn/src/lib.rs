@@ -47,6 +47,7 @@
 #![warn(missing_docs)]
 
 mod activation;
+mod batch;
 mod error;
 pub mod gradcheck;
 mod layer;
@@ -58,6 +59,7 @@ mod seq;
 mod workspace;
 
 pub use activation::Activation;
+pub use batch::BatchPlan;
 pub use error::{NnError, NnResult};
 pub use gradcheck::{check_model_gradients, GradCheckReport};
 pub use layer::Layer;
@@ -67,5 +69,5 @@ pub use model::{
     autoencoder_model, forecaster_model, EpochStats, Sample, Sequential, TrainConfig, TrainHistory,
 };
 pub use optimizer::{Adam, Optimizer, Sgd};
-pub use seq::Seq;
+pub use seq::{Seq, SeqBuf};
 pub use workspace::Workspace;

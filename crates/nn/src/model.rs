@@ -1,12 +1,13 @@
 //! Layer container and training loop.
 
+use crate::batch::BatchPlan;
 use crate::error::{NnError, NnResult};
 use crate::layer::Layer;
 use crate::layers::{Dense, Dropout, Lstm};
 use crate::loss::Loss;
 use crate::optimizer::Optimizer;
-use crate::seq::Seq;
-use evfad_tensor::Matrix;
+use crate::seq::{Seq, SeqBuf};
+use evfad_tensor::{kernels, MatMut, Matrix};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -129,6 +130,32 @@ pub struct Sequential {
     optimizer: Optimizer,
     seed: u64,
     layers_added: u64,
+    /// Persistent staging + per-layer output buffers for full
+    /// (`EVAL_CHUNK`-sized) inference batches.
+    #[serde(skip)]
+    eval_full: EvalBufs,
+    /// Same, for the ragged tail chunk. Keeping the two shapes in separate
+    /// buffers means warm `predict`/`evaluate` calls never reshape (and so
+    /// never reallocate) as they alternate between full chunks and the
+    /// tail.
+    #[serde(skip)]
+    eval_tail: EvalBufs,
+    /// Row-index scratch for scattering batched outputs into flat buffers.
+    #[serde(skip)]
+    scatter_idx: Vec<usize>,
+}
+
+/// Chunk size for staged inference batches.
+const EVAL_CHUNK: usize = 256;
+
+/// One shape's worth of persistent inference buffers: the staged input
+/// batch, the staged target batch (evaluation only), and one output buffer
+/// per layer for the eval forward chain.
+#[derive(Debug, Clone, Default)]
+struct EvalBufs {
+    arena: Vec<SeqBuf>,
+    input: SeqBuf,
+    target: SeqBuf,
 }
 
 impl Sequential {
@@ -140,6 +167,9 @@ impl Sequential {
             optimizer: Optimizer::default(),
             seed,
             layers_added: 0,
+            eval_full: EvalBufs::default(),
+            eval_tail: EvalBufs::default(),
+            scatter_idx: Vec::new(),
         }
     }
 
@@ -231,32 +261,192 @@ impl Sequential {
         }
     }
 
+    /// Eval-mode forward chain over the persistent arena: layer `i` reads
+    /// its input from `arena[i - 1]` (or `input`) and writes into
+    /// `arena[i]`, so a warm call allocates no step matrices. Associated
+    /// function (not a method) so callers can borrow other `self` fields —
+    /// e.g. the staging buffers — alongside the arena.
+    ///
+    /// Bitwise identical to `forward(input, false)`: each layer's
+    /// `forward_into` runs the exact same fused computation and only
+    /// changes where the output lands.
+    fn forward_eval<'a>(
+        layers: &'a mut [Layer],
+        arena: &'a mut Vec<SeqBuf>,
+        input: &'a Seq,
+    ) -> &'a Seq {
+        if layers.is_empty() {
+            return input;
+        }
+        if arena.len() != layers.len() {
+            arena.resize_with(layers.len(), SeqBuf::new);
+        }
+        for (i, layer) in layers.iter_mut().enumerate() {
+            let (done, rest) = arena.split_at_mut(i);
+            let x: &Seq = if i == 0 { input } else { done[i - 1].seq() };
+            layer.forward_into(x, &mut rest[0]);
+        }
+        arena[layers.len() - 1].seq()
+    }
+
+    /// Eval forward + sample-major flat write: the batched output lands in
+    /// `out[offset..]` as `out[offset + (b * T + t) * F + f]`, growing
+    /// `out` if needed. Returns `(out_time, out_features)`.
+    fn eval_into_vec(
+        layers: &mut [Layer],
+        arena: &mut Vec<SeqBuf>,
+        idx: &mut Vec<usize>,
+        input: &Seq,
+        out: &mut Vec<f64>,
+        offset: usize,
+    ) -> (usize, usize) {
+        let res = Self::forward_eval(layers, arena, input);
+        let (t_out, batch, f_out) = (res.len(), res.batch_size(), res.features());
+        let need = offset + batch * t_out * f_out;
+        if out.len() < need {
+            out.resize(need, 0.0);
+        }
+        let dst = &mut out[offset..need];
+        // Each time step scatters its rows to the per-sample positions:
+        // viewing `dst` as a (batch * T) x F matrix, sample b's step t is
+        // row b * T + t.
+        for t in 0..t_out {
+            idx.clear();
+            idx.extend((0..batch).map(|b| b * t_out + t));
+            kernels::scatter_rows_into(
+                res.step(t).view(),
+                idx,
+                MatMut::new(batch * t_out, f_out, dst),
+            );
+        }
+        (t_out, f_out)
+    }
+
     /// Runs inference on a set of samples, returning one output matrix
     /// (`target_time x target_features`) per sample. Samples are processed
-    /// in batches of 256.
+    /// in batches of 256, staged and evaluated through persistent buffers
+    /// (bitwise identical outputs to the allocating path; only the
+    /// returned matrices are freshly allocated).
     pub fn predict(&mut self, inputs: &[Matrix]) -> Vec<Matrix> {
         let mut outputs = Vec::with_capacity(inputs.len());
-        for chunk in inputs.chunks(256) {
-            let batch = Seq::from_samples(chunk);
-            let out = self.forward(&batch, false);
+        for chunk in inputs.chunks(EVAL_CHUNK) {
+            let (time, feat) = chunk[0].shape();
+            let bufs = if chunk.len() == EVAL_CHUNK {
+                &mut self.eval_full
+            } else {
+                &mut self.eval_tail
+            };
+            let batch = bufs.input.ensure(time, chunk.len(), feat);
+            for (b, sample) in chunk.iter().enumerate() {
+                batch.load_sample(b, sample);
+            }
+            let out = Self::forward_eval(&mut self.layers, &mut bufs.arena, bufs.input.seq());
             outputs.extend(out.to_samples());
         }
         outputs
     }
 
+    /// [`Sequential::predict`] without the `to_samples` round-trip: every
+    /// sample's output is written into `out` sample-major
+    /// (`out[(i * T + t) * F + f]` for sample `i`), which is resized to
+    /// exactly `inputs.len() * T * F`. Returns `(out_time, out_features)`.
+    ///
+    /// Bitwise identical values to `predict`; a warm call makes zero
+    /// matrix allocations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is empty or the samples disagree on shape.
+    pub fn predict_into(&mut self, inputs: &[Matrix], out: &mut Vec<f64>) -> (usize, usize) {
+        assert!(!inputs.is_empty(), "predict_into requires inputs");
+        let mut shape = (0usize, 0usize);
+        let mut written = 0usize;
+        for chunk in inputs.chunks(EVAL_CHUNK) {
+            let (time, feat) = chunk[0].shape();
+            let bufs = if chunk.len() == EVAL_CHUNK {
+                &mut self.eval_full
+            } else {
+                &mut self.eval_tail
+            };
+            let batch = bufs.input.ensure(time, chunk.len(), feat);
+            for (b, sample) in chunk.iter().enumerate() {
+                batch.load_sample(b, sample);
+            }
+            shape = Self::eval_into_vec(
+                &mut self.layers,
+                &mut bufs.arena,
+                &mut self.scatter_idx,
+                bufs.input.seq(),
+                out,
+                written,
+            );
+            written += chunk.len() * shape.0 * shape.1;
+        }
+        out.truncate(written);
+        shape
+    }
+
+    /// Eval-mode forward over one caller-prepared batch, writing the
+    /// output into `out` starting at `offset`, sample-major
+    /// (`out[offset + (b * T + t) * F + f]`). `out` grows if needed.
+    /// Returns `(out_time, out_features)`.
+    ///
+    /// This is the streaming entry point for callers that marshal their
+    /// own batches into a [`SeqBuf`] (e.g. windowed anomaly scoring) and
+    /// want reconstructions in a flat reusable buffer.
+    pub fn predict_seq_into(
+        &mut self,
+        input: &Seq,
+        out: &mut Vec<f64>,
+        offset: usize,
+    ) -> (usize, usize) {
+        // Route by batch size the same way the chunked entries do, so a
+        // caller alternating full chunks with a ragged tail keeps both
+        // arenas warm.
+        let arena = if input.batch_size() == EVAL_CHUNK {
+            &mut self.eval_full.arena
+        } else {
+            &mut self.eval_tail.arena
+        };
+        Self::eval_into_vec(
+            &mut self.layers,
+            arena,
+            &mut self.scatter_idx,
+            input,
+            out,
+            offset,
+        )
+    }
+
     /// Mean loss of the model on `samples` (inference mode).
+    ///
+    /// Inputs and targets are staged into persistent batch buffers (no
+    /// per-chunk clones) and the loss is computed from views; the values
+    /// are bitwise identical to the old clone + `from_samples` path.
     pub fn evaluate(&mut self, samples: &[Sample], loss: Loss) -> f64 {
         if samples.is_empty() {
             return 0.0;
         }
         let mut total = 0.0;
         let mut count = 0usize;
-        for chunk in samples.chunks(256) {
-            let inputs: Vec<Matrix> = chunk.iter().map(|s| s.input.clone()).collect();
-            let targets: Vec<Matrix> = chunk.iter().map(|s| s.target.clone()).collect();
-            let pred = self.forward(&Seq::from_samples(&inputs), false);
-            let target = Seq::from_samples(&targets);
-            total += loss.value(&pred, &target) * chunk.len() as f64;
+        for chunk in samples.chunks(EVAL_CHUNK) {
+            let (ti, fi) = chunk[0].input.shape();
+            let bufs = if chunk.len() == EVAL_CHUNK {
+                &mut self.eval_full
+            } else {
+                &mut self.eval_tail
+            };
+            let batch = bufs.input.ensure(ti, chunk.len(), fi);
+            for (b, s) in chunk.iter().enumerate() {
+                batch.load_sample(b, &s.input);
+            }
+            let (tt, ft) = chunk[0].target.shape();
+            let tgt = bufs.target.ensure(tt, chunk.len(), ft);
+            for (b, s) in chunk.iter().enumerate() {
+                tgt.load_sample(b, &s.target);
+            }
+            let pred = Self::forward_eval(&mut self.layers, &mut bufs.arena, bufs.input.seq());
+            total += loss.value(pred, bufs.target.seq()) * chunk.len() as f64;
             count += chunk.len();
         }
         total / count as f64
@@ -296,13 +486,25 @@ impl Sequential {
     /// Mirrors `model.fit` in Keras: optional shuffling, a tail validation
     /// split, and early stopping with best-weight restoration.
     ///
+    /// Batches are marshalled through a [`BatchPlan`] built once per call:
+    /// the shuffle produces an index permutation that gathers rows out of a
+    /// time-major sample stack straight into reusable batch buffers, and
+    /// each batch runs through [`Sequential::train_batch`]. Both are
+    /// bitwise identical to the historical per-batch clone +
+    /// `from_samples` + inline-step loop.
+    ///
     /// # Errors
     ///
     /// * [`NnError::EmptyDataset`] if `samples` is empty (or empty after the
     ///   validation split).
     /// * [`NnError::InvalidConfig`] for a zero batch size or a validation
     ///   split outside `[0, 1)`.
-    /// * [`NnError::NonFiniteLoss`] if training diverges.
+    /// * [`NnError::NonFiniteLoss`] if training diverges. The divergence
+    ///   check runs after the optimiser step that consumed the non-finite
+    ///   loss (the step itself is unconditional inside `train_batch`), so
+    ///   on this error path the model weights reflect one more update than
+    ///   they historically did — observable only by callers that keep
+    ///   using a model whose `fit` returned `Err`.
     pub fn fit(&mut self, samples: &[Sample], cfg: &TrainConfig) -> NnResult<TrainHistory> {
         if cfg.batch_size == 0 {
             return Err(NnError::InvalidConfig("batch_size must be >= 1".into()));
@@ -328,6 +530,12 @@ impl Sequential {
         let mut epochs_without_improvement = 0usize;
         let mut order: Vec<usize> = (0..train.len()).collect();
         let mut shuffle_rng = StdRng::seed_from_u64(self.seed ^ 0xD1B5_4A32_D192_ED03);
+        // Stack the training set time-major once; every batch of every
+        // epoch is then a row gather. Full batches and the ragged tail
+        // (if any) keep separate buffers so warm epochs never reshape.
+        let plan = BatchPlan::new(train);
+        let (mut batch_in, mut batch_tgt) = (SeqBuf::new(), SeqBuf::new());
+        let (mut tail_in, mut tail_tgt) = (SeqBuf::new(), SeqBuf::new());
 
         for epoch in 0..cfg.epochs {
             if cfg.shuffle {
@@ -336,27 +544,16 @@ impl Sequential {
             let mut epoch_loss = 0.0;
             let mut batches = 0usize;
             for batch_idx in order.chunks(cfg.batch_size) {
-                let inputs: Vec<Matrix> =
-                    batch_idx.iter().map(|&i| train[i].input.clone()).collect();
-                let targets: Vec<Matrix> =
-                    batch_idx.iter().map(|&i| train[i].target.clone()).collect();
-                let pred = self.forward(&Seq::from_samples(&inputs), true);
-                let (loss_value, grad) = cfg.loss.evaluate(&pred, &Seq::from_samples(&targets));
+                let (bin, btg) = if batch_idx.len() == cfg.batch_size {
+                    (&mut batch_in, &mut batch_tgt)
+                } else {
+                    (&mut tail_in, &mut tail_tgt)
+                };
+                plan.gather_into(batch_idx, bin, btg);
+                let loss_value = self.train_batch(bin.seq(), btg.seq(), cfg.loss, cfg.clip_norm);
                 if !loss_value.is_finite() {
                     return Err(NnError::NonFiniteLoss { epoch });
                 }
-                self.backward(&grad);
-                if let Some(max_norm) = cfg.clip_norm {
-                    self.clip_gradients(max_norm);
-                }
-                let mut pg: Vec<(&mut Matrix, &mut Matrix)> = self
-                    .layers
-                    .iter_mut()
-                    .flat_map(|l| l.params_and_grads_mut())
-                    .collect();
-                self.optimizer.step(&mut pg);
-                drop(pg);
-                self.zero_grads();
                 epoch_loss += loss_value;
                 batches += 1;
             }

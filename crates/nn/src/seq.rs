@@ -108,6 +108,44 @@ impl Seq {
         self.steps.last().expect("Seq is never empty")
     }
 
+    /// Mutable flat row-major contents of the step at time `t`.
+    ///
+    /// This is the fill-side of the zero-copy batch pipeline: gather and
+    /// strided-copy kernels write marshalled rows straight into the step
+    /// storage instead of building fresh matrices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t >= self.len()`.
+    pub fn step_data_mut(&mut self, t: usize) -> &mut [f64] {
+        self.steps[t].as_mut_slice()
+    }
+
+    /// Copies one `time x features` sample into batch row `b` of every step.
+    ///
+    /// Pure data movement: once every batch row has been loaded, the batch
+    /// is bitwise identical to [`Seq::from_samples`] over the same samples
+    /// in the same order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b >= self.batch_size()` or `sample` is not
+    /// `self.len() x self.features()`.
+    pub fn load_sample(&mut self, b: usize, sample: &Matrix) {
+        let (time, feat) = (self.len(), self.features());
+        assert!(b < self.batch_size(), "batch row {b} out of bounds");
+        assert_eq!(
+            sample.shape(),
+            (time, feat),
+            "sample shape does not match the batch"
+        );
+        let src = sample.as_slice();
+        for (t, step) in self.steps.iter_mut().enumerate() {
+            step.as_mut_slice()[b * feat..(b + 1) * feat]
+                .copy_from_slice(&src[t * feat..(t + 1) * feat]);
+        }
+    }
+
     /// Iterator over the steps in time order.
     pub fn iter(&self) -> std::slice::Iter<'_, Matrix> {
         self.steps.iter()
@@ -159,6 +197,73 @@ impl<'a> IntoIterator for &'a Seq {
 
     fn into_iter(self) -> Self::IntoIter {
         self.steps.iter()
+    }
+}
+
+/// A reusable [`Seq`] buffer that only reallocates on shape changes.
+///
+/// Persistent inference/marshalling workspaces hold their staging batches
+/// in `SeqBuf`s: [`SeqBuf::ensure`] hands back a mutable `Seq` of the
+/// requested shape, reusing the existing step matrices whenever the shape
+/// already matches (zero matrix allocations on the warm path).
+///
+/// # Examples
+///
+/// ```
+/// use evfad_nn::SeqBuf;
+///
+/// let mut buf = SeqBuf::new();
+/// let seq = buf.ensure(3, 2, 1);
+/// seq.step_data_mut(0).fill(1.0);
+/// assert_eq!(buf.seq().step(0)[(1, 0)], 1.0);
+/// // Same shape: storage (and contents) are reused, nothing is allocated.
+/// buf.ensure(3, 2, 1);
+/// assert_eq!(buf.seq().step(0)[(1, 0)], 1.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SeqBuf {
+    seq: Option<Seq>,
+}
+
+impl SeqBuf {
+    /// Creates an empty buffer (no storage until the first `ensure`).
+    pub fn new() -> Self {
+        Self { seq: None }
+    }
+
+    /// Returns a mutable `time`-step batch of `batch x feat` matrices.
+    ///
+    /// If the held sequence already has exactly this shape it is returned
+    /// as-is — contents preserved, no allocation; callers overwrite the
+    /// rows they marshal. Otherwise the buffer is rebuilt with zeroed
+    /// steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time == 0` (a [`Seq`] is never empty).
+    pub fn ensure(&mut self, time: usize, batch: usize, feat: usize) -> &mut Seq {
+        assert!(time > 0, "a Seq needs at least one step");
+        let matches = self
+            .seq
+            .as_ref()
+            .is_some_and(|s| s.len() == time && s.batch_size() == batch && s.features() == feat);
+        if !matches {
+            self.seq = Some(Seq {
+                steps: (0..time).map(|_| Matrix::zeros(batch, feat)).collect(),
+            });
+        }
+        self.seq.as_mut().expect("ensure just filled the buffer")
+    }
+
+    /// Borrow of the last ensured sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`SeqBuf::ensure`] has never been called.
+    pub fn seq(&self) -> &Seq {
+        self.seq
+            .as_ref()
+            .expect("SeqBuf::seq called before SeqBuf::ensure")
     }
 }
 

@@ -80,3 +80,70 @@ fn warm_train_step_bytes_are_o1_in_sequence_length() {
         "per-step allocated bytes grew with T"
     );
 }
+
+/// Matrix allocations of a *warm* `predict_into` call over `n` sequences
+/// (staging buffers and the eval arena already shaped by two prior calls).
+fn warm_predict_allocs(n: usize) -> AllocStats {
+    let mut model = forecaster_model(16, 7);
+    let inputs: Vec<Matrix> = (0..n)
+        .map(|i| Matrix::from_fn(12, 1, |t, _| ((i * 5 + t) as f64 * 0.17).sin()))
+        .collect();
+    let mut out = Vec::new();
+    for _ in 0..2 {
+        let _ = model.predict_into(&inputs, &mut out);
+    }
+    let before = alloc_stats();
+    let _ = model.predict_into(&inputs, &mut out);
+    alloc_stats().since(&before)
+}
+
+/// A warm `predict_into` stages inputs into a reusable `SeqBuf`, runs the
+/// layers through the persistent eval arena, and scatters straight into the
+/// caller's flat buffer — so its matrix-allocation count must not grow with
+/// the number of sequences scored (within one 256-sequence chunk).
+#[test]
+fn warm_predict_into_matrix_allocs_are_o1_in_batch_size() {
+    let _guard = GUARD.lock().unwrap();
+    let small = warm_predict_allocs(8);
+    let double = warm_predict_allocs(16);
+    let triple = warm_predict_allocs(24);
+    assert_eq!(
+        small.matrices, double.matrices,
+        "warm predict_into matrix allocations grew with n: {small:?} vs {double:?}"
+    );
+    assert_eq!(
+        double.matrices, triple.matrices,
+        "warm predict_into matrix allocations grew with n: {double:?} vs {triple:?}"
+    );
+    assert!(
+        small.matrices <= 8,
+        "warm predict_into allocated {} matrices",
+        small.matrices
+    );
+}
+
+/// The allocating `predict` clones one output matrix per sequence; the flat
+/// `predict_into` must beat it by at least the issue's 5x floor even at a
+/// modest batch size.
+#[test]
+fn predict_into_allocates_5x_fewer_matrices_than_predict() {
+    let _guard = GUARD.lock().unwrap();
+    let mut model = forecaster_model(16, 7);
+    let inputs: Vec<Matrix> = (0..64)
+        .map(|i| Matrix::from_fn(12, 1, |t, _| ((i * 5 + t) as f64 * 0.17).sin()))
+        .collect();
+    let mut out = Vec::new();
+    // Warm both paths so neither pays one-time workspace sizing.
+    let _ = model.predict(&inputs);
+    let _ = model.predict_into(&inputs, &mut out);
+    let before = alloc_stats();
+    let _ = model.predict(&inputs);
+    let old = alloc_stats().since(&before);
+    let before = alloc_stats();
+    let _ = model.predict_into(&inputs, &mut out);
+    let new = alloc_stats().since(&before);
+    assert!(
+        new.matrices * 5 <= old.matrices,
+        "predict_into is not 5x leaner: old {old:?} vs new {new:?}"
+    );
+}

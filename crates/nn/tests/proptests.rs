@@ -93,3 +93,75 @@ proptest! {
         prop_assert_eq!(model.predict(std::slice::from_ref(&x)), restored.predict(&[x]));
     }
 }
+
+// ---------------------------------------------------------------------------
+// Zero-copy batch pipeline: a planned gather of any shuffle order must be
+// bitwise identical to the allocating clone + `Seq::from_samples` marshal it
+// replaces — this is what keeps `fit` deterministic across the refactor.
+// ---------------------------------------------------------------------------
+
+use evfad_nn::{BatchPlan, Sample, SeqBuf};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn batch_plan_gather_matches_clone_and_from_samples(
+        raw in prop::collection::vec(-10.0f64..10.0, 9 * (5 + 2)),
+        idx in prop::collection::vec(0usize..9, 1..12),
+    ) {
+        let samples: Vec<Sample> = (0..9)
+            .map(|i| {
+                let base = i * 7;
+                Sample::new(
+                    Matrix::column_vector(&raw[base..base + 5]),
+                    Matrix::column_vector(&raw[base + 5..base + 7]),
+                )
+            })
+            .collect();
+        // Old path: clone the picked samples, then marshal time-major.
+        let picked_in: Vec<Matrix> = idx.iter().map(|&i| samples[i].input.clone()).collect();
+        let picked_tgt: Vec<Matrix> = idx.iter().map(|&i| samples[i].target.clone()).collect();
+        let ref_in = Seq::from_samples(&picked_in);
+        let ref_tgt = Seq::from_samples(&picked_tgt);
+        // New path: gather the same indices through the prebuilt plan.
+        let plan = BatchPlan::new(&samples);
+        let (mut bin, mut btg) = (SeqBuf::new(), SeqBuf::new());
+        plan.gather_into(&idx, &mut bin, &mut btg);
+        prop_assert_eq!(bin.seq().len(), ref_in.len());
+        for t in 0..ref_in.len() {
+            prop_assert_eq!(bin.seq().step(t).as_slice(), ref_in.step(t).as_slice());
+        }
+        for t in 0..ref_tgt.len() {
+            prop_assert_eq!(btg.seq().step(t).as_slice(), ref_tgt.step(t).as_slice());
+        }
+    }
+
+    /// Gathering through a reused buffer pair after a differently-shaped
+    /// batch still matches the fresh marshal (stale contents cannot leak).
+    #[test]
+    fn batch_plan_gather_is_stable_across_reuse(
+        raw in prop::collection::vec(-10.0f64..10.0, 6 * 4),
+        first in prop::collection::vec(0usize..6, 5),
+        second in prop::collection::vec(0usize..6, 2),
+    ) {
+        let samples: Vec<Sample> = (0..6)
+            .map(|i| {
+                let base = i * 4;
+                Sample::new(
+                    Matrix::column_vector(&raw[base..base + 3]),
+                    Matrix::column_vector(&raw[base + 3..base + 4]),
+                )
+            })
+            .collect();
+        let plan = BatchPlan::new(&samples);
+        let (mut bin, mut btg) = (SeqBuf::new(), SeqBuf::new());
+        plan.gather_into(&first, &mut bin, &mut btg);
+        plan.gather_into(&second, &mut bin, &mut btg);
+        let picked: Vec<Matrix> = second.iter().map(|&i| samples[i].input.clone()).collect();
+        let reference = Seq::from_samples(&picked);
+        for t in 0..reference.len() {
+            prop_assert_eq!(bin.seq().step(t).as_slice(), reference.step(t).as_slice());
+        }
+    }
+}

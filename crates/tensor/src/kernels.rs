@@ -575,6 +575,90 @@ pub fn transpose_into(a: MatRef<'_>, out: MatMut<'_>) {
     }
 }
 
+/// `out[i] = src[rows[i]]` row-wise: gathers the listed rows of `src`
+/// into `out` in order.
+///
+/// Pure data movement (each output row is one `copy_from_slice` from the
+/// source row), so the result is trivially bitwise identical to building
+/// the same matrix with any allocating equivalent — e.g.
+/// `Matrix::from_fn(rows.len(), src.cols(), |i, j| src[(rows[i], j)])`.
+/// This is the marshalling primitive behind `BatchPlan`: a shuffled epoch
+/// becomes an index permutation consumed here instead of per-sample
+/// clones.
+///
+/// # Panics
+///
+/// Panics if `out.rows() != rows.len()`, if the column counts differ, or
+/// if any index is out of bounds for `src`.
+pub fn gather_rows_into(src: MatRef<'_>, rows: &[usize], out: MatMut<'_>) {
+    assert_eq!(out.rows, rows.len(), "gather: out rows != index count");
+    assert_eq!(out.cols, src.cols, "gather: column mismatch");
+    for (i, &r) in rows.iter().enumerate() {
+        assert!(
+            r < src.rows,
+            "gather: row index {r} out of bounds ({})",
+            src.rows
+        );
+        out.data[i * out.cols..(i + 1) * out.cols].copy_from_slice(src.row(r));
+    }
+}
+
+/// `out[rows[i]] = src[i]` row-wise: scatters the rows of `src` to the
+/// listed positions in `out`.
+///
+/// The inverse data movement of [`gather_rows_into`]; rows of `out` not
+/// named in `rows` are left untouched. If `rows` contains duplicates the
+/// writes land in index order, so the last occurrence wins.
+///
+/// # Panics
+///
+/// Panics if `src.rows() != rows.len()`, if the column counts differ, or
+/// if any index is out of bounds for `out`.
+pub fn scatter_rows_into(src: MatRef<'_>, rows: &[usize], out: MatMut<'_>) {
+    assert_eq!(src.rows, rows.len(), "scatter: src rows != index count");
+    assert_eq!(out.cols, src.cols, "scatter: column mismatch");
+    for (i, &r) in rows.iter().enumerate() {
+        assert!(
+            r < out.rows,
+            "scatter: row index {r} out of bounds ({})",
+            out.rows
+        );
+        out.data[r * out.cols..(r + 1) * out.cols].copy_from_slice(src.row(i));
+    }
+}
+
+/// `out[i] = src[start + i * stride]` for `i in 0..out.len()`.
+///
+/// The strided step builder for windowed time series: a time-major step of
+/// a stride-1 window batch is the contiguous slice `src[t..t + n]`, which
+/// this copies with one `copy_from_slice`; other strides fall back to an
+/// elementwise loop. Pure data movement, bitwise identical to the
+/// equivalent `iter().step_by(stride)` collect.
+///
+/// # Panics
+///
+/// Panics if `stride == 0`, or if the last element read
+/// (`start + (out.len() - 1) * stride`) is out of bounds for `src`.
+pub fn gather_strided_into(src: &[f64], start: usize, stride: usize, out: &mut [f64]) {
+    assert!(stride > 0, "gather_strided: stride must be nonzero");
+    if out.is_empty() {
+        return;
+    }
+    let last = start + (out.len() - 1) * stride;
+    assert!(
+        last < src.len(),
+        "gather_strided: last index {last} out of bounds ({})",
+        src.len()
+    );
+    if stride == 1 {
+        out.copy_from_slice(&src[start..start + out.len()]);
+    } else {
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = src[start + i * stride];
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -725,5 +809,49 @@ mod tests {
         let b = m(4, 2, 1.0);
         let mut out = vec![0.0; 4];
         matmul_acc_into(a.view(), b.view(), MatMut::new(2, 2, &mut out));
+    }
+
+    #[test]
+    fn gather_rows_matches_from_fn() {
+        let src = m(6, 3, 1.0);
+        let idx = [4usize, 0, 4, 2];
+        let mut out = vec![f64::NAN; 12];
+        gather_rows_into(src.view(), &idx, MatMut::new(4, 3, &mut out));
+        let expect = Matrix::from_fn(4, 3, |i, j| src[(idx[i], j)]);
+        assert_eq!(out, expect.as_slice());
+    }
+
+    #[test]
+    fn scatter_rows_inverts_gather_and_last_write_wins() {
+        let src = m(3, 2, 1.0);
+        let idx = [2usize, 0, 2];
+        let mut out = vec![9.0; 8];
+        scatter_rows_into(src.view(), &idx, MatMut::new(4, 2, &mut out));
+        // Row 1 and 3 untouched, row 0 = src row 1, row 2 = src row 2 (last wins).
+        assert_eq!(&out[2..4], &[9.0, 9.0]);
+        assert_eq!(&out[6..8], &[9.0, 9.0]);
+        assert_eq!(&out[0..2], src.row(1));
+        assert_eq!(&out[4..6], src.row(2));
+    }
+
+    #[test]
+    fn gather_strided_matches_step_by() {
+        let src: Vec<f64> = (0..20).map(|i| (i as f64).cos()).collect();
+        for stride in [1usize, 2, 3] {
+            let mut out = vec![f64::NAN; 5];
+            gather_strided_into(&src, 2, stride, &mut out);
+            let expect: Vec<f64> = src[2..].iter().step_by(stride).take(5).copied().collect();
+            assert_eq!(out, expect);
+        }
+        let mut empty: Vec<f64> = Vec::new();
+        gather_strided_into(&src, 0, 1, &mut empty);
+    }
+
+    #[test]
+    #[should_panic(expected = "gather: row index")]
+    fn gather_out_of_bounds_panics() {
+        let src = m(2, 2, 1.0);
+        let mut out = vec![0.0; 2];
+        gather_rows_into(src.view(), &[2], MatMut::new(1, 2, &mut out));
     }
 }

@@ -276,3 +276,81 @@ proptest! {
         prop_assert_eq!(&serial.1[..], &par.1[..]);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Gather/scatter kernels: the zero-copy batch pipeline assembles shuffled
+// mini-batches and chunked outputs with these, so they must be bitwise equal
+// to the allocating `from_fn` / indexed-copy forms they replace.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn gather_rows_matches_indexed_from_fn(
+        src in matrix_strategy(9, 4),
+        rows in prop::collection::vec(0usize..9, 1..16),
+    ) {
+        let reference = Matrix::from_fn(rows.len(), 4, |i, j| src[(rows[i], j)]);
+        let mut out = vec![f64::NAN; rows.len() * 4];
+        kernels::gather_rows_into(src.view(), &rows, MatMut::new(rows.len(), 4, &mut out));
+        prop_assert_eq!(reference.as_slice(), &out[..]);
+    }
+
+    #[test]
+    fn scatter_rows_matches_indexed_writes(
+        src in matrix_strategy(6, 3),
+        rows in prop::collection::vec(0usize..11, 6),
+    ) {
+        // Reference: sequential indexed writes into a pre-filled buffer
+        // (last write wins on duplicate indices, untouched rows keep their
+        // old contents) — exactly the contract `scatter_rows_into` promises.
+        let mut reference = Matrix::from_fn(11, 3, |i, j| (i * 3 + j) as f64);
+        for (i, &r) in rows.iter().enumerate() {
+            for j in 0..3 {
+                reference[(r, j)] = src[(i, j)];
+            }
+        }
+        let mut out: Vec<f64> = (0..33).map(|k| k as f64).collect();
+        kernels::scatter_rows_into(src.view(), &rows, MatMut::new(11, 3, &mut out));
+        prop_assert_eq!(reference.as_slice(), &out[..]);
+    }
+
+    #[test]
+    fn gather_then_scatter_round_trips(
+        src in matrix_strategy(8, 5),
+        perm_seed in 0u64..1000,
+    ) {
+        // A permutation gathered out and scattered back must reproduce the
+        // source exactly (the shuffle-is-an-index-permutation invariant the
+        // batch planner relies on).
+        let mut rows: Vec<usize> = (0..8).collect();
+        let mut state = perm_seed.wrapping_add(1);
+        for i in (1..rows.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            rows.swap(i, (state >> 33) as usize % (i + 1));
+        }
+        let mut gathered = vec![f64::NAN; 8 * 5];
+        kernels::gather_rows_into(src.view(), &rows, MatMut::new(8, 5, &mut gathered));
+        let mut restored = vec![f64::NAN; 8 * 5];
+        let g = Matrix::from_vec(8, 5, gathered);
+        kernels::scatter_rows_into(g.view(), &rows, MatMut::new(8, 5, &mut restored));
+        prop_assert_eq!(src.as_slice(), &restored[..]);
+    }
+
+    #[test]
+    fn gather_strided_matches_step_by(
+        data in prop::collection::vec(-100.0f64..100.0, 1..120),
+        start_raw in 0usize..8,
+        stride in 1usize..5,
+        len_raw in 0usize..32,
+    ) {
+        let start = start_raw % data.len();
+        let max_len = (data.len() - start).div_ceil(stride);
+        let len = len_raw % (max_len + 1);
+        let reference: Vec<f64> = data[start..].iter().step_by(stride).take(len).copied().collect();
+        let mut out = vec![f64::NAN; len];
+        kernels::gather_strided_into(&data, start, stride, &mut out);
+        prop_assert_eq!(&reference[..], &out[..]);
+    }
+}

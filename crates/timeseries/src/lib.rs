@@ -39,4 +39,4 @@ pub mod windows;
 
 pub use error::TimeSeriesError;
 pub use scaler::MinMaxScaler;
-pub use windows::Window;
+pub use windows::{Window, WindowedSeries};

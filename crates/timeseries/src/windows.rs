@@ -65,6 +65,96 @@ pub fn reconstruction(series: &[f64], seq_len: usize) -> Vec<Vec<f64>> {
         .collect()
 }
 
+/// A zero-copy time-major view of every stride-1 reconstruction window.
+///
+/// Where [`reconstruction`] materialises one `Vec<f64>` per window (and
+/// downstream code re-marshals them into per-window matrices and then a
+/// time-major batch), this view exploits the structure of stride-1
+/// windows: timestep `t` of windows `first..first + count` is the
+/// *contiguous* source slice `series[first + t..first + t + count]`. Hot
+/// paths therefore build each time-major step with a single
+/// `copy_from_slice` instead of `count * seq_len` scattered reads.
+///
+/// The values are taken verbatim from the same series positions the
+/// allocating path reads, so any batch assembled from [`WindowedSeries::step`]
+/// slices is bitwise identical to `reconstruction` + per-window matrices +
+/// time-major batching (pinned by proptest in `evfad-anomaly`).
+///
+/// # Examples
+///
+/// ```
+/// use evfad_timeseries::windows::WindowedSeries;
+///
+/// let series = [1.0, 2.0, 3.0, 4.0, 5.0];
+/// let ws = WindowedSeries::new(&series, 3).unwrap();
+/// assert_eq!(ws.len(), 3);
+/// assert_eq!(ws.window(1), &[2.0, 3.0, 4.0]);
+/// // Timestep 1 of windows 0..3 is the contiguous slice starting at 1.
+/// assert_eq!(ws.step(1, 0, 3), &[2.0, 3.0, 4.0]);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct WindowedSeries<'a> {
+    series: &'a [f64],
+    seq_len: usize,
+}
+
+impl<'a> WindowedSeries<'a> {
+    /// Views `series` as its stride-1 windows of length `seq_len`.
+    ///
+    /// Returns `None` when the series is shorter than one window (the
+    /// case where [`reconstruction`] returns an empty vector).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq_len == 0`.
+    pub fn new(series: &'a [f64], seq_len: usize) -> Option<Self> {
+        assert!(seq_len > 0, "seq_len must be >= 1");
+        if series.len() < seq_len {
+            return None;
+        }
+        Some(Self { series, seq_len })
+    }
+
+    /// Window length.
+    pub fn seq_len(&self) -> usize {
+        self.seq_len
+    }
+
+    /// Number of windows (`series.len() - seq_len + 1`).
+    #[allow(clippy::len_without_is_empty)] // >= 1 window by construction
+    pub fn len(&self) -> usize {
+        self.series.len() - self.seq_len + 1
+    }
+
+    /// Timestep `t` of the `count` windows starting at window `first`,
+    /// as one contiguous slice (`series[first + t..first + t + count]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t >= seq_len` or `first + count > self.len()`.
+    pub fn step(&self, t: usize, first: usize, count: usize) -> &'a [f64] {
+        assert!(t < self.seq_len, "timestep {t} out of range");
+        assert!(
+            first + count <= self.len(),
+            "window range {first}..{} out of range ({} windows)",
+            first + count,
+            self.len()
+        );
+        &self.series[first + t..first + t + count]
+    }
+
+    /// The window starting at series index `w`
+    /// (`series[w..w + seq_len]` — what `reconstruction(...)[w]` holds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w >= self.len()`.
+    pub fn window(&self, w: usize) -> &'a [f64] {
+        assert!(w < self.len(), "window {w} out of range ({})", self.len());
+        &self.series[w..w + self.seq_len]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -111,5 +201,38 @@ mod tests {
     #[should_panic(expected = "seq_len")]
     fn zero_seq_len_panics() {
         let _ = sliding(&[1.0], 0);
+    }
+
+    #[test]
+    fn windowed_series_matches_reconstruction() {
+        let series: Vec<f64> = (0..40).map(|i| (i as f64 * 0.7).sin()).collect();
+        let wins = reconstruction(&series, 24);
+        let ws = WindowedSeries::new(&series, 24).expect("long enough");
+        assert_eq!(ws.len(), wins.len());
+        assert_eq!(ws.seq_len(), 24);
+        for (w, win) in wins.iter().enumerate() {
+            assert_eq!(ws.window(w), win.as_slice());
+        }
+        // step(t, first, count)[i] is window (first + i)'s element t.
+        for t in 0..24 {
+            let step = ws.step(t, 3, 10);
+            for i in 0..10 {
+                assert_eq!(step[i], wins[3 + i][t]);
+            }
+        }
+    }
+
+    #[test]
+    fn windowed_series_too_short_is_none() {
+        assert!(WindowedSeries::new(&[1.0, 2.0], 3).is_none());
+        assert!(WindowedSeries::new(&[1.0, 2.0, 3.0], 3).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn windowed_series_step_bounds_panic() {
+        let series = [1.0, 2.0, 3.0, 4.0];
+        let ws = WindowedSeries::new(&series, 2).unwrap();
+        let _ = ws.step(0, 2, 2);
     }
 }
