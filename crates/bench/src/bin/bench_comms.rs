@@ -1,0 +1,367 @@
+//! Times the zero-serialization comms path against the JSON metering it
+//! replaced, gates every codec byte-exactly, and emits `BENCH_comms.json`.
+//!
+//! Three sections:
+//!
+//! * `codec` — decode gates, checked before anything is timed: EVFD
+//!   (full-precision weights) must round-trip **bitwise**; EVQ8 (8-bit
+//!   quantized) must re-encode to the identical payload with dequantization
+//!   error bounded by half a quantization step; EVSK (top-k sparse delta)
+//!   must re-encode identically and reconstruct the same update. The O(1)
+//!   `*_encoded_size` arithmetic must equal the real payload length — that
+//!   equality is what lets the round loop meter without serialising.
+//! * `metering` — races one federated round-schedule of traffic accounting
+//!   (broadcast to every client + one uplink per client, paper schedule)
+//!   through the legacy `MeteredChannel::record` (serialises the full
+//!   weight set to JSON per message) versus the new path (encode the
+//!   broadcast once per round, O(1) arithmetic per uplink). The new path is
+//!   asserted to perform **zero** JSON serialisations via the process-wide
+//!   `serde_json::serialization_count` counter.
+//! * `compression` — wire bytes per update for None / Quant8 / TopKDelta
+//!   on the paper's forecaster, with the Quant8 ratio gated at ≈8x.
+//!
+//! Usage: `cargo run --release --bin bench_comms [output-path] [--smoke]`
+//!
+//! `--smoke` runs a tiny model with few repetitions and skips the JSON
+//! dump — the CI gate that the codecs and the counter stay honest.
+
+use evfad_core::federated::compression::{QuantizedUpdate, SparseDelta};
+use evfad_core::federated::transport::MeteredChannel;
+use evfad_core::federated::wire;
+use evfad_core::nn::forecaster_model;
+use evfad_core::tensor::Matrix;
+use std::hint::black_box;
+use std::time::Instant;
+
+fn median(mut times: Vec<f64>) -> f64 {
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    times[times.len() / 2]
+}
+
+/// Paper-shaped model weights, perturbed so no tensor is degenerate-range.
+fn model_weights(lstm_units: usize) -> Vec<Matrix> {
+    forecaster_model(lstm_units, 42)
+        .weights()
+        .iter()
+        .map(|m| {
+            let vals: Vec<f64> = m
+                .as_slice()
+                .iter()
+                .enumerate()
+                .map(|(i, v)| v + 0.01 * ((i as f64) * 0.37).sin())
+                .collect();
+            Matrix::from_vec(m.rows(), m.cols(), vals)
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Section 1: codec gates.
+// ---------------------------------------------------------------------------
+
+struct CodecResult {
+    mode: &'static str,
+    payload_bytes: usize,
+    ratio_vs_full: f64,
+    max_error: f64,
+    exact: bool,
+}
+
+fn gate_codecs(weights: &[Matrix], global: &[Matrix], k: usize, full: bool) -> Vec<CodecResult> {
+    let raw = wire::encode_weights(weights);
+    assert_eq!(
+        raw.len(),
+        wire::encoded_size(weights),
+        "EVFD size arithmetic diverged from the real payload"
+    );
+    let decoded = wire::decode_weights(&raw).expect("EVFD decode");
+    assert_eq!(decoded, *weights, "EVFD round trip must be bitwise");
+    let none = CodecResult {
+        mode: "none",
+        payload_bytes: raw.len(),
+        ratio_vs_full: 1.0,
+        max_error: 0.0,
+        exact: true,
+    };
+
+    let q = QuantizedUpdate::quantize(weights);
+    let qp = wire::encode_quantized(&q);
+    assert_eq!(
+        qp.len(),
+        wire::quantized_encoded_size(&q),
+        "EVQ8 size arithmetic diverged from the real payload"
+    );
+    let qd = wire::decode_quantized(&qp).expect("EVQ8 decode");
+    assert_eq!(
+        wire::encode_quantized(&qd),
+        qp,
+        "EVQ8 decode → re-encode must be the identity on payloads"
+    );
+    let restored = qd.dequantize();
+    let mut max_error = 0.0f64;
+    for (r, w) in restored.iter().zip(weights) {
+        for (a, b) in r.as_slice().iter().zip(w.as_slice()) {
+            max_error = max_error.max((a - b).abs());
+        }
+    }
+    let max_half_step = weights
+        .iter()
+        .map(|m| {
+            let (lo, hi) = m
+                .as_slice()
+                .iter()
+                .fold((f64::MAX, f64::MIN), |(l, h), v| (l.min(*v), h.max(*v)));
+            (hi - lo) / 255.0 / 2.0
+        })
+        .fold(0.0f64, f64::max);
+    assert!(
+        max_error <= max_half_step + 1e-12,
+        "EVQ8 error {max_error} exceeds half a quantization step {max_half_step}"
+    );
+    let q_ratio = raw.len() as f64 / qp.len() as f64;
+    if full {
+        assert!(
+            q_ratio > 7.0 && q_ratio < 8.0,
+            "Quant8 ratio {q_ratio} strayed from ≈8x on paper-shaped tensors"
+        );
+    }
+    let quant = CodecResult {
+        mode: "quant8",
+        payload_bytes: qp.len(),
+        ratio_vs_full: q_ratio,
+        max_error,
+        exact: false,
+    };
+
+    let d = SparseDelta::top_k(weights, global, k);
+    let sp = wire::encode_sparse(&d);
+    assert_eq!(
+        sp.len(),
+        wire::sparse_encoded_size(&d),
+        "EVSK size arithmetic diverged from the real payload"
+    );
+    let sd = wire::decode_sparse(&sp).expect("EVSK decode");
+    assert_eq!(
+        wire::encode_sparse(&sd),
+        sp,
+        "EVSK decode → re-encode must be the identity on payloads"
+    );
+    assert_eq!(
+        sd.apply(global),
+        d.apply(global),
+        "EVSK decoded delta must reconstruct the same update"
+    );
+    assert!(sp.len() < raw.len(), "top-k must shrink the payload");
+    let sparse = CodecResult {
+        mode: "topk",
+        payload_bytes: sp.len(),
+        ratio_vs_full: raw.len() as f64 / sp.len() as f64,
+        max_error: 0.0,
+        exact: false,
+    };
+
+    vec![none, quant, sparse]
+}
+
+// ---------------------------------------------------------------------------
+// Section 2: metering race.
+// ---------------------------------------------------------------------------
+
+/// The pre-PR-5 accounting: serialise every payload to JSON to learn its
+/// size — once per broadcast recipient, once per uplink.
+fn baseline_metering(weights: &[Matrix], clients: usize, rounds: usize) -> usize {
+    let channel = MeteredChannel::new();
+    for _ in 0..rounds {
+        for _ in 0..clients {
+            channel.record(weights); // broadcast copy
+        }
+        for _ in 0..clients {
+            channel.record_attempts(weights, 1); // uplink
+        }
+    }
+    channel.totals().bytes
+}
+
+/// The new path: encode the broadcast once per round (reusing one buffer),
+/// meter recipients by its length, and price uplinks by O(1) arithmetic.
+fn wire_metering(weights: &[Matrix], clients: usize, rounds: usize) -> usize {
+    let channel = MeteredChannel::new();
+    let mut buf = wire::BytesMut::new();
+    for _ in 0..rounds {
+        wire::encode_weights_into(&mut buf, weights);
+        let broadcast_len = buf.len();
+        for _ in 0..clients {
+            channel.record_bytes(broadcast_len);
+        }
+        let uplink = wire::encoded_size(weights);
+        for _ in 0..clients {
+            channel.record_attempts_bytes(uplink, 1);
+        }
+    }
+    channel.totals().bytes
+}
+
+struct MeteringResult {
+    json_ms: f64,
+    wire_ms: f64,
+    json_bytes: usize,
+    wire_bytes: usize,
+    json_serializations: u64,
+    wire_serializations: u64,
+}
+
+fn race_metering(weights: &[Matrix], clients: usize, rounds: usize, reps: usize) -> MeteringResult {
+    // Warm both paths, then take the serialisation census of one pass each.
+    let json_bytes = baseline_metering(weights, clients, rounds);
+    let wire_bytes = wire_metering(weights, clients, rounds);
+    let before = serde_json::serialization_count();
+    let _ = baseline_metering(weights, clients, rounds);
+    let json_serializations = serde_json::serialization_count() - before;
+    let before = serde_json::serialization_count();
+    let _ = wire_metering(weights, clients, rounds);
+    let wire_serializations = serde_json::serialization_count() - before;
+    assert_eq!(
+        wire_serializations, 0,
+        "the wire metering path serialised JSON — the zero-serialization claim regressed"
+    );
+    assert_eq!(
+        json_serializations,
+        (2 * clients * rounds) as u64,
+        "the legacy path must serialise once per message"
+    );
+    // Binary payloads are strictly smaller than their JSON renderings.
+    assert!(wire_bytes < json_bytes);
+
+    let mut json_ms = Vec::with_capacity(reps);
+    let mut wire_ms = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let start = Instant::now();
+        black_box(baseline_metering(weights, clients, rounds));
+        json_ms.push(start.elapsed().as_secs_f64() * 1e3);
+        let start = Instant::now();
+        black_box(wire_metering(weights, clients, rounds));
+        wire_ms.push(start.elapsed().as_secs_f64() * 1e3);
+    }
+
+    MeteringResult {
+        json_ms: median(json_ms),
+        wire_ms: median(wire_ms),
+        json_bytes,
+        wire_bytes,
+        json_serializations,
+        wire_serializations,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Harness.
+// ---------------------------------------------------------------------------
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_comms.json".to_string());
+
+    // Paper schedule: 3 zones, 5 federated rounds, LSTM(50) forecaster.
+    let (lstm_units, clients, rounds, k, reps) = if smoke {
+        (8, 3, 2, 32, 3)
+    } else {
+        (50, 3, 5, 512, 21)
+    };
+
+    println!(
+        "comms bench: {} (LSTM({lstm_units}), {clients} clients x {rounds} rounds, reps={reps})",
+        if smoke { "smoke" } else { "full" }
+    );
+
+    let weights = model_weights(lstm_units);
+    let global = forecaster_model(lstm_units, 42).weights();
+
+    let codecs = gate_codecs(&weights, &global, k, !smoke);
+    for c in &codecs {
+        println!(
+            "codec {:<8} payload {:>8} B  ratio {:>5.2}x  max_error {:.3e}  exact={}",
+            c.mode, c.payload_bytes, c.ratio_vs_full, c.max_error, c.exact
+        );
+    }
+
+    let metering = race_metering(&weights, clients, rounds, reps);
+    println!(
+        "metering          json {:.3} ms / {} B / {} serializations   wire {:.3} ms / {} B / {} serializations   speedup {:.1}x",
+        metering.json_ms,
+        metering.json_bytes,
+        metering.json_serializations,
+        metering.wire_ms,
+        metering.wire_bytes,
+        metering.wire_serializations,
+        metering.json_ms / metering.wire_ms,
+    );
+
+    if smoke {
+        println!("smoke ok: codecs byte-exact, metering path JSON-free");
+        return;
+    }
+
+    let host_cpus = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let codec_entries: Vec<String> = codecs
+        .iter()
+        .map(|c| {
+            format!(
+                concat!(
+                    "    {{\n",
+                    "      \"mode\": \"{}\",\n",
+                    "      \"payload_bytes\": {},\n",
+                    "      \"ratio_vs_full\": {:.2},\n",
+                    "      \"max_error\": {:.6e},\n",
+                    "      \"exact\": {}\n",
+                    "    }}"
+                ),
+                c.mode, c.payload_bytes, c.ratio_vs_full, c.max_error, c.exact
+            )
+        })
+        .collect();
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"comms\",\n",
+            "  \"host_cpus\": {},\n",
+            "  \"reps\": {},\n",
+            "  \"model\": \"forecaster LSTM({})\",\n",
+            "  \"schedule\": {{ \"clients\": {}, \"rounds\": {} }},\n",
+            "  \"codec\": [\n{}\n  ],\n",
+            "  \"metering\": {{\n",
+            "    \"json_ms\": {:.4},\n",
+            "    \"wire_ms\": {:.4},\n",
+            "    \"speedup\": {:.1},\n",
+            "    \"json_bytes\": {},\n",
+            "    \"wire_bytes\": {},\n",
+            "    \"bytes_ratio\": {:.2},\n",
+            "    \"json_serializations\": {},\n",
+            "    \"wire_serializations\": {}\n",
+            "  }}\n",
+            "}}\n"
+        ),
+        host_cpus,
+        reps,
+        lstm_units,
+        clients,
+        rounds,
+        codec_entries.join(",\n"),
+        metering.json_ms,
+        metering.wire_ms,
+        metering.json_ms / metering.wire_ms,
+        metering.json_bytes,
+        metering.wire_bytes,
+        metering.json_bytes as f64 / metering.wire_bytes as f64,
+        metering.json_serializations,
+        metering.wire_serializations,
+    );
+    std::fs::write(&out_path, json).expect("write bench results");
+    println!("wrote {out_path}");
+}

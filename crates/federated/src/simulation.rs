@@ -3,10 +3,13 @@
 
 use crate::aggregate::Aggregator;
 use crate::client::{FedClient, LocalUpdate};
+use crate::compression::{CompressionMode, QuantizedUpdate, SparseDelta};
 use crate::error::FederatedError;
 use crate::faults::{FaultEvent, FaultInjector, FaultKind, FaultOutcome, FaultPlan};
 use crate::privacy::DpConfig;
 use crate::transport::MeteredChannel;
+use crate::wire;
+use bytes::BytesMut;
 use evfad_nn::{Sample, Sequential, TrainConfig};
 use evfad_tensor::Matrix;
 use rand::rngs::StdRng;
@@ -53,6 +56,13 @@ pub struct FederatedConfig {
     /// `None` (the default) runs the fault-free protocol.
     #[serde(default)]
     pub faults: Option<FaultPlan>,
+    /// Uplink encoding for client updates (see [`CompressionMode`]).
+    /// The server decodes the payload before aggregation, so metering,
+    /// faults, and aggregation all see the same bytes. The default
+    /// [`CompressionMode::None`] is bit-exact — results are identical to
+    /// an uncompressed run.
+    #[serde(default)]
+    pub compression: CompressionMode,
 }
 
 impl FederatedConfig {
@@ -106,6 +116,14 @@ impl FederatedConfig {
                 ));
             }
         }
+        if let CompressionMode::TopKDelta { k } = self.compression {
+            if k == 0 {
+                return Err(bad(
+                    "compression.k",
+                    "TopKDelta must keep at least 1 coordinate per tensor".to_string(),
+                ));
+            }
+        }
         Ok(())
     }
 }
@@ -124,6 +142,7 @@ impl Default for FederatedConfig {
             participation: 1.0,
             sampling_seed: 0,
             faults: None,
+            compression: CompressionMode::None,
         }
     }
 }
@@ -154,6 +173,22 @@ pub struct RoundStats {
     /// retries), in deterministic client order. Empty on a clean round.
     #[serde(default)]
     pub faults: Vec<FaultEvent>,
+    /// Client→server bytes this round — the exact wire size of every
+    /// uplink payload that crossed the channel, retries included.
+    /// Deterministic: a pure function of configuration and seeds.
+    #[serde(default)]
+    pub uplink_bytes: usize,
+    /// Server→client bytes this round: the once-per-round broadcast
+    /// encoding, metered per receiving client. Zero in round 0 (clients
+    /// start from the shared initialisation). Deterministic.
+    #[serde(default)]
+    pub downlink_bytes: usize,
+    /// Uplink compression ratio this round: full-precision wire bytes the
+    /// same payloads would have cost, divided by [`RoundStats::uplink_bytes`].
+    /// Exactly 1.0 under [`CompressionMode::None`] (and when nothing was
+    /// uplinked). Deterministic.
+    #[serde(default)]
+    pub compression_ratio: f64,
     /// Wall-clock duration of the round (broadcast + training + aggregate)
     /// on *this* host.
     #[serde(skip, default)]
@@ -226,6 +261,9 @@ impl FederatedOutcome {
                     client_extra_seconds: r.client_extra_seconds.clone(),
                     timeout_wait_seconds: r.timeout_wait_seconds,
                     faults: r.faults.clone(),
+                    uplink_bytes: r.uplink_bytes,
+                    downlink_bytes: r.downlink_bytes,
+                    compression_ratio: r.compression_ratio,
                 })
                 .collect(),
         }
@@ -267,6 +305,15 @@ pub struct RoundDigest {
     pub timeout_wait_seconds: f64,
     /// Fault events injected this round.
     pub faults: Vec<FaultEvent>,
+    /// Client→server wire bytes this round, retries included.
+    #[serde(default)]
+    pub uplink_bytes: usize,
+    /// Server→client broadcast wire bytes this round.
+    #[serde(default)]
+    pub downlink_bytes: usize,
+    /// Full-precision bytes over actual uplink bytes (1.0 uncompressed).
+    #[serde(default)]
+    pub compression_ratio: f64,
 }
 
 /// Orchestrates FedAvg-style training over in-process clients.
@@ -369,15 +416,24 @@ impl FederatedSimulation {
             ..TrainConfig::default()
         };
 
+        // The broadcast is encoded once per round into this reusable
+        // buffer; every client is metered by the same byte length. No
+        // JSON serialisation happens anywhere in the round loop.
+        let mut broadcast_buf = BytesMut::new();
+
         for round in 0..self.config.rounds {
             let round_start = Instant::now();
             // Broadcast: after round 0 every client starts from the global
             // model (round 0 starts from the shared initialisation).
+            let mut downlink_bytes = 0usize;
             if round > 0 {
+                wire::encode_weights_into(&mut broadcast_buf, &global);
+                let broadcast_len = broadcast_buf.len();
                 for client in &mut self.clients {
-                    self.channel.record(&global);
+                    self.channel.record_bytes(broadcast_len);
                     client.receive_global(&global)?;
                 }
+                downlink_bytes = broadcast_len * self.clients.len();
             }
             // Sample this round's participants (all of them at the
             // paper's participation = 1.0).
@@ -505,14 +561,42 @@ impl FederatedSimulation {
                     );
                 }
             }
-            // Meter everything that crossed the channel — after
-            // privatisation, so DP noise is part of the measured bytes.
-            for (update, attempts) in kept.iter().zip(&kept_attempts) {
-                self.channel.record_attempts(&update.weights, *attempts);
+            // Uplink: encode each surviving update per the configured
+            // compression mode, meter the exact wire byte length of the
+            // payload that crossed the channel (after privatisation, so DP
+            // noise is part of the measured bytes), and hand the server the
+            // *decoded* payload — metering, faults, and aggregation all see
+            // the same bytes. `CompressionMode::None` skips the physical
+            // encode entirely: its round-trip is bitwise-exact by
+            // construction (pinned by the wire tests and the `bench_comms`
+            // gates), so metering is O(1) shape arithmetic and the weights
+            // flow through untouched.
+            let mut uplink_bytes = 0usize;
+            let mut uplink_raw_bytes = 0usize;
+            for (update, attempts) in kept.iter_mut().zip(&kept_attempts) {
+                let (payload_bytes, decoded) =
+                    encode_uplink(self.config.compression, &update.weights, &global, true);
+                self.channel.record_attempts_bytes(payload_bytes, *attempts);
+                uplink_bytes += payload_bytes * attempts;
+                uplink_raw_bytes += wire::encoded_size(&update.weights) * attempts;
+                if let Some(weights) = decoded {
+                    update.weights = weights;
+                }
             }
+            // Updates the server will discard still crossed the channel —
+            // encode them for metering only, never for aggregation.
             for (update, attempts) in &wasted {
-                self.channel.record_attempts(&update.weights, *attempts);
+                let (payload_bytes, _) =
+                    encode_uplink(self.config.compression, &update.weights, &global, false);
+                self.channel.record_attempts_bytes(payload_bytes, *attempts);
+                uplink_bytes += payload_bytes * attempts;
+                uplink_raw_bytes += wire::encoded_size(&update.weights) * attempts;
             }
+            let compression_ratio = if uplink_bytes == 0 {
+                1.0
+            } else {
+                uplink_raw_bytes as f64 / uplink_bytes as f64
+            };
             // Graceful degradation: proceed iff enough updates survived.
             if kept.len() < min_participants {
                 return Err(FederatedError::InsufficientParticipants {
@@ -530,6 +614,9 @@ impl FederatedSimulation {
                 client_extra_seconds: kept.iter().map(|u| u.simulated_extra_seconds).collect(),
                 timeout_wait_seconds,
                 faults,
+                uplink_bytes,
+                downlink_bytes,
+                compression_ratio,
                 duration: round_start.elapsed(),
             });
         }
@@ -571,15 +658,24 @@ impl FederatedSimulation {
         global: &[Matrix],
     ) -> Result<Vec<LocalUpdate>, FederatedError> {
         let mu = self.config.proximal_mu;
-        let selected: Vec<&mut FedClient> = {
-            let set: std::collections::HashSet<usize> = participants.iter().copied().collect();
-            self.clients
-                .iter_mut()
-                .enumerate()
-                .filter(|(i, _)| set.contains(i))
-                .map(|(_, c)| c)
-                .collect()
-        };
+        // `participants` comes out of `sample_participants` sorted, so the
+        // selection is a single merge-walk over the client list — no
+        // per-round hash set, no filter scan.
+        debug_assert!(participants.windows(2).all(|w| w[0] < w[1]));
+        let mut next = 0;
+        let selected: Vec<&mut FedClient> = self
+            .clients
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(i, client)| {
+                if next < participants.len() && participants[next] == i {
+                    next += 1;
+                    Some(client)
+                } else {
+                    None
+                }
+            })
+            .collect();
         let train_one = |client: &mut FedClient| -> Result<LocalUpdate, FederatedError> {
             if mu > 0.0 {
                 client.train_local_proximal(cfg, global, mu)
@@ -619,6 +715,40 @@ impl FederatedSimulation {
             .set_weights(weights)
             .map_err(|e| FederatedError::Aggregation(e.to_string()))?;
         Ok(model)
+    }
+}
+
+/// Encodes one uplink according to `mode`: returns the exact wire byte
+/// length of the payload that crosses the channel and — when `decode` and
+/// the mode is lossy — the server-side decode of that payload, which the
+/// round loop substitutes for the raw weights before aggregation.
+///
+/// [`CompressionMode::None`] returns no decode on purpose: the `EVFD`
+/// round-trip is bitwise-exact (every f64 is stored verbatim
+/// little-endian), so the raw weights *are* the decoded payload and the
+/// byte length is pure shape arithmetic. The lossy modes build the real
+/// compressed representation; its wire length is exact by construction
+/// (`encode_quantized` / `encode_sparse` produce exactly
+/// `quantized_encoded_size` / `sparse_encoded_size` bytes — pinned by the
+/// wire tests).
+fn encode_uplink(
+    mode: CompressionMode,
+    weights: &[Matrix],
+    global: &[Matrix],
+    decode: bool,
+) -> (usize, Option<Vec<Matrix>>) {
+    match mode {
+        CompressionMode::None => (wire::encoded_size(weights), None),
+        CompressionMode::Quant8 => {
+            let q = QuantizedUpdate::quantize(weights);
+            let len = wire::quantized_encoded_size(&q);
+            (len, decode.then(|| q.dequantize()))
+        }
+        CompressionMode::TopKDelta { k } => {
+            let d = SparseDelta::top_k(weights, global, k);
+            let len = wire::sparse_encoded_size(&d);
+            (len, decode.then(|| d.apply(global)))
+        }
     }
 }
 
@@ -708,29 +838,167 @@ mod tests {
 
     #[test]
     fn metered_bytes_cover_the_privatized_payload() {
-        // With DP on, the bytes recorded for an update must match the
-        // serialised size of the *noised* weights, not the raw ones.
+        // With DP on, the bytes recorded for an update must be the wire
+        // size of the *noised* weights. On the binary wire that size is a
+        // pure function of the shapes, so the meter must land exactly on
+        // one full-precision payload per client.
         let mut noisy = small_sim(false);
         noisy.config.rounds = 1;
         noisy.config.dp = Some(crate::privacy::DpConfig::moderate());
         let out = noisy.run().expect("dp run");
         // Round 0 sends exactly one update per client and no broadcasts.
         assert_eq!(out.traffic.messages, 3);
-        let per_client: Vec<usize> = noisy
-            .clients()
+        let per_update = crate::transport::update_size_bytes(&noisy.clients()[0].model().weights());
+        assert_eq!(out.traffic.bytes, 3 * per_update);
+    }
+
+    #[test]
+    fn round_stats_account_every_byte() {
+        let mut sim = small_sim(false);
+        let out = sim.run().expect("run");
+        let per_update = crate::transport::update_size_bytes(&out.global_weights);
+        // Round 0: no broadcast, 3 uplinks. Round 1: 3 broadcasts + 3
+        // uplinks, all full-precision payloads of identical shape.
+        assert_eq!(out.rounds[0].downlink_bytes, 0);
+        assert_eq!(out.rounds[0].uplink_bytes, 3 * per_update);
+        assert_eq!(out.rounds[1].downlink_bytes, 3 * per_update);
+        assert_eq!(out.rounds[1].uplink_bytes, 3 * per_update);
+        // Per-round stats and channel totals agree to the byte.
+        let accounted: usize = out
+            .rounds
             .iter()
-            .map(|c| {
-                serde_json::to_vec(&c.model().weights())
-                    .expect("serialize")
-                    .len()
-            })
-            .collect();
-        // The clients keep their raw local weights, while the channel saw
-        // the noised versions; sizes can differ per weight, but the meter
-        // must be in the same ballpark as a full weight payload (i.e. it
-        // recorded real payloads, not zero or a placeholder).
-        let raw_total: usize = per_client.iter().sum();
-        assert!(out.traffic.bytes > raw_total / 2);
+            .map(|r| r.uplink_bytes + r.downlink_bytes)
+            .sum();
+        assert_eq!(accounted, out.traffic.bytes);
+        for r in &out.rounds {
+            assert_eq!(r.compression_ratio, 1.0, "None mode is ratio-1 exact");
+        }
+    }
+
+    #[test]
+    fn quant8_shrinks_the_uplink_about_8x() {
+        let mut plain = small_sim(false);
+        let plain_out = plain.run().expect("plain");
+        let mut quant = small_sim(false);
+        quant.config.compression = crate::compression::CompressionMode::Quant8;
+        let quant_out = quant.run().expect("quant8");
+        // The test model's tensors are tiny, so the fixed 28-byte
+        // per-tensor quantized header eats into the 8x asymptotic ratio;
+        // bench_comms gates ≈8x on realistic tensor sizes.
+        for (q, p) in quant_out.rounds.iter().zip(&plain_out.rounds) {
+            assert!(
+                q.compression_ratio > 3.0 && q.compression_ratio < 8.0,
+                "round {} ratio {}",
+                q.round,
+                q.compression_ratio
+            );
+            assert!(q.uplink_bytes * 3 < p.uplink_bytes);
+            // Downlink stays full precision — compression is uplink-only.
+            assert_eq!(q.downlink_bytes, p.downlink_bytes);
+        }
+        // The aggregate sees dequantized (lossy) updates: close to the
+        // plain run but not bitwise equal, and still finite.
+        assert_ne!(quant_out.global_weights, plain_out.global_weights);
+        assert!(quant_out.global_weights.iter().all(Matrix::is_finite));
+    }
+
+    #[test]
+    fn topk_delta_transmits_only_the_k_largest_changes() {
+        let mut plain = small_sim(false);
+        let plain_out = plain.run().expect("plain");
+        let mut sparse = small_sim(false);
+        sparse.config.compression = crate::compression::CompressionMode::TopKDelta { k: 8 };
+        let sparse_out = sparse.run().expect("topk");
+        for (s, p) in sparse_out.rounds.iter().zip(&plain_out.rounds) {
+            assert!(s.uplink_bytes < p.uplink_bytes);
+            assert!(s.compression_ratio > 1.0);
+            assert_eq!(s.downlink_bytes, p.downlink_bytes);
+        }
+        assert!(sparse_out.global_weights.iter().all(Matrix::is_finite));
+    }
+
+    #[test]
+    fn compression_modes_preserve_message_counts() {
+        // Compression changes payload *sizes*, never the protocol.
+        let mut plain = small_sim(false);
+        let plain_out = plain.run().expect("plain");
+        for mode in [
+            crate::compression::CompressionMode::Quant8,
+            crate::compression::CompressionMode::TopKDelta { k: 4 },
+        ] {
+            let mut sim = small_sim(false);
+            sim.config.compression = mode;
+            let out = sim.run().expect("compressed run");
+            assert_eq!(out.traffic.messages, plain_out.traffic.messages);
+            assert_eq!(out.traffic.retries, plain_out.traffic.retries);
+            assert!(out.traffic.bytes < plain_out.traffic.bytes);
+        }
+    }
+
+    #[test]
+    fn zero_k_topk_is_rejected_up_front() {
+        let mut sim = small_sim(false);
+        sim.config.compression = crate::compression::CompressionMode::TopKDelta { k: 0 };
+        assert!(matches!(
+            sim.run().unwrap_err(),
+            FederatedError::InvalidConfig { field, .. } if field == "compression.k"
+        ));
+    }
+
+    #[test]
+    fn quant8_composes_with_nan_flood_corruption() {
+        use crate::faults::{Corruption, FaultPlan, RoundSelector};
+        let plan = FaultPlan::new(5).with_rule(
+            "z105",
+            RoundSelector::Every,
+            FaultKind::Corrupt {
+                corruption: Corruption::NanFlood,
+            },
+        );
+        // The quantizer must carry the NaN payload faithfully: under
+        // FedAvg the poison reaches and destroys the aggregate. One round
+        // only — a second round would train on the poisoned global and
+        // surface as a (legitimate) non-finite-loss error.
+        let mut avg = small_sim(false);
+        avg.config.rounds = 1;
+        avg.config.compression = crate::compression::CompressionMode::Quant8;
+        avg.config.faults = Some(plan.clone());
+        let avg_out = avg.run().expect("no panic under NaN-flood + quant8");
+        assert!(
+            avg_out
+                .global_weights
+                .iter()
+                .any(|m| m.as_slice().iter().any(|v| v.is_nan())),
+            "quantization must not silently launder NaN poison"
+        );
+        // …while the robust rules contain it, exactly as uncompressed.
+        let mut med = small_sim(false);
+        med.config.aggregator = Aggregator::Median;
+        med.config.compression = crate::compression::CompressionMode::Quant8;
+        med.config.faults = Some(plan);
+        let med_out = med.run().expect("median run");
+        assert!(med_out.global_weights.iter().all(Matrix::is_finite));
+    }
+
+    #[test]
+    fn digest_with_compression_is_thread_stable() {
+        let run = |parallel: bool, threads: usize| {
+            let mut sim = small_sim(parallel);
+            sim.config.threads = threads;
+            sim.config.compression = crate::compression::CompressionMode::Quant8;
+            let digest = sim.run().expect("run").digest();
+            evfad_tensor::parallel::set_threads(0);
+            digest
+        };
+        let a = run(false, 1);
+        let b = run(true, 4);
+        assert_eq!(a, b);
+        let ja = serde_json::to_vec(&a).expect("json");
+        let jb = serde_json::to_vec(&b).expect("json");
+        assert_eq!(ja, jb, "digest JSON must be byte-identical");
+        // The digest carries the comms stats.
+        assert!(a.rounds.iter().all(|r| r.uplink_bytes > 0));
+        assert!(a.rounds.iter().all(|r| r.compression_ratio > 1.0));
     }
 
     #[test]

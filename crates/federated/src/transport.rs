@@ -2,8 +2,17 @@
 //!
 //! The paper's privacy argument rests on "only model parameters were
 //! exchanged between clients". This module makes that exchange explicit: a
-//! [`MeteredChannel`] serialises every payload, so experiments can report
-//! how many bytes a federation round costs versus shipping raw data.
+//! [`MeteredChannel`] counts every payload, so experiments can report how
+//! many bytes a federation round costs versus shipping raw data.
+//!
+//! Since PR 5 the round loop meters **binary wire bytes** (see
+//! [`wire`](crate::wire)) through the O(1) [`MeteredChannel::record_bytes`]
+//! / [`MeteredChannel::record_attempts_bytes`] entry points — the broadcast
+//! is encoded once per round and every uplink is measured by the exact
+//! byte length of the payload that crossed the channel, with zero JSON
+//! serialisation anywhere in the loop. The serialising
+//! [`MeteredChannel::record`] / [`MeteredChannel::record_attempts`] remain
+//! as the legacy JSON accounting that `bench_comms` races against.
 
 use evfad_tensor::Matrix;
 use parking_lot::Mutex;
@@ -15,7 +24,7 @@ use std::sync::Arc;
 pub struct TrafficTotals {
     /// Number of payloads sent (including re-sends).
     pub messages: usize,
-    /// Total serialised bytes.
+    /// Total payload bytes.
     pub bytes: usize,
     /// Payloads that were *re*-sends: retry attempts after a transient
     /// upload failure (see [`crate::faults::FaultKind::Transient`]). Each
@@ -30,10 +39,12 @@ pub struct TrafficTotals {
 ///
 /// ```
 /// use evfad_federated::transport::MeteredChannel;
+/// use evfad_federated::wire;
 /// use evfad_tensor::Matrix;
 ///
+/// let weights = vec![Matrix::zeros(10, 10)];
 /// let channel = MeteredChannel::new();
-/// channel.record(&vec![Matrix::zeros(10, 10)]);
+/// channel.record_bytes(wire::encoded_size(&weights));
 /// assert_eq!(channel.totals().messages, 1);
 /// assert!(channel.totals().bytes > 100);
 /// ```
@@ -48,27 +59,50 @@ impl MeteredChannel {
         Self::default()
     }
 
-    /// Records one payload, measured by its serialised size.
-    pub fn record<T: Serialize>(&self, payload: &T) {
-        let bytes = serde_json::to_vec(payload).map(|v| v.len()).unwrap_or(0);
+    /// Records one payload of `bytes` length — O(1), no serialisation.
+    /// The caller supplies the length of the payload that actually crossed
+    /// the channel (an encoded blob's `len()`, or exact size arithmetic
+    /// like [`wire::encoded_size`](crate::wire::encoded_size)).
+    pub fn record_bytes(&self, bytes: usize) {
         let mut t = self.totals.lock();
         t.messages += 1;
         t.bytes += bytes;
     }
 
-    /// Records one payload sent `attempts` times (an initial attempt plus
-    /// `attempts - 1` retries). Every attempt crosses the channel, so each
-    /// one is metered in full; the extra attempts are also tallied in
-    /// [`TrafficTotals::retries`]. `attempts == 0` records nothing.
-    pub fn record_attempts<T: Serialize>(&self, payload: &T, attempts: usize) {
+    /// Records one payload of `bytes` length sent `attempts` times (an
+    /// initial attempt plus `attempts - 1` retries). Every attempt crosses
+    /// the channel, so each one is metered in full; the extra attempts are
+    /// also tallied in [`TrafficTotals::retries`]. `attempts == 0` records
+    /// nothing. O(1), no serialisation.
+    pub fn record_attempts_bytes(&self, bytes: usize, attempts: usize) {
         if attempts == 0 {
             return;
         }
-        let bytes = serde_json::to_vec(payload).map(|v| v.len()).unwrap_or(0);
         let mut t = self.totals.lock();
         t.messages += attempts;
         t.bytes += bytes * attempts;
         t.retries += attempts - 1;
+    }
+
+    /// Records one payload, measured by its serialised JSON size.
+    ///
+    /// Legacy path: serialises the entire payload just to count bytes.
+    /// The round loop no longer calls this — it meters wire bytes via
+    /// [`MeteredChannel::record_bytes`]; `bench_comms` keeps this method
+    /// honest as the baseline it races.
+    pub fn record<T: Serialize + ?Sized>(&self, payload: &T) {
+        let bytes = serde_json::to_vec(payload).map(|v| v.len()).unwrap_or(0);
+        self.record_bytes(bytes);
+    }
+
+    /// Records one payload sent `attempts` times, measured by its
+    /// serialised JSON size (legacy path; see [`MeteredChannel::record`]).
+    pub fn record_attempts<T: Serialize + ?Sized>(&self, payload: &T, attempts: usize) {
+        if attempts == 0 {
+            return;
+        }
+        let bytes = serde_json::to_vec(payload).map(|v| v.len()).unwrap_or(0);
+        self.record_attempts_bytes(bytes, attempts);
     }
 
     /// Current counters.
@@ -82,15 +116,21 @@ impl MeteredChannel {
     }
 }
 
-/// Serialised size in bytes of a weight vector (one model update).
+/// Wire size in bytes of a weight vector (one full-precision model
+/// update) — O(1) shape arithmetic over [`wire::encoded_size`], no
+/// allocation, no serialisation.
+///
+/// [`wire::encoded_size`]: crate::wire::encoded_size
 pub fn update_size_bytes(weights: &[Matrix]) -> usize {
-    serde_json::to_vec(weights).map(|v| v.len()).unwrap_or(0)
+    crate::wire::encoded_size(weights)
 }
 
-/// Serialised size in bytes of a raw data series — what a *centralized*
-/// architecture would have to ship instead of weights.
+/// Wire size in bytes of a raw data series — what a *centralized*
+/// architecture would have to ship instead of weights, priced in the same
+/// binary wire format (one `len × 1` tensor: header plus 8 bytes per
+/// point). O(1).
 pub fn series_size_bytes(series: &[f64]) -> usize {
-    serde_json::to_vec(series).map(|v| v.len()).unwrap_or(0)
+    10 + 8 + series.len() * 8
 }
 
 #[cfg(test)]
@@ -105,6 +145,29 @@ mod tests {
         let t = ch.totals();
         assert_eq!(t.messages, 2);
         assert!(t.bytes > 10);
+    }
+
+    #[test]
+    fn record_bytes_is_exact() {
+        let ch = MeteredChannel::new();
+        ch.record_bytes(123);
+        ch.record_bytes(77);
+        let t = ch.totals();
+        assert_eq!(t.messages, 2);
+        assert_eq!(t.bytes, 200);
+        assert_eq!(t.retries, 0);
+    }
+
+    #[test]
+    fn record_matches_json_size() {
+        // The legacy path must still measure the real serialised payload.
+        let payload = vec![1.5f64, -2.25, 1e300];
+        let ch = MeteredChannel::new();
+        ch.record(&payload);
+        assert_eq!(
+            ch.totals().bytes,
+            serde_json::to_vec(&payload).unwrap().len()
+        );
     }
 
     #[test]
@@ -131,13 +194,24 @@ mod tests {
                 let local = ch.clone();
                 s.spawn(move |_| {
                     for _ in 0..10 {
-                        local.record(&[0.0f64; 8]);
+                        local.record_bytes(64);
                     }
                 });
             }
         })
         .expect("threads");
         assert_eq!(ch.totals().messages, 40);
+        assert_eq!(ch.totals().bytes, 40 * 64);
+    }
+
+    #[test]
+    fn record_attempts_bytes_meters_every_attempt() {
+        let ch = MeteredChannel::new();
+        ch.record_attempts_bytes(100, 3);
+        let t = ch.totals();
+        assert_eq!(t.messages, 3);
+        assert_eq!(t.bytes, 300);
+        assert_eq!(t.retries, 2);
     }
 
     #[test]
@@ -157,6 +231,7 @@ mod tests {
     fn record_attempts_zero_is_a_no_op() {
         let ch = MeteredChannel::new();
         ch.record_attempts(&42u8, 0);
+        ch.record_attempts_bytes(64, 0);
         assert_eq!(ch.totals(), TrafficTotals::default());
     }
 
@@ -164,8 +239,28 @@ mod tests {
     fn plain_record_never_counts_retries() {
         let ch = MeteredChannel::new();
         ch.record(&1u8);
-        ch.record(&2u8);
+        ch.record_bytes(8);
         assert_eq!(ch.totals().retries, 0);
+    }
+
+    #[test]
+    fn update_size_is_the_wire_encoding_size() {
+        let weights = vec![Matrix::zeros(10, 10), Matrix::zeros(1, 10)];
+        assert_eq!(
+            update_size_bytes(&weights),
+            crate::wire::encode_weights(&weights).len()
+        );
+    }
+
+    #[test]
+    fn series_size_is_the_wire_encoding_size() {
+        // Priced as one column tensor in the EVFD format.
+        let series = vec![1.25f64; 500];
+        let as_tensor = vec![Matrix::column_vector(&series)];
+        assert_eq!(
+            series_size_bytes(&series),
+            crate::wire::encode_weights(&as_tensor).len()
+        );
     }
 
     #[test]

@@ -1,18 +1,32 @@
-//! Binary wire format for weight exchange.
+//! Binary wire format for weight exchange — what actually crosses the
+//! simulated channel.
 //!
-//! JSON (see [`transport`](crate::transport)) is convenient for inspection
-//! but ~3x larger than necessary. This module defines the compact format a
-//! real deployment would put on the network: a magic/version header, then
-//! each tensor as `rows: u32, cols: u32, data: f64-LE…`. Combined with
-//! [`compression`](crate::compression) it completes the communication
-//! story of the paper's §II-C2 ("only model parameters were exchanged").
+//! JSON is ~3x larger than necessary and costs a full serialisation just
+//! to measure; this module defines the compact format a real deployment
+//! would put on the network, and since PR 5 it is the format the round
+//! loop *meters*: a magic/version header, then each tensor as
+//! `rows: u32, cols: u32, data: f64-LE…` (`EVFD`), plus compressed uplink
+//! records for 8-bit-quantized tensors (`EVQ8`) and sparse top-k deltas
+//! (`EVSK`) — see [`compression`](crate::compression). Every format has an
+//! exact O(1) size function, so metering never serialises. Together they
+//! complete the communication story of the paper's §II-C2 ("only model
+//! parameters were exchanged").
 
+use crate::compression::{QuantizedTensor, QuantizedUpdate, SparseDelta, SparseTensor};
 use crate::faults::{Corruption, FaultEvent, FaultKind, FaultOutcome};
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::{Buf, BufMut, Bytes};
 use evfad_tensor::Matrix;
+
+pub use bytes::BytesMut;
 
 /// Format magic for weight payloads (`"EVFD"`).
 pub const MAGIC: [u8; 4] = *b"EVFD";
+
+/// Format magic for 8-bit-quantized update payloads (`"EVQ8"`).
+pub const QUANT_MAGIC: [u8; 4] = *b"EVQ8";
+
+/// Format magic for sparse top-k delta payloads (`"EVSK"`).
+pub const SPARSE_MAGIC: [u8; 4] = *b"EVSK";
 
 /// Format magic for fault-log payloads (`"EVFL"`).
 pub const FAULT_MAGIC: [u8; 4] = *b"EVFL";
@@ -75,8 +89,17 @@ const MAX_TENSOR_ELEMENTS: u64 = 8 * 1024 * 1024;
 /// # Ok::<(), evfad_federated::wire::WireError>(())
 /// ```
 pub fn encode_weights(weights: &[Matrix]) -> Bytes {
-    let payload: usize = weights.iter().map(|m| 8 + m.len() * 8).sum();
-    let mut buf = BytesMut::with_capacity(4 + 2 + 4 + payload);
+    let mut buf = BytesMut::with_capacity(encoded_size(weights));
+    encode_weights_into(&mut buf, weights);
+    buf.freeze()
+}
+
+/// Encodes a weight vector into `buf`, clearing it first but keeping its
+/// allocation — the zero-allocation broadcast path: the round loop encodes
+/// the global model **once** per round into a reusable buffer and meters
+/// every client by the same byte length.
+pub fn encode_weights_into(buf: &mut BytesMut, weights: &[Matrix]) {
+    buf.clear();
     buf.put_slice(&MAGIC);
     buf.put_u16_le(VERSION);
     buf.put_u32_le(weights.len() as u32);
@@ -87,7 +110,6 @@ pub fn encode_weights(weights: &[Matrix]) -> Bytes {
             buf.put_f64_le(v);
         }
     }
-    buf.freeze()
 }
 
 /// Decodes a payload produced by [`encode_weights`].
@@ -133,8 +155,210 @@ pub fn decode_weights(mut payload: &[u8]) -> Result<Vec<Matrix>, WireError> {
 }
 
 /// Size in bytes [`encode_weights`] will produce for these weights.
+///
+/// Pure O(1)-per-tensor shape arithmetic — no allocation, no
+/// serialisation; the round loop meters full-precision uplinks with this.
 pub fn encoded_size(weights: &[Matrix]) -> usize {
     10 + weights.iter().map(|m| 8 + m.len() * 8).sum::<usize>()
+}
+
+/// Encodes a quantized update into the `EVQ8` binary wire format: the
+/// common header, then per tensor `rows, cols, min: f64, step: f64,
+/// special_count: u32, codes: u8…, specials: (index: u32, value: f64)…`.
+///
+/// # Examples
+///
+/// ```
+/// use evfad_federated::compression::QuantizedUpdate;
+/// use evfad_federated::wire;
+/// use evfad_tensor::Matrix;
+///
+/// let q = QuantizedUpdate::quantize(&[Matrix::identity(4)]);
+/// let blob = wire::encode_quantized(&q);
+/// assert_eq!(wire::decode_quantized(&blob)?, q);
+/// # Ok::<(), evfad_federated::wire::WireError>(())
+/// ```
+pub fn encode_quantized(update: &QuantizedUpdate) -> Bytes {
+    let mut buf = BytesMut::with_capacity(quantized_encoded_size(update));
+    buf.put_slice(&QUANT_MAGIC);
+    buf.put_u16_le(VERSION);
+    buf.put_u32_le(update.tensors.len() as u32);
+    for t in &update.tensors {
+        buf.put_u32_le(t.rows as u32);
+        buf.put_u32_le(t.cols as u32);
+        buf.put_f64_le(t.min);
+        buf.put_f64_le(t.step);
+        buf.put_u32_le(t.special_idx.len() as u32);
+        buf.put_slice(&t.codes);
+        for (&i, &v) in t.special_idx.iter().zip(&t.special_val) {
+            buf.put_u32_le(i);
+            buf.put_f64_le(v);
+        }
+    }
+    buf.freeze()
+}
+
+/// Size in bytes [`encode_quantized`] will produce — O(1) per tensor.
+pub fn quantized_encoded_size(update: &QuantizedUpdate) -> usize {
+    10 + update.byte_size()
+}
+
+/// Decodes a payload produced by [`encode_quantized`].
+///
+/// # Errors
+///
+/// Returns [`WireError`] on a malformed or truncated payload.
+pub fn decode_quantized(mut payload: &[u8]) -> Result<QuantizedUpdate, WireError> {
+    let count = decode_header(&mut payload, QUANT_MAGIC)?;
+    let mut tensors = Vec::with_capacity(count);
+    for _ in 0..count {
+        need(payload, 28)?;
+        let rows = payload.get_u32_le();
+        let cols = payload.get_u32_le();
+        let elements = check_shape(rows, cols)?;
+        let min = payload.get_f64_le();
+        let step = payload.get_f64_le();
+        let special_count = payload.get_u32_le() as u64;
+        if special_count > elements {
+            return Err(WireError::Truncated);
+        }
+        need(payload, (elements + special_count * 12) as usize)?;
+        let mut codes = vec![0u8; elements as usize];
+        payload.copy_to_slice(&mut codes);
+        let mut special_idx = Vec::with_capacity(special_count as usize);
+        let mut special_val = Vec::with_capacity(special_count as usize);
+        for _ in 0..special_count {
+            let idx = payload.get_u32_le();
+            if idx as u64 >= elements {
+                return Err(WireError::Truncated);
+            }
+            special_idx.push(idx);
+            special_val.push(payload.get_f64_le());
+        }
+        tensors.push(QuantizedTensor {
+            rows: rows as usize,
+            cols: cols as usize,
+            min,
+            step,
+            codes,
+            special_idx,
+            special_val,
+        });
+    }
+    Ok(QuantizedUpdate { tensors })
+}
+
+/// Encodes a sparse top-k delta into the `EVSK` binary wire format: the
+/// common header, then per tensor `rows, cols, nnz: u32,
+/// entries: (index: u32, value: f64)…`.
+///
+/// # Examples
+///
+/// ```
+/// use evfad_federated::compression::SparseDelta;
+/// use evfad_federated::wire;
+/// use evfad_tensor::Matrix;
+///
+/// let base = vec![Matrix::zeros(2, 3)];
+/// let update = vec![Matrix::from_fn(2, 3, |i, j| (i + j) as f64)];
+/// let d = SparseDelta::top_k(&update, &base, 4);
+/// let blob = wire::encode_sparse(&d);
+/// assert_eq!(wire::decode_sparse(&blob)?, d);
+/// # Ok::<(), evfad_federated::wire::WireError>(())
+/// ```
+pub fn encode_sparse(delta: &SparseDelta) -> Bytes {
+    let mut buf = BytesMut::with_capacity(sparse_encoded_size(delta));
+    buf.put_slice(&SPARSE_MAGIC);
+    buf.put_u16_le(VERSION);
+    buf.put_u32_le(delta.tensors.len() as u32);
+    for t in &delta.tensors {
+        buf.put_u32_le(t.rows as u32);
+        buf.put_u32_le(t.cols as u32);
+        buf.put_u32_le(t.indices.len() as u32);
+        for (&i, &v) in t.indices.iter().zip(&t.values) {
+            buf.put_u32_le(i);
+            buf.put_f64_le(v);
+        }
+    }
+    buf.freeze()
+}
+
+/// Size in bytes [`encode_sparse`] will produce — O(1) per tensor.
+pub fn sparse_encoded_size(delta: &SparseDelta) -> usize {
+    10 + delta.byte_size()
+}
+
+/// Decodes a payload produced by [`encode_sparse`].
+///
+/// # Errors
+///
+/// Returns [`WireError`] on a malformed or truncated payload.
+pub fn decode_sparse(mut payload: &[u8]) -> Result<SparseDelta, WireError> {
+    let count = decode_header(&mut payload, SPARSE_MAGIC)?;
+    let mut tensors = Vec::with_capacity(count);
+    for _ in 0..count {
+        need(payload, 12)?;
+        let rows = payload.get_u32_le();
+        let cols = payload.get_u32_le();
+        let elements = check_shape(rows, cols)?;
+        let nnz = payload.get_u32_le() as u64;
+        if nnz > elements {
+            return Err(WireError::Truncated);
+        }
+        need(payload, (nnz * 12) as usize)?;
+        let mut indices = Vec::with_capacity(nnz as usize);
+        let mut values = Vec::with_capacity(nnz as usize);
+        for _ in 0..nnz {
+            let idx = payload.get_u32_le();
+            if idx as u64 >= elements {
+                return Err(WireError::Truncated);
+            }
+            indices.push(idx);
+            values.push(payload.get_f64_le());
+        }
+        tensors.push(SparseTensor {
+            rows: rows as usize,
+            cols: cols as usize,
+            indices,
+            values,
+        });
+    }
+    Ok(SparseDelta { tensors })
+}
+
+/// Validates the common `magic | version | count` header and returns the
+/// record count.
+fn decode_header(payload: &mut &[u8], magic: [u8; 4]) -> Result<usize, WireError> {
+    if payload.remaining() < 10 {
+        return Err(WireError::Truncated);
+    }
+    let mut got = [0u8; 4];
+    payload.copy_to_slice(&mut got);
+    if got != magic {
+        return Err(WireError::BadMagic);
+    }
+    let version = payload.get_u16_le();
+    if version != VERSION {
+        return Err(WireError::BadVersion(version));
+    }
+    Ok(payload.get_u32_le() as usize)
+}
+
+/// Rejects implausibly large tensor headers; returns the element count.
+fn check_shape(rows: u32, cols: u32) -> Result<u64, WireError> {
+    let elements = rows as u64 * cols as u64;
+    if elements > MAX_TENSOR_ELEMENTS {
+        return Err(WireError::OversizedTensor { rows, cols });
+    }
+    Ok(elements)
+}
+
+fn need(payload: &[u8], n: usize) -> Result<(), WireError> {
+    if payload.remaining() < n {
+        Err(WireError::Truncated)
+    } else {
+        Ok(())
+    }
 }
 
 /// FNV-1a checksum of the binary wire encoding of `weights`.
@@ -278,13 +502,6 @@ pub fn decode_fault_log(mut payload: &[u8]) -> Result<Vec<FaultEvent>, WireError
     let count = payload.get_u32_le();
     if count > MAX_FAULT_EVENTS {
         return Err(WireError::Truncated);
-    }
-    fn need(payload: &[u8], n: usize) -> Result<(), WireError> {
-        if payload.remaining() < n {
-            Err(WireError::Truncated)
-        } else {
-            Ok(())
-        }
     }
     let mut out = Vec::with_capacity(count as usize);
     for _ in 0..count {
@@ -561,5 +778,121 @@ mod tests {
         let blob = encode_weights(&model.weights());
         let restored = decode_weights(&blob).unwrap();
         model.set_weights(&restored).expect("same shapes");
+    }
+
+    #[test]
+    fn encode_into_reuses_the_buffer_and_matches_encode() {
+        let w = sample_weights();
+        let mut buf = BytesMut::with_capacity(encoded_size(&w));
+        encode_weights_into(&mut buf, &w);
+        assert_eq!(&buf[..], &encode_weights(&w)[..]);
+        // A second encode into the same buffer replaces, not appends.
+        encode_weights_into(&mut buf, &w);
+        assert_eq!(buf.len(), encoded_size(&w));
+    }
+
+    #[test]
+    fn quantized_round_trips_and_size_matches() {
+        let q = QuantizedUpdate::quantize(&sample_weights());
+        let blob = encode_quantized(&q);
+        assert_eq!(blob.len(), quantized_encoded_size(&q));
+        let back = decode_quantized(&blob).unwrap();
+        assert_eq!(back, q);
+        // Re-encode idempotence: decoding loses nothing.
+        assert_eq!(&encode_quantized(&back)[..], &blob[..]);
+    }
+
+    #[test]
+    fn quantized_with_nan_specials_round_trips() {
+        let mut w = sample_weights();
+        w[0].as_mut_slice()[3] = f64::NAN;
+        w[0].as_mut_slice()[9] = f64::INFINITY;
+        let q = QuantizedUpdate::quantize(&w);
+        let back = decode_quantized(&encode_quantized(&q)).unwrap();
+        let deq = back.dequantize();
+        assert!(deq[0].as_slice()[3].is_nan());
+        assert_eq!(deq[0].as_slice()[9], f64::INFINITY);
+    }
+
+    #[test]
+    fn sparse_round_trips_and_size_matches() {
+        let base = sample_weights();
+        let mut update = base.clone();
+        update[0].as_mut_slice()[5] += 1.5;
+        update[1].as_mut_slice()[0] -= 0.25;
+        let d = SparseDelta::top_k(&update, &base, 8);
+        let blob = encode_sparse(&d);
+        assert_eq!(blob.len(), sparse_encoded_size(&d));
+        let back = decode_sparse(&blob).unwrap();
+        assert_eq!(back, d);
+        assert_eq!(&encode_sparse(&back)[..], &blob[..]);
+    }
+
+    #[test]
+    fn compressed_formats_reject_each_others_magic() {
+        let q = QuantizedUpdate::quantize(&sample_weights());
+        let qblob = encode_quantized(&q);
+        assert_eq!(decode_sparse(&qblob), Err(WireError::BadMagic));
+        assert_eq!(decode_weights(&qblob), Err(WireError::BadMagic));
+        let base = sample_weights();
+        let d = SparseDelta::top_k(&base, &base, 4);
+        let sblob = encode_sparse(&d);
+        assert_eq!(decode_quantized(&sblob), Err(WireError::BadMagic));
+        assert_eq!(decode_fault_log(&sblob), Err(WireError::BadMagic));
+    }
+
+    #[test]
+    fn quantized_rejects_truncation_everywhere() {
+        let q = QuantizedUpdate::quantize(&sample_weights());
+        let blob = encode_quantized(&q);
+        for cut in 0..blob.len() {
+            assert!(
+                matches!(decode_quantized(&blob[..cut]), Err(WireError::Truncated)),
+                "cut at {cut} not detected"
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_rejects_truncation_everywhere() {
+        let base = sample_weights();
+        let mut update = base.clone();
+        for m in update.iter_mut() {
+            for v in m.as_mut_slice() {
+                *v += 0.125;
+            }
+        }
+        let d = SparseDelta::top_k(&update, &base, 6);
+        let blob = encode_sparse(&d);
+        for cut in 0..blob.len() {
+            assert!(
+                matches!(decode_sparse(&blob[..cut]), Err(WireError::Truncated)),
+                "cut at {cut} not detected"
+            );
+        }
+    }
+
+    #[test]
+    fn quantized_rejects_out_of_range_special_index() {
+        let mut w = sample_weights();
+        w[0].as_mut_slice()[0] = f64::NAN;
+        let q = QuantizedUpdate::quantize(&w);
+        let mut blob = encode_quantized(&q).to_vec();
+        // First tensor: header(10) + rows/cols(8) + min/step(16) +
+        // special_count(4) + codes, then the first special index.
+        let idx_at = 10 + 8 + 16 + 4 + q.tensors[0].codes.len();
+        blob[idx_at..idx_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(decode_quantized(&blob), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn version_is_shared_across_formats() {
+        let q = QuantizedUpdate::quantize(&sample_weights());
+        let mut blob = encode_quantized(&q).to_vec();
+        blob[4] = 77;
+        assert!(matches!(
+            decode_quantized(&blob),
+            Err(WireError::BadVersion(77))
+        ));
     }
 }

@@ -1,0 +1,64 @@
+//! Regression gate: the federated round loop performs **zero** JSON
+//! serialisations.
+//!
+//! PR 5 moved all metering onto the binary wire path (`record_bytes` plus
+//! O(1) size arithmetic), so nothing inside `FederatedSimulation::run`
+//! should ever touch `serde_json`. The vendored `serde_json` counts every
+//! `to_string`/`to_vec` process-wide; this test lives in its own
+//! integration-test binary so no parallel test can inflate the counter.
+
+use evfad_federated::{CompressionMode, FederatedConfig, FederatedSimulation};
+use evfad_nn::{forecaster_model, Sample};
+use evfad_tensor::Matrix;
+
+fn samples(phase: f64) -> Vec<Sample> {
+    (0..32)
+        .map(|i| {
+            let xs: Vec<f64> = (0..6)
+                .map(|t| ((i + t) as f64 * 0.5 + phase).sin())
+                .collect();
+            Sample::new(
+                Matrix::column_vector(&xs),
+                Matrix::from_vec(1, 1, vec![((i + 6) as f64 * 0.5 + phase).sin()]),
+            )
+        })
+        .collect()
+}
+
+fn run_mode(compression: CompressionMode) {
+    let cfg = FederatedConfig {
+        rounds: 2,
+        epochs_per_round: 1,
+        batch_size: 16,
+        compression,
+        ..FederatedConfig::default()
+    };
+    let mut sim = FederatedSimulation::new(forecaster_model(4, 3), cfg);
+    sim.add_client("z102", samples(0.0));
+    sim.add_client("z105", samples(0.8));
+    sim.add_client("z108", samples(1.6));
+    let before = serde_json::serialization_count();
+    let out = sim.run().expect("run");
+    let after = serde_json::serialization_count();
+    assert_eq!(
+        after - before,
+        0,
+        "round loop serialised JSON under {compression} — the zero-serialization comms path regressed"
+    );
+    assert!(out.traffic.bytes > 0, "metering still recorded real bytes");
+}
+
+#[test]
+fn round_loop_is_json_free_in_every_compression_mode() {
+    for mode in [
+        CompressionMode::None,
+        CompressionMode::Quant8,
+        CompressionMode::TopKDelta { k: 16 },
+    ] {
+        run_mode(mode);
+    }
+    // Sanity-check the counter itself: a real serialisation must bump it.
+    let before = serde_json::serialization_count();
+    let _ = serde_json::to_string(&vec![1.0f64, 2.0]).expect("serialise");
+    assert_eq!(serde_json::serialization_count() - before, 1);
+}

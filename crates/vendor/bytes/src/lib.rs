@@ -101,6 +101,11 @@ impl BytesMut {
     pub fn freeze(self) -> Bytes {
         Bytes { data: self.data }
     }
+
+    /// Clears the buffer, keeping its allocation for reuse.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
 }
 
 impl Deref for BytesMut {

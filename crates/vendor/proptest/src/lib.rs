@@ -96,6 +96,22 @@ impl<T: Clone> Strategy for Just<T> {
     }
 }
 
+macro_rules! impl_tuple_strategy {
+    ($($s:ident => $v:ident),*) => {
+        impl<$($s: Strategy),*> Strategy for ($($s,)*) {
+            type Value = ($($s::Value,)*);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($v,)*) = self;
+                ($($v.generate(rng),)*)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A => a, B => b);
+impl_tuple_strategy!(A => a, B => b, C => c);
+impl_tuple_strategy!(A => a, B => b, C => c, D => d);
+
 macro_rules! impl_range_strategy {
     ($($t:ty),*) => {$(
         impl Strategy for std::ops::Range<$t> {

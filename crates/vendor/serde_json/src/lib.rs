@@ -9,6 +9,23 @@
 
 pub use serde::json::{Number, Value};
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide count of JSON serialisations (`to_string`,
+/// `to_string_pretty`, `to_vec`). Upstream `serde_json` has no such hook;
+/// the workspace uses it to *prove* hot loops perform zero JSON
+/// serialisation (see `evfad-federated`'s round-loop regression test and
+/// `bench_comms`). Reads/writes are `Relaxed` — the counter is a telemetry
+/// tally, not a synchronisation point.
+static SERIALIZATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Total number of JSON serialisations performed by this process so far.
+///
+/// Snapshot before and after a code path and compare to assert how many
+/// times it serialised. Monotonic; never reset.
+pub fn serialization_count() -> u64 {
+    SERIALIZATIONS.load(Ordering::Relaxed)
+}
 
 /// Error raised while parsing or (never, in practice) while serialising.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -155,6 +172,7 @@ fn write_value(out: &mut String, value: &Value, indent: Option<usize>) {
 ///
 /// Never fails for the vendored data model; the `Result` mirrors upstream.
 pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    SERIALIZATIONS.fetch_add(1, Ordering::Relaxed);
     let mut out = String::new();
     write_value(&mut out, &value.to_value(), None);
     Ok(out)
@@ -166,6 +184,7 @@ pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
 ///
 /// Never fails for the vendored data model.
 pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    SERIALIZATIONS.fetch_add(1, Ordering::Relaxed);
     let mut out = String::new();
     write_value(&mut out, &value.to_value(), Some(0));
     Ok(out)

@@ -24,8 +24,8 @@ use evfad_core::attack::vectors::{inject_vector, AttackVector};
 use evfad_core::attack::{AttackOutcome, DdosConfig, DdosInjector};
 use evfad_core::data::{DatasetConfig, ShenzhenGenerator, Zone};
 use evfad_core::federated::{
-    Aggregator, Corruption, FaultKind, FaultPlan, FederatedConfig, FederatedSimulation,
-    RoundSelector,
+    Aggregator, CompressionMode, Corruption, FaultKind, FaultPlan, FederatedConfig,
+    FederatedSimulation, RoundSelector,
 };
 use evfad_core::forecast::experiment::build_forecaster;
 use evfad_core::forecast::pipeline::PreparedClient;
@@ -108,6 +108,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     weight_level_attack()?;
+    comms_ablation()?;
     Ok(())
 }
 
@@ -181,6 +182,68 @@ fn weight_level_attack() -> Result<(), Box<dyn std::error::Error>> {
          optimum, while the robust rules (median / trimmed mean / Krum) keep the\n\
          poisoned run close to the clean one — the paper's resilience argument,\n\
          demonstrated at the weight level rather than the data level."
+    );
+    Ok(())
+}
+
+/// Uplink-compression ablation: the same federation run under each
+/// [`CompressionMode`], reporting wire traffic per round against the final
+/// forecast quality. Quantization buys ~8x on the uplink for a negligible
+/// accuracy cost; top-k trades accuracy for bandwidth more aggressively.
+fn comms_ablation() -> Result<(), Box<dyn std::error::Error>> {
+    println!("\n== Comms ablation: uplink compression vs forecast quality ==\n");
+    let prepared: Vec<PreparedClient> = ShenzhenGenerator::new(DatasetConfig::small(480, 42))
+        .generate_all()
+        .iter()
+        .map(|c| PreparedClient::prepare(c.zone.label(), &c.demand, 24, 0.8))
+        .collect::<Result<_, _>>()?;
+    println!(
+        "{:<12} {:>14} {:>14} {:>8} {:>10}",
+        "mode", "uplink B/round", "downlink B/rnd", "ratio", "final MAE"
+    );
+    for mode in [
+        CompressionMode::None,
+        CompressionMode::Quant8,
+        CompressionMode::TopKDelta { k: 16 },
+    ] {
+        let cfg = FederatedConfig {
+            rounds: 3,
+            epochs_per_round: 2,
+            compression: mode,
+            ..FederatedConfig::default()
+        };
+        let mut sim = FederatedSimulation::new(build_forecaster(6, 0.01, 1), cfg);
+        for p in &prepared {
+            sim.add_client(p.label.clone(), p.train.clone());
+        }
+        let outcome = sim.run()?;
+        let rounds = outcome.rounds.len() as f64;
+        let uplink: usize = outcome.rounds.iter().map(|r| r.uplink_bytes).sum();
+        let downlink: usize = outcome.rounds.iter().map(|r| r.downlink_bytes).sum();
+        let ratio: f64 = outcome
+            .rounds
+            .iter()
+            .map(|r| r.compression_ratio)
+            .sum::<f64>()
+            / rounds;
+        let mut global = sim.model_with_weights(&outcome.global_weights)?;
+        let maes: Vec<f64> = prepared
+            .iter()
+            .map(|p| p.evaluate_raw(&mut global).map(|e| e.mae))
+            .collect::<Result<_, _>>()?;
+        println!(
+            "{:<12} {:>14.0} {:>14.0} {:>7.2}x {:>10.3}",
+            mode.to_string(),
+            uplink as f64 / rounds,
+            downlink as f64 / rounds,
+            ratio,
+            maes.iter().sum::<f64>() / maes.len() as f64
+        );
+    }
+    println!(
+        "\nEvery byte above is metered off the binary wire encoding itself — the loop\n\
+         never touches JSON — so the traffic column is exactly what a deployment\n\
+         of this protocol would put on the network."
     );
     Ok(())
 }
