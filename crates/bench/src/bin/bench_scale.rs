@@ -1,0 +1,294 @@
+//! Drives the hierarchical scale engine at paper-style populations —
+//! 10k and 100k clients — and emits `BENCH_scale.json` with rounds/sec
+//! and peak aggregation memory.
+//!
+//! Gates, checked before anything is timed:
+//!
+//! * **bitwise** — a flat (`edges: 1`) FedAvg run with
+//!   `verify_streaming` must match the batch aggregate bit for bit every
+//!   round (the streaming fold replays the batch fold exactly);
+//! * **tolerance** — a hierarchical run must match the batch aggregate
+//!   within 1e-9 relative (reassociation across shards is the only
+//!   permitted difference);
+//! * **O(model)** — peak live aggregation state must equal exactly two
+//!   models (root + one edge accumulator) and must not grow when the
+//!   population does;
+//! * **determinism** — identical seeds must reproduce the weight
+//!   checksum.
+//!
+//! Usage: `cargo run --release --bin bench_scale [output-path] [--smoke]`
+//!
+//! `--smoke` shrinks the model and populations and skips the JSON dump —
+//! the CI gate that streaming aggregation stays exact and O(model).
+
+use evfad_core::federated::scale::{ScaleConfig, ScaleEngine, ScaleOutcome};
+use evfad_core::nn::forecaster_model;
+use evfad_core::tensor::Matrix;
+
+/// Paper-shaped model template for update synthesis.
+fn template(lstm_units: usize) -> Vec<Matrix> {
+    forecaster_model(lstm_units, 42).weights()
+}
+
+// ---------------------------------------------------------------------------
+// Gates.
+// ---------------------------------------------------------------------------
+
+fn run(cfg: ScaleConfig, model: &[Matrix]) -> ScaleOutcome {
+    let mut engine = ScaleEngine::new(model.to_vec(), cfg).expect("valid scale config");
+    engine.run().expect("scale run")
+}
+
+fn gate_streaming(model: &[Matrix], clients: usize) {
+    // Bitwise: flat streaming FedAvg == batch FedAvg (asserted per round
+    // inside the engine when verify_streaming is set).
+    run(
+        ScaleConfig {
+            clients,
+            rounds: 2,
+            edges: 1,
+            verify_streaming: true,
+            ..ScaleConfig::default()
+        },
+        model,
+    );
+    // Tolerance: hierarchical composition stays within 1e-9 relative.
+    run(
+        ScaleConfig {
+            clients,
+            rounds: 2,
+            edges: 8,
+            verify_streaming: true,
+            ..ScaleConfig::default()
+        },
+        model,
+    );
+    println!("gate: streaming == batch (flat bitwise, hierarchical ≤1e-9)");
+}
+
+fn gate_o_model(model: &[Matrix], small: usize, large: usize) {
+    let cfg = |clients| ScaleConfig {
+        clients,
+        rounds: 2,
+        edges: 8,
+        ..ScaleConfig::default()
+    };
+    let a = run(cfg(small), model);
+    let b = run(cfg(large), model);
+    assert_eq!(
+        a.peak_aggregation_bytes, b.peak_aggregation_bytes,
+        "peak aggregation state grew with the population"
+    );
+    assert_eq!(
+        b.peak_aggregation_bytes,
+        2 * b.model_bytes,
+        "FedAvg live state must be exactly root + one edge accumulator"
+    );
+    assert!(
+        b.materialized_equivalent_bytes > a.materialized_equivalent_bytes,
+        "materialised-equivalent memory must track the population"
+    );
+    println!(
+        "gate: O(model) — peak {} B at {small} and {large} clients (batch would hold {} B)",
+        b.peak_aggregation_bytes, b.materialized_equivalent_bytes
+    );
+}
+
+fn gate_determinism(model: &[Matrix], clients: usize) {
+    let cfg = ScaleConfig {
+        clients,
+        rounds: 2,
+        edges: 4,
+        seed: 7,
+        ..ScaleConfig::default()
+    };
+    let a = run(cfg.clone(), model);
+    let b = run(cfg, model);
+    assert_eq!(
+        a.weights_checksum(),
+        b.weights_checksum(),
+        "same seed must reproduce the weight checksum"
+    );
+    println!("gate: deterministic (checksum {})", a.weights_checksum());
+}
+
+// ---------------------------------------------------------------------------
+// Timed scenarios.
+// ---------------------------------------------------------------------------
+
+struct Scenario {
+    clients: usize,
+    edges: usize,
+    rounds: usize,
+}
+
+struct ScenarioResult {
+    clients: usize,
+    edges: usize,
+    rounds: usize,
+    sampled_per_round: usize,
+    rounds_per_sec: f64,
+    peak_aggregation_bytes: usize,
+    materialized_equivalent_bytes: usize,
+    memory_ratio: f64,
+    uplink_mb_per_round: f64,
+    checksum: String,
+}
+
+fn time_scenario(s: &Scenario, model: &[Matrix]) -> ScenarioResult {
+    let out = run(
+        ScaleConfig {
+            clients: s.clients,
+            rounds: s.rounds,
+            edges: s.edges,
+            ..ScaleConfig::default()
+        },
+        model,
+    );
+    let secs = out.total_duration.as_secs_f64();
+    let uplink: usize = out.rounds.iter().map(|r| r.uplink_bytes).sum();
+    ScenarioResult {
+        clients: s.clients,
+        edges: s.edges,
+        rounds: s.rounds,
+        sampled_per_round: out.rounds[0].sampled,
+        rounds_per_sec: s.rounds as f64 / secs,
+        peak_aggregation_bytes: out.peak_aggregation_bytes,
+        materialized_equivalent_bytes: out.materialized_equivalent_bytes,
+        memory_ratio: out.materialized_equivalent_bytes as f64 / out.peak_aggregation_bytes as f64,
+        uplink_mb_per_round: uplink as f64 / s.rounds as f64 / 1e6,
+        checksum: out.weights_checksum(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Harness.
+// ---------------------------------------------------------------------------
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_scale.json".to_string());
+
+    let (lstm_units, scenarios) = if smoke {
+        (
+            8,
+            vec![Scenario {
+                clients: 2_000,
+                edges: 8,
+                rounds: 2,
+            }],
+        )
+    } else {
+        (
+            50,
+            vec![
+                Scenario {
+                    clients: 10_000,
+                    edges: 16,
+                    rounds: 5,
+                },
+                Scenario {
+                    clients: 100_000,
+                    edges: 32,
+                    rounds: 5,
+                },
+            ],
+        )
+    };
+
+    println!(
+        "scale bench: {} (forecaster LSTM({lstm_units}))",
+        if smoke { "smoke" } else { "full" }
+    );
+    let model = template(lstm_units);
+    let model_bytes: usize = model.iter().map(|m| m.len() * 8).sum();
+
+    let (gate_clients, small, large) = if smoke {
+        (500, 1_000, 4_000)
+    } else {
+        (1_000, 2_000, 20_000)
+    };
+    gate_streaming(&model, gate_clients);
+    gate_o_model(&model, small, large);
+    gate_determinism(&model, gate_clients);
+
+    let results: Vec<ScenarioResult> = scenarios.iter().map(|s| time_scenario(s, &model)).collect();
+    for r in &results {
+        println!(
+            "clients {:>7}  edges {:>3}  sampled/round {:>6}  {:>7.2} rounds/s  peak {:>8} B  \
+             batch-equivalent {:>12} B  ({:>6.0}x)  uplink {:>8.2} MB/round",
+            r.clients,
+            r.edges,
+            r.sampled_per_round,
+            r.rounds_per_sec,
+            r.peak_aggregation_bytes,
+            r.materialized_equivalent_bytes,
+            r.memory_ratio,
+            r.uplink_mb_per_round,
+        );
+    }
+
+    if smoke {
+        println!("smoke ok: streaming exact, peak O(model), runs deterministic");
+        return;
+    }
+
+    let host_cpus = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let entries: Vec<String> = results
+        .iter()
+        .map(|r| {
+            format!(
+                concat!(
+                    "    {{\n",
+                    "      \"clients\": {},\n",
+                    "      \"edges\": {},\n",
+                    "      \"rounds\": {},\n",
+                    "      \"sampled_per_round\": {},\n",
+                    "      \"rounds_per_sec\": {:.3},\n",
+                    "      \"peak_aggregation_bytes\": {},\n",
+                    "      \"materialized_equivalent_bytes\": {},\n",
+                    "      \"memory_ratio\": {:.1},\n",
+                    "      \"uplink_mb_per_round\": {:.3},\n",
+                    "      \"checksum\": \"{}\"\n",
+                    "    }}"
+                ),
+                r.clients,
+                r.edges,
+                r.rounds,
+                r.sampled_per_round,
+                r.rounds_per_sec,
+                r.peak_aggregation_bytes,
+                r.materialized_equivalent_bytes,
+                r.memory_ratio,
+                r.uplink_mb_per_round,
+                r.checksum,
+            )
+        })
+        .collect();
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"scale\",\n",
+            "  \"host_cpus\": {},\n",
+            "  \"model\": \"forecaster LSTM({})\",\n",
+            "  \"model_bytes\": {},\n",
+            "  \"participation\": 0.1,\n",
+            "  \"aggregator\": \"fedavg\",\n",
+            "  \"scenarios\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        host_cpus,
+        lstm_units,
+        model_bytes,
+        entries.join(",\n"),
+    );
+    std::fs::write(&out_path, json).expect("write bench results");
+    println!("wrote {out_path}");
+}

@@ -17,10 +17,27 @@ use serde::{Deserialize, Serialize};
 ///
 /// The robust rules tolerate non-finite updates (a NaN-flood attack must
 /// not panic the server): the median ignores non-finite contributions, the
-/// trimmed mean and Krum order with IEEE total ordering so NaN sorts as an
-/// extreme, and a candidate whose Krum score is NaN is never selected.
-/// `FedAvg` deliberately propagates NaN — it is the paper's baseline the
-/// robust rules are measured against.
+/// trimmed mean counts non-finite values per coordinate and spends its trim
+/// budget on them before any honest extreme, and a candidate whose Krum
+/// score is non-finite is never selected. `FedAvg` deliberately propagates
+/// NaN — it is the paper's baseline the robust rules are measured against.
+///
+/// Two semantic fixes over earlier revisions of this module:
+///
+/// * **Krum with no finite-scored candidate now errors.** Previously, when
+///   every candidate's score was NaN (e.g. every client NaN-flooded, or
+///   `f` too small to exclude the floods from every neighbour sum), the
+///   selection loop never fired and the server silently returned the
+///   *first* update — exactly the possibly-poisoned payload Krum exists to
+///   reject. It now returns [`FederatedError::Aggregation`].
+/// * **Trimmed mean bounds the non-finite count per coordinate.** IEEE
+///   total ordering sorts every (positive) NaN to the same end, so two
+///   NaN-flooded clients under `trim: 1` used to leave one NaN inside the
+///   kept slice and the aggregated coordinate went NaN. Non-finite values
+///   now consume trim slots first (high side first, matching the old
+///   placement of positive NaN) and aggregation errors when more than
+///   `2 * trim` values of a coordinate are non-finite. The clean path is
+///   bitwise unchanged.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum Aggregator {
     /// Sample-count-weighted mean of client weights (McMahan et al.).
@@ -59,7 +76,9 @@ impl Aggregator {
     ///
     /// * [`FederatedError::NoClients`] for an empty update set;
     /// * [`FederatedError::Aggregation`] if shapes disagree, trimming
-    ///   removes everything, or Krum lacks clients (`n >= f + 3`).
+    ///   removes everything, more than `2 * trim` values of a coordinate
+    ///   are non-finite, Krum lacks clients (`n >= f + 3`), or no Krum
+    ///   candidate has a finite score.
     pub fn aggregate(self, updates: &[LocalUpdate]) -> Result<Vec<Matrix>, FederatedError> {
         if updates.is_empty() {
             return Err(FederatedError::NoClients);
@@ -76,7 +95,7 @@ impl Aggregator {
         }
         match self {
             Aggregator::FedAvg => Ok(fed_avg(updates)),
-            Aggregator::Median => Ok(coordinate_wise(updates, robust_median)),
+            Aggregator::Median => coordinate_wise(updates, |vals| Ok(robust_median(vals))),
             Aggregator::TrimmedMean { trim } => {
                 if 2 * trim >= updates.len() {
                     return Err(FederatedError::Aggregation(format!(
@@ -84,19 +103,61 @@ impl Aggregator {
                         updates.len()
                     )));
                 }
-                Ok(coordinate_wise(updates, move |vals| {
-                    let mut sorted = vals.to_vec();
-                    // Total ordering keeps a NaN-flooding client from
-                    // panicking the sort; NaN lands at an end and is
-                    // trimmed away like any other extreme.
-                    sorted.sort_by(f64::total_cmp);
-                    let kept = &sorted[trim..sorted.len() - trim];
-                    kept.iter().sum::<f64>() / kept.len() as f64
-                }))
+                coordinate_wise(updates, move |vals| trimmed_mean(vals, trim))
             }
             Aggregator::Krum { byzantine } => krum(updates, byzantine),
         }
     }
+
+    /// Whether this rule can consume updates one at a time in O(model)
+    /// memory (see [`crate::streaming::StreamingAggregator`]). Median and
+    /// Krum need every update at once by construction.
+    pub fn supports_streaming(self) -> bool {
+        matches!(self, Aggregator::FedAvg | Aggregator::TrimmedMean { .. })
+    }
+}
+
+/// How many trim slots the non-finite values of a coordinate consume on
+/// each side: `(low_honest, high_honest)` — the number of *honest* (finite)
+/// extremes still trimmed from each end after non-finite values have eaten
+/// into the `2 * trim` budget, high side first (positive NaN used to sort
+/// to the positive end, so this keeps the single-flood behaviour
+/// identical).
+///
+/// Shared by the batch path below and the streaming path in
+/// [`crate::streaming`], so both agree on semantics exactly.
+pub(crate) fn trim_split(trim: usize, non_finite: usize) -> (usize, usize) {
+    let high_honest = trim - non_finite.min(trim);
+    let low_honest = trim - non_finite.saturating_sub(trim);
+    (low_honest, high_honest)
+}
+
+/// The per-coordinate trimmed mean with bounded non-finite tolerance.
+///
+/// Non-finite values consume trim capacity before any honest extreme; with
+/// `bad` of them, `2 * trim - bad` honest extremes are still trimmed
+/// (allocated by [`trim_split`]). On an all-finite coordinate this is the
+/// classic trimmed mean, bitwise identical to sorting and averaging the
+/// middle slice.
+///
+/// # Errors
+///
+/// [`FederatedError::Aggregation`] when more than `2 * trim` values are
+/// non-finite — too many corrupted clients to contain.
+fn trimmed_mean(vals: &[f64], trim: usize) -> Result<f64, FederatedError> {
+    let bad = vals.iter().filter(|v| !v.is_finite()).count();
+    if bad > 2 * trim {
+        return Err(FederatedError::Aggregation(format!(
+            "trimmed mean: {bad} non-finite values at a coordinate exceed \
+             the 2 * trim = {} containment budget",
+            2 * trim
+        )));
+    }
+    let mut sorted: Vec<f64> = vals.iter().copied().filter(|v| v.is_finite()).collect();
+    sorted.sort_by(f64::total_cmp);
+    let (low, high) = trim_split(trim, bad);
+    let kept = &sorted[low..sorted.len() - high];
+    Ok(kept.iter().sum::<f64>() / kept.len() as f64)
 }
 
 fn fed_avg(updates: &[LocalUpdate]) -> Vec<Matrix> {
@@ -131,7 +192,10 @@ fn robust_median(vals: &[f64]) -> f64 {
     evfad_tensor::stats::median(&finite)
 }
 
-fn coordinate_wise(updates: &[LocalUpdate], combine: impl Fn(&[f64]) -> f64) -> Vec<Matrix> {
+fn coordinate_wise(
+    updates: &[LocalUpdate],
+    combine: impl Fn(&[f64]) -> Result<f64, FederatedError>,
+) -> Result<Vec<Matrix>, FederatedError> {
     let mut out = Vec::with_capacity(updates[0].weights.len());
     for t in 0..updates[0].weights.len() {
         let shape = updates[0].weights[t].shape();
@@ -141,11 +205,11 @@ fn coordinate_wise(updates: &[LocalUpdate], combine: impl Fn(&[f64]) -> f64) -> 
             for (ci, u) in updates.iter().enumerate() {
                 column[ci] = u.weights[t].as_slice()[flat];
             }
-            m.as_mut_slice()[flat] = combine(&column);
+            m.as_mut_slice()[flat] = combine(&column)?;
         }
         out.push(m);
     }
-    out
+    Ok(out)
 }
 
 fn krum(updates: &[LocalUpdate], byzantine: usize) -> Result<Vec<Matrix>, FederatedError> {
@@ -170,8 +234,13 @@ fn krum(updates: &[LocalUpdate], byzantine: usize) -> Result<Vec<Matrix>, Federa
             })
             .sum()
     };
-    let mut best = 0;
-    let mut best_score = f64::INFINITY;
+    // Only a candidate with a *finite* score may win. A NaN score means the
+    // candidate is itself corrupted; an infinite score means its neighbour
+    // distances overflowed. If no candidate qualifies the server must
+    // refuse rather than fall back to an arbitrary update: the old code
+    // left `best = 0` in that case and silently returned the first —
+    // possibly poisoned — payload.
+    let mut best: Option<(usize, f64)> = None;
     for i in 0..n {
         let mut distances: Vec<f64> = (0..n)
             .filter(|&j| j != i)
@@ -181,15 +250,18 @@ fn krum(updates: &[LocalUpdate], byzantine: usize) -> Result<Vec<Matrix>, Federa
         // past the honest neighbours, instead of panicking.
         distances.sort_by(f64::total_cmp);
         let score: f64 = distances.iter().take(neighbours).sum();
-        // A NaN score (candidate is itself corrupted) never wins: `<` is
-        // false for NaN, and `best` starts at a finite-scored candidate
-        // whenever one exists because INFINITY > any finite score.
-        if score < best_score {
-            best_score = score;
-            best = i;
+        if score.is_finite() && best.is_none_or(|(_, s)| score < s) {
+            best = Some((i, score));
         }
     }
-    Ok(updates[best].weights.clone())
+    match best {
+        Some((i, _)) => Ok(updates[i].weights.clone()),
+        None => Err(FederatedError::Aggregation(
+            "no Krum candidate has a finite score; every update may be corrupted \
+             (raise f or investigate the federation)"
+                .to_string(),
+        )),
+    }
 }
 
 #[cfg(test)]
@@ -318,6 +390,81 @@ mod tests {
         // NaN sorts as an extreme and is trimmed; kept = {2.0, 3.0}.
         assert!((agg[0][(0, 0)] - 2.5).abs() < 1e-12);
         assert!(agg.iter().all(Matrix::is_finite));
+    }
+
+    #[test]
+    fn krum_with_no_finite_score_errors_instead_of_returning_first_update() {
+        // Regression: every client NaN-flooded. Every pairwise distance is
+        // NaN, so every candidate score is NaN and nothing may win. The old
+        // code silently returned updates[0] — the poisoned payload itself.
+        let ups = [
+            nan_update("e1"),
+            nan_update("e2"),
+            nan_update("e3"),
+            nan_update("e4"),
+        ];
+        match (Aggregator::Krum { byzantine: 1 }).aggregate(&ups) {
+            Err(FederatedError::Aggregation(msg)) => {
+                assert!(msg.contains("finite score"), "unexpected message: {msg}");
+            }
+            other => panic!("expected an aggregation error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trimmed_mean_contains_two_nan_floods_with_trim_one() {
+        // Regression: total_cmp sorts both (positive) NaNs to the same end,
+        // so the old `[trim..len - trim]` slice kept one NaN and the
+        // aggregate went NaN. Both floods must now consume the trim budget.
+        let ups = [
+            update("a", 1.0, 10),
+            update("b", 2.0, 10),
+            nan_update("evil1"),
+            nan_update("evil2"),
+        ];
+        let agg = Aggregator::TrimmedMean { trim: 1 }.aggregate(&ups).unwrap();
+        assert!(
+            agg.iter().all(Matrix::is_finite),
+            "two NaN floods must not leak into the aggregate"
+        );
+        // Both trim slots went to the floods; both honest values are kept.
+        assert!((agg[0][(0, 0)] - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trimmed_mean_errors_when_floods_exceed_the_containment_budget() {
+        let ups = [
+            update("a", 1.0, 10),
+            update("b", 2.0, 10),
+            nan_update("e1"),
+            nan_update("e2"),
+            nan_update("e3"),
+        ];
+        match (Aggregator::TrimmedMean { trim: 1 }).aggregate(&ups) {
+            Err(FederatedError::Aggregation(msg)) => {
+                assert!(msg.contains("non-finite"), "unexpected message: {msg}");
+            }
+            other => panic!("expected an aggregation error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trim_split_spends_budget_on_non_finite_high_side_first() {
+        assert_eq!(trim_split(1, 0), (1, 1));
+        assert_eq!(trim_split(1, 1), (1, 0));
+        assert_eq!(trim_split(1, 2), (0, 0));
+        assert_eq!(trim_split(2, 1), (2, 1));
+        assert_eq!(trim_split(2, 3), (1, 0));
+        assert_eq!(trim_split(2, 4), (0, 0));
+        assert_eq!(trim_split(0, 0), (0, 0));
+    }
+
+    #[test]
+    fn streaming_support_matrix() {
+        assert!(Aggregator::FedAvg.supports_streaming());
+        assert!(Aggregator::TrimmedMean { trim: 2 }.supports_streaming());
+        assert!(!Aggregator::Median.supports_streaming());
+        assert!(!Aggregator::Krum { byzantine: 1 }.supports_streaming());
     }
 
     #[test]

@@ -137,7 +137,12 @@ pub enum RoundSelector {
 /// A fault bound to one client and a round schedule.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FaultRule {
-    /// Id of the client this rule targets (exact match).
+    /// Id of the client this rule targets (exact match), or `"*"` to
+    /// target every client. Wildcard rules combined with
+    /// [`RoundSelector::Probability`] express population-level fault rates
+    /// (each client draws independently, keyed by its own id) — the form
+    /// the 10k–100k client [`crate::scale`] engine uses, where per-client
+    /// rules would be impractical.
     pub client: String,
     /// Rounds in which the rule fires.
     pub rounds: RoundSelector,
@@ -339,27 +344,32 @@ impl FaultInjector {
     }
 
     /// The fault (if any) hitting `client_id` in `round`: the first rule
-    /// matching the client that fires this round.
+    /// matching the client (exactly, or via the `"*"` wildcard) that fires
+    /// this round.
     pub fn fault_for(&self, round: usize, client_id: &str) -> Option<FaultKind> {
         self.plan
             .rules
             .iter()
             .enumerate()
-            .filter(|(_, rule)| rule.client == client_id)
-            .find(|(idx, rule)| self.fires(rule, *idx, round))
+            .filter(|(_, rule)| rule.client == client_id || rule.client == "*")
+            .find(|(idx, rule)| self.fires(rule, *idx, round, client_id))
             .map(|(_, rule)| rule.fault)
     }
 
-    fn fires(&self, rule: &FaultRule, rule_idx: usize, round: usize) -> bool {
+    fn fires(&self, rule: &FaultRule, rule_idx: usize, round: usize, client_id: &str) -> bool {
         match rule.rounds {
             RoundSelector::Every => true,
             RoundSelector::Only { round: r } => r == round,
             RoundSelector::From { round: r } => round >= r,
             RoundSelector::Probability { p } => {
+                // Keyed by the *affected* client, not the rule's pattern:
+                // identical to the old keying for exact-match rules (where
+                // the two strings coincide), and gives every client an
+                // independent draw under a wildcard rule.
                 let key = fnv1a(&[
                     rule_idx as u64,
                     round as u64,
-                    fnv1a_bytes(rule.client.as_bytes()),
+                    fnv1a_bytes(client_id.as_bytes()),
                 ]);
                 StdRng::seed_from_u64(self.plan.seed ^ key).gen_bool(p)
             }
@@ -420,8 +430,9 @@ pub struct FaultEvent {
 }
 
 /// FNV-1a over a word sequence (stable, dependency-free mixing for the
-/// per-(rule, round, client) RNG keys).
-fn fnv1a(words: &[u64]) -> u64 {
+/// per-(rule, round, client) RNG keys — also used by
+/// [`crate::scheduler`] to key the per-round participant sampling).
+pub(crate) fn fnv1a(words: &[u64]) -> u64 {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
     for w in words {
         for byte in w.to_le_bytes() {
@@ -433,7 +444,7 @@ fn fnv1a(words: &[u64]) -> u64 {
 }
 
 /// FNV-1a over raw bytes.
-fn fnv1a_bytes(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a_bytes(bytes: &[u8]) -> u64 {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
     for &byte in bytes {
         hash ^= u64::from(byte);

@@ -59,7 +59,11 @@ pub mod compression;
 mod error;
 pub mod faults;
 pub mod privacy;
+pub mod scale;
+pub mod scheduler;
+mod server;
 mod simulation;
+pub mod streaming;
 pub mod transport;
 pub mod wire;
 
@@ -71,6 +75,8 @@ pub use faults::{
     Corruption, FaultEvent, FaultInjector, FaultKind, FaultOutcome, FaultPlan, FaultRule,
     RoundSelector,
 };
+pub use scheduler::Scheduler;
 pub use simulation::{
     FederatedConfig, FederatedOutcome, FederatedSimulation, OutcomeDigest, RoundDigest, RoundStats,
 };
+pub use streaming::StreamingAggregator;

@@ -1,0 +1,1010 @@
+//! Hierarchical large-population federation: 10k–100k lightweight clients,
+//! edge-tier streaming aggregation, O(model) server memory.
+//!
+//! The in-process [`crate::FederatedSimulation`] trains real models and
+//! tops out at a few hundred clients. This engine scales the *protocol* —
+//! scheduling, faults, traffic, aggregation — to paper-style populations
+//! by replacing full clients with [`ClientSpec`]s: a zone profile drawn
+//! from the data generator ([`evfad_data::ZoneProfile`]), a sample count,
+//! and a seed, from which each round's update is synthesised
+//! deterministically around the current global model.
+//!
+//! # Topology and memory
+//!
+//! Clients are partitioned into `edges` contiguous shards. Each round:
+//!
+//! 1. the [`Scheduler`] samples a C-fraction of the population;
+//! 2. a pure fault pre-pass ([`crate::faults`] decisions are functions of
+//!    `(seed, round, client)`) fixes every shard's surviving update count
+//!    and sample total, sizing the streaming accumulators up front;
+//! 3. each edge streams its shard through a
+//!    [`crate::streaming::StreamingAggregator`] and forwards **one**
+//!    partial update to the root — the edge→root hop runs through the
+//!    same fault model, keyed by ids `"edge-0"`, `"edge-1"`, …;
+//! 4. the root streams the edge partials into the next global model.
+//!
+//! Shards are processed sequentially, so live aggregation state is one
+//! root accumulator plus one edge accumulator — O(model), independent of
+//! the population. The batch path would materialise every kept update:
+//! O(clients × model). Both numbers are reported per run
+//! ([`ScaleOutcome::peak_aggregation_bytes`] vs
+//! [`ScaleOutcome::materialized_equivalent_bytes`]) and gated by
+//! `bench_scale`.
+//!
+//! With `edges: 1` and FedAvg the hierarchy degenerates to the flat
+//! streaming fold, which is bitwise-identical to the batch rule
+//! ([`ScaleConfig::verify_streaming`] asserts this inline). With more
+//! edges, FedAvg remains exact up to floating-point reassociation: each
+//! partial is the sample-weighted mean of its shard and the root weighs
+//! partials by shard sample totals, so the composition is the overall
+//! weighted mean.
+
+use crate::aggregate::Aggregator;
+use crate::client::LocalUpdate;
+use crate::error::FederatedError;
+use crate::faults::{fnv1a, FaultEvent, FaultKind, FaultPlan};
+use crate::scheduler::Scheduler;
+use crate::server::{Disposition, FaultGate};
+use crate::transport::{MeteredChannel, TrafficTotals};
+use crate::wire;
+use evfad_data::{Zone, ZoneProfile};
+use evfad_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// Schedule and topology of a large-population run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScaleConfig {
+    /// Population size (the paper's federation, scaled: 10k–100k).
+    pub clients: usize,
+    /// Communication rounds.
+    pub rounds: usize,
+    /// C-fraction of clients sampled per round, in `(0, 1]`.
+    pub participation: f64,
+    /// Edge aggregators between clients and the root. `1` = flat
+    /// (every client streams straight into the root accumulator).
+    pub edges: usize,
+    /// Aggregation rule — must stream
+    /// ([`Aggregator::supports_streaming`]): FedAvg or TrimmedMean.
+    pub aggregator: Aggregator,
+    /// Seed for sampling, update synthesis, and population derivation.
+    pub seed: u64,
+    /// Client-tier fault plan. Wildcard (`"*"`) probability rules express
+    /// population-level drop-out/straggler/corruption rates.
+    #[serde(default)]
+    pub faults: Option<FaultPlan>,
+    /// Edge-tier fault plan, consulted with client ids `"edge-{e}"` on the
+    /// edge→root forward: a dropped edge loses its whole shard for the
+    /// round; a timed-out edge partial is metered but discarded.
+    #[serde(default)]
+    pub edge_faults: Option<FaultPlan>,
+    /// Also materialise every kept update and check the hierarchy against
+    /// the batch aggregate each round: bitwise for flat FedAvg, ≤1e-9
+    /// relative otherwise. Costs the O(clients × model) memory the
+    /// streaming path avoids — a correctness gate, not a production mode.
+    /// Ignored when an edge-tier fault plan is set (lost shards make the
+    /// flat batch reference incomparable).
+    #[serde(default)]
+    pub verify_streaming: bool,
+}
+
+impl Default for ScaleConfig {
+    fn default() -> Self {
+        Self {
+            clients: 10_000,
+            rounds: 5,
+            participation: 0.1,
+            edges: 16,
+            aggregator: Aggregator::FedAvg,
+            seed: 0,
+            faults: None,
+            edge_faults: None,
+            verify_streaming: false,
+        }
+    }
+}
+
+impl ScaleConfig {
+    /// Validates every knob before a run.
+    ///
+    /// # Errors
+    ///
+    /// [`FederatedError::InvalidConfig`] naming the offending field.
+    pub fn validate(&self) -> Result<(), FederatedError> {
+        let bad = |field: &str, message: String| FederatedError::InvalidConfig {
+            field: field.to_string(),
+            message,
+        };
+        if self.clients == 0 {
+            return Err(bad("clients", "must be at least 1".to_string()));
+        }
+        if self.rounds == 0 {
+            return Err(bad("rounds", "must be at least 1".to_string()));
+        }
+        if !(self.participation > 0.0 && self.participation <= 1.0) {
+            return Err(bad(
+                "participation",
+                format!("must be in (0, 1], got {}", self.participation),
+            ));
+        }
+        if self.edges == 0 || self.edges > self.clients {
+            return Err(bad(
+                "edges",
+                format!(
+                    "need between 1 and {} (the population), got {}",
+                    self.clients, self.edges
+                ),
+            ));
+        }
+        if !self.aggregator.supports_streaming() {
+            return Err(bad(
+                "aggregator",
+                format!(
+                    "{} cannot stream; the scale engine supports FedAvg and TrimmedMean",
+                    self.aggregator.name()
+                ),
+            ));
+        }
+        if let Aggregator::TrimmedMean { trim } = self.aggregator {
+            if self.edges > 1 && self.edges <= 2 * trim {
+                return Err(bad(
+                    "edges",
+                    format!(
+                        "trimmed mean with trim {trim} at the root needs more than {} \
+                         edge partials, got {}",
+                        2 * trim,
+                        self.edges
+                    ),
+                ));
+            }
+        }
+        if let Some(plan) = &self.faults {
+            plan.validate()?;
+        }
+        if let Some(plan) = &self.edge_faults {
+            plan.validate()?;
+        }
+        Ok(())
+    }
+}
+
+/// A lightweight stand-in for a full federated client: everything the
+/// protocol needs, nothing the model holds.
+///
+/// Specs are derived deterministically from the config seed and the data
+/// generator's zone profiles — client `i` belongs to Shenzhen zone
+/// `ALL[i % 3]`, carries a per-client dataset size, and synthesises
+/// updates whose spread follows its zone's noise level.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClientSpec {
+    /// Population index (also the shard key).
+    pub index: usize,
+    /// The Shenzhen zone whose profile shapes this client's updates.
+    pub zone: Zone,
+    /// Local dataset size (FedAvg weighting), 24–127 hourly windows.
+    pub sample_count: usize,
+    /// Update spread around the global model, from the zone profile's
+    /// noise level scaled by its demand base.
+    pub amplitude: f64,
+}
+
+impl ClientSpec {
+    fn derive(index: usize, seed: u64) -> Self {
+        let zone = Zone::ALL[index % Zone::ALL.len()];
+        let profile = ZoneProfile::shenzhen(zone);
+        let h = fnv1a(&[seed, index as u64]);
+        Self {
+            index,
+            zone,
+            sample_count: 24 + (h % 104) as usize,
+            amplitude: profile.noise_level * profile.base / 40.0,
+        }
+    }
+
+    /// The client's federation id (`"c000042"`), the key the fault plan
+    /// matches against.
+    pub fn id(&self) -> String {
+        format!("c{:06}", self.index)
+    }
+}
+
+/// Per-round statistics of a scale run. Event-level fault telemetry is
+/// deliberately summarised to counters: at 100k clients a `Vec<FaultEvent>`
+/// per round would be exactly the O(clients) state this engine exists to
+/// avoid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScaleRoundStats {
+    /// Zero-based round index.
+    pub round: usize,
+    /// Clients sampled by the scheduler.
+    pub sampled: usize,
+    /// Client updates folded into the final global (lost shards excluded).
+    pub aggregated: usize,
+    /// Sampled clients that dropped out before training.
+    pub dropped: usize,
+    /// Updates that crossed the channel but were discarded (timed-out
+    /// stragglers, exhausted retries).
+    pub wasted: usize,
+    /// Updates corrupted in flight (and still aggregated — robustness is
+    /// the aggregator's job).
+    pub corrupted: usize,
+    /// Edge partials the root aggregated.
+    pub edges_kept: usize,
+    /// Shards lost on the edge→root hop (edge drop-out/timeout).
+    pub edges_lost: usize,
+    /// Client→edge plus edge→root wire bytes, retries included.
+    pub uplink_bytes: usize,
+    /// Root→client broadcast bytes (zero in round 0).
+    pub downlink_bytes: usize,
+    /// Peak live aggregation state this round (root + one edge).
+    pub peak_state_bytes: usize,
+    /// Wall-clock duration of the round on this host.
+    #[serde(skip, default)]
+    pub duration: Duration,
+}
+
+/// Result of a completed scale run.
+#[derive(Debug, Clone)]
+pub struct ScaleOutcome {
+    /// Per-round statistics.
+    pub rounds: Vec<ScaleRoundStats>,
+    /// The final global weights.
+    pub global_weights: Vec<Matrix>,
+    /// Bytes/messages exchanged across both tiers.
+    pub traffic: TrafficTotals,
+    /// Peak live streaming-aggregation state across the run — the number
+    /// `bench_scale` reports. O(model), independent of the population.
+    pub peak_aggregation_bytes: usize,
+    /// What the batch path would have held at its worst round:
+    /// `max_round(kept clients) × model bytes`. The streaming win is the
+    /// ratio of this to [`ScaleOutcome::peak_aggregation_bytes`].
+    pub materialized_equivalent_bytes: usize,
+    /// One model's worth of f64 payload, for scale-free reporting.
+    pub model_bytes: usize,
+    /// Total wall-clock time.
+    pub total_duration: Duration,
+}
+
+impl ScaleOutcome {
+    /// FNV-1a checksum of the binary-encoded final global weights as 16
+    /// lowercase hex digits — the determinism anchor for scale runs.
+    pub fn weights_checksum(&self) -> String {
+        format!("{:016x}", wire::weights_checksum(&self.global_weights))
+    }
+}
+
+/// How a shard's partial fares on the edge→root hop.
+enum EdgeForward {
+    /// Shard had no kept clients this round — nothing to forward.
+    Empty,
+    /// Edge dropped out: the partial never leaves, the shard is lost.
+    Dropped,
+    /// Partial crossed the channel `attempts` times but the root discards
+    /// it (edge straggler past the timeout, exhausted retries).
+    Waste { attempts: usize },
+    /// Partial reaches the root (possibly corrupted/delayed in flight).
+    Keep {
+        fault: Option<FaultKind>,
+        attempts: usize,
+    },
+}
+
+/// Mutable per-round bookkeeping threaded through [`ScaleEngine::stream_shard`].
+struct RoundScratch {
+    /// Largest live aggregation state seen this round (root + edge).
+    round_peak: usize,
+    /// Wire bytes uplinked this round, retries included.
+    uplink_bytes: usize,
+    /// Accumulated simulated straggler wait (discarded — the scale engine
+    /// reports wall-clock only).
+    timeout_wait: f64,
+    /// Whether kept updates are also materialised for the batch check.
+    verify: bool,
+    /// Reusable event buffer for `dispose` (cleared after every shard —
+    /// event-level telemetry would be O(clients)).
+    events: Vec<FaultEvent>,
+    /// Every kept update, materialised only under `verify`.
+    batch_reference: Vec<LocalUpdate>,
+}
+
+/// The large-population engine. See the module docs for the topology.
+///
+/// # Examples
+///
+/// ```
+/// use evfad_federated::scale::{ScaleConfig, ScaleEngine};
+/// use evfad_tensor::Matrix;
+///
+/// let template = vec![Matrix::filled(4, 4, 0.1), Matrix::filled(1, 4, -0.2)];
+/// let cfg = ScaleConfig { clients: 1_000, rounds: 2, edges: 4, ..ScaleConfig::default() };
+/// let mut engine = ScaleEngine::new(template, cfg)?;
+/// let out = engine.run()?;
+/// assert_eq!(out.rounds.len(), 2);
+/// assert_eq!(out.rounds[0].sampled, 100); // C = 0.1 of 1000
+/// assert!(out.peak_aggregation_bytes < out.materialized_equivalent_bytes);
+/// # Ok::<(), evfad_federated::FederatedError>(())
+/// ```
+#[derive(Debug)]
+pub struct ScaleEngine {
+    config: ScaleConfig,
+    template: Vec<Matrix>,
+    population: Vec<ClientSpec>,
+    channel: MeteredChannel,
+}
+
+impl ScaleEngine {
+    /// Builds the engine and derives the population from the config seed.
+    ///
+    /// # Errors
+    ///
+    /// [`FederatedError::InvalidConfig`] (see [`ScaleConfig::validate`]),
+    /// or [`FederatedError::Aggregation`] for an empty model template.
+    pub fn new(template: Vec<Matrix>, config: ScaleConfig) -> Result<Self, FederatedError> {
+        config.validate()?;
+        if template.is_empty() {
+            return Err(FederatedError::Aggregation(
+                "scale engine needs a non-empty model template".to_string(),
+            ));
+        }
+        let population = (0..config.clients)
+            .map(|i| ClientSpec::derive(i, config.seed))
+            .collect();
+        Ok(Self {
+            config,
+            template,
+            population,
+            channel: MeteredChannel::new(),
+        })
+    }
+
+    /// The derived population specs.
+    pub fn population(&self) -> &[ClientSpec] {
+        &self.population
+    }
+
+    /// The configured run.
+    pub fn config(&self) -> &ScaleConfig {
+        &self.config
+    }
+
+    /// The edge shard client `index` belongs to: contiguous, balanced.
+    fn edge_of(&self, index: usize) -> usize {
+        index * self.config.edges / self.population.len()
+    }
+
+    /// Synthesises client `spec`'s round update: the current global model
+    /// plus zone-scaled noise that damps as rounds progress, seeded by
+    /// `(seed, round, index)` — deterministic, thread-free.
+    fn synth_update(&self, spec: &ClientSpec, round: usize, global: &[Matrix]) -> LocalUpdate {
+        let key = fnv1a(&[0x5ca1e, round as u64, spec.index as u64]);
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ key);
+        let damp = 1.0 / (1.0 + round as f64);
+        let weights = global
+            .iter()
+            .map(|g| {
+                let mut m = g.clone();
+                for v in m.as_mut_slice() {
+                    *v += spec.amplitude * damp * (rng.gen::<f64>() - 0.5);
+                }
+                m
+            })
+            .collect();
+        LocalUpdate {
+            client_id: spec.id(),
+            weights,
+            sample_count: spec.sample_count,
+            train_loss: spec.amplitude * damp,
+            duration: Duration::ZERO,
+            simulated_extra_seconds: 0.0,
+        }
+    }
+
+    /// Streams one shard's kept updates through a fresh accumulator and
+    /// returns the shard aggregate. Shared by the flat path (where the
+    /// result *is* the next global) and the hierarchical path (where it
+    /// becomes an edge partial). `plan` entries are the pure pre-pass
+    /// decisions; `dispose` re-derives them identically while recording
+    /// side effects.
+    #[allow(clippy::too_many_arguments)]
+    fn stream_shard(
+        &mut self,
+        round: usize,
+        global: &[Matrix],
+        plan: &[(usize, Option<FaultKind>, usize)],
+        shard_total: f64,
+        gate: &FaultGate,
+        update_bytes: usize,
+        root_bytes: usize,
+        scratch: &mut RoundScratch,
+    ) -> Result<Vec<Matrix>, FederatedError> {
+        let mut agg = self
+            .config
+            .aggregator
+            .streaming(shard_total, plan.len())
+            .expect("validated streamable");
+        for &(ci, fault, attempts) in plan {
+            let mut update = {
+                let spec = &self.population[ci];
+                self.synth_update(spec, round, global)
+            };
+            let disposed = gate.dispose(
+                round,
+                fault,
+                &mut update,
+                &mut scratch.events,
+                &mut scratch.timeout_wait,
+            );
+            debug_assert!(matches!(disposed, Disposition::Keep { .. }));
+            self.channel.record_attempts_bytes(update_bytes, attempts);
+            scratch.uplink_bytes += update_bytes * attempts;
+            agg.ingest(&update)?;
+            scratch.round_peak = scratch.round_peak.max(root_bytes + agg.state_bytes());
+            if scratch.verify {
+                scratch.batch_reference.push(update);
+            }
+        }
+        scratch.events.clear();
+        agg.finish()
+    }
+
+    /// Runs the full schedule.
+    ///
+    /// # Errors
+    ///
+    /// * [`FederatedError::InvalidConfig`] from up-front validation;
+    /// * [`FederatedError::InsufficientParticipants`] when faults starve a
+    ///   round below the plan's floor (or lose every shard);
+    /// * [`FederatedError::Aggregation`] from the streaming rules (e.g. a
+    ///   NaN-flooded coordinate exceeding trimmed mean's containment
+    ///   budget) or a failed [`ScaleConfig::verify_streaming`] check.
+    pub fn run(&mut self) -> Result<ScaleOutcome, FederatedError> {
+        self.config.validate()?;
+        self.channel.reset();
+        let start = Instant::now();
+        let cfg = self.config.clone();
+        let gate = FaultGate::new(cfg.faults.clone());
+        let edge_gate = FaultGate::new(cfg.edge_faults.clone());
+        let scheduler = Scheduler::new(cfg.participation, cfg.seed);
+        let n = self.population.len();
+        let mut global = self.template.clone();
+        let update_bytes = wire::encoded_size(&global);
+        let model_bytes: usize = global.iter().map(|m| m.len() * 8).sum();
+        let verify = cfg.verify_streaming && cfg.edge_faults.is_none();
+        let mut rounds = Vec::with_capacity(cfg.rounds);
+        let mut peak_aggregation_bytes = 0usize;
+        let mut materialized_equivalent_bytes = 0usize;
+        let mut scratch_events: Vec<FaultEvent> = Vec::new();
+
+        for round in 0..cfg.rounds {
+            let round_start = Instant::now();
+            let participants = scheduler.sample(round, n);
+            let sampled = participants.len();
+            let mut downlink_bytes = 0usize;
+            if round > 0 {
+                for _ in 0..sampled {
+                    self.channel.record_bytes(update_bytes);
+                }
+                downlink_bytes = update_bytes * sampled;
+            }
+
+            // Pure fault pre-pass: shard membership, surviving counts, and
+            // sample totals — everything the streaming constructors need —
+            // before a single update is synthesised. `fault_for` is a pure
+            // function of (seed, round, id), so the main pass below sees
+            // the identical decisions.
+            let mut shard_kept: Vec<Vec<(usize, Option<FaultKind>, usize)>> =
+                vec![Vec::new(); cfg.edges];
+            // Summed as f64 in kept order — the exact fold the batch
+            // FedAvg performs over its updates.
+            let mut shard_samples: Vec<f64> = vec![0.0; cfg.edges];
+            let mut dropped = 0usize;
+            let mut wasted = 0usize;
+            let mut corrupted = 0usize;
+            let mut uplink_bytes = 0usize;
+            for &ci in &participants {
+                let spec = &self.population[ci];
+                let fault = gate.fault_for(round, &spec.id());
+                if matches!(fault, Some(FaultKind::DropOut)) {
+                    dropped += 1;
+                    continue;
+                }
+                if matches!(fault, Some(FaultKind::Corrupt { .. })) {
+                    corrupted += 1;
+                }
+                match gate.decide(fault) {
+                    Disposition::Keep { attempts } => {
+                        let e = self.edge_of(ci);
+                        shard_kept[e].push((ci, fault, attempts));
+                        shard_samples[e] += spec.sample_count as f64;
+                    }
+                    Disposition::Waste { attempts } => {
+                        // Discarded uploads still crossed the channel.
+                        wasted += 1;
+                        self.channel.record_attempts_bytes(update_bytes, attempts);
+                        uplink_bytes += update_bytes * attempts;
+                    }
+                }
+            }
+            let kept_total: usize = shard_kept.iter().map(Vec::len).sum();
+            if kept_total < gate.min_participants {
+                return Err(FederatedError::InsufficientParticipants {
+                    round,
+                    survivors: kept_total,
+                    required: gate.min_participants,
+                });
+            }
+
+            let mut aggregated = 0usize;
+            let mut edges_kept = 0usize;
+            let mut edges_lost = 0usize;
+            let mut scratch = RoundScratch {
+                round_peak: 0,
+                uplink_bytes,
+                timeout_wait: 0.0,
+                verify,
+                events: std::mem::take(&mut scratch_events),
+                batch_reference: Vec::new(),
+            };
+
+            let next_global = if cfg.edges == 1 {
+                // Flat: the single shard streams straight into the root
+                // accumulator — no forward hop, no partial. For FedAvg this
+                // is the exact batch fold, bit for bit.
+                let g = self.stream_shard(
+                    round,
+                    &global,
+                    &shard_kept[0],
+                    shard_samples[0],
+                    &gate,
+                    update_bytes,
+                    0,
+                    &mut scratch,
+                )?;
+                aggregated = shard_kept[0].len();
+                edges_kept = 1;
+                g
+            } else {
+                // Edge-tier pre-pass: which partials will reach the root.
+                let forwards: Vec<EdgeForward> = (0..cfg.edges)
+                    .map(|e| {
+                        if shard_kept[e].is_empty() {
+                            return EdgeForward::Empty;
+                        }
+                        let fault = edge_gate.fault_for(round, &format!("edge-{e}"));
+                        if matches!(fault, Some(FaultKind::DropOut)) {
+                            return EdgeForward::Dropped;
+                        }
+                        match edge_gate.decide(fault) {
+                            Disposition::Keep { attempts } => EdgeForward::Keep { fault, attempts },
+                            Disposition::Waste { attempts } => EdgeForward::Waste { attempts },
+                        }
+                    })
+                    .collect();
+                let root_expected = forwards
+                    .iter()
+                    .filter(|f| matches!(f, EdgeForward::Keep { .. }))
+                    .count();
+                if root_expected == 0 {
+                    return Err(FederatedError::InsufficientParticipants {
+                        round,
+                        survivors: 0,
+                        required: gate.min_participants.max(1),
+                    });
+                }
+                let root_total: f64 = forwards
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, f)| matches!(f, EdgeForward::Keep { .. }))
+                    .map(|(e, _)| shard_samples[e])
+                    .sum();
+
+                // Main pass: one edge accumulator live at a time, the root
+                // accumulator underneath — O(model) total.
+                let mut root = cfg
+                    .aggregator
+                    .streaming(root_total, root_expected)
+                    .expect("validated streamable");
+                for (e, forward) in forwards.iter().enumerate() {
+                    if matches!(forward, EdgeForward::Empty) {
+                        continue;
+                    }
+                    let partial_weights = self.stream_shard(
+                        round,
+                        &global,
+                        &shard_kept[e],
+                        shard_samples[e],
+                        &gate,
+                        update_bytes,
+                        root.state_bytes(),
+                        &mut scratch,
+                    )?;
+                    let mut partial = LocalUpdate {
+                        client_id: format!("edge-{e}"),
+                        weights: partial_weights,
+                        sample_count: shard_samples[e] as usize,
+                        train_loss: 0.0,
+                        duration: Duration::ZERO,
+                        simulated_extra_seconds: 0.0,
+                    };
+                    match *forward {
+                        EdgeForward::Empty => unreachable!("skipped above"),
+                        EdgeForward::Dropped => edges_lost += 1,
+                        EdgeForward::Waste { attempts } => {
+                            edges_lost += 1;
+                            self.channel.record_attempts_bytes(update_bytes, attempts);
+                            scratch.uplink_bytes += update_bytes * attempts;
+                        }
+                        EdgeForward::Keep { fault, attempts } => {
+                            let mut edge_wait = 0.0f64;
+                            edge_gate.dispose(
+                                round,
+                                fault,
+                                &mut partial,
+                                &mut scratch.events,
+                                &mut edge_wait,
+                            );
+                            scratch.events.clear();
+                            self.channel.record_attempts_bytes(update_bytes, attempts);
+                            scratch.uplink_bytes += update_bytes * attempts;
+                            root.ingest(&partial)?;
+                            edges_kept += 1;
+                            aggregated += shard_kept[e].len();
+                        }
+                    }
+                    scratch.round_peak = scratch.round_peak.max(root.state_bytes());
+                }
+                root.finish()?
+            };
+            if verify {
+                check_against_batch(
+                    cfg.aggregator,
+                    cfg.edges,
+                    &scratch.batch_reference,
+                    &next_global,
+                    round,
+                )?;
+            }
+            global = next_global;
+            peak_aggregation_bytes = peak_aggregation_bytes.max(scratch.round_peak);
+            materialized_equivalent_bytes =
+                materialized_equivalent_bytes.max(kept_total * model_bytes);
+            rounds.push(ScaleRoundStats {
+                round,
+                sampled,
+                aggregated,
+                dropped,
+                wasted,
+                corrupted,
+                edges_kept,
+                edges_lost,
+                uplink_bytes: scratch.uplink_bytes,
+                downlink_bytes,
+                peak_state_bytes: scratch.round_peak,
+                duration: round_start.elapsed(),
+            });
+            scratch_events = scratch.events;
+        }
+
+        Ok(ScaleOutcome {
+            rounds,
+            global_weights: global,
+            traffic: self.channel.totals(),
+            peak_aggregation_bytes,
+            materialized_equivalent_bytes,
+            model_bytes,
+            total_duration: start.elapsed(),
+        })
+    }
+}
+
+/// The [`ScaleConfig::verify_streaming`] gate: the hierarchical streaming
+/// result must match the flat batch aggregate over the same kept updates —
+/// bitwise for flat FedAvg (same fold, same order), within 1e-9 relative
+/// otherwise (reassociation across shards).
+fn check_against_batch(
+    aggregator: Aggregator,
+    edges: usize,
+    kept: &[LocalUpdate],
+    streamed: &[Matrix],
+    round: usize,
+) -> Result<(), FederatedError> {
+    let batch = aggregator.aggregate(kept)?;
+    let exact = edges == 1 && matches!(aggregator, Aggregator::FedAvg);
+    for (b, s) in batch.iter().zip(streamed) {
+        for (x, y) in b.as_slice().iter().zip(s.as_slice()) {
+            let ok = if exact {
+                x.to_bits() == y.to_bits()
+            } else {
+                (x - y).abs() <= 1e-9 * x.abs().max(y.abs()).max(1.0)
+            };
+            if !ok {
+                return Err(FederatedError::Aggregation(format!(
+                    "round {round}: streaming result {y:e} diverged from batch {x:e} \
+                     ({} check, {edges} edges)",
+                    if exact { "bitwise" } else { "tolerance" }
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::{Corruption, RoundSelector};
+
+    fn template() -> Vec<Matrix> {
+        vec![
+            Matrix::filled(3, 4, 0.25),
+            Matrix::filled(4, 1, -0.5),
+            Matrix::filled(1, 1, 1.0),
+        ]
+    }
+
+    fn cfg(clients: usize, edges: usize) -> ScaleConfig {
+        ScaleConfig {
+            clients,
+            rounds: 3,
+            edges,
+            ..ScaleConfig::default()
+        }
+    }
+
+    #[test]
+    fn flat_fedavg_is_bitwise_identical_to_batch() {
+        let mut engine = ScaleEngine::new(
+            template(),
+            ScaleConfig {
+                verify_streaming: true,
+                ..cfg(500, 1)
+            },
+        )
+        .expect("engine");
+        // verify_streaming asserts bitwise equality inside run().
+        let out = engine.run().expect("flat run must match batch bitwise");
+        assert!(out.global_weights.iter().all(Matrix::is_finite));
+    }
+
+    #[test]
+    fn hierarchical_fedavg_matches_batch_to_tolerance() {
+        let mut engine = ScaleEngine::new(
+            template(),
+            ScaleConfig {
+                verify_streaming: true,
+                ..cfg(1_000, 8)
+            },
+        )
+        .expect("engine");
+        engine.run().expect("hierarchical run within tolerance");
+    }
+
+    #[test]
+    fn runs_are_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let mut e = ScaleEngine::new(
+                template(),
+                ScaleConfig {
+                    seed,
+                    ..cfg(2_000, 4)
+                },
+            )
+            .expect("engine");
+            e.run().expect("run")
+        };
+        let a = run(7);
+        let b = run(7);
+        assert_eq!(a.weights_checksum(), b.weights_checksum());
+        assert_eq!(a.traffic, b.traffic);
+        // Compare through serde: `duration` is wall-clock and #[serde(skip)].
+        assert_eq!(
+            serde_json::to_string(&a.rounds).expect("serialize"),
+            serde_json::to_string(&b.rounds).expect("serialize"),
+        );
+        assert_ne!(run(8).weights_checksum(), a.weights_checksum());
+    }
+
+    #[test]
+    fn peak_memory_is_o_model_not_o_clients() {
+        let small = {
+            let mut e = ScaleEngine::new(template(), cfg(1_000, 4)).expect("engine");
+            e.run().expect("run")
+        };
+        let large = {
+            let mut e = ScaleEngine::new(template(), cfg(10_000, 4)).expect("engine");
+            e.run().expect("run")
+        };
+        // 10x the population: materialised-equivalent memory grows ~10x,
+        // live streaming state does not grow at all.
+        assert_eq!(large.peak_aggregation_bytes, small.peak_aggregation_bytes);
+        assert!(large.materialized_equivalent_bytes > 8 * small.materialized_equivalent_bytes);
+        // FedAvg live state: root + one edge accumulator = 2 models.
+        assert_eq!(large.peak_aggregation_bytes, 2 * large.model_bytes);
+    }
+
+    #[test]
+    fn population_follows_the_zone_profiles() {
+        let engine = ScaleEngine::new(template(), cfg(999, 4)).expect("engine");
+        let pop = engine.population();
+        assert_eq!(pop.len(), 999);
+        assert_eq!(pop[0].zone, Zone::Z102);
+        assert_eq!(pop[1].zone, Zone::Z105);
+        assert_eq!(pop[2].zone, Zone::Z108);
+        assert!(pop.iter().all(|s| (24..128).contains(&s.sample_count)));
+        assert!(pop.iter().all(|s| s.amplitude > 0.0));
+        assert_eq!(pop[41].id(), "c000041");
+    }
+
+    #[test]
+    fn wildcard_dropout_thins_every_round() {
+        let plan = FaultPlan::new(3).with_rule(
+            "*",
+            RoundSelector::Probability { p: 0.2 },
+            FaultKind::DropOut,
+        );
+        let mut engine = ScaleEngine::new(
+            template(),
+            ScaleConfig {
+                faults: Some(plan),
+                ..cfg(5_000, 4)
+            },
+        )
+        .expect("engine");
+        let out = engine.run().expect("run");
+        for r in &out.rounds {
+            let rate = r.dropped as f64 / r.sampled as f64;
+            assert!(
+                (0.1..0.3).contains(&rate),
+                "round {} drop rate {rate} far from the configured 0.2",
+                r.round
+            );
+            assert_eq!(r.sampled, r.aggregated + r.dropped + r.wasted);
+        }
+    }
+
+    #[test]
+    fn edge_dropout_loses_the_shard() {
+        let edge_plan =
+            FaultPlan::new(1).with_rule("edge-2", RoundSelector::Every, FaultKind::DropOut);
+        let clean = {
+            let mut e = ScaleEngine::new(template(), cfg(4_000, 4)).expect("engine");
+            e.run().expect("run")
+        };
+        let faulty = {
+            let mut e = ScaleEngine::new(
+                template(),
+                ScaleConfig {
+                    edge_faults: Some(edge_plan),
+                    ..cfg(4_000, 4)
+                },
+            )
+            .expect("engine");
+            e.run().expect("run")
+        };
+        for (c, f) in clean.rounds.iter().zip(&faulty.rounds) {
+            assert_eq!(f.edges_lost, 1);
+            assert_eq!(f.edges_kept, 3);
+            assert!(f.aggregated < c.aggregated);
+        }
+        assert_ne!(clean.weights_checksum(), faulty.weights_checksum());
+    }
+
+    #[test]
+    fn trimmed_mean_contains_wildcard_nan_floods_at_scale() {
+        // 1% of clients NaN-flood every round; per-shard trimmed mean with
+        // budget to spare must keep the global finite.
+        let plan = FaultPlan::new(9).with_rule(
+            "*",
+            RoundSelector::Probability { p: 0.01 },
+            FaultKind::Corrupt {
+                corruption: Corruption::NanFlood,
+            },
+        );
+        let mut engine = ScaleEngine::new(
+            template(),
+            ScaleConfig {
+                aggregator: Aggregator::TrimmedMean { trim: 20 },
+                faults: Some(plan),
+                edges: 1,
+                rounds: 2,
+                ..cfg(2_000, 1)
+            },
+        )
+        .expect("engine");
+        let out = engine.run().expect("contained");
+        assert!(out.global_weights.iter().all(Matrix::is_finite));
+        assert!(out.rounds.iter().all(|r| r.corrupted > 0));
+    }
+
+    #[test]
+    fn traffic_accounts_both_tiers() {
+        let mut engine = ScaleEngine::new(template(), cfg(1_000, 4)).expect("engine");
+        let out = engine.run().expect("run");
+        let model = template();
+        let update_bytes = wire::encoded_size(&model);
+        for r in &out.rounds {
+            // kept client uplinks + 4 edge partials, no waste in a clean run.
+            assert_eq!(r.uplink_bytes, (r.aggregated + r.edges_kept) * update_bytes);
+            if r.round > 0 {
+                assert_eq!(r.downlink_bytes, r.sampled * update_bytes);
+            }
+        }
+        let accounted: usize = out
+            .rounds
+            .iter()
+            .map(|r| r.uplink_bytes + r.downlink_bytes)
+            .sum();
+        assert_eq!(accounted, out.traffic.bytes);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let reject = |c: ScaleConfig, field: &str| match ScaleEngine::new(template(), c)
+            .map(|_| ())
+            .unwrap_err()
+        {
+            FederatedError::InvalidConfig { field: f, .. } => assert_eq!(f, field),
+            other => panic!("expected InvalidConfig for {field}, got {other}"),
+        };
+        reject(
+            ScaleConfig {
+                clients: 0,
+                ..ScaleConfig::default()
+            },
+            "clients",
+        );
+        reject(
+            ScaleConfig {
+                rounds: 0,
+                ..ScaleConfig::default()
+            },
+            "rounds",
+        );
+        reject(
+            ScaleConfig {
+                participation: 0.0,
+                ..ScaleConfig::default()
+            },
+            "participation",
+        );
+        reject(
+            ScaleConfig {
+                edges: 0,
+                ..ScaleConfig::default()
+            },
+            "edges",
+        );
+        reject(
+            ScaleConfig {
+                aggregator: Aggregator::Median,
+                ..ScaleConfig::default()
+            },
+            "aggregator",
+        );
+        reject(
+            ScaleConfig {
+                aggregator: Aggregator::TrimmedMean { trim: 8 },
+                edges: 16,
+                ..ScaleConfig::default()
+            },
+            "edges",
+        );
+    }
+
+    #[test]
+    fn scale_config_serde_round_trips() {
+        let cfg = ScaleConfig {
+            faults: Some(FaultPlan::new(3).with_rule(
+                "*",
+                RoundSelector::Probability { p: 0.05 },
+                FaultKind::DropOut,
+            )),
+            ..ScaleConfig::default()
+        };
+        let json = serde_json::to_string(&cfg).expect("serialize");
+        let back: ScaleConfig = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(cfg, back);
+    }
+}

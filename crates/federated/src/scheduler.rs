@@ -1,0 +1,236 @@
+//! Per-round participant scheduling: paper-style C-fraction sampling that
+//! stays exact and cheap from 3 clients to 100k+.
+//!
+//! Two scale bugs in the original `sample_participants` are fixed here:
+//!
+//! * **The take-count is computed in integer arithmetic.** The old
+//!   `(n as f64 * participation).round()` rounds the *product* to 53 bits
+//!   before rounding to an integer; for populations in the tens of
+//!   thousands that double rounding can land one client off the exact
+//!   value of `round(n · participation)` (the f64 `participation` is a
+//!   dyadic rational `m · 2^e`, so the exact product is computable in
+//!   128-bit integer arithmetic — see [`exact_take`]).
+//! * **The per-round RNG key uses the same FNV-1a mixing as the fault
+//!   layer.** The old ad-hoc `seed ^ round * 0x9E37` key changes only two
+//!   low bytes of the seed between consecutive rounds; FNV mixing
+//!   decorrelates rounds the same way `faults.rs` decorrelates
+//!   per-(rule, round, client) decisions.
+//!
+//! Sampling itself is Floyd's algorithm: `take` uniform draws without
+//! replacement in O(take) memory and time, independent of the population
+//! size — shuffling a 100k-element index vector per round is exactly the
+//! kind of O(clients) server work the scale-out path removes.
+
+use crate::faults::fnv1a;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Deterministic per-round C-fraction sampler over client indices
+/// `0..population`.
+///
+/// # Examples
+///
+/// ```
+/// use evfad_federated::scheduler::Scheduler;
+///
+/// let s = Scheduler::new(0.1, 7);
+/// let round0 = s.sample(0, 10_000);
+/// assert_eq!(round0.len(), 1_000);
+/// assert!(round0.windows(2).all(|w| w[0] < w[1]), "sorted, no duplicates");
+/// assert_eq!(round0, s.sample(0, 10_000), "deterministic per (seed, round)");
+/// assert_ne!(round0, s.sample(1, 10_000));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Scheduler {
+    participation: f64,
+    seed: u64,
+}
+
+impl Scheduler {
+    /// A sampler taking `participation` of the population each round
+    /// (validated to `(0, 1]` by `FederatedConfig::validate` /
+    /// `ScaleConfig::validate` before any round runs).
+    pub fn new(participation: f64, seed: u64) -> Self {
+        Self {
+            participation,
+            seed,
+        }
+    }
+
+    /// The exact number of participants drawn from a population of `n`
+    /// (floored at one so a tiny fraction of a small federation never
+    /// yields an empty round).
+    pub fn take_count(&self, n: usize) -> usize {
+        exact_take(n, self.participation).clamp(1, n.max(1))
+    }
+
+    /// Indices of round `round`'s participants: sorted, duplicate-free,
+    /// exactly [`Scheduler::take_count`] of them, deterministic per
+    /// `(seed, round, n)`.
+    pub fn sample(&self, round: usize, n: usize) -> Vec<usize> {
+        if n == 0 {
+            return Vec::new();
+        }
+        let take = self.take_count(n);
+        if take == n {
+            return (0..n).collect();
+        }
+        let key = fnv1a(&[round as u64, n as u64]);
+        let mut rng = StdRng::seed_from_u64(self.seed ^ key);
+        // Floyd's algorithm: uniform k-of-n without replacement, O(k).
+        let mut chosen: HashSet<usize> = HashSet::with_capacity(take);
+        for j in (n - take)..n {
+            let t = rng.gen_range(0..=j);
+            if !chosen.insert(t) {
+                chosen.insert(j);
+            }
+        }
+        let mut idx: Vec<usize> = chosen.into_iter().collect();
+        idx.sort_unstable();
+        idx
+    }
+}
+
+/// `round(n · p)` computed exactly.
+///
+/// Every finite f64 is a dyadic rational `m · 2^e`; the product `n · m`
+/// fits u128 for any `usize` population, so the scaled rounding is a shift
+/// with carry — no double rounding, unlike `(n as f64 * p).round()`.
+/// Rounds half away from zero, matching `f64::round` on the values the
+/// old code computed when the product happened to be exact.
+pub fn exact_take(n: usize, p: f64) -> usize {
+    debug_assert!(p.is_finite() && p >= 0.0);
+    if n == 0 || p == 0.0 {
+        return 0;
+    }
+    let bits = p.to_bits();
+    let raw_exponent = ((bits >> 52) & 0x7ff) as i64;
+    let fraction = bits & ((1u64 << 52) - 1);
+    // Normal numbers carry an implicit leading bit; subnormals do not.
+    let (mantissa, exponent) = if raw_exponent == 0 {
+        (fraction, -1074i64)
+    } else {
+        (fraction | (1u64 << 52), raw_exponent - 1075)
+    };
+    let product = n as u128 * mantissa as u128;
+    if exponent >= 0 {
+        // p >= 1.0 (participation caps at 1.0, but stay total).
+        return usize::try_from(product << exponent).unwrap_or(usize::MAX);
+    }
+    let shift = (-exponent) as u32;
+    if shift >= 128 {
+        // product < 2^117 for any usize n, so the rounded value is 0.
+        return 0;
+    }
+    let floor = product >> shift;
+    let half_up = (product >> (shift - 1)) & 1;
+    usize::try_from(floor + half_up).unwrap_or(usize::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_take_matches_simple_cases() {
+        assert_eq!(exact_take(10, 0.5), 5);
+        assert_eq!(exact_take(3, 0.34), 1);
+        assert_eq!(exact_take(100, 1.0), 100);
+        assert_eq!(exact_take(7, 0.0), 0);
+        assert_eq!(exact_take(0, 0.9), 0);
+        assert_eq!(exact_take(100_000, 0.1), 10_000);
+    }
+
+    #[test]
+    fn exact_take_agrees_with_rational_reference_at_scale() {
+        // Fractions with no exact f64 representation, over large
+        // populations: compare against exact rational arithmetic on the
+        // dyadic value p actually holds.
+        for &n in &[9_999usize, 10_000, 65_537, 100_000, 999_983] {
+            for &p in &[0.1, 0.3, 1.0 / 3.0, 0.123456789, 0.0001, 0.999999] {
+                let take = exact_take(n, p);
+                // Reference: same decomposition, checked via the remainder.
+                let bits = p.to_bits();
+                let fraction = bits & ((1u64 << 52) - 1);
+                let raw_exponent = ((bits >> 52) & 0x7ff) as i64;
+                let (m, e) = if raw_exponent == 0 {
+                    (fraction, -1074i64)
+                } else {
+                    (fraction | (1u64 << 52), raw_exponent - 1075)
+                };
+                let product = n as u128 * m as u128;
+                let shift = (-e) as u32;
+                let floor = (product >> shift) as usize;
+                let rem2 = (product & ((1u128 << shift) - 1)) << 1;
+                let expect = if rem2 >= (1u128 << shift) {
+                    floor + 1
+                } else {
+                    floor
+                };
+                assert_eq!(take, expect, "n={n} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_take_handles_subnormal_and_tiny_fractions() {
+        assert_eq!(exact_take(1_000, f64::MIN_POSITIVE), 0);
+        assert_eq!(exact_take(usize::MAX, 5e-324), 0);
+        assert_eq!(exact_take(1_000_000, 1e-9), 0);
+        assert_eq!(exact_take(2_000_000_000, 1e-9), 2);
+    }
+
+    #[test]
+    fn sample_is_sorted_exact_and_deterministic() {
+        let s = Scheduler::new(0.01, 42);
+        let a = s.sample(3, 10_000);
+        let b = s.sample(3, 10_000);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 100);
+        assert!(a.windows(2).all(|w| w[0] < w[1]));
+        assert!(a.iter().all(|&i| i < 10_000));
+    }
+
+    #[test]
+    fn rounds_draw_different_subsets() {
+        let s = Scheduler::new(0.05, 1);
+        let r0 = s.sample(0, 2_000);
+        let r1 = s.sample(1, 2_000);
+        assert_eq!(r0.len(), 100);
+        assert_ne!(r0, r1, "FNV keying must decorrelate rounds");
+    }
+
+    #[test]
+    fn consecutive_rounds_are_not_shift_correlated() {
+        // The old `seed ^ round * 0x9E37` key made round keys differ in two
+        // low bytes only. With FNV mixing, overlap between consecutive
+        // rounds should hover near the hypergeometric expectation
+        // (take²/n = 10 here), not spike toward take.
+        let s = Scheduler::new(0.01, 9);
+        let n = 100_000;
+        let r4: HashSet<usize> = s.sample(4, n).into_iter().collect();
+        let r5 = s.sample(5, n);
+        let overlap = r5.iter().filter(|i| r4.contains(i)).count();
+        assert!(overlap < 100, "rounds look correlated: overlap {overlap}");
+    }
+
+    #[test]
+    fn full_participation_is_the_identity() {
+        let s = Scheduler::new(1.0, 0);
+        assert_eq!(s.sample(0, 5), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn tiny_fraction_floors_at_one_participant() {
+        let s = Scheduler::new(1e-9, 0);
+        assert_eq!(s.take_count(1_000), 1);
+        assert_eq!(s.sample(0, 1_000).len(), 1);
+    }
+
+    #[test]
+    fn empty_population_yields_empty_round() {
+        let s = Scheduler::new(0.5, 0);
+        assert!(s.sample(0, 0).is_empty());
+    }
+}

@@ -1,0 +1,461 @@
+//! Server-side round machinery, factored out of the simulation loop so the
+//! same components drive both the in-process [`crate::FederatedSimulation`]
+//! and the large-population [`crate::scale`] engine:
+//!
+//! * [`FaultGate`] — deterministic admission (pre-training drop-out) and
+//!   disposition (straggler timeout, corruption, transient retry) of
+//!   updates under a [`FaultPlan`];
+//! * [`meter_uplinks`] / [`encode_uplink`] — exact wire-byte metering of
+//!   every payload that crosses the channel, retries and discarded
+//!   uploads included;
+//! * [`aggregate_round`] — the aggregation entry point, which routes
+//!   FedAvg through the O(model) [`crate::streaming`] path (bitwise
+//!   identical to the batch fold by construction) and the robust rules
+//!   through the batch path.
+
+use crate::aggregate::Aggregator;
+use crate::client::LocalUpdate;
+use crate::compression::{CompressionMode, QuantizedUpdate, SparseDelta};
+use crate::error::FederatedError;
+use crate::faults::{FaultEvent, FaultInjector, FaultKind, FaultOutcome, FaultPlan};
+use crate::transport::MeteredChannel;
+use crate::wire;
+use evfad_tensor::Matrix;
+
+/// What the server does with a trained update after consulting the fault
+/// model: aggregate it, or discard it while still paying for its bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Disposition {
+    /// Aggregate the update; it crossed the channel `attempts` times
+    /// (1 plus any recovered transient failures).
+    Keep { attempts: usize },
+    /// Discard the update (timed-out straggler, exhausted retries); its
+    /// `attempts` sends are still metered.
+    Waste { attempts: usize },
+}
+
+/// Deterministic fault admission and disposition for one run.
+///
+/// Wraps the optional [`FaultPlan`] + [`FaultInjector`] pair and owns the
+/// plan-level knobs (`min_participants`, round timeout, retry budget) so
+/// round loops never re-derive them. All decisions are pure functions of
+/// `(plan seed, round, client id)` — identical across thread counts and
+/// across the simulation/scale engines.
+#[derive(Debug)]
+pub(crate) struct FaultGate {
+    injector: Option<FaultInjector>,
+    /// Fewest aggregated updates a round may proceed with.
+    pub(crate) min_participants: usize,
+    round_timeout: Option<f64>,
+    retry_budget: usize,
+}
+
+impl FaultGate {
+    pub(crate) fn new(plan: Option<FaultPlan>) -> Self {
+        let (min_participants, round_timeout, retry_budget) = match &plan {
+            Some(p) => (p.min_participants, p.round_timeout_seconds, p.retry_budget),
+            None => (1, None, 0),
+        };
+        Self {
+            injector: plan.map(FaultInjector::new),
+            min_participants,
+            round_timeout,
+            retry_budget,
+        }
+    }
+
+    /// The fault (if any) the plan injects for `client_id` in `round`.
+    /// Pure: safe to call from a pre-pass and again from the round loop.
+    pub(crate) fn fault_for(&self, round: usize, client_id: &str) -> Option<FaultKind> {
+        self.injector
+            .as_ref()
+            .and_then(|inj| inj.fault_for(round, client_id))
+    }
+
+    /// Pre-training admission: `None` when the client drops out this round
+    /// (the event is recorded; the client never trains), otherwise the
+    /// fault to apply post-training via [`FaultGate::dispose`].
+    pub(crate) fn admit(
+        &self,
+        round: usize,
+        client_id: &str,
+        events: &mut Vec<FaultEvent>,
+    ) -> Option<Option<FaultKind>> {
+        let fault = self.fault_for(round, client_id);
+        if matches!(fault, Some(FaultKind::DropOut)) {
+            events.push(FaultEvent {
+                round,
+                client_id: client_id.to_string(),
+                fault: FaultKind::DropOut,
+                outcome: FaultOutcome::Dropped,
+            });
+            None
+        } else {
+            Some(fault)
+        }
+    }
+
+    /// The Keep/Waste decision [`FaultGate::dispose`] will make for
+    /// `fault`, without touching an update or recording an event. Pure —
+    /// lets a pre-pass size streaming aggregators (expected update counts,
+    /// sample totals) before any payload exists. `dispose` must agree with
+    /// this for every fault kind (pinned by a test below).
+    pub(crate) fn decide(&self, fault: Option<FaultKind>) -> Disposition {
+        match fault {
+            None | Some(FaultKind::Corrupt { .. }) => Disposition::Keep { attempts: 1 },
+            Some(FaultKind::DropOut) => unreachable!("drop-outs filtered at admission"),
+            Some(FaultKind::Straggler { delay_seconds }) => match self.round_timeout {
+                Some(timeout) if delay_seconds > timeout => Disposition::Waste { attempts: 1 },
+                _ => Disposition::Keep { attempts: 1 },
+            },
+            Some(FaultKind::Transient { failures }) => {
+                if failures <= self.retry_budget {
+                    Disposition::Keep {
+                        attempts: failures + 1,
+                    }
+                } else {
+                    Disposition::Waste {
+                        attempts: self.retry_budget + 1,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Applies `fault` to a trained update — in place for corruption and
+    /// simulated delay — records the event, and decides whether the server
+    /// aggregates or discards it. `timeout_wait_seconds` accumulates the
+    /// server-side wait for stragglers cut off by the round timeout.
+    pub(crate) fn dispose(
+        &self,
+        round: usize,
+        fault: Option<FaultKind>,
+        update: &mut LocalUpdate,
+        events: &mut Vec<FaultEvent>,
+        timeout_wait_seconds: &mut f64,
+    ) -> Disposition {
+        let fault = match fault {
+            None => return Disposition::Keep { attempts: 1 },
+            Some(FaultKind::DropOut) => unreachable!("drop-outs filtered before training"),
+            Some(f) => f,
+        };
+        let event = |outcome: FaultOutcome| FaultEvent {
+            round,
+            client_id: update.client_id.clone(),
+            fault,
+            outcome,
+        };
+        match fault {
+            FaultKind::DropOut => unreachable!(),
+            FaultKind::Straggler { delay_seconds } => match self.round_timeout {
+                Some(timeout) if delay_seconds > timeout => {
+                    *timeout_wait_seconds = timeout_wait_seconds.max(timeout);
+                    events.push(event(FaultOutcome::TimedOut {
+                        delay_seconds,
+                        timeout_seconds: timeout,
+                    }));
+                    // The late update still arrives eventually and still
+                    // costs bandwidth; it is just ignored.
+                    Disposition::Waste { attempts: 1 }
+                }
+                _ => {
+                    update.simulated_extra_seconds += delay_seconds;
+                    events.push(event(FaultOutcome::Delayed { delay_seconds }));
+                    Disposition::Keep { attempts: 1 }
+                }
+            },
+            FaultKind::Corrupt { corruption } => {
+                corruption.apply(&mut update.weights);
+                events.push(event(FaultOutcome::Corrupted));
+                Disposition::Keep { attempts: 1 }
+            }
+            FaultKind::Transient { failures } => {
+                if failures <= self.retry_budget {
+                    let backoff = self
+                        .injector
+                        .as_ref()
+                        .expect("transient fault implies a plan")
+                        .plan()
+                        .backoff_total_seconds(failures);
+                    update.simulated_extra_seconds += backoff;
+                    events.push(event(FaultOutcome::Recovered {
+                        failed_attempts: failures,
+                        backoff_seconds: backoff,
+                    }));
+                    Disposition::Keep {
+                        attempts: failures + 1,
+                    }
+                } else {
+                    let attempts = self.retry_budget + 1;
+                    events.push(event(FaultOutcome::RetriesExhausted {
+                        failed_attempts: attempts,
+                    }));
+                    Disposition::Waste { attempts }
+                }
+            }
+        }
+    }
+}
+
+/// Uplink traffic for one round, as metered by [`meter_uplinks`].
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct UplinkStats {
+    /// Wire bytes that actually crossed the channel, retries included.
+    pub(crate) bytes: usize,
+    /// Full-precision bytes the same payloads would have cost.
+    pub(crate) raw_bytes: usize,
+}
+
+impl UplinkStats {
+    /// Full-precision bytes over actual bytes (1.0 when nothing crossed).
+    pub(crate) fn compression_ratio(&self) -> f64 {
+        if self.bytes == 0 {
+            1.0
+        } else {
+            self.raw_bytes as f64 / self.bytes as f64
+        }
+    }
+}
+
+/// Encodes, meters, and (for lossy modes) decodes every uplink of a round:
+/// kept updates have their weights replaced by the server-side decode so
+/// metering, faults, and aggregation all see the same bytes; wasted
+/// updates (timed-out stragglers, exhausted retries) are metered only.
+pub(crate) fn meter_uplinks(
+    channel: &mut MeteredChannel,
+    mode: CompressionMode,
+    global: &[Matrix],
+    kept: &mut [LocalUpdate],
+    kept_attempts: &[usize],
+    wasted: &[(LocalUpdate, usize)],
+) -> UplinkStats {
+    let mut stats = UplinkStats::default();
+    for (update, attempts) in kept.iter_mut().zip(kept_attempts) {
+        let (payload_bytes, decoded) = encode_uplink(mode, &update.weights, global, true);
+        channel.record_attempts_bytes(payload_bytes, *attempts);
+        stats.bytes += payload_bytes * attempts;
+        stats.raw_bytes += wire::encoded_size(&update.weights) * attempts;
+        if let Some(weights) = decoded {
+            update.weights = weights;
+        }
+    }
+    for (update, attempts) in wasted {
+        let (payload_bytes, _) = encode_uplink(mode, &update.weights, global, false);
+        channel.record_attempts_bytes(payload_bytes, *attempts);
+        stats.bytes += payload_bytes * attempts;
+        stats.raw_bytes += wire::encoded_size(&update.weights) * attempts;
+    }
+    stats
+}
+
+/// Aggregates one round's surviving updates.
+///
+/// FedAvg is routed through [`crate::streaming::StreamingAggregator`] —
+/// the streaming fold replays the batch fold term by term (same weights,
+/// same order), so the result is **bitwise identical** to
+/// [`Aggregator::aggregate`] while holding O(model) state; the golden
+/// fixture pins this. The robust rules keep the batch path here: median
+/// and Krum fundamentally need all updates, and streaming trimmed mean
+/// re-associates the sum (≈1 ulp) so it serves the scale engine, not the
+/// bit-reproducible simulation.
+pub(crate) fn aggregate_round(
+    aggregator: Aggregator,
+    kept: &[LocalUpdate],
+) -> Result<Vec<Matrix>, FederatedError> {
+    if matches!(aggregator, Aggregator::FedAvg) && !kept.is_empty() {
+        let total: f64 = kept.iter().map(|u| u.sample_count as f64).sum();
+        if let Some(mut streaming) = aggregator.streaming(total, kept.len()) {
+            for update in kept {
+                streaming.ingest(update)?;
+            }
+            return streaming.finish();
+        }
+    }
+    aggregator.aggregate(kept)
+}
+
+/// Encodes one uplink according to `mode`: returns the exact wire byte
+/// length of the payload that crosses the channel and — when `decode` and
+/// the mode is lossy — the server-side decode of that payload, which the
+/// round loop substitutes for the raw weights before aggregation.
+///
+/// [`CompressionMode::None`] returns no decode on purpose: the `EVFD`
+/// round-trip is bitwise-exact (every f64 is stored verbatim
+/// little-endian), so the raw weights *are* the decoded payload and the
+/// byte length is pure shape arithmetic. The lossy modes build the real
+/// compressed representation; its wire length is exact by construction
+/// (`encode_quantized` / `encode_sparse` produce exactly
+/// `quantized_encoded_size` / `sparse_encoded_size` bytes — pinned by the
+/// wire tests).
+pub(crate) fn encode_uplink(
+    mode: CompressionMode,
+    weights: &[Matrix],
+    global: &[Matrix],
+    decode: bool,
+) -> (usize, Option<Vec<Matrix>>) {
+    match mode {
+        CompressionMode::None => (wire::encoded_size(weights), None),
+        CompressionMode::Quant8 => {
+            let q = QuantizedUpdate::quantize(weights);
+            let len = wire::quantized_encoded_size(&q);
+            (len, decode.then(|| q.dequantize()))
+        }
+        CompressionMode::TopKDelta { k } => {
+            let d = SparseDelta::top_k(weights, global, k);
+            let len = wire::sparse_encoded_size(&d);
+            (len, decode.then(|| d.apply(global)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::RoundSelector;
+    use std::time::Duration;
+
+    fn update(id: &str, count: usize, v: f64) -> LocalUpdate {
+        LocalUpdate {
+            client_id: id.to_string(),
+            weights: vec![Matrix::from_vec(1, 3, vec![v, v * 2.0, v * -0.5])],
+            sample_count: count,
+            train_loss: 0.1,
+            duration: Duration::ZERO,
+            simulated_extra_seconds: 0.0,
+        }
+    }
+
+    #[test]
+    fn aggregate_round_fedavg_is_bitwise_identical_to_batch() {
+        let kept = vec![
+            update("a", 31, 0.1234567),
+            update("b", 7, -2.25),
+            update("c", 113, 9.75e-3),
+        ];
+        let via_server = aggregate_round(Aggregator::FedAvg, &kept).expect("streaming route");
+        let via_batch = Aggregator::FedAvg.aggregate(&kept).expect("batch");
+        assert_eq!(via_server, via_batch, "must match to the bit");
+    }
+
+    #[test]
+    fn aggregate_round_robust_rules_use_the_batch_path() {
+        let kept = vec![
+            update("a", 1, 1.0),
+            update("b", 1, 2.0),
+            update("c", 1, 3.0),
+            update("d", 1, 4.0),
+        ];
+        for agg in [
+            Aggregator::Median,
+            Aggregator::TrimmedMean { trim: 1 },
+            Aggregator::Krum { byzantine: 1 },
+        ] {
+            let via_server = aggregate_round(agg, &kept).expect("server route");
+            let via_batch = agg.aggregate(&kept).expect("batch");
+            assert_eq!(via_server, via_batch);
+        }
+    }
+
+    #[test]
+    fn aggregate_round_propagates_no_clients() {
+        assert!(matches!(
+            aggregate_round(Aggregator::FedAvg, &[]),
+            Err(FederatedError::NoClients)
+        ));
+    }
+
+    #[test]
+    fn gate_without_plan_keeps_everything() {
+        let gate = FaultGate::new(None);
+        assert_eq!(gate.min_participants, 1);
+        let mut events = Vec::new();
+        assert_eq!(gate.admit(0, "a", &mut events), Some(None));
+        let mut u = update("a", 1, 1.0);
+        let mut wait = 0.0;
+        let d = gate.dispose(0, None, &mut u, &mut events, &mut wait);
+        assert_eq!(d, Disposition::Keep { attempts: 1 });
+        assert!(events.is_empty());
+        assert_eq!(wait, 0.0);
+    }
+
+    #[test]
+    fn gate_times_out_stragglers_past_the_deadline() {
+        let plan = FaultPlan::new(3).with_timeout(10.0).with_rule(
+            "slow",
+            RoundSelector::Every,
+            FaultKind::Straggler {
+                delay_seconds: 50.0,
+            },
+        );
+        let gate = FaultGate::new(Some(plan));
+        let mut events = Vec::new();
+        let fault = gate.admit(0, "slow", &mut events).expect("not a drop-out");
+        let mut u = update("slow", 1, 1.0);
+        let mut wait = 0.0;
+        let d = gate.dispose(0, fault, &mut u, &mut events, &mut wait);
+        assert_eq!(d, Disposition::Waste { attempts: 1 });
+        assert_eq!(wait, 10.0);
+        assert!(matches!(
+            events[0].outcome,
+            FaultOutcome::TimedOut { delay_seconds, timeout_seconds }
+                if delay_seconds == 50.0 && timeout_seconds == 10.0
+        ));
+    }
+
+    #[test]
+    fn gate_records_drop_outs_at_admission() {
+        let plan = FaultPlan::new(3).with_rule("gone", RoundSelector::Every, FaultKind::DropOut);
+        let gate = FaultGate::new(Some(plan));
+        let mut events = Vec::new();
+        assert_eq!(gate.admit(0, "gone", &mut events), None);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].outcome, FaultOutcome::Dropped);
+        assert_eq!(gate.admit(0, "here", &mut events), Some(None));
+    }
+
+    #[test]
+    fn decide_agrees_with_dispose_for_every_fault_kind() {
+        use crate::faults::Corruption;
+        let plan = FaultPlan::new(1).with_timeout(10.0).with_retry(2, 1.0);
+        let gate = FaultGate::new(Some(plan));
+        let cases = [
+            None,
+            Some(FaultKind::Straggler { delay_seconds: 5.0 }),
+            Some(FaultKind::Straggler {
+                delay_seconds: 50.0,
+            }),
+            Some(FaultKind::Corrupt {
+                corruption: Corruption::NanFlood,
+            }),
+            Some(FaultKind::Transient { failures: 2 }),
+            Some(FaultKind::Transient { failures: 3 }),
+        ];
+        for fault in cases {
+            let mut u = update("x", 1, 1.0);
+            let mut events = Vec::new();
+            let mut wait = 0.0;
+            let disposed = gate.dispose(0, fault, &mut u, &mut events, &mut wait);
+            assert_eq!(gate.decide(fault), disposed, "fault {fault:?}");
+        }
+    }
+
+    #[test]
+    fn gate_meters_exhausted_retries_as_waste() {
+        let plan = FaultPlan::new(3).with_retry(1, 1.0).with_rule(
+            "flaky",
+            RoundSelector::Every,
+            FaultKind::Transient { failures: 5 },
+        );
+        let gate = FaultGate::new(Some(plan));
+        let mut events = Vec::new();
+        let fault = gate.admit(0, "flaky", &mut events).expect("active");
+        let mut u = update("flaky", 1, 1.0);
+        let mut wait = 0.0;
+        let d = gate.dispose(0, fault, &mut u, &mut events, &mut wait);
+        assert_eq!(d, Disposition::Waste { attempts: 2 });
+        assert!(matches!(
+            events[0].outcome,
+            FaultOutcome::RetriesExhausted { failed_attempts: 2 }
+        ));
+    }
+}

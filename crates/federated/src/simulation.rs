@@ -3,18 +3,17 @@
 
 use crate::aggregate::Aggregator;
 use crate::client::{FedClient, LocalUpdate};
-use crate::compression::{CompressionMode, QuantizedUpdate, SparseDelta};
+use crate::compression::CompressionMode;
 use crate::error::FederatedError;
-use crate::faults::{FaultEvent, FaultInjector, FaultKind, FaultOutcome, FaultPlan};
+use crate::faults::{FaultEvent, FaultKind, FaultPlan};
 use crate::privacy::DpConfig;
+use crate::scheduler::Scheduler;
+use crate::server::{self, Disposition, FaultGate};
 use crate::transport::MeteredChannel;
 use crate::wire;
 use bytes::BytesMut;
 use evfad_nn::{Sample, Sequential, TrainConfig};
 use evfad_tensor::Matrix;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
 
@@ -399,15 +398,8 @@ impl FederatedSimulation {
         evfad_tensor::parallel::set_threads(self.config.threads);
         self.channel.reset();
         let start = Instant::now();
-        let injector = self.config.faults.clone().map(FaultInjector::new);
-        let (min_participants, round_timeout, retry_budget) = match &self.config.faults {
-            Some(plan) => (
-                plan.min_participants,
-                plan.round_timeout_seconds,
-                plan.retry_budget,
-            ),
-            None => (1, None, 0),
-        };
+        let gate = FaultGate::new(self.config.faults.clone());
+        let scheduler = Scheduler::new(self.config.participation, self.config.sampling_seed);
         let mut rounds = Vec::with_capacity(self.config.rounds);
         let mut global = self.template.weights();
         let train_cfg = TrainConfig {
@@ -437,7 +429,7 @@ impl FederatedSimulation {
             }
             // Sample this round's participants (all of them at the
             // paper's participation = 1.0).
-            let participants = self.sample_participants(round);
+            let participants = scheduler.sample(round, self.clients.len());
             // Consult the fault plan serially, in client order, *before*
             // training: fault decisions must never depend on thread
             // scheduling. Dropped-out clients never even train.
@@ -445,18 +437,7 @@ impl FederatedSimulation {
             let mut active: Vec<usize> = Vec::new();
             let mut active_faults: Vec<Option<FaultKind>> = Vec::new();
             for &ci in &participants {
-                let client_id = self.clients[ci].id().to_string();
-                let fault = injector
-                    .as_ref()
-                    .and_then(|inj| inj.fault_for(round, &client_id));
-                if matches!(fault, Some(FaultKind::DropOut)) {
-                    faults.push(FaultEvent {
-                        round,
-                        client_id,
-                        fault: FaultKind::DropOut,
-                        outcome: FaultOutcome::Dropped,
-                    });
-                } else {
+                if let Some(fault) = gate.admit(round, self.clients[ci].id(), &mut faults) {
                     active.push(ci);
                     active_faults.push(fault);
                 }
@@ -474,75 +455,18 @@ impl FederatedSimulation {
             let mut wasted: Vec<(LocalUpdate, usize)> = Vec::new();
             let mut timeout_wait_seconds = 0.0_f64;
             for (mut update, fault) in updates.into_iter().zip(active_faults) {
-                let client_id = update.client_id.clone();
-                let event = |fault: FaultKind, outcome: FaultOutcome| FaultEvent {
+                match gate.dispose(
                     round,
-                    client_id: client_id.clone(),
                     fault,
-                    outcome,
-                };
-                match fault {
-                    None => {
+                    &mut update,
+                    &mut faults,
+                    &mut timeout_wait_seconds,
+                ) {
+                    Disposition::Keep { attempts } => {
                         kept.push(update);
-                        kept_attempts.push(1);
+                        kept_attempts.push(attempts);
                     }
-                    Some(FaultKind::DropOut) => unreachable!("drop-outs filtered before training"),
-                    Some(f @ FaultKind::Straggler { delay_seconds }) => match round_timeout {
-                        Some(timeout) if delay_seconds > timeout => {
-                            timeout_wait_seconds = timeout_wait_seconds.max(timeout);
-                            faults.push(event(
-                                f,
-                                FaultOutcome::TimedOut {
-                                    delay_seconds,
-                                    timeout_seconds: timeout,
-                                },
-                            ));
-                            // The late update still arrives eventually and
-                            // still costs bandwidth; it is just ignored.
-                            wasted.push((update, 1));
-                        }
-                        _ => {
-                            update.simulated_extra_seconds += delay_seconds;
-                            faults.push(event(f, FaultOutcome::Delayed { delay_seconds }));
-                            kept.push(update);
-                            kept_attempts.push(1);
-                        }
-                    },
-                    Some(f @ FaultKind::Corrupt { corruption }) => {
-                        corruption.apply(&mut update.weights);
-                        faults.push(event(f, FaultOutcome::Corrupted));
-                        kept.push(update);
-                        kept_attempts.push(1);
-                    }
-                    Some(f @ FaultKind::Transient { failures }) => {
-                        if failures <= retry_budget {
-                            let backoff = self
-                                .config
-                                .faults
-                                .as_ref()
-                                .expect("transient fault implies a plan")
-                                .backoff_total_seconds(failures);
-                            update.simulated_extra_seconds += backoff;
-                            faults.push(event(
-                                f,
-                                FaultOutcome::Recovered {
-                                    failed_attempts: failures,
-                                    backoff_seconds: backoff,
-                                },
-                            ));
-                            kept.push(update);
-                            kept_attempts.push(failures + 1);
-                        } else {
-                            let attempts = retry_budget + 1;
-                            faults.push(event(
-                                f,
-                                FaultOutcome::RetriesExhausted {
-                                    failed_attempts: attempts,
-                                },
-                            ));
-                            wasted.push((update, attempts));
-                        }
-                    }
+                    Disposition::Waste { attempts } => wasted.push((update, attempts)),
                 }
             }
             // Optional client-side DP before anything leaves the client —
@@ -571,41 +495,25 @@ impl FederatedSimulation {
             // construction (pinned by the wire tests and the `bench_comms`
             // gates), so metering is O(1) shape arithmetic and the weights
             // flow through untouched.
-            let mut uplink_bytes = 0usize;
-            let mut uplink_raw_bytes = 0usize;
-            for (update, attempts) in kept.iter_mut().zip(&kept_attempts) {
-                let (payload_bytes, decoded) =
-                    encode_uplink(self.config.compression, &update.weights, &global, true);
-                self.channel.record_attempts_bytes(payload_bytes, *attempts);
-                uplink_bytes += payload_bytes * attempts;
-                uplink_raw_bytes += wire::encoded_size(&update.weights) * attempts;
-                if let Some(weights) = decoded {
-                    update.weights = weights;
-                }
-            }
-            // Updates the server will discard still crossed the channel —
-            // encode them for metering only, never for aggregation.
-            for (update, attempts) in &wasted {
-                let (payload_bytes, _) =
-                    encode_uplink(self.config.compression, &update.weights, &global, false);
-                self.channel.record_attempts_bytes(payload_bytes, *attempts);
-                uplink_bytes += payload_bytes * attempts;
-                uplink_raw_bytes += wire::encoded_size(&update.weights) * attempts;
-            }
-            let compression_ratio = if uplink_bytes == 0 {
-                1.0
-            } else {
-                uplink_raw_bytes as f64 / uplink_bytes as f64
-            };
+            let uplink = server::meter_uplinks(
+                &mut self.channel,
+                self.config.compression,
+                &global,
+                &mut kept,
+                &kept_attempts,
+                &wasted,
+            );
+            let uplink_bytes = uplink.bytes;
+            let compression_ratio = uplink.compression_ratio();
             // Graceful degradation: proceed iff enough updates survived.
-            if kept.len() < min_participants {
+            if kept.len() < gate.min_participants {
                 return Err(FederatedError::InsufficientParticipants {
                     round,
                     survivors: kept.len(),
-                    required: min_participants,
+                    required: gate.min_participants,
                 });
             }
-            global = self.config.aggregator.aggregate(&kept)?;
+            global = server::aggregate_round(self.config.aggregator, &kept)?;
             rounds.push(RoundStats {
                 round,
                 participants: kept.iter().map(|u| u.client_id.clone()).collect(),
@@ -627,28 +535,6 @@ impl FederatedSimulation {
             total_duration: start.elapsed(),
             traffic: self.channel.totals(),
         })
-    }
-
-    /// Indices of this round's participating clients, in client order.
-    ///
-    /// `participation` is validated to `(0, 1]` by
-    /// [`FederatedConfig::validate`] before any round runs — no silent
-    /// clamping here. Rounding still floors at one participant so a tiny
-    /// fraction of a small federation never yields an empty round.
-    fn sample_participants(&self, round: usize) -> Vec<usize> {
-        let n = self.clients.len();
-        let take = ((n as f64) * self.config.participation).round() as usize;
-        let take = take.clamp(1, n);
-        if take == n {
-            return (0..n).collect();
-        }
-        let mut rng =
-            StdRng::seed_from_u64(self.config.sampling_seed ^ (round as u64).wrapping_mul(0x9E37));
-        let mut idx: Vec<usize> = (0..n).collect();
-        idx.shuffle(&mut rng);
-        idx.truncate(take);
-        idx.sort_unstable();
-        idx
     }
 
     fn train_selected(
@@ -718,43 +604,10 @@ impl FederatedSimulation {
     }
 }
 
-/// Encodes one uplink according to `mode`: returns the exact wire byte
-/// length of the payload that crosses the channel and — when `decode` and
-/// the mode is lossy — the server-side decode of that payload, which the
-/// round loop substitutes for the raw weights before aggregation.
-///
-/// [`CompressionMode::None`] returns no decode on purpose: the `EVFD`
-/// round-trip is bitwise-exact (every f64 is stored verbatim
-/// little-endian), so the raw weights *are* the decoded payload and the
-/// byte length is pure shape arithmetic. The lossy modes build the real
-/// compressed representation; its wire length is exact by construction
-/// (`encode_quantized` / `encode_sparse` produce exactly
-/// `quantized_encoded_size` / `sparse_encoded_size` bytes — pinned by the
-/// wire tests).
-fn encode_uplink(
-    mode: CompressionMode,
-    weights: &[Matrix],
-    global: &[Matrix],
-    decode: bool,
-) -> (usize, Option<Vec<Matrix>>) {
-    match mode {
-        CompressionMode::None => (wire::encoded_size(weights), None),
-        CompressionMode::Quant8 => {
-            let q = QuantizedUpdate::quantize(weights);
-            let len = wire::quantized_encoded_size(&q);
-            (len, decode.then(|| q.dequantize()))
-        }
-        CompressionMode::TopKDelta { k } => {
-            let d = SparseDelta::top_k(weights, global, k);
-            let len = wire::sparse_encoded_size(&d);
-            (len, decode.then(|| d.apply(global)))
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::FaultOutcome;
     use evfad_nn::{forecaster_model, Loss};
 
     fn sine_samples(n: usize, phase: f64) -> Vec<Sample> {

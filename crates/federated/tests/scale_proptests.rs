@@ -1,0 +1,105 @@
+//! Property-based tests for the scale-out machinery: the per-round client
+//! sampler and the streaming aggregation fold.
+//!
+//! Two invariant families:
+//!
+//! 1. [`Scheduler::sample`] returns a sorted, duplicate-free selection of
+//!    exactly `take_count(n)` indices, identical for identical
+//!    `(seed, round, n)` — up to populations of 100k;
+//! 2. streaming FedAvg ([`Aggregator::streaming`]) is **bitwise**
+//!    identical to the batch rule over arbitrary update sets: same fold,
+//!    same order, same bits.
+
+use evfad_federated::{Aggregator, LocalUpdate, Scheduler};
+use evfad_tensor::Matrix;
+use proptest::prelude::*;
+use std::time::Duration;
+
+/// Random update set: 1–12 clients sharing one `rows x cols` shape, with
+/// finite weights and sample counts spanning zero to paper-sized datasets.
+fn updates_strategy() -> impl Strategy<Value = Vec<LocalUpdate>> {
+    // Draw max-size pools up front (12 clients x 4x4 values) and slice to
+    // the drawn shape — the vendored proptest has no `prop_flat_map`.
+    (
+        (1usize..5, 1usize..5, 1usize..13),
+        prop::collection::vec(-1e3f64..1e3, 12 * 16),
+        prop::collection::vec(0usize..10_000, 12),
+    )
+        .prop_map(|((rows, cols, clients), pool, samples)| {
+            (0..clients)
+                .map(|i| {
+                    let vals = pool[i * rows * cols..(i + 1) * rows * cols].to_vec();
+                    LocalUpdate {
+                        client_id: format!("c{i:03}"),
+                        weights: vec![Matrix::from_vec(rows, cols, vals)],
+                        sample_count: samples[i],
+                        train_loss: 0.0,
+                        duration: Duration::ZERO,
+                        simulated_extra_seconds: 0.0,
+                    }
+                })
+                .collect()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The sample is sorted, duplicate-free, in range, and exactly
+    /// `take_count(n)` long — at populations up to 100k.
+    #[test]
+    fn sample_is_a_sorted_exact_subset(
+        seed in any::<u64>(),
+        round in 0usize..200,
+        n in 1usize..100_001,
+        participation in 0.0001f64..1.0,
+    ) {
+        let scheduler = Scheduler::new(participation, seed);
+        let sample = scheduler.sample(round, n);
+        prop_assert_eq!(sample.len(), scheduler.take_count(n));
+        prop_assert!(sample.windows(2).all(|w| w[0] < w[1]),
+            "sample must be strictly increasing (sorted, no duplicates)");
+        prop_assert!(sample.iter().all(|&i| i < n));
+    }
+
+    /// Identical `(seed, round)` reproduces the identical sample; a
+    /// different round draws a different one (overwhelmingly, for
+    /// non-trivial fractions).
+    #[test]
+    fn sample_is_deterministic_per_seed_and_round(
+        seed in any::<u64>(),
+        round in 0usize..100,
+        n in 100usize..100_001,
+    ) {
+        let scheduler = Scheduler::new(0.1, seed);
+        prop_assert_eq!(scheduler.sample(round, n), scheduler.sample(round, n));
+        prop_assert_eq!(
+            Scheduler::new(0.1, seed).sample(round, n),
+            scheduler.sample(round, n),
+            "a rebuilt scheduler must agree"
+        );
+        prop_assert_ne!(scheduler.sample(round, n), scheduler.sample(round + 1, n));
+    }
+
+    /// Streaming FedAvg replays the batch fold bit for bit on arbitrary
+    /// update sets — including degenerate all-zero-sample federations.
+    #[test]
+    fn streaming_fedavg_is_bitwise_identical_to_batch(updates in updates_strategy()) {
+        let batch = Aggregator::FedAvg.aggregate(&updates).expect("batch");
+        let total: f64 = updates.iter().map(|u| u.sample_count as f64).sum();
+        let mut streaming = Aggregator::FedAvg
+            .streaming(total, updates.len())
+            .expect("FedAvg streams");
+        for u in &updates {
+            streaming.ingest(u).expect("ingest");
+        }
+        let streamed = streaming.finish().expect("finish");
+        prop_assert_eq!(batch.len(), streamed.len());
+        for (b, s) in batch.iter().zip(&streamed) {
+            for (x, y) in b.as_slice().iter().zip(s.as_slice()) {
+                prop_assert_eq!(x.to_bits(), y.to_bits(),
+                    "streaming diverged from batch: {:e} vs {:e}", x, y);
+            }
+        }
+    }
+}

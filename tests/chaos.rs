@@ -406,3 +406,44 @@ fn fault_logs_round_trip_through_the_wire_format() {
     let decoded = decode_fault_log(&encoded).expect("decode");
     assert_eq!(events, decoded);
 }
+
+#[test]
+fn trimmed_mean_contains_a_double_nan_flood_at_its_exact_budget() {
+    // Two of four clients flood every round — exactly the 2 * trim = 2
+    // non-finite values TrimmedMean { trim: 1 } can absorb per coordinate.
+    // The floods consume the whole trim capacity and the aggregate is the
+    // mean of the two honest clients, finite both rounds.
+    let plan = |floods: &[&str]| {
+        let mut p = FaultPlan::new(9);
+        for id in floods {
+            p = p.with_rule(
+                *id,
+                RoundSelector::Every,
+                FaultKind::Corrupt {
+                    corruption: Corruption::NanFlood,
+                },
+            );
+        }
+        Some(p)
+    };
+    let out = four_client_sim(Aggregator::TrimmedMean { trim: 1 }, plan(&["z105", "z108"]))
+        .run()
+        .expect("double flood must be contained");
+    assert!(
+        out.global_weights.iter().all(Matrix::is_finite),
+        "two NaN floods exceeded containment despite fitting the budget"
+    );
+    assert_eq!(out.rounds.len(), 2);
+    // A third flooder pushes past the budget: the loop must refuse with an
+    // aggregation error instead of averaging a poisoned middle slice.
+    let err = four_client_sim(
+        Aggregator::TrimmedMean { trim: 1 },
+        plan(&["z102", "z105", "z108"]),
+    )
+    .run()
+    .unwrap_err();
+    assert!(
+        matches!(&err, FederatedError::Aggregation(m) if m.contains("containment budget")),
+        "expected a containment-budget error, got {err}"
+    );
+}
