@@ -38,6 +38,13 @@ pub enum FederatedError {
         /// The configured `min_participants` floor.
         required: usize,
     },
+    /// The socket transport failed: I/O errors, protocol violations
+    /// (unexpected message, malformed frame), handshake timeouts, or a
+    /// server-sent abort.
+    Transport {
+        /// What went wrong, including the peer where known.
+        message: String,
+    },
 }
 
 impl fmt::Display for FederatedError {
@@ -63,6 +70,9 @@ impl fmt::Display for FederatedError {
                 "round {round} starved: {survivors} participants survived the fault \
                  model but min_participants = {required}"
             ),
+            FederatedError::Transport { message } => {
+                write!(f, "socket transport failed: {message}")
+            }
         }
     }
 }
@@ -103,6 +113,11 @@ mod tests {
         }
         .to_string();
         assert!(starved.contains("round 3") && starved.contains("min_participants = 2"));
+        assert!(FederatedError::Transport {
+            message: "connection reset by z105".into()
+        }
+        .to_string()
+        .contains("z105"));
     }
 
     #[test]

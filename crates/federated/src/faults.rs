@@ -320,6 +320,17 @@ impl FaultPlan {
         let doublings = failures.min(60) as u32;
         self.backoff_base_seconds * ((1u64 << doublings) - 1) as f64
     }
+
+    /// Seconds a client waits after its `attempt`-th failed upload
+    /// (0-based) before retrying: `base * 2^attempt`. The per-step view
+    /// of the same schedule [`FaultPlan::backoff_total_seconds`] sums —
+    /// `Σ step(0..failures) == total(failures)` — used by the live TCP
+    /// client, which actually sleeps between attempts instead of having
+    /// the server account the wait in one lump.
+    pub fn backoff_step_seconds(&self, attempt: usize) -> f64 {
+        let doublings = attempt.min(60) as u32;
+        self.backoff_base_seconds * (1u64 << doublings) as f64
+    }
 }
 
 /// Evaluates a [`FaultPlan`] deterministically.
@@ -601,6 +612,17 @@ mod tests {
         assert_eq!(plan.backoff_total_seconds(2), 3.0);
         assert_eq!(plan.backoff_total_seconds(3), 7.0);
         assert!(plan.backoff_total_seconds(10_000).is_finite());
+    }
+
+    #[test]
+    fn per_step_backoff_sums_to_the_total() {
+        // The live client sleeps step by step; the engine accounts the
+        // lump sum. Both views of the schedule must agree exactly.
+        let plan = FaultPlan::new(0).with_retry(8, 0.25);
+        for failures in 0..12 {
+            let stepped: f64 = (0..failures).map(|a| plan.backoff_step_seconds(a)).sum();
+            assert_eq!(stepped, plan.backoff_total_seconds(failures), "{failures}");
+        }
     }
 
     #[test]

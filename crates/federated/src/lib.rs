@@ -56,13 +56,16 @@
 mod aggregate;
 mod client;
 pub mod compression;
+mod engine;
 mod error;
 pub mod faults;
+pub mod framing;
 pub mod privacy;
 pub mod scale;
 pub mod scheduler;
 mod server;
 mod simulation;
+pub mod socket;
 pub mod streaming;
 pub mod transport;
 pub mod wire;
@@ -79,4 +82,5 @@ pub use scheduler::Scheduler;
 pub use simulation::{
     FederatedConfig, FederatedOutcome, FederatedSimulation, OutcomeDigest, RoundDigest, RoundStats,
 };
+pub use socket::{SocketClient, SocketServer, SocketServerConfig, SocketTransport};
 pub use streaming::StreamingAggregator;

@@ -435,6 +435,7 @@ impl ScaleEngine {
                 &mut update,
                 &mut scratch.events,
                 &mut scratch.timeout_wait,
+                true,
             );
             debug_assert!(matches!(disposed, Disposition::Keep { .. }));
             self.channel.record_attempts_bytes(update_bytes, attempts);
@@ -644,6 +645,7 @@ impl ScaleEngine {
                                 &mut partial,
                                 &mut scratch.events,
                                 &mut edge_wait,
+                                true,
                             );
                             scratch.events.clear();
                             self.channel.record_attempts_bytes(update_bytes, attempts);

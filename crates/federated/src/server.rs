@@ -126,6 +126,15 @@ impl FaultGate {
     /// simulated delay — records the event, and decides whether the server
     /// aggregates or discards it. `timeout_wait_seconds` accumulates the
     /// server-side wait for stragglers cut off by the round timeout.
+    ///
+    /// `apply_payload_faults` controls whether payload-visible mutations
+    /// (update corruption) are applied here. The simulated path passes
+    /// `true`; the socket path passes `false` because the *client* applies
+    /// the corruption before encoding its uplink — the bytes on the wire
+    /// are already corrupt, and re-applying a non-idempotent corruption
+    /// (sign flip, scaling) server-side would double it. Accounting-only
+    /// effects (simulated delay, retry backoff, events, Keep/Waste) happen
+    /// either way.
     pub(crate) fn dispose(
         &self,
         round: usize,
@@ -133,6 +142,7 @@ impl FaultGate {
         update: &mut LocalUpdate,
         events: &mut Vec<FaultEvent>,
         timeout_wait_seconds: &mut f64,
+        apply_payload_faults: bool,
     ) -> Disposition {
         let fault = match fault {
             None => return Disposition::Keep { attempts: 1 },
@@ -165,7 +175,9 @@ impl FaultGate {
                 }
             },
             FaultKind::Corrupt { corruption } => {
-                corruption.apply(&mut update.weights);
+                if apply_payload_faults {
+                    corruption.apply(&mut update.weights);
+                }
                 events.push(event(FaultOutcome::Corrupted));
                 Disposition::Keep { attempts: 1 }
             }
@@ -221,26 +233,47 @@ impl UplinkStats {
 /// kept updates have their weights replaced by the server-side decode so
 /// metering, faults, and aggregation all see the same bytes; wasted
 /// updates (timed-out stragglers, exhausted retries) are metered only.
+///
+/// `kept_wire` / the third tuple field of `wasted` carry the *actual*
+/// payload byte length for updates that crossed a real wire (the socket
+/// path): those weights are already the server-side decode of the received
+/// payload, so re-encoding here would not be an identity for the lossy
+/// modes (re-quantizing dequantized values moves the grid). `None` means
+/// the in-process path: encode, meter the arithmetic, substitute the
+/// decode — exactly as before. Frame and envelope overhead is
+/// deliberately excluded from the metered bytes on both paths; the digest
+/// counts protocol payload, which is what `wire::encoded_size` arithmetic
+/// predicts.
 pub(crate) fn meter_uplinks(
-    channel: &mut MeteredChannel,
+    channel: &MeteredChannel,
     mode: CompressionMode,
     global: &[Matrix],
     kept: &mut [LocalUpdate],
     kept_attempts: &[usize],
-    wasted: &[(LocalUpdate, usize)],
+    kept_wire: &[Option<usize>],
+    wasted: &[(LocalUpdate, usize, Option<usize>)],
 ) -> UplinkStats {
     let mut stats = UplinkStats::default();
-    for (update, attempts) in kept.iter_mut().zip(kept_attempts) {
-        let (payload_bytes, decoded) = encode_uplink(mode, &update.weights, global, true);
+    for ((update, attempts), wire_len) in kept.iter_mut().zip(kept_attempts).zip(kept_wire) {
+        stats.raw_bytes += wire::encoded_size(&update.weights) * attempts;
+        let payload_bytes = match wire_len {
+            Some(len) => *len,
+            None => {
+                let (len, decoded) = encode_uplink(mode, &update.weights, global, true);
+                if let Some(weights) = decoded {
+                    update.weights = weights;
+                }
+                len
+            }
+        };
         channel.record_attempts_bytes(payload_bytes, *attempts);
         stats.bytes += payload_bytes * attempts;
-        stats.raw_bytes += wire::encoded_size(&update.weights) * attempts;
-        if let Some(weights) = decoded {
-            update.weights = weights;
-        }
     }
-    for (update, attempts) in wasted {
-        let (payload_bytes, _) = encode_uplink(mode, &update.weights, global, false);
+    for (update, attempts, wire_len) in wasted {
+        let payload_bytes = match wire_len {
+            Some(len) => *len,
+            None => encode_uplink(mode, &update.weights, global, false).0,
+        };
         channel.record_attempts_bytes(payload_bytes, *attempts);
         stats.bytes += payload_bytes * attempts;
         stats.raw_bytes += wire::encoded_size(&update.weights) * attempts;
@@ -372,7 +405,7 @@ mod tests {
         assert_eq!(gate.admit(0, "a", &mut events), Some(None));
         let mut u = update("a", 1, 1.0);
         let mut wait = 0.0;
-        let d = gate.dispose(0, None, &mut u, &mut events, &mut wait);
+        let d = gate.dispose(0, None, &mut u, &mut events, &mut wait, true);
         assert_eq!(d, Disposition::Keep { attempts: 1 });
         assert!(events.is_empty());
         assert_eq!(wait, 0.0);
@@ -392,7 +425,7 @@ mod tests {
         let fault = gate.admit(0, "slow", &mut events).expect("not a drop-out");
         let mut u = update("slow", 1, 1.0);
         let mut wait = 0.0;
-        let d = gate.dispose(0, fault, &mut u, &mut events, &mut wait);
+        let d = gate.dispose(0, fault, &mut u, &mut events, &mut wait, true);
         assert_eq!(d, Disposition::Waste { attempts: 1 });
         assert_eq!(wait, 10.0);
         assert!(matches!(
@@ -434,7 +467,7 @@ mod tests {
             let mut u = update("x", 1, 1.0);
             let mut events = Vec::new();
             let mut wait = 0.0;
-            let disposed = gate.dispose(0, fault, &mut u, &mut events, &mut wait);
+            let disposed = gate.dispose(0, fault, &mut u, &mut events, &mut wait, true);
             assert_eq!(gate.decide(fault), disposed, "fault {fault:?}");
         }
     }
@@ -451,7 +484,7 @@ mod tests {
         let fault = gate.admit(0, "flaky", &mut events).expect("active");
         let mut u = update("flaky", 1, 1.0);
         let mut wait = 0.0;
-        let d = gate.dispose(0, fault, &mut u, &mut events, &mut wait);
+        let d = gate.dispose(0, fault, &mut u, &mut events, &mut wait, true);
         assert_eq!(d, Disposition::Waste { attempts: 2 });
         assert!(matches!(
             events[0].outcome,

@@ -4,18 +4,15 @@
 use crate::aggregate::Aggregator;
 use crate::client::{FedClient, LocalUpdate};
 use crate::compression::CompressionMode;
+use crate::engine::{self, PoolUpdate, RoundPool};
 use crate::error::FederatedError;
 use crate::faults::{FaultEvent, FaultKind, FaultPlan};
 use crate::privacy::DpConfig;
-use crate::scheduler::Scheduler;
-use crate::server::{self, Disposition, FaultGate};
 use crate::transport::MeteredChannel;
-use crate::wire;
-use bytes::BytesMut;
 use evfad_nn::{Sample, Sequential, TrainConfig};
 use evfad_tensor::Matrix;
 use serde::{Deserialize, Serialize};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Schedule and behaviour of a federated run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -397,195 +394,18 @@ impl FederatedSimulation {
         self.config.validate(self.clients.len())?;
         evfad_tensor::parallel::set_threads(self.config.threads);
         self.channel.reset();
-        let start = Instant::now();
-        let gate = FaultGate::new(self.config.faults.clone());
-        let scheduler = Scheduler::new(self.config.participation, self.config.sampling_seed);
-        let mut rounds = Vec::with_capacity(self.config.rounds);
-        let mut global = self.template.weights();
-        let train_cfg = TrainConfig {
-            epochs: self.config.epochs_per_round,
-            batch_size: self.config.batch_size,
-            ..TrainConfig::default()
+        let global = self.template.weights();
+        let mut pool = InProcessPool {
+            clients: &mut self.clients,
+            parallel: self.config.parallel,
+            proximal_mu: self.config.proximal_mu,
+            train_cfg: TrainConfig {
+                epochs: self.config.epochs_per_round,
+                batch_size: self.config.batch_size,
+                ..TrainConfig::default()
+            },
         };
-
-        // The broadcast is encoded once per round into this reusable
-        // buffer; every client is metered by the same byte length. No
-        // JSON serialisation happens anywhere in the round loop.
-        let mut broadcast_buf = BytesMut::new();
-
-        for round in 0..self.config.rounds {
-            let round_start = Instant::now();
-            // Broadcast: after round 0 every client starts from the global
-            // model (round 0 starts from the shared initialisation).
-            let mut downlink_bytes = 0usize;
-            if round > 0 {
-                wire::encode_weights_into(&mut broadcast_buf, &global);
-                let broadcast_len = broadcast_buf.len();
-                for client in &mut self.clients {
-                    self.channel.record_bytes(broadcast_len);
-                    client.receive_global(&global)?;
-                }
-                downlink_bytes = broadcast_len * self.clients.len();
-            }
-            // Sample this round's participants (all of them at the
-            // paper's participation = 1.0).
-            let participants = scheduler.sample(round, self.clients.len());
-            // Consult the fault plan serially, in client order, *before*
-            // training: fault decisions must never depend on thread
-            // scheduling. Dropped-out clients never even train.
-            let mut faults: Vec<FaultEvent> = Vec::new();
-            let mut active: Vec<usize> = Vec::new();
-            let mut active_faults: Vec<Option<FaultKind>> = Vec::new();
-            for &ci in &participants {
-                if let Some(fault) = gate.admit(round, self.clients[ci].id(), &mut faults) {
-                    active.push(ci);
-                    active_faults.push(fault);
-                }
-            }
-            // Local training (parallel across clients, as on real
-            // distributed hardware).
-            let updates = self.train_selected(&train_cfg, &active, &global)?;
-            // Apply the fault model to each trained update, still in
-            // client order.
-            let mut kept: Vec<LocalUpdate> = Vec::new();
-            let mut kept_attempts: Vec<usize> = Vec::new();
-            // Updates that crossed the channel but never reached
-            // aggregation (timed-out stragglers; exhausted retries), with
-            // the number of send attempts to meter.
-            let mut wasted: Vec<(LocalUpdate, usize)> = Vec::new();
-            let mut timeout_wait_seconds = 0.0_f64;
-            for (mut update, fault) in updates.into_iter().zip(active_faults) {
-                match gate.dispose(
-                    round,
-                    fault,
-                    &mut update,
-                    &mut faults,
-                    &mut timeout_wait_seconds,
-                ) {
-                    Disposition::Keep { attempts } => {
-                        kept.push(update);
-                        kept_attempts.push(attempts);
-                    }
-                    Disposition::Waste { attempts } => wasted.push((update, attempts)),
-                }
-            }
-            // Optional client-side DP before anything leaves the client —
-            // including uploads the server will end up discarding.
-            if let Some(dp) = self.config.dp {
-                for (i, u) in kept
-                    .iter_mut()
-                    .chain(wasted.iter_mut().map(|(u, _)| u))
-                    .enumerate()
-                {
-                    u.weights = crate::privacy::privatize(
-                        &u.weights,
-                        &global,
-                        dp,
-                        (round * 1000 + i) as u64,
-                    );
-                }
-            }
-            // Uplink: encode each surviving update per the configured
-            // compression mode, meter the exact wire byte length of the
-            // payload that crossed the channel (after privatisation, so DP
-            // noise is part of the measured bytes), and hand the server the
-            // *decoded* payload — metering, faults, and aggregation all see
-            // the same bytes. `CompressionMode::None` skips the physical
-            // encode entirely: its round-trip is bitwise-exact by
-            // construction (pinned by the wire tests and the `bench_comms`
-            // gates), so metering is O(1) shape arithmetic and the weights
-            // flow through untouched.
-            let uplink = server::meter_uplinks(
-                &mut self.channel,
-                self.config.compression,
-                &global,
-                &mut kept,
-                &kept_attempts,
-                &wasted,
-            );
-            let uplink_bytes = uplink.bytes;
-            let compression_ratio = uplink.compression_ratio();
-            // Graceful degradation: proceed iff enough updates survived.
-            if kept.len() < gate.min_participants {
-                return Err(FederatedError::InsufficientParticipants {
-                    round,
-                    survivors: kept.len(),
-                    required: gate.min_participants,
-                });
-            }
-            global = server::aggregate_round(self.config.aggregator, &kept)?;
-            rounds.push(RoundStats {
-                round,
-                participants: kept.iter().map(|u| u.client_id.clone()).collect(),
-                client_losses: kept.iter().map(|u| u.train_loss).collect(),
-                client_seconds: kept.iter().map(|u| u.duration.as_secs_f64()).collect(),
-                client_extra_seconds: kept.iter().map(|u| u.simulated_extra_seconds).collect(),
-                timeout_wait_seconds,
-                faults,
-                uplink_bytes,
-                downlink_bytes,
-                compression_ratio,
-                duration: round_start.elapsed(),
-            });
-        }
-
-        Ok(FederatedOutcome {
-            rounds,
-            global_weights: global,
-            total_duration: start.elapsed(),
-            traffic: self.channel.totals(),
-        })
-    }
-
-    fn train_selected(
-        &mut self,
-        cfg: &TrainConfig,
-        participants: &[usize],
-        global: &[Matrix],
-    ) -> Result<Vec<LocalUpdate>, FederatedError> {
-        let mu = self.config.proximal_mu;
-        // `participants` comes out of `sample_participants` sorted, so the
-        // selection is a single merge-walk over the client list — no
-        // per-round hash set, no filter scan.
-        debug_assert!(participants.windows(2).all(|w| w[0] < w[1]));
-        let mut next = 0;
-        let selected: Vec<&mut FedClient> = self
-            .clients
-            .iter_mut()
-            .enumerate()
-            .filter_map(|(i, client)| {
-                if next < participants.len() && participants[next] == i {
-                    next += 1;
-                    Some(client)
-                } else {
-                    None
-                }
-            })
-            .collect();
-        let train_one = |client: &mut FedClient| -> Result<LocalUpdate, FederatedError> {
-            if mu > 0.0 {
-                client.train_local_proximal(cfg, global, mu)
-            } else {
-                client.train_local(cfg)
-            }
-        };
-        if self.config.parallel {
-            let results: Vec<Result<LocalUpdate, FederatedError>> =
-                crossbeam::thread::scope(|scope| {
-                    let handles: Vec<_> = selected
-                        .into_iter()
-                        .map(|client| scope.spawn(move |_| train_one(client)))
-                        .collect();
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().expect("client thread panicked"))
-                        .collect()
-                })
-                .expect("crossbeam scope");
-            results.into_iter().collect()
-        } else {
-            selected.into_iter().map(train_one).collect()
-        }
+        engine::run_rounds(&mut pool, &self.config, &self.channel, global)
     }
 
     /// Builds a fresh model carrying the given weights (e.g. the final
@@ -601,6 +421,87 @@ impl FederatedSimulation {
             .set_weights(weights)
             .map_err(|e| FederatedError::Aggregation(e.to_string()))?;
         Ok(model)
+    }
+}
+
+/// The in-process [`RoundPool`]: trains [`FedClient`]s on local threads.
+/// Faults are left to the engine's gate (`faults_in_transit` = false) —
+/// exactly the behaviour the round loop had before the extraction.
+struct InProcessPool<'a> {
+    clients: &'a mut [FedClient],
+    parallel: bool,
+    proximal_mu: f64,
+    train_cfg: TrainConfig,
+}
+
+impl RoundPool for InProcessPool<'_> {
+    fn client_count(&self) -> usize {
+        self.clients.len()
+    }
+
+    fn client_id(&self, ci: usize) -> &str {
+        self.clients[ci].id()
+    }
+
+    fn broadcast(&mut self, global: &[Matrix], _encoded: &[u8]) -> Result<(), FederatedError> {
+        for client in self.clients.iter_mut() {
+            client.receive_global(global)?;
+        }
+        Ok(())
+    }
+
+    fn round_updates(
+        &mut self,
+        _round: usize,
+        active: &[usize],
+        _active_faults: &[Option<FaultKind>],
+        global: &[Matrix],
+    ) -> Result<Vec<PoolUpdate>, FederatedError> {
+        let mu = self.proximal_mu;
+        let cfg = &self.train_cfg;
+        // `active` comes out of the sampler sorted, so the selection is a
+        // single merge-walk over the client list — no per-round hash set,
+        // no filter scan.
+        debug_assert!(active.windows(2).all(|w| w[0] < w[1]));
+        let mut next = 0;
+        let selected: Vec<&mut FedClient> = self
+            .clients
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(i, client)| {
+                if next < active.len() && active[next] == i {
+                    next += 1;
+                    Some(client)
+                } else {
+                    None
+                }
+            })
+            .collect();
+        let train_one = |client: &mut FedClient| -> Result<LocalUpdate, FederatedError> {
+            if mu > 0.0 {
+                client.train_local_proximal(cfg, global, mu)
+            } else {
+                client.train_local(cfg)
+            }
+        };
+        let updates: Result<Vec<LocalUpdate>, FederatedError> = if self.parallel {
+            let results: Vec<Result<LocalUpdate, FederatedError>> =
+                crossbeam::thread::scope(|scope| {
+                    let handles: Vec<_> = selected
+                        .into_iter()
+                        .map(|client| scope.spawn(move |_| train_one(client)))
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("client thread panicked"))
+                        .collect()
+                })
+                .expect("crossbeam scope");
+            results.into_iter().collect()
+        } else {
+            selected.into_iter().map(train_one).collect()
+        };
+        Ok(updates?.into_iter().map(PoolUpdate::local).collect())
     }
 }
 

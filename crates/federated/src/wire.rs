@@ -41,8 +41,14 @@ pub enum WireError {
     BadMagic,
     /// Unsupported format version.
     BadVersion(u16),
-    /// Payload ended before the declared content.
-    Truncated,
+    /// Payload ended before the declared content. `needed` is the minimum
+    /// number of *additional* bytes required for the decoder to make
+    /// progress (complete the element it was reading) — a streaming caller
+    /// can read at least that much more and retry. Always ≥ 1.
+    Truncated {
+        /// Additional bytes needed to make decoding progress.
+        needed: usize,
+    },
     /// A declared tensor shape is implausibly large (corrupt header).
     OversizedTensor {
         /// Declared rows.
@@ -52,6 +58,21 @@ pub enum WireError {
     },
     /// An enum discriminant byte not defined by this format version.
     UnknownTag(u8),
+    /// A structurally impossible declaration (count or index out of range):
+    /// the record is corrupt, not truncated — more bytes will not help.
+    InvalidRecord(&'static str),
+    /// A frame header declared a length beyond the sanity bound.
+    OversizedFrame {
+        /// Declared frame payload length.
+        declared: usize,
+    },
+    /// The record decoded cleanly but left unconsumed bytes behind. A
+    /// record decoder never silently swallows a concatenated next frame —
+    /// framing, not guessing, delimits records on a stream.
+    TrailingBytes {
+        /// Unconsumed bytes after the decoded record.
+        extra: usize,
+    },
 }
 
 impl std::fmt::Display for WireError {
@@ -59,11 +80,20 @@ impl std::fmt::Display for WireError {
         match self {
             WireError::BadMagic => write!(f, "payload is not an EVFD weight blob"),
             WireError::BadVersion(v) => write!(f, "unsupported wire version {v}"),
-            WireError::Truncated => write!(f, "payload truncated"),
+            WireError::Truncated { needed } => {
+                write!(f, "payload truncated ({needed} more bytes needed)")
+            }
             WireError::OversizedTensor { rows, cols } => {
                 write!(f, "tensor of {rows}x{cols} exceeds sanity bounds")
             }
             WireError::UnknownTag(tag) => write!(f, "unknown discriminant byte {tag:#04x}"),
+            WireError::InvalidRecord(what) => write!(f, "corrupt record: {what}"),
+            WireError::OversizedFrame { declared } => {
+                write!(f, "frame of {declared} bytes exceeds the sanity bound")
+            }
+            WireError::TrailingBytes { extra } => {
+                write!(f, "{extra} unconsumed bytes after the record")
+            }
         }
     }
 }
@@ -118,39 +148,21 @@ pub fn encode_weights_into(buf: &mut BytesMut, weights: &[Matrix]) {
 ///
 /// Returns [`WireError`] on a malformed or truncated payload.
 pub fn decode_weights(mut payload: &[u8]) -> Result<Vec<Matrix>, WireError> {
-    if payload.remaining() < 10 {
-        return Err(WireError::Truncated);
-    }
-    let mut magic = [0u8; 4];
-    payload.copy_to_slice(&mut magic);
-    if magic != MAGIC {
-        return Err(WireError::BadMagic);
-    }
-    let version = payload.get_u16_le();
-    if version != VERSION {
-        return Err(WireError::BadVersion(version));
-    }
-    let count = payload.get_u32_le() as usize;
-    let mut out = Vec::with_capacity(count);
+    let count = decode_header(&mut payload, MAGIC)?;
+    let mut out = Vec::with_capacity(count.min(1024));
     for _ in 0..count {
-        if payload.remaining() < 8 {
-            return Err(WireError::Truncated);
-        }
+        need(payload, 8)?;
         let rows = payload.get_u32_le();
         let cols = payload.get_u32_le();
-        let elements = rows as u64 * cols as u64;
-        if elements > MAX_TENSOR_ELEMENTS {
-            return Err(WireError::OversizedTensor { rows, cols });
-        }
-        if (payload.remaining() as u64) < elements * 8 {
-            return Err(WireError::Truncated);
-        }
+        let elements = check_shape(rows, cols)?;
+        need(payload, (elements * 8) as usize)?;
         let mut data = Vec::with_capacity(elements as usize);
         for _ in 0..elements {
             data.push(payload.get_f64_le());
         }
         out.push(Matrix::from_vec(rows as usize, cols as usize, data));
     }
+    finish_record(payload)?;
     Ok(out)
 }
 
@@ -220,7 +232,9 @@ pub fn decode_quantized(mut payload: &[u8]) -> Result<QuantizedUpdate, WireError
         let step = payload.get_f64_le();
         let special_count = payload.get_u32_le() as u64;
         if special_count > elements {
-            return Err(WireError::Truncated);
+            return Err(WireError::InvalidRecord(
+                "quantized special count exceeds tensor elements",
+            ));
         }
         need(payload, (elements + special_count * 12) as usize)?;
         let mut codes = vec![0u8; elements as usize];
@@ -230,7 +244,9 @@ pub fn decode_quantized(mut payload: &[u8]) -> Result<QuantizedUpdate, WireError
         for _ in 0..special_count {
             let idx = payload.get_u32_le();
             if idx as u64 >= elements {
-                return Err(WireError::Truncated);
+                return Err(WireError::InvalidRecord(
+                    "quantized special index out of range",
+                ));
             }
             special_idx.push(idx);
             special_val.push(payload.get_f64_le());
@@ -245,6 +261,7 @@ pub fn decode_quantized(mut payload: &[u8]) -> Result<QuantizedUpdate, WireError
             special_val,
         });
     }
+    finish_record(payload)?;
     Ok(QuantizedUpdate { tensors })
 }
 
@@ -303,7 +320,9 @@ pub fn decode_sparse(mut payload: &[u8]) -> Result<SparseDelta, WireError> {
         let elements = check_shape(rows, cols)?;
         let nnz = payload.get_u32_le() as u64;
         if nnz > elements {
-            return Err(WireError::Truncated);
+            return Err(WireError::InvalidRecord(
+                "sparse nnz exceeds tensor elements",
+            ));
         }
         need(payload, (nnz * 12) as usize)?;
         let mut indices = Vec::with_capacity(nnz as usize);
@@ -311,7 +330,7 @@ pub fn decode_sparse(mut payload: &[u8]) -> Result<SparseDelta, WireError> {
         for _ in 0..nnz {
             let idx = payload.get_u32_le();
             if idx as u64 >= elements {
-                return Err(WireError::Truncated);
+                return Err(WireError::InvalidRecord("sparse index out of range"));
             }
             indices.push(idx);
             values.push(payload.get_f64_le());
@@ -323,15 +342,14 @@ pub fn decode_sparse(mut payload: &[u8]) -> Result<SparseDelta, WireError> {
             values,
         });
     }
+    finish_record(payload)?;
     Ok(SparseDelta { tensors })
 }
 
 /// Validates the common `magic | version | count` header and returns the
 /// record count.
 fn decode_header(payload: &mut &[u8], magic: [u8; 4]) -> Result<usize, WireError> {
-    if payload.remaining() < 10 {
-        return Err(WireError::Truncated);
-    }
+    need(payload, 10)?;
     let mut got = [0u8; 4];
     payload.copy_to_slice(&mut got);
     if got != magic {
@@ -355,7 +373,22 @@ fn check_shape(rows: u32, cols: u32) -> Result<u64, WireError> {
 
 fn need(payload: &[u8], n: usize) -> Result<(), WireError> {
     if payload.remaining() < n {
-        Err(WireError::Truncated)
+        Err(WireError::Truncated {
+            needed: n - payload.remaining(),
+        })
+    } else {
+        Ok(())
+    }
+}
+
+/// Enforces that a record decoder consumed its input exactly: leftover
+/// bytes mean the caller handed us a concatenation, which only framing may
+/// delimit (see [`crate::framing`]).
+fn finish_record(payload: &[u8]) -> Result<(), WireError> {
+    if payload.remaining() > 0 {
+        Err(WireError::TrailingBytes {
+            extra: payload.remaining(),
+        })
     } else {
         Ok(())
     }
@@ -426,28 +459,7 @@ pub fn encode_fault_log(events: &[FaultEvent]) -> Bytes {
         buf.put_u32_le(e.round as u32);
         buf.put_u16_le(e.client_id.len() as u16);
         buf.put_slice(e.client_id.as_bytes());
-        match e.fault {
-            FaultKind::DropOut => buf.put_u8(TAG_DROP_OUT),
-            FaultKind::Straggler { delay_seconds } => {
-                buf.put_u8(TAG_STRAGGLER);
-                buf.put_f64_le(delay_seconds);
-            }
-            FaultKind::Corrupt { corruption } => {
-                buf.put_u8(TAG_CORRUPT);
-                match corruption {
-                    Corruption::NanFlood => buf.put_u8(TAG_NAN_FLOOD),
-                    Corruption::SignFlip => buf.put_u8(TAG_SIGN_FLIP),
-                    Corruption::Scale { factor } => {
-                        buf.put_u8(TAG_SCALE);
-                        buf.put_f64_le(factor);
-                    }
-                }
-            }
-            FaultKind::Transient { failures } => {
-                buf.put_u8(TAG_TRANSIENT);
-                buf.put_u32_le(failures as u32);
-            }
-        }
+        encode_fault_kind(&mut buf, e.fault);
         match e.outcome {
             FaultOutcome::Dropped => buf.put_u8(TAG_DROPPED),
             FaultOutcome::Delayed { delay_seconds } => {
@@ -487,63 +499,19 @@ pub fn encode_fault_log(events: &[FaultEvent]) -> Bytes {
 /// Returns [`WireError`] on a malformed, truncated, or unknown-tag
 /// payload.
 pub fn decode_fault_log(mut payload: &[u8]) -> Result<Vec<FaultEvent>, WireError> {
-    if payload.remaining() < 10 {
-        return Err(WireError::Truncated);
+    let count = decode_header(&mut payload, FAULT_MAGIC)?;
+    if count as u64 > u64::from(MAX_FAULT_EVENTS) {
+        return Err(WireError::InvalidRecord(
+            "fault log count exceeds sanity bound",
+        ));
     }
-    let mut magic = [0u8; 4];
-    payload.copy_to_slice(&mut magic);
-    if magic != FAULT_MAGIC {
-        return Err(WireError::BadMagic);
-    }
-    let version = payload.get_u16_le();
-    if version != VERSION {
-        return Err(WireError::BadVersion(version));
-    }
-    let count = payload.get_u32_le();
-    if count > MAX_FAULT_EVENTS {
-        return Err(WireError::Truncated);
-    }
-    let mut out = Vec::with_capacity(count as usize);
+    let mut out = Vec::with_capacity(count);
     for _ in 0..count {
         need(payload, 6)?;
         let round = payload.get_u32_le() as usize;
         let id_len = payload.get_u16_le() as usize;
-        need(payload, id_len)?;
-        let mut id_bytes = vec![0u8; id_len];
-        payload.copy_to_slice(&mut id_bytes);
-        let client_id = String::from_utf8(id_bytes).map_err(|_| WireError::BadMagic)?;
-        need(payload, 1)?;
-        let fault = match payload.get_u8() {
-            TAG_DROP_OUT => FaultKind::DropOut,
-            TAG_STRAGGLER => {
-                need(payload, 8)?;
-                FaultKind::Straggler {
-                    delay_seconds: payload.get_f64_le(),
-                }
-            }
-            TAG_CORRUPT => {
-                need(payload, 1)?;
-                let corruption = match payload.get_u8() {
-                    TAG_NAN_FLOOD => Corruption::NanFlood,
-                    TAG_SIGN_FLIP => Corruption::SignFlip,
-                    TAG_SCALE => {
-                        need(payload, 8)?;
-                        Corruption::Scale {
-                            factor: payload.get_f64_le(),
-                        }
-                    }
-                    tag => return Err(WireError::UnknownTag(tag)),
-                };
-                FaultKind::Corrupt { corruption }
-            }
-            TAG_TRANSIENT => {
-                need(payload, 4)?;
-                FaultKind::Transient {
-                    failures: payload.get_u32_le() as usize,
-                }
-            }
-            tag => return Err(WireError::UnknownTag(tag)),
-        };
+        let client_id = decode_str(&mut payload, id_len)?;
+        let fault = decode_fault_kind(&mut payload)?;
         need(payload, 1)?;
         let outcome = match payload.get_u8() {
             TAG_DROPPED => FaultOutcome::Dropped,
@@ -583,7 +551,344 @@ pub fn decode_fault_log(mut payload: &[u8]) -> Result<Vec<FaultEvent>, WireError
             outcome,
         });
     }
+    finish_record(payload)?;
     Ok(out)
+}
+
+/// Appends the tagged binary encoding of one fault kind — shared by the
+/// `EVFL` fault-log record and the `EVMS` envelope's train directive, so a
+/// fault crosses the socket in exactly the bytes the log archives.
+fn encode_fault_kind(buf: &mut BytesMut, fault: FaultKind) {
+    match fault {
+        FaultKind::DropOut => buf.put_u8(TAG_DROP_OUT),
+        FaultKind::Straggler { delay_seconds } => {
+            buf.put_u8(TAG_STRAGGLER);
+            buf.put_f64_le(delay_seconds);
+        }
+        FaultKind::Corrupt { corruption } => {
+            buf.put_u8(TAG_CORRUPT);
+            match corruption {
+                Corruption::NanFlood => buf.put_u8(TAG_NAN_FLOOD),
+                Corruption::SignFlip => buf.put_u8(TAG_SIGN_FLIP),
+                Corruption::Scale { factor } => {
+                    buf.put_u8(TAG_SCALE);
+                    buf.put_f64_le(factor);
+                }
+            }
+        }
+        FaultKind::Transient { failures } => {
+            buf.put_u8(TAG_TRANSIENT);
+            buf.put_u32_le(failures as u32);
+        }
+    }
+}
+
+/// Decodes one tagged fault kind (inverse of [`encode_fault_kind`]).
+fn decode_fault_kind(payload: &mut &[u8]) -> Result<FaultKind, WireError> {
+    need(payload, 1)?;
+    Ok(match payload.get_u8() {
+        TAG_DROP_OUT => FaultKind::DropOut,
+        TAG_STRAGGLER => {
+            need(payload, 8)?;
+            FaultKind::Straggler {
+                delay_seconds: payload.get_f64_le(),
+            }
+        }
+        TAG_CORRUPT => {
+            need(payload, 1)?;
+            let corruption = match payload.get_u8() {
+                TAG_NAN_FLOOD => Corruption::NanFlood,
+                TAG_SIGN_FLIP => Corruption::SignFlip,
+                TAG_SCALE => {
+                    need(payload, 8)?;
+                    Corruption::Scale {
+                        factor: payload.get_f64_le(),
+                    }
+                }
+                tag => return Err(WireError::UnknownTag(tag)),
+            };
+            FaultKind::Corrupt { corruption }
+        }
+        TAG_TRANSIENT => {
+            need(payload, 4)?;
+            FaultKind::Transient {
+                failures: payload.get_u32_le() as usize,
+            }
+        }
+        tag => return Err(WireError::UnknownTag(tag)),
+    })
+}
+
+/// Reads a length-`len` UTF-8 string.
+fn decode_str(payload: &mut &[u8], len: usize) -> Result<String, WireError> {
+    need(payload, len)?;
+    let mut bytes = vec![0u8; len];
+    payload.copy_to_slice(&mut bytes);
+    String::from_utf8(bytes).map_err(|_| WireError::InvalidRecord("string is not UTF-8"))
+}
+
+/// Format magic for socket envelope messages (`"EVMS"`).
+pub const MESSAGE_MAGIC: [u8; 4] = *b"EVMS";
+
+// Envelope message discriminants.
+const TAG_HELLO: u8 = 0;
+const TAG_WELCOME: u8 = 1;
+const TAG_BROADCAST: u8 = 2;
+const TAG_TRAIN_REQUEST: u8 = 3;
+const TAG_UPDATE: u8 = 4;
+const TAG_ACK: u8 = 5;
+const TAG_DONE: u8 = 6;
+const TAG_ABORT: u8 = 7;
+
+/// Maximum accepted embedded blob length (matches the frame sanity bound
+/// in [`crate::framing`]): a corrupt length field fails fast instead of
+/// asking the decoder for gigabytes.
+const MAX_BLOB_BYTES: u32 = 256 << 20;
+
+/// One message of the socket protocol (`EVMS` envelope). The heavy fields
+/// (`global`, `payload`) carry already-encoded `EVFD`/`EVQ8`/`EVSK`
+/// records verbatim, so the envelope adds framing without re-encoding —
+/// what the server meters is exactly `payload.len()`.
+///
+/// The round trip is driven by [`encode_message`]/[`decode_message`]; see
+/// [`crate::socket`] for who sends what when.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Client → server: first message on the control connection.
+    Hello {
+        /// The connecting client's roster id.
+        client_id: String,
+    },
+    /// Server → client: handshake reply carrying the run configuration
+    /// (JSON, handshake-only — the round loop itself stays JSON-free) and
+    /// the shared initial global weights as an `EVFD` blob.
+    Welcome {
+        /// `serde_json`-encoded [`crate::FederatedConfig`].
+        config_json: Bytes,
+        /// `EVFD`-encoded initial global weights.
+        init_global: Bytes,
+    },
+    /// Server → client: the per-round global model broadcast (`EVFD`).
+    Broadcast {
+        /// Zero-based round index.
+        round: u32,
+        /// `EVFD`-encoded global weights.
+        global: Bytes,
+    },
+    /// Server → client: train this round, optionally under an injected
+    /// fault the client must enact (corrupt before upload, delay, fail
+    /// uploads). Sent only to sampled, non-dropped-out clients.
+    TrainRequest {
+        /// Zero-based round index.
+        round: u32,
+        /// Fault directive from the server's [`crate::faults::FaultPlan`].
+        fault: Option<FaultKind>,
+    },
+    /// Client → server: one upload attempt of a trained update. Sent on a
+    /// fresh connection per attempt so a server-side nack is a real
+    /// connection loss.
+    Update {
+        /// Zero-based round index.
+        round: u32,
+        /// Uploading client's roster id.
+        client_id: String,
+        /// Local sample count (FedAvg weighting).
+        sample_count: u64,
+        /// Final local training loss.
+        train_loss: f64,
+        /// The encoded update: `EVFD`, `EVQ8`, or `EVSK` per the run's
+        /// [`crate::CompressionMode`].
+        payload: Bytes,
+    },
+    /// Server → client: the upload attempt was accepted.
+    Ack {
+        /// Round being acknowledged.
+        round: u32,
+    },
+    /// Server → client: the run finished; carries the final global
+    /// weights (`EVFD`).
+    Done {
+        /// `EVFD`-encoded final global weights.
+        global: Bytes,
+    },
+    /// Server → client: the run failed; carries the error message.
+    Abort {
+        /// Human-readable failure description.
+        message: String,
+    },
+}
+
+fn put_blob(buf: &mut BytesMut, blob: &[u8]) {
+    buf.put_u32_le(blob.len() as u32);
+    buf.put_slice(blob);
+}
+
+fn decode_blob(payload: &mut &[u8]) -> Result<Bytes, WireError> {
+    need(payload, 4)?;
+    let len = payload.get_u32_le() as usize;
+    if len > MAX_BLOB_BYTES as usize {
+        return Err(WireError::OversizedFrame { declared: len });
+    }
+    need(payload, len)?;
+    let blob = Bytes::copy_from_slice(&payload[..len]);
+    payload.advance(len);
+    Ok(blob)
+}
+
+fn put_short_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u16_le(s.len() as u16);
+    buf.put_slice(s.as_bytes());
+}
+
+fn decode_short_str(payload: &mut &[u8]) -> Result<String, WireError> {
+    need(payload, 2)?;
+    let len = payload.get_u16_le() as usize;
+    decode_str(payload, len)
+}
+
+/// Encodes one envelope message into `buf`, clearing it first but keeping
+/// its allocation. Layout: `"EVMS" | version: u16 | tag: u8 | body`.
+pub fn encode_message(buf: &mut BytesMut, msg: &Message) {
+    buf.clear();
+    buf.put_slice(&MESSAGE_MAGIC);
+    buf.put_u16_le(VERSION);
+    match msg {
+        Message::Hello { client_id } => {
+            buf.put_u8(TAG_HELLO);
+            put_short_str(buf, client_id);
+        }
+        Message::Welcome {
+            config_json,
+            init_global,
+        } => {
+            buf.put_u8(TAG_WELCOME);
+            put_blob(buf, config_json);
+            put_blob(buf, init_global);
+        }
+        Message::Broadcast { round, global } => {
+            buf.put_u8(TAG_BROADCAST);
+            buf.put_u32_le(*round);
+            put_blob(buf, global);
+        }
+        Message::TrainRequest { round, fault } => {
+            buf.put_u8(TAG_TRAIN_REQUEST);
+            buf.put_u32_le(*round);
+            match fault {
+                None => buf.put_u8(0),
+                Some(f) => {
+                    buf.put_u8(1);
+                    encode_fault_kind(buf, *f);
+                }
+            }
+        }
+        Message::Update {
+            round,
+            client_id,
+            sample_count,
+            train_loss,
+            payload,
+        } => {
+            buf.put_u8(TAG_UPDATE);
+            buf.put_u32_le(*round);
+            put_short_str(buf, client_id);
+            buf.put_u64_le(*sample_count);
+            buf.put_f64_le(*train_loss);
+            put_blob(buf, payload);
+        }
+        Message::Ack { round } => {
+            buf.put_u8(TAG_ACK);
+            buf.put_u32_le(*round);
+        }
+        Message::Done { global } => {
+            buf.put_u8(TAG_DONE);
+            put_blob(buf, global);
+        }
+        Message::Abort { message } => {
+            buf.put_u8(TAG_ABORT);
+            put_blob(buf, message.as_bytes());
+        }
+    }
+}
+
+/// Decodes one envelope message (inverse of [`encode_message`]). Strict:
+/// the payload must contain exactly one message — a frame carries one
+/// envelope, so trailing bytes are a protocol error, not a next message.
+///
+/// # Errors
+///
+/// Returns [`WireError`] on a malformed, truncated, unknown-tag, or
+/// trailing-bytes payload. [`WireError::Truncated::needed`] names the
+/// additional bytes required, so a streamed caller can keep reading.
+pub fn decode_message(mut payload: &[u8]) -> Result<Message, WireError> {
+    let payload = &mut payload;
+    need(payload, 7)?;
+    let mut got = [0u8; 4];
+    payload.copy_to_slice(&mut got);
+    if got != MESSAGE_MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    let version = payload.get_u16_le();
+    if version != VERSION {
+        return Err(WireError::BadVersion(version));
+    }
+    let msg = match payload.get_u8() {
+        TAG_HELLO => Message::Hello {
+            client_id: decode_short_str(payload)?,
+        },
+        TAG_WELCOME => Message::Welcome {
+            config_json: decode_blob(payload)?,
+            init_global: decode_blob(payload)?,
+        },
+        TAG_BROADCAST => {
+            need(payload, 4)?;
+            Message::Broadcast {
+                round: payload.get_u32_le(),
+                global: decode_blob(payload)?,
+            }
+        }
+        TAG_TRAIN_REQUEST => {
+            need(payload, 5)?;
+            let round = payload.get_u32_le();
+            let fault = match payload.get_u8() {
+                0 => None,
+                1 => Some(decode_fault_kind(payload)?),
+                tag => return Err(WireError::UnknownTag(tag)),
+            };
+            Message::TrainRequest { round, fault }
+        }
+        TAG_UPDATE => {
+            need(payload, 4)?;
+            let round = payload.get_u32_le();
+            let client_id = decode_short_str(payload)?;
+            need(payload, 16)?;
+            Message::Update {
+                round,
+                client_id,
+                sample_count: payload.get_u64_le(),
+                train_loss: payload.get_f64_le(),
+                payload: decode_blob(payload)?,
+            }
+        }
+        TAG_ACK => {
+            need(payload, 4)?;
+            Message::Ack {
+                round: payload.get_u32_le(),
+            }
+        }
+        TAG_DONE => Message::Done {
+            global: decode_blob(payload)?,
+        },
+        TAG_ABORT => {
+            let blob = decode_blob(payload)?;
+            Message::Abort {
+                message: String::from_utf8(blob.to_vec())
+                    .map_err(|_| WireError::InvalidRecord("abort message is not UTF-8"))?,
+            }
+        }
+        tag => return Err(WireError::UnknownTag(tag)),
+    };
+    finish_record(payload)?;
+    Ok(msg)
 }
 
 #[cfg(test)]
@@ -627,15 +932,80 @@ mod tests {
         ));
     }
 
+    /// Decodes ever-longer prefixes of `blob`, extending each failed
+    /// attempt by exactly the reported `needed` bytes, and asserts the
+    /// walk lands precisely on a successful decode at `blob.len()` — the
+    /// contract a streaming reader relies on: `needed` is never an
+    /// overshoot and always makes progress.
+    fn assert_needed_walk<T, F: Fn(&[u8]) -> Result<T, WireError>>(blob: &[u8], decode: F) {
+        let mut have = 0usize;
+        loop {
+            match decode(&blob[..have]) {
+                Ok(_) => {
+                    assert_eq!(have, blob.len(), "decode succeeded before the full record");
+                    return;
+                }
+                Err(WireError::Truncated { needed }) => {
+                    assert!(needed >= 1, "needed must make progress at {have}");
+                    assert!(
+                        have + needed <= blob.len(),
+                        "needed overshoots: {have} + {needed} > {}",
+                        blob.len()
+                    );
+                    have += needed;
+                }
+                Err(other) => panic!("prefix of {have} bytes gave {other:?}"),
+            }
+        }
+    }
+
     #[test]
     fn rejects_truncation_everywhere() {
         let blob = encode_weights(&sample_weights());
-        for cut in [0, 5, 9, 12, 20, blob.len() - 1] {
-            assert!(
-                matches!(decode_weights(&blob[..cut]), Err(WireError::Truncated)),
-                "cut at {cut} not detected"
-            );
+        for cut in 0..blob.len() {
+            match decode_weights(&blob[..cut]) {
+                Err(WireError::Truncated { needed }) => {
+                    assert!(needed >= 1 && cut + needed <= blob.len(), "cut {cut}");
+                }
+                other => panic!("cut at {cut} gave {other:?}"),
+            }
         }
+    }
+
+    #[test]
+    fn truncation_needed_walks_to_exact_completion() {
+        assert_needed_walk(&encode_weights(&sample_weights()), decode_weights);
+        assert_needed_walk(&encode_weights(&[]), decode_weights);
+        let q = QuantizedUpdate::quantize(&sample_weights());
+        assert_needed_walk(&encode_quantized(&q), decode_quantized);
+        let base = sample_weights();
+        let mut update = base.clone();
+        update[0].as_mut_slice()[5] += 1.5;
+        let d = SparseDelta::top_k(&update, &base, 8);
+        assert_needed_walk(&encode_sparse(&d), decode_sparse);
+        assert_needed_walk(&encode_fault_log(&sample_fault_log()), decode_fault_log);
+    }
+
+    #[test]
+    fn concatenated_records_are_never_silently_swallowed() {
+        // Two records back to back: decoding the pair as one must fail
+        // with the exact surplus, never return the first record as if the
+        // second did not exist. Framing, not the record codec, splits a
+        // stream.
+        let one = encode_weights(&sample_weights());
+        let mut two = one.to_vec();
+        two.extend_from_slice(&one);
+        assert_eq!(
+            decode_weights(&two),
+            Err(WireError::TrailingBytes { extra: one.len() })
+        );
+        let log = encode_fault_log(&sample_fault_log());
+        let mut pair = log.to_vec();
+        pair.extend_from_slice(&log);
+        assert_eq!(
+            decode_fault_log(&pair),
+            Err(WireError::TrailingBytes { extra: log.len() })
+        );
     }
 
     #[test]
@@ -746,7 +1116,7 @@ mod tests {
         for cut in 0..blob.len() {
             let err = decode_fault_log(&blob[..cut]).unwrap_err();
             assert!(
-                matches!(err, WireError::Truncated | WireError::UnknownTag(_)),
+                matches!(err, WireError::Truncated { .. } | WireError::UnknownTag(_)),
                 "cut at {cut} gave {err:?}"
             );
         }
@@ -847,7 +1217,10 @@ mod tests {
         let blob = encode_quantized(&q);
         for cut in 0..blob.len() {
             assert!(
-                matches!(decode_quantized(&blob[..cut]), Err(WireError::Truncated)),
+                matches!(
+                    decode_quantized(&blob[..cut]),
+                    Err(WireError::Truncated { .. })
+                ),
                 "cut at {cut} not detected"
             );
         }
@@ -866,7 +1239,10 @@ mod tests {
         let blob = encode_sparse(&d);
         for cut in 0..blob.len() {
             assert!(
-                matches!(decode_sparse(&blob[..cut]), Err(WireError::Truncated)),
+                matches!(
+                    decode_sparse(&blob[..cut]),
+                    Err(WireError::Truncated { .. })
+                ),
                 "cut at {cut} not detected"
             );
         }
@@ -882,7 +1258,10 @@ mod tests {
         // special_count(4) + codes, then the first special index.
         let idx_at = 10 + 8 + 16 + 4 + q.tensors[0].codes.len();
         blob[idx_at..idx_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
-        assert_eq!(decode_quantized(&blob), Err(WireError::Truncated));
+        assert!(matches!(
+            decode_quantized(&blob),
+            Err(WireError::InvalidRecord(_))
+        ));
     }
 
     #[test]
@@ -894,5 +1273,129 @@ mod tests {
             decode_quantized(&blob),
             Err(WireError::BadVersion(77))
         ));
+    }
+
+    fn sample_messages() -> Vec<Message> {
+        vec![
+            Message::Hello {
+                client_id: "z105".into(),
+            },
+            Message::Welcome {
+                config_json: Bytes::copy_from_slice(b"{\"rounds\":3}"),
+                init_global: encode_weights(&sample_weights()),
+            },
+            Message::Broadcast {
+                round: 2,
+                global: encode_weights(&sample_weights()),
+            },
+            Message::TrainRequest {
+                round: 0,
+                fault: None,
+            },
+            Message::TrainRequest {
+                round: 1,
+                fault: Some(FaultKind::Transient { failures: 2 }),
+            },
+            Message::TrainRequest {
+                round: 4,
+                fault: Some(FaultKind::Corrupt {
+                    corruption: Corruption::Scale { factor: -2.5 },
+                }),
+            },
+            Message::Update {
+                round: 3,
+                client_id: "z108".into(),
+                sample_count: 32,
+                train_loss: 0.0123,
+                payload: encode_weights(&sample_weights()),
+            },
+            Message::Ack { round: 3 },
+            Message::Done {
+                global: encode_weights(&sample_weights()),
+            },
+            Message::Abort {
+                message: "round 1 starved".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn every_message_round_trips() {
+        let mut buf = BytesMut::new();
+        for msg in sample_messages() {
+            encode_message(&mut buf, &msg);
+            assert_eq!(decode_message(&buf).unwrap(), msg, "{msg:?}");
+        }
+    }
+
+    #[test]
+    fn every_message_split_at_every_offset_reports_needed_bytes() {
+        let mut buf = BytesMut::new();
+        for msg in sample_messages() {
+            encode_message(&mut buf, &msg);
+            let blob = buf.clone().freeze();
+            for cut in 0..blob.len() {
+                match decode_message(&blob[..cut]) {
+                    Err(WireError::Truncated { needed }) => {
+                        assert!(
+                            needed >= 1 && cut + needed <= blob.len(),
+                            "{msg:?} cut {cut} needed {needed}"
+                        );
+                    }
+                    other => panic!("{msg:?} cut at {cut} gave {other:?}"),
+                }
+            }
+            assert_needed_walk(&blob, decode_message);
+        }
+    }
+
+    #[test]
+    fn message_rejects_trailing_and_foreign_magic() {
+        let mut buf = BytesMut::new();
+        encode_message(&mut buf, &Message::Ack { round: 1 });
+        let mut padded = buf.to_vec();
+        padded.push(0);
+        assert_eq!(
+            decode_message(&padded),
+            Err(WireError::TrailingBytes { extra: 1 })
+        );
+        let weights = encode_weights(&sample_weights());
+        assert_eq!(decode_message(&weights), Err(WireError::BadMagic));
+        buf[4] = 9;
+        assert!(matches!(
+            decode_message(&buf),
+            Err(WireError::BadVersion(9))
+        ));
+    }
+
+    #[test]
+    fn message_rejects_unknown_tags() {
+        let mut buf = BytesMut::new();
+        encode_message(&mut buf, &Message::Ack { round: 1 });
+        buf[6] = 200;
+        assert_eq!(decode_message(&buf), Err(WireError::UnknownTag(200)));
+    }
+
+    #[test]
+    fn update_payload_crosses_the_envelope_verbatim() {
+        // The envelope must not re-encode the inner record: the metered
+        // bytes are exactly the payload the client produced.
+        let inner = encode_weights(&sample_weights());
+        let msg = Message::Update {
+            round: 0,
+            client_id: "z102".into(),
+            sample_count: 7,
+            train_loss: 1.5,
+            payload: inner.clone(),
+        };
+        let mut buf = BytesMut::new();
+        encode_message(&mut buf, &msg);
+        match decode_message(&buf).unwrap() {
+            Message::Update { payload, .. } => {
+                assert_eq!(&payload[..], &inner[..]);
+                assert_eq!(decode_weights(&payload).unwrap(), sample_weights());
+            }
+            other => panic!("decoded {other:?}"),
+        }
     }
 }

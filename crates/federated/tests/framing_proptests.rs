@@ -1,0 +1,175 @@
+//! Property-based tests for TCP frame reassembly.
+//!
+//! The transport's correctness rests on one invariant: however the
+//! kernel fragments or coalesces the byte stream, [`FrameDecoder`]
+//! yields exactly the payload sequence that was framed, in order. The
+//! strategies here cover chunk sizes from 1 byte (every header split
+//! position) up to 4096 bytes (several frames coalesced per read), with
+//! payloads from empty to multi-KiB including real EVMS envelopes.
+
+use evfad_federated::framing::{encode_frame, frame_size, FrameDecoder, FRAME_HEADER_BYTES};
+use evfad_federated::wire::{self, Message, WireError};
+use evfad_tensor::Matrix;
+use proptest::prelude::*;
+
+use bytes::BytesMut;
+
+/// Splits `stream` into chunks whose sizes cycle through `cuts`
+/// (clamped to 1..=4096), feeds them one at a time, and drains every
+/// completed frame after each feed.
+fn reassemble(stream: &[u8], cuts: &[usize]) -> Result<Vec<Vec<u8>>, WireError> {
+    let mut dec = FrameDecoder::new();
+    let mut out = Vec::new();
+    let mut offset = 0;
+    let mut i = 0;
+    while offset < stream.len() {
+        let take = cuts[i % cuts.len()]
+            .clamp(1, 4096)
+            .min(stream.len() - offset);
+        i += 1;
+        dec.feed(&stream[offset..offset + take]);
+        offset += take;
+        while let Some(frame) = dec.next_frame()? {
+            out.push(frame.to_vec());
+        }
+    }
+    assert_eq!(dec.buffered(), 0, "stream fully consumed");
+    Ok(out)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary payload sequences survive arbitrary fragmentation:
+    /// chunk sizes 1..=4096, including every possible mid-header split.
+    #[test]
+    fn random_fragmentation_reconstructs_the_exact_sequence(
+        payloads in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..600), 0..8),
+        cuts in prop::collection::vec(1usize..=4096, 1..12),
+    ) {
+        let mut buf = BytesMut::new();
+        for p in &payloads {
+            encode_frame(&mut buf, p);
+        }
+        prop_assert_eq!(
+            buf.len(),
+            payloads.iter().map(|p| frame_size(p.len())).sum::<usize>()
+        );
+        let out = reassemble(&buf, &cuts).expect("well-formed stream");
+        prop_assert_eq!(out, payloads);
+    }
+
+    /// Byte-at-a-time delivery — the worst case, hitting every split
+    /// point inside every header — still reconstructs exactly.
+    #[test]
+    fn one_byte_chunks_hit_every_header_split(
+        payloads in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..64), 1..6),
+    ) {
+        let mut buf = BytesMut::new();
+        for p in &payloads {
+            encode_frame(&mut buf, p);
+        }
+        let out = reassemble(&buf, &[1]).expect("well-formed stream");
+        prop_assert_eq!(out, payloads);
+    }
+
+    /// Real protocol traffic: framed EVMS envelopes carrying EVFD blobs
+    /// cross arbitrary fragmentation and decode back to the same
+    /// message sequence.
+    #[test]
+    fn framed_envelopes_survive_fragmentation(
+        rounds in prop::collection::vec(0u32..100, 1..5),
+        cuts in prop::collection::vec(1usize..=4096, 1..8),
+        dims in (1usize..4, 1usize..4),
+    ) {
+        let weights = vec![Matrix::from_vec(
+            dims.0,
+            dims.1,
+            (0..dims.0 * dims.1).map(|i| i as f64 * 0.5 - 1.0).collect(),
+        )];
+        let global = wire::encode_weights(&weights);
+        let msgs: Vec<Message> = rounds
+            .iter()
+            .map(|&round| Message::Broadcast { round, global: global.clone() })
+            .collect();
+        let mut stream = BytesMut::new();
+        let mut scratch = BytesMut::new();
+        for msg in &msgs {
+            wire::encode_message(&mut scratch, msg);
+            encode_frame(&mut stream, &scratch);
+        }
+        let out = reassemble(&stream, &cuts).expect("well-formed stream");
+        let decoded: Vec<Message> = out
+            .iter()
+            .map(|payload| wire::decode_message(payload).expect("framed envelope"))
+            .collect();
+        prop_assert_eq!(decoded, msgs);
+    }
+
+    /// Malformed input never panics: random garbage either yields
+    /// garbage-length frames (consumed quietly) or a typed oversize
+    /// error — the decoder must survive both without panicking.
+    #[test]
+    fn garbage_streams_never_panic(
+        garbage in prop::collection::vec(any::<u8>(), 0..2048),
+        cuts in prop::collection::vec(1usize..=4096, 1..8),
+    ) {
+        let mut dec = FrameDecoder::new();
+        let mut offset = 0;
+        let mut i = 0;
+        while offset < garbage.len() {
+            let take = cuts[i % cuts.len()].min(garbage.len() - offset);
+            i += 1;
+            dec.feed(&garbage[offset..offset + take]);
+            offset += take;
+            loop {
+                match dec.next_frame() {
+                    Ok(Some(_)) => continue,
+                    Ok(None) => break,
+                    Err(WireError::OversizedFrame { declared }) => {
+                        // Poisoned stream: error is sticky, nothing was
+                        // consumed, and the declared length really is
+                        // over the bound.
+                        prop_assert!(declared > evfad_federated::framing::MAX_FRAME_BYTES);
+                        let sticky = matches!(
+                            dec.next_frame(),
+                            Err(WireError::OversizedFrame { .. })
+                        );
+                        prop_assert!(sticky);
+                        return Ok(());
+                    }
+                    Err(other) => panic!("unexpected error {other:?}"),
+                }
+            }
+        }
+    }
+
+    /// A truncated final frame is reported as pending, with `needed`
+    /// counting down exactly to completion.
+    #[test]
+    fn needed_walks_to_completion(
+        payload in prop::collection::vec(any::<u8>(), 0..512),
+        cut_fraction in 0.0f64..1.0,
+    ) {
+        let mut buf = BytesMut::new();
+        encode_frame(&mut buf, &payload);
+        let cut = ((buf.len() as f64) * cut_fraction) as usize;
+        let mut dec = FrameDecoder::new();
+        dec.feed(&buf[..cut]);
+        if cut < buf.len() {
+            prop_assert_eq!(dec.next_frame().expect("prefix is pending, not an error"), None);
+            let needed = dec.needed();
+            prop_assert!(needed >= 1);
+            // `needed` promises progress, never overshoot...
+            prop_assert!(cut + needed <= buf.len());
+            if cut >= FRAME_HEADER_BYTES {
+                // ...and once the header is known, it is exact.
+                prop_assert_eq!(cut + needed, buf.len());
+            }
+        }
+        dec.feed(&buf[cut..]);
+        prop_assert_eq!(dec.needed(), 0);
+        let frame = dec.next_frame().unwrap().expect("complete frame");
+        prop_assert_eq!(frame.to_vec(), payload);
+    }
+}

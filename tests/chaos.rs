@@ -9,7 +9,8 @@
 
 use evfad_core::federated::{
     Aggregator, Corruption, FaultKind, FaultOutcome, FaultPlan, FederatedConfig, FederatedError,
-    FederatedSimulation, RoundSelector,
+    FederatedOutcome, FederatedSimulation, RoundSelector, SocketClient, SocketServer,
+    SocketServerConfig,
 };
 use evfad_core::nn::{forecaster_model, Loss, Sample, Sequential};
 use evfad_core::tensor::Matrix;
@@ -446,4 +447,182 @@ fn trimmed_mean_contains_a_double_nan_flood_at_its_exact_budget() {
         matches!(&err, FederatedError::Aggregation(m) if m.contains("containment budget")),
         "expected a containment-budget error, got {err}"
     );
+}
+
+// ---------------------------------------------------------------------------
+// Chaos over real sockets: the same FaultPlan drives the live TCP path.
+// Connection loss mid-upload is a *real* connection the server kills; the
+// client's retry/backoff is the same `faults` machinery the simulation
+// accounts — and the digests must agree byte for byte.
+// ---------------------------------------------------------------------------
+
+/// The four-station roster as (id, phase) pairs, matching
+/// [`four_client_sim`]'s registration order.
+const FOUR_STATIONS: [(&str, f64); 4] =
+    [("z102", 0.0), ("z105", 0.8), ("z108", 1.6), ("z111", 2.4)];
+
+/// [`four_client_sim`]'s config, for driving the socket path with the
+/// same schedule.
+fn four_client_config(faults: Option<FaultPlan>) -> FederatedConfig {
+    FederatedConfig {
+        rounds: 2,
+        epochs_per_round: 2,
+        batch_size: 16,
+        parallel: false,
+        faults,
+        ..FederatedConfig::default()
+    }
+}
+
+/// Runs the federation over localhost TCP: server on an ephemeral port,
+/// one thread per client. Returns the server's result and every
+/// client's, in roster order — chaos tests assert on both sides.
+#[allow(clippy::type_complexity)]
+fn run_over_sockets(
+    config: FederatedConfig,
+    roster: &[(&str, f64)],
+) -> (
+    Result<FederatedOutcome, FederatedError>,
+    Vec<Result<Vec<Matrix>, FederatedError>>,
+) {
+    let ids: Vec<String> = roster.iter().map(|(id, _)| id.to_string()).collect();
+    let mut server = SocketServer::bind(
+        "127.0.0.1:0",
+        forecaster_model(4, 3),
+        SocketServerConfig::new(config, ids),
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+    let server_thread = std::thread::spawn(move || server.run());
+    let client_threads: Vec<_> = roster
+        .iter()
+        .map(|&(id, phase)| {
+            let id = id.to_string();
+            std::thread::spawn(move || {
+                SocketClient { time_dilation: 0.0 }.run(
+                    addr,
+                    id,
+                    forecaster_model(4, 3),
+                    sine_samples(32, phase),
+                )
+            })
+        })
+        .collect();
+    let outcome = server_thread.join().expect("server thread panicked");
+    let clients = client_threads
+        .into_iter()
+        .map(|h| h.join().expect("client thread panicked"))
+        .collect();
+    (outcome, clients)
+}
+
+/// Transient faults over TCP are real dropped connections: the server
+/// kills the upload socket mid-round, the client re-dials through the
+/// plan's retry/backoff, and the run's digest — retries, extra seconds,
+/// participants, weights — is byte-identical to the simulation's.
+#[test]
+fn transient_faults_over_sockets_ride_the_real_retry_path() {
+    let plan = || {
+        FaultPlan::new(5)
+            .with_retry(3, 2.0)
+            .with_rule(
+                "z102",
+                RoundSelector::Every,
+                FaultKind::Transient { failures: 2 },
+            )
+            .with_rule(
+                "z108",
+                RoundSelector::Only { round: 1 },
+                FaultKind::Transient { failures: 9 },
+            )
+    };
+    let (server, clients) = run_over_sockets(four_client_config(Some(plan())), &FOUR_STATIONS);
+    let out = server.expect("flaky socket run");
+    let sim_out = four_client_sim(Aggregator::FedAvg, Some(plan()))
+        .run()
+        .expect("flaky simulated run");
+    assert_eq!(
+        serde_json::to_string(&out.digest()).unwrap(),
+        serde_json::to_string(&sim_out.digest()).unwrap()
+    );
+    // Every retry the meter counts was a real re-dialed connection:
+    // z102 recovers each round (2 kills each), z108 exhausts its budget
+    // of 3 in round 1. 2 + 2 + 3 = 7 killed uploads.
+    assert_eq!(out.traffic.retries, 7);
+    // Backoff is accounted, not slept (time_dilation = 0): two failures
+    // at base 2 s cost z102 2·(2² − 1) = 6 simulated seconds.
+    assert_eq!(out.rounds[0].client_extra_seconds[0], 6.0);
+    // The exhausted client is cut from round 1's aggregation...
+    assert_eq!(out.rounds[1].participants, vec!["z102", "z105", "z111"]);
+    // ...but exhaustion is graceful degradation, not a client crash:
+    // everyone still completes and leaves with the final global model.
+    for client in clients {
+        assert_eq!(
+            client.expect("client survives retry exhaustion"),
+            out.global_weights
+        );
+    }
+}
+
+/// A starved round fails identically on both paths — same
+/// `InsufficientParticipants` error, same round, same counts — and the
+/// server tells every live client why via `Abort` before going down.
+#[test]
+fn starved_rounds_abort_identically_over_sockets() {
+    let plan = || {
+        let mut plan = FaultPlan::new(5).with_min_participants(2);
+        for id in ["z105", "z108", "z111"] {
+            plan = plan.with_rule(id, RoundSelector::Every, FaultKind::DropOut);
+        }
+        plan
+    };
+    let (server, clients) = run_over_sockets(four_client_config(Some(plan())), &FOUR_STATIONS);
+    let socket_err = server.unwrap_err();
+    let sim_err = four_client_sim(Aggregator::FedAvg, Some(plan()))
+        .run()
+        .unwrap_err();
+    assert_eq!(socket_err, sim_err);
+    assert_eq!(
+        socket_err,
+        FederatedError::InsufficientParticipants {
+            round: 0,
+            survivors: 1,
+            required: 2,
+        }
+    );
+    for client in clients {
+        let err = client.unwrap_err();
+        assert!(matches!(&err, FederatedError::Transport { .. }));
+        assert!(
+            err.to_string().contains("starved"),
+            "client should learn why the run died, got: {err}"
+        );
+    }
+}
+
+/// The kitchen-sink plan — drop-outs, stragglers, corruption, flaky
+/// uplinks, a probabilistic rule — reproduces its digest over TCP.
+/// Corruption is applied client-side before encoding, so the poisoned
+/// bytes genuinely cross the wire; the gate does not re-apply it.
+#[test]
+fn the_kitchen_sink_plan_reproduces_its_digest_over_sockets() {
+    let (server, clients) = run_over_sockets(
+        four_client_config(Some(kitchen_sink_plan())),
+        &FOUR_STATIONS,
+    );
+    let out = server.expect("kitchen-sink socket run");
+    let sim_out = four_client_sim(Aggregator::FedAvg, Some(kitchen_sink_plan()))
+        .run()
+        .expect("kitchen-sink simulated run");
+    assert_eq!(
+        serde_json::to_string(&out.digest()).unwrap(),
+        serde_json::to_string(&sim_out.digest()).unwrap()
+    );
+    assert!(
+        out.fault_events().next().is_some(),
+        "the kitchen-sink plan must fire over sockets too"
+    );
+    for client in clients {
+        assert_eq!(client.expect("chaotic client run"), out.global_weights);
+    }
 }
