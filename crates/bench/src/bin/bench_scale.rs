@@ -1,6 +1,6 @@
 //! Drives the hierarchical scale engine at paper-style populations —
-//! 10k and 100k clients — and emits `BENCH_scale.json` with rounds/sec
-//! and peak aggregation memory.
+//! 10k, 100k, and 1M clients — and emits `BENCH_scale.json` (schema v2)
+//! with rounds/sec per thread count and peak aggregation memory.
 //!
 //! Gates, checked before anything is timed:
 //!
@@ -10,20 +10,35 @@
 //! * **tolerance** — a hierarchical run must match the batch aggregate
 //!   within 1e-9 relative (reassociation across shards is the only
 //!   permitted difference);
-//! * **O(model)** — peak live aggregation state must equal exactly two
-//!   models (root + one edge accumulator) and must not grow when the
-//!   population does;
+//! * **parallel** — the wave fan-out must reproduce the serial run
+//!   byte for byte at every tested thread count: identical weight
+//!   checksum, traffic totals, and per-round stats (peak state is the
+//!   one legitimately thread-dependent number and is compared against
+//!   its own bound instead). Runs with real training in the loop so the
+//!   trained subset is covered too;
+//! * **O(model · workers)** — peak live aggregation state must equal
+//!   exactly `(1 + min(threads, edges))` models (root + one edge
+//!   accumulator per concurrently active fold) and must not grow when
+//!   the population does;
 //! * **determinism** — identical seeds must reproduce the weight
 //!   checksum.
 //!
 //! Usage: `cargo run --release --bin bench_scale [output-path] [--smoke]`
 //!
 //! `--smoke` shrinks the model and populations and skips the JSON dump —
-//! the CI gate that streaming aggregation stays exact and O(model).
+//! the CI gate that streaming aggregation stays exact, parallel == serial
+//! bitwise (at `threads: 2`, which oversubscribes correctly even on a
+//! 1-CPU runner: the pool's caller drains the queue), and peak O(model).
 
-use evfad_core::federated::scale::{ScaleConfig, ScaleEngine, ScaleOutcome};
+use evfad_core::federated::scale::{
+    ScaleConfig, ScaleEngine, ScaleOutcome, ScaleRoundStats, ScaleTrainer,
+};
 use evfad_core::nn::forecaster_model;
 use evfad_core::tensor::Matrix;
+
+/// Input window length for the real-training subset (the forecaster
+/// consumes `LOOKBACK x 1` sequences).
+const LOOKBACK: usize = 12;
 
 /// Paper-shaped model template for update synthesis.
 fn template(lstm_units: usize) -> Vec<Matrix> {
@@ -34,12 +49,34 @@ fn template(lstm_units: usize) -> Vec<Matrix> {
 // Gates.
 // ---------------------------------------------------------------------------
 
-fn run(cfg: ScaleConfig, model: &[Matrix]) -> ScaleOutcome {
+fn run(cfg: ScaleConfig, model: &[Matrix], lstm_units: usize) -> ScaleOutcome {
+    let trained = cfg.trained_fraction > 0.0;
     let mut engine = ScaleEngine::new(model.to_vec(), cfg).expect("valid scale config");
+    if trained {
+        engine = engine
+            .with_trainer(ScaleTrainer::new(
+                forecaster_model(lstm_units, 42),
+                LOOKBACK,
+            ))
+            .expect("trainer matches the template");
+    }
     engine.run().expect("scale run")
 }
 
-fn gate_streaming(model: &[Matrix], clients: usize) {
+/// Round stats with the thread-dependent peak (and host-dependent
+/// duration) stripped, for cross-thread-count equality checks.
+fn comparable(rounds: &[ScaleRoundStats]) -> Vec<ScaleRoundStats> {
+    rounds
+        .iter()
+        .map(|r| ScaleRoundStats {
+            peak_state_bytes: 0,
+            duration: std::time::Duration::ZERO,
+            ..r.clone()
+        })
+        .collect()
+}
+
+fn gate_streaming(model: &[Matrix], lstm_units: usize, clients: usize) {
     // Bitwise: flat streaming FedAvg == batch FedAvg (asserted per round
     // inside the engine when verify_streaming is set).
     run(
@@ -51,6 +88,7 @@ fn gate_streaming(model: &[Matrix], clients: usize) {
             ..ScaleConfig::default()
         },
         model,
+        lstm_units,
     );
     // Tolerance: hierarchical composition stays within 1e-9 relative.
     run(
@@ -62,39 +100,84 @@ fn gate_streaming(model: &[Matrix], clients: usize) {
             ..ScaleConfig::default()
         },
         model,
+        lstm_units,
     );
     println!("gate: streaming == batch (flat bitwise, hierarchical ≤1e-9)");
 }
 
-fn gate_o_model(model: &[Matrix], small: usize, large: usize) {
-    let cfg = |clients| ScaleConfig {
+fn gate_parallel_bitwise(model: &[Matrix], lstm_units: usize, clients: usize, threads: &[usize]) {
+    // Real training in the loop so the fan-out covers the trained subset,
+    // and verify_streaming so each fold's state-stability assert runs.
+    let cfg = |threads: usize| ScaleConfig {
         clients,
         rounds: 2,
         edges: 8,
+        threads,
+        trained_fraction: 0.05,
+        verify_streaming: true,
+        seed: 11,
         ..ScaleConfig::default()
     };
-    let a = run(cfg(small), model);
-    let b = run(cfg(large), model);
-    assert_eq!(
-        a.peak_aggregation_bytes, b.peak_aggregation_bytes,
-        "peak aggregation state grew with the population"
-    );
-    assert_eq!(
-        b.peak_aggregation_bytes,
-        2 * b.model_bytes,
-        "FedAvg live state must be exactly root + one edge accumulator"
-    );
+    let serial = run(cfg(1), model, lstm_units);
     assert!(
-        b.materialized_equivalent_bytes > a.materialized_equivalent_bytes,
-        "materialised-equivalent memory must track the population"
+        serial.rounds.iter().any(|r| r.trained > 0),
+        "the gate must exercise the real-training path"
     );
+    for &t in threads {
+        let par = run(cfg(t), model, lstm_units);
+        assert_eq!(
+            par.weights_checksum(),
+            serial.weights_checksum(),
+            "threads={t} diverged from serial"
+        );
+        assert_eq!(par.traffic, serial.traffic, "threads={t} traffic diverged");
+        assert_eq!(
+            comparable(&par.rounds),
+            comparable(&serial.rounds),
+            "threads={t} round stats diverged"
+        );
+    }
     println!(
-        "gate: O(model) — peak {} B at {small} and {large} clients (batch would hold {} B)",
-        b.peak_aggregation_bytes, b.materialized_equivalent_bytes
+        "gate: parallel == serial bitwise at threads {:?} (checksum {})",
+        threads,
+        serial.weights_checksum()
     );
 }
 
-fn gate_determinism(model: &[Matrix], clients: usize) {
+fn gate_o_model(model: &[Matrix], lstm_units: usize, small: usize, large: usize) {
+    let cfg = |clients, threads| ScaleConfig {
+        clients,
+        rounds: 2,
+        edges: 8,
+        threads,
+        ..ScaleConfig::default()
+    };
+    for &threads in &[1usize, 4] {
+        let a = run(cfg(small, threads), model, lstm_units);
+        let b = run(cfg(large, threads), model, lstm_units);
+        assert_eq!(
+            a.peak_aggregation_bytes, b.peak_aggregation_bytes,
+            "peak aggregation state grew with the population at threads={threads}"
+        );
+        // Root + one edge accumulator per concurrently active fold.
+        let workers = threads.min(8);
+        assert_eq!(
+            b.peak_aggregation_bytes,
+            (1 + workers) * b.model_bytes,
+            "live state must be root + {workers} active edge accumulators"
+        );
+        assert!(
+            b.materialized_equivalent_bytes > a.materialized_equivalent_bytes,
+            "materialised-equivalent memory must track the population"
+        );
+    }
+    println!(
+        "gate: O(model · workers) — peak 2 models serial / 5 models at threads=4, \
+         invariant from {small} to {large} clients"
+    );
+}
+
+fn gate_determinism(model: &[Matrix], lstm_units: usize, clients: usize) {
     let cfg = ScaleConfig {
         clients,
         rounds: 2,
@@ -102,8 +185,8 @@ fn gate_determinism(model: &[Matrix], clients: usize) {
         seed: 7,
         ..ScaleConfig::default()
     };
-    let a = run(cfg.clone(), model);
-    let b = run(cfg, model);
+    let a = run(cfg.clone(), model, lstm_units);
+    let b = run(cfg, model, lstm_units);
     assert_eq!(
         a.weights_checksum(),
         b.weights_checksum(),
@@ -120,13 +203,17 @@ struct Scenario {
     clients: usize,
     edges: usize,
     rounds: usize,
+    threads: usize,
+    trained_fraction: f64,
 }
 
 struct ScenarioResult {
     clients: usize,
     edges: usize,
     rounds: usize,
+    threads: usize,
     sampled_per_round: usize,
+    trained_clients: usize,
     rounds_per_sec: f64,
     peak_aggregation_bytes: usize,
     materialized_equivalent_bytes: usize,
@@ -135,15 +222,18 @@ struct ScenarioResult {
     checksum: String,
 }
 
-fn time_scenario(s: &Scenario, model: &[Matrix]) -> ScenarioResult {
+fn time_scenario(s: &Scenario, model: &[Matrix], lstm_units: usize) -> ScenarioResult {
     let out = run(
         ScaleConfig {
             clients: s.clients,
             rounds: s.rounds,
             edges: s.edges,
+            threads: s.threads,
+            trained_fraction: s.trained_fraction,
             ..ScaleConfig::default()
         },
         model,
+        lstm_units,
     );
     let secs = out.total_duration.as_secs_f64();
     let uplink: usize = out.rounds.iter().map(|r| r.uplink_bytes).sum();
@@ -151,7 +241,9 @@ fn time_scenario(s: &Scenario, model: &[Matrix]) -> ScenarioResult {
         clients: s.clients,
         edges: s.edges,
         rounds: s.rounds,
+        threads: s.threads,
         sampled_per_round: out.rounds[0].sampled,
+        trained_clients: out.rounds.iter().map(|r| r.trained).sum(),
         rounds_per_sec: s.rounds as f64 / secs,
         peak_aggregation_bytes: out.peak_aggregation_bytes,
         materialized_equivalent_bytes: out.materialized_equivalent_bytes,
@@ -181,24 +273,40 @@ fn main() {
                 clients: 2_000,
                 edges: 8,
                 rounds: 2,
+                threads: 1,
+                trained_fraction: 0.0,
             }],
         )
     } else {
-        (
-            50,
-            vec![
-                Scenario {
-                    clients: 10_000,
-                    edges: 16,
-                    rounds: 5,
-                },
-                Scenario {
-                    clients: 100_000,
-                    edges: 32,
-                    rounds: 5,
-                },
-            ],
-        )
+        let mut s = vec![
+            Scenario {
+                clients: 10_000,
+                edges: 16,
+                rounds: 5,
+                threads: 1,
+                trained_fraction: 0.0,
+            },
+            Scenario {
+                clients: 100_000,
+                edges: 32,
+                rounds: 5,
+                threads: 1,
+                trained_fraction: 0.0,
+            },
+        ];
+        // The 1M-client scenario, one row per thread count. A tiny real
+        // trained fraction (~30 clients per 100k-client round) keeps the
+        // fused train-step kernels in the measured loop.
+        for threads in [1usize, 2, 4] {
+            s.push(Scenario {
+                clients: 1_000_000,
+                edges: 64,
+                rounds: 3,
+                threads,
+                trained_fraction: 0.0003,
+            });
+        }
+        (50, s)
     };
 
     println!(
@@ -213,18 +321,26 @@ fn main() {
     } else {
         (1_000, 2_000, 20_000)
     };
-    gate_streaming(&model, gate_clients);
-    gate_o_model(&model, small, large);
-    gate_determinism(&model, gate_clients);
+    let gate_threads: &[usize] = if smoke { &[2] } else { &[2, 4, 8] };
+    gate_streaming(&model, lstm_units, gate_clients);
+    gate_parallel_bitwise(&model, lstm_units, gate_clients, gate_threads);
+    gate_o_model(&model, lstm_units, small, large);
+    gate_determinism(&model, lstm_units, gate_clients);
 
-    let results: Vec<ScenarioResult> = scenarios.iter().map(|s| time_scenario(s, &model)).collect();
+    let results: Vec<ScenarioResult> = scenarios
+        .iter()
+        .map(|s| time_scenario(s, &model, lstm_units))
+        .collect();
     for r in &results {
         println!(
-            "clients {:>7}  edges {:>3}  sampled/round {:>6}  {:>7.2} rounds/s  peak {:>8} B  \
-             batch-equivalent {:>12} B  ({:>6.0}x)  uplink {:>8.2} MB/round",
+            "clients {:>8}  edges {:>3}  threads {:>2}  sampled/round {:>7}  trained {:>4}  \
+             {:>7.2} rounds/s  peak {:>8} B  batch-equivalent {:>13} B  ({:>7.0}x)  \
+             uplink {:>9.2} MB/round",
             r.clients,
             r.edges,
+            r.threads,
             r.sampled_per_round,
+            r.trained_clients,
             r.rounds_per_sec,
             r.peak_aggregation_bytes,
             r.materialized_equivalent_bytes,
@@ -233,8 +349,19 @@ fn main() {
         );
     }
 
+    // Rows that differ only in thread count must agree byte for byte.
+    for w in results.windows(2) {
+        if w[0].clients == w[1].clients && w[0].edges == w[1].edges && w[0].rounds == w[1].rounds {
+            assert_eq!(
+                w[0].checksum, w[1].checksum,
+                "threads {} and {} disagree on the {}-client checksum",
+                w[0].threads, w[1].threads, w[0].clients
+            );
+        }
+    }
+
     if smoke {
-        println!("smoke ok: streaming exact, peak O(model), runs deterministic");
+        println!("smoke ok: streaming exact, parallel bitwise, peak O(model · workers)");
         return;
     }
 
@@ -250,7 +377,9 @@ fn main() {
                     "      \"clients\": {},\n",
                     "      \"edges\": {},\n",
                     "      \"rounds\": {},\n",
+                    "      \"threads\": {},\n",
                     "      \"sampled_per_round\": {},\n",
+                    "      \"trained_clients\": {},\n",
                     "      \"rounds_per_sec\": {:.3},\n",
                     "      \"peak_aggregation_bytes\": {},\n",
                     "      \"materialized_equivalent_bytes\": {},\n",
@@ -262,7 +391,9 @@ fn main() {
                 r.clients,
                 r.edges,
                 r.rounds,
+                r.threads,
                 r.sampled_per_round,
+                r.trained_clients,
                 r.rounds_per_sec,
                 r.peak_aggregation_bytes,
                 r.materialized_equivalent_bytes,
@@ -276,6 +407,7 @@ fn main() {
         concat!(
             "{{\n",
             "  \"bench\": \"scale\",\n",
+            "  \"schema\": 2,\n",
             "  \"host_cpus\": {},\n",
             "  \"model\": \"forecaster LSTM({})\",\n",
             "  \"model_bytes\": {},\n",

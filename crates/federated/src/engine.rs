@@ -12,6 +12,14 @@
 //! digest byte-identity between the two paths is a property of the code
 //! shape, not a coincidence to re-verify per feature — the loopback
 //! integration suite pins it anyway.
+//!
+//! The large-population path ([`crate::scale`]) deliberately does *not*
+//! implement [`RoundPool`]: it replaces per-client training with
+//! synthesis plus a sampled real-training subset, folds shards on the
+//! [`evfad_tensor::parallel`] pool in waves, and keeps counters instead
+//! of per-client vectors — the O(clients) stats this loop builds are
+//! exactly what it exists to avoid. The two paths share the scheduler,
+//! fault gate, metering, and streaming rules instead.
 
 use crate::client::LocalUpdate;
 use crate::error::FederatedError;

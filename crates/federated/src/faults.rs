@@ -324,12 +324,20 @@ impl FaultPlan {
     /// Seconds a client waits after its `attempt`-th failed upload
     /// (0-based) before retrying: `base * 2^attempt`. The per-step view
     /// of the same schedule [`FaultPlan::backoff_total_seconds`] sums —
-    /// `Σ step(0..failures) == total(failures)` — used by the live TCP
-    /// client, which actually sleeps between attempts instead of having
-    /// the server account the wait in one lump.
+    /// `Σ step(0..failures) == total(failures)` for *every* failure
+    /// count — used by the live TCP client, which actually sleeps between
+    /// attempts instead of having the server account the wait in one lump.
     pub fn backoff_step_seconds(&self, attempt: usize) -> f64 {
-        let doublings = attempt.min(60) as u32;
-        self.backoff_base_seconds * (1u64 << doublings) as f64
+        // Saturate consistently with the total: the total's exponent caps
+        // at 60, so past that point the schedule stops growing and every
+        // further step contributes zero wait. Capping the *step* at
+        // `base * 2^60` instead would both break the sum identity above
+        // and (uncapped) overflow the shift, panicking in debug builds
+        // from attempt 64 on.
+        if attempt >= 60 {
+            return 0.0;
+        }
+        self.backoff_base_seconds * (1u64 << attempt as u32) as f64
     }
 }
 
@@ -619,10 +627,26 @@ mod tests {
         // The live client sleeps step by step; the engine accounts the
         // lump sum. Both views of the schedule must agree exactly.
         let plan = FaultPlan::new(0).with_retry(8, 0.25);
-        for failures in 0..12 {
+        for failures in (0..12).chain([59, 60, 61, 63, 64, 100, 200]) {
             let stepped: f64 = (0..failures).map(|a| plan.backoff_step_seconds(a)).sum();
             assert_eq!(stepped, plan.backoff_total_seconds(failures), "{failures}");
         }
+    }
+
+    #[test]
+    fn backoff_step_saturates_past_the_exponent_cap() {
+        // Regression: a shift by the raw attempt count would wrap (or
+        // panic in debug) from attempt 64 on, and a per-step cap at
+        // `base * 2^60` would let the stepped sum race past the saturated
+        // total. Past the cap the schedule is flat: zero extra wait.
+        let plan = FaultPlan::new(0).with_retry(8, 1.5);
+        assert_eq!(plan.backoff_step_seconds(59), 1.5 * (1u64 << 59) as f64);
+        for attempt in [60usize, 63, 64, 65, 127, 10_000] {
+            let step = plan.backoff_step_seconds(attempt);
+            assert!(step.is_finite(), "attempt {attempt}");
+            assert_eq!(step, 0.0, "attempt {attempt}: schedule must stay flat");
+        }
+        assert!(plan.backoff_total_seconds(10_000).is_finite());
     }
 
     #[test]

@@ -1,5 +1,6 @@
-//! Hierarchical large-population federation: 10k–100k lightweight clients,
-//! edge-tier streaming aggregation, O(model) server memory.
+//! Hierarchical large-population federation: 10k–1M lightweight clients,
+//! parallel edge-tier streaming aggregation, O(model · workers) server
+//! memory.
 //!
 //! The in-process [`crate::FederatedSimulation`] trains real models and
 //! tops out at a few hundred clients. This engine scales the *protocol* —
@@ -7,9 +8,12 @@
 //! by replacing full clients with [`ClientSpec`]s: a zone profile drawn
 //! from the data generator ([`evfad_data::ZoneProfile`]), a sample count,
 //! and a seed, from which each round's update is synthesised
-//! deterministically around the current global model.
+//! deterministically around the current global model. A configurable
+//! sampled subset ([`ScaleConfig::trained_fraction`]) runs *real* tiny
+//! local training instead ([`ScaleTrainer`]), so scale runs exercise the
+//! fused train-step kernels rather than pure synthesis.
 //!
-//! # Topology and memory
+//! # Topology, parallelism, and memory
 //!
 //! Clients are partitioned into `edges` contiguous shards. Each round:
 //!
@@ -23,13 +27,25 @@
 //!    same fault model, keyed by ids `"edge-0"`, `"edge-1"`, …;
 //! 4. the root streams the edge partials into the next global model.
 //!
-//! Shards are processed sequentially, so live aggregation state is one
-//! root accumulator plus one edge accumulator — O(model), independent of
-//! the population. The batch path would materialise every kept update:
-//! O(clients × model). Both numbers are reported per run
+//! Shard folds are mutually independent, so step 3 fans out across the
+//! deterministic [`evfad_tensor::parallel`] worker pool in *waves* of
+//! [`ScaleConfig::threads`] shards: each wave folds up to `threads`
+//! shards concurrently (one task per shard), then the root ingests the
+//! wave's partials in **strict edge-index order** before the next wave
+//! starts. Only the root fold is order-sensitive, and its order never
+//! depends on scheduling, so the result is **bitwise identical to the
+//! serial run at every thread count** — the same guarantee the tensor
+//! kernels pin.
+//!
+//! Live aggregation state is one root accumulator plus at most
+//! `min(threads, edges)` concurrent edge accumulators (a finished fold's
+//! partial replaces its accumulator, same footprint): O(model · workers),
+//! independent of the population. The batch path would materialise every
+//! kept update: O(clients × model). Both numbers are reported per run
 //! ([`ScaleOutcome::peak_aggregation_bytes`] vs
 //! [`ScaleOutcome::materialized_equivalent_bytes`]) and gated by
-//! `bench_scale`.
+//! `bench_scale`; [`ScaleConfig::verify_streaming`] additionally asserts
+//! in-run that no accumulator grows after its first ingest.
 //!
 //! With `edges: 1` and FedAvg the hierarchy degenerates to the flat
 //! streaming fold, which is bitwise-identical to the batch rule
@@ -48,7 +64,8 @@ use crate::server::{Disposition, FaultGate};
 use crate::transport::{MeteredChannel, TrafficTotals};
 use crate::wire;
 use evfad_data::{Zone, ZoneProfile};
-use evfad_tensor::Matrix;
+use evfad_nn::{Sample, Sequential, TrainConfig};
+use evfad_tensor::{parallel, Matrix};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -71,6 +88,21 @@ pub struct ScaleConfig {
     pub aggregator: Aggregator,
     /// Seed for sampling, update synthesis, and population derivation.
     pub seed: u64,
+    /// Edge fan-out width: how many shard folds may run concurrently on
+    /// the [`evfad_tensor::parallel`] worker pool. `1` = serial, `0` =
+    /// inherit the process-wide pool width (see
+    /// [`ScaleConfig::effective_threads`]). Results are bitwise identical
+    /// for every setting; [`Default`] is `1` (serial), so configs predating
+    /// the fan-out reproduce bit-for-bit and host-independently.
+    #[serde(default)]
+    pub threads: usize,
+    /// Fraction of *kept* clients per round that run real local training
+    /// through the engine's [`ScaleTrainer`] instead of synthesising
+    /// their update, in `[0, 1]`. Selection is a pure Bernoulli draw per
+    /// `(seed, round, client)`. Requires [`ScaleEngine::with_trainer`]
+    /// when non-zero.
+    #[serde(default)]
+    pub trained_fraction: f64,
     /// Client-tier fault plan. Wildcard (`"*"`) probability rules express
     /// population-level drop-out/straggler/corruption rates.
     #[serde(default)]
@@ -99,6 +131,8 @@ impl Default for ScaleConfig {
             edges: 16,
             aggregator: Aggregator::FedAvg,
             seed: 0,
+            threads: 1,
+            trained_fraction: 0.0,
             faults: None,
             edge_faults: None,
             verify_streaming: false,
@@ -160,6 +194,12 @@ impl ScaleConfig {
                 ));
             }
         }
+        if !(self.trained_fraction >= 0.0 && self.trained_fraction <= 1.0) {
+            return Err(bad(
+                "trained_fraction",
+                format!("must be in [0, 1], got {}", self.trained_fraction),
+            ));
+        }
         if let Some(plan) = &self.faults {
             plan.validate()?;
         }
@@ -167,6 +207,19 @@ impl ScaleConfig {
             plan.validate()?;
         }
         Ok(())
+    }
+
+    /// The edge fan-out width a run will use: `threads` itself, or — when
+    /// `threads == 0` — the process-wide [`parallel::threads`], the same
+    /// knob `FederatedConfig.threads` installs at the start of a
+    /// simulation run. The two therefore compose: a simulation configures
+    /// the pool once and a scale run with `threads: 0` inherits it.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            parallel::threads()
+        } else {
+            self.threads
+        }
     }
 }
 
@@ -230,6 +283,10 @@ pub struct ScaleRoundStats {
     /// Updates corrupted in flight (and still aggregated — robustness is
     /// the aggregator's job).
     pub corrupted: usize,
+    /// Kept clients that ran real local training this round (the
+    /// [`ScaleConfig::trained_fraction`] subset; the rest synthesised).
+    #[serde(default)]
+    pub trained: usize,
     /// Edge partials the root aggregated.
     pub edges_kept: usize,
     /// Shards lost on the edge→root hop (edge drop-out/timeout).
@@ -238,7 +295,9 @@ pub struct ScaleRoundStats {
     pub uplink_bytes: usize,
     /// Root→client broadcast bytes (zero in round 0).
     pub downlink_bytes: usize,
-    /// Peak live aggregation state this round (root + one edge).
+    /// Peak live aggregation state this round: the root accumulator plus
+    /// one edge accumulator per concurrently active fold (at most
+    /// `min(threads, edges)`).
     pub peak_state_bytes: usize,
     /// Wall-clock duration of the round on this host.
     #[serde(skip, default)]
@@ -255,7 +314,8 @@ pub struct ScaleOutcome {
     /// Bytes/messages exchanged across both tiers.
     pub traffic: TrafficTotals,
     /// Peak live streaming-aggregation state across the run — the number
-    /// `bench_scale` reports. O(model), independent of the population.
+    /// `bench_scale` reports. O(model · workers), independent of the
+    /// population.
     pub peak_aggregation_bytes: usize,
     /// What the batch path would have held at its worst round:
     /// `max_round(kept clients) × model bytes`. The streaming win is the
@@ -291,21 +351,120 @@ enum EdgeForward {
     },
 }
 
-/// Mutable per-round bookkeeping threaded through [`ScaleEngine::stream_shard`].
-struct RoundScratch {
-    /// Largest live aggregation state seen this round (root + edge).
-    round_peak: usize,
-    /// Wire bytes uplinked this round, retries included.
-    uplink_bytes: usize,
-    /// Accumulated simulated straggler wait (discarded — the scale engine
-    /// reports wall-clock only).
-    timeout_wait: f64,
-    /// Whether kept updates are also materialised for the batch check.
-    verify: bool,
-    /// Reusable event buffer for `dispose` (cleared after every shard —
-    /// event-level telemetry would be O(clients)).
-    events: Vec<FaultEvent>,
-    /// Every kept update, materialised only under `verify`.
+/// Real local training for the [`ScaleConfig::trained_fraction`] subset:
+/// a pristine model template plus a tiny, deterministic per-client
+/// forecasting task (a zone-shaped daily wave with per-client phase and
+/// zone-scaled noise). A selected client clones the template fresh each
+/// round — optimizer state (Adam moments) lives on the [`Sequential`], so
+/// sharing one instance across clients would make results depend on
+/// training order.
+///
+/// The dataset is deliberately small (default 8 windows, 1 epoch): the
+/// point is to run the *real* fused train-step kernels inside the scale
+/// path, not to converge a model per client.
+#[derive(Debug, Clone)]
+pub struct ScaleTrainer {
+    /// Architecture template; its weights are replaced by each round's
+    /// global model before training.
+    model: Sequential,
+    /// Input window length (the model consumes `lookback x 1` sequences).
+    lookback: usize,
+    /// Synthetic windows per client per round.
+    samples_per_client: usize,
+    /// The (tiny) local schedule.
+    train: TrainConfig,
+}
+
+impl ScaleTrainer {
+    /// A trainer over `model`, consuming `lookback x 1` input windows.
+    /// Defaults to 8 windows and a single epoch per client per round.
+    pub fn new(model: Sequential, lookback: usize) -> Self {
+        Self {
+            model,
+            lookback: lookback.max(1),
+            samples_per_client: 8,
+            train: TrainConfig {
+                epochs: 1,
+                batch_size: 8,
+                shuffle: false,
+                ..TrainConfig::default()
+            },
+        }
+    }
+
+    /// Overrides the per-client synthetic dataset size.
+    pub fn with_samples(mut self, samples: usize) -> Self {
+        self.samples_per_client = samples.max(1);
+        self
+    }
+
+    /// Trains one client for one round: fresh model clone, global weights
+    /// in, a deterministic `(seed, round, index)`-keyed dataset, one tiny
+    /// fit. Pure — no engine state is touched, so folds can call this
+    /// from any worker thread.
+    fn train_update(
+        &self,
+        spec: &ClientSpec,
+        round: usize,
+        seed: u64,
+        global: &[Matrix],
+    ) -> Result<LocalUpdate, FederatedError> {
+        let mut model = self.model.clone();
+        model
+            .set_weights(global)
+            .map_err(|e| FederatedError::Aggregation(format!("scale trainer: {e}")))?;
+        let key = fnv1a(&[0xda7a, round as u64, spec.index as u64]);
+        let mut rng = StdRng::seed_from_u64(seed ^ key);
+        let n = self.samples_per_client;
+        let phase = (spec.index % 24) as f64;
+        let noise = spec.amplitude.min(0.25);
+        let series: Vec<f64> = (0..self.lookback + n)
+            .map(|t| {
+                let hour = (t as f64 + phase) % 24.0;
+                let daily = (std::f64::consts::TAU * hour / 24.0).sin();
+                0.5 + 0.35 * daily + noise * (rng.gen::<f64>() - 0.5)
+            })
+            .collect();
+        let samples: Vec<Sample> = (0..n)
+            .map(|i| {
+                Sample::new(
+                    Matrix::column_vector(&series[i..i + self.lookback]),
+                    Matrix::from_vec(1, 1, vec![series[i + self.lookback]]),
+                )
+            })
+            .collect();
+        let history = model
+            .fit(&samples, &self.train)
+            .map_err(|e| FederatedError::Aggregation(format!("scale trainer: {e}")))?;
+        Ok(LocalUpdate {
+            client_id: spec.id(),
+            weights: model.weights(),
+            // Keep the spec's FedAvg weight: the pre-pass sized the
+            // accumulators from it before training ran.
+            sample_count: spec.sample_count,
+            train_loss: history.final_train_loss().unwrap_or(f64::NAN),
+            duration: Duration::ZERO,
+            simulated_extra_seconds: 0.0,
+        })
+    }
+}
+
+/// What one edge-shard fold returns from the parallel fan-out: everything
+/// the join needs, nothing that aliases the engine.
+struct EdgeFold {
+    /// The shard aggregate (pending the edge→root forward decision), or
+    /// the first error the fold hit. Errors surface at the join in
+    /// edge-index order, exactly where a serial run would report them.
+    partial: Result<Vec<Matrix>, FederatedError>,
+    /// Largest live accumulator state during this fold.
+    peak_state: usize,
+    /// Whether the accumulator held a constant size after its first
+    /// ingest — the in-run half of the O(model · workers) bound, checked
+    /// under [`ScaleConfig::verify_streaming`].
+    state_stable: bool,
+    /// Kept clients that ran real local training in this shard.
+    trained: usize,
+    /// Kept updates, materialised only under `verify_streaming`.
     batch_reference: Vec<LocalUpdate>,
 }
 
@@ -332,6 +491,7 @@ pub struct ScaleEngine {
     template: Vec<Matrix>,
     population: Vec<ClientSpec>,
     channel: MeteredChannel,
+    trainer: Option<ScaleTrainer>,
 }
 
 impl ScaleEngine {
@@ -356,7 +516,27 @@ impl ScaleEngine {
             template,
             population,
             channel: MeteredChannel::new(),
+            trainer: None,
         })
+    }
+
+    /// Installs the real-training path for the
+    /// [`ScaleConfig::trained_fraction`] subset.
+    ///
+    /// # Errors
+    ///
+    /// [`FederatedError::Aggregation`] when the trainer's model cannot
+    /// take the engine's template weights (shape mismatch) — caught here
+    /// rather than mid-run on a worker thread.
+    pub fn with_trainer(mut self, trainer: ScaleTrainer) -> Result<Self, FederatedError> {
+        let mut probe = trainer.model.clone();
+        probe.set_weights(&self.template).map_err(|e| {
+            FederatedError::Aggregation(format!(
+                "scale trainer model does not fit the engine template: {e}"
+            ))
+        })?;
+        self.trainer = Some(trainer);
+        Ok(self)
     }
 
     /// The derived population specs.
@@ -401,53 +581,98 @@ impl ScaleEngine {
         }
     }
 
+    /// Pure per-`(seed, round, client)` Bernoulli draw selecting the
+    /// real-training subset among kept clients. Independent of fault
+    /// decisions and of every other client — thread-free by construction.
+    fn trains_this_round(&self, index: usize, round: usize) -> bool {
+        if self.trainer.is_none() || self.config.trained_fraction <= 0.0 {
+            return false;
+        }
+        let key = fnv1a(&[0xf17ed, round as u64, index as u64]);
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ key);
+        rng.gen::<f64>() < self.config.trained_fraction
+    }
+
     /// Streams one shard's kept updates through a fresh accumulator and
-    /// returns the shard aggregate. Shared by the flat path (where the
-    /// result *is* the next global) and the hierarchical path (where it
-    /// becomes an edge partial). `plan` entries are the pure pre-pass
-    /// decisions; `dispose` re-derives them identically while recording
-    /// side effects.
-    #[allow(clippy::too_many_arguments)]
-    fn stream_shard(
-        &mut self,
+    /// returns the shard aggregate plus the join's bookkeeping. Shared by
+    /// the flat path (where the result *is* the next global) and the
+    /// hierarchical path (where it becomes an edge partial).
+    ///
+    /// This is the unit of parallel work: it takes `&self` only, touches
+    /// no channel or round state, and synthesises/trains, disposes, and
+    /// ingests in shard order — so a fold's output is a pure function of
+    /// its inputs and identical on every thread. `plan` entries are the
+    /// pure pre-pass decisions; `dispose` re-derives them identically
+    /// while recording (discarded) side effects. Metering happens at the
+    /// join, from the same plan.
+    fn fold_shard(
+        &self,
         round: usize,
         global: &[Matrix],
         plan: &[(usize, Option<FaultKind>, usize)],
         shard_total: f64,
         gate: &FaultGate,
-        update_bytes: usize,
-        root_bytes: usize,
-        scratch: &mut RoundScratch,
-    ) -> Result<Vec<Matrix>, FederatedError> {
+        verify: bool,
+    ) -> EdgeFold {
         let mut agg = self
             .config
             .aggregator
             .streaming(shard_total, plan.len())
             .expect("validated streamable");
-        for &(ci, fault, attempts) in plan {
-            let mut update = {
-                let spec = &self.population[ci];
+        // Event/wait sinks: the scale engine keeps counters, not O(clients)
+        // event telemetry, and reports wall-clock only.
+        let mut events: Vec<FaultEvent> = Vec::new();
+        let mut timeout_wait = 0.0_f64;
+        let mut fold = EdgeFold {
+            partial: Ok(Vec::new()),
+            peak_state: 0,
+            state_stable: true,
+            trained: 0,
+            batch_reference: Vec::new(),
+        };
+        let mut settled_state = 0usize;
+        for &(ci, fault, _attempts) in plan {
+            let spec = &self.population[ci];
+            let mut update = if self.trains_this_round(ci, round) {
+                fold.trained += 1;
+                let trainer = self.trainer.as_ref().expect("trains_this_round gated");
+                match trainer.train_update(spec, round, self.config.seed, global) {
+                    Ok(update) => update,
+                    Err(e) => {
+                        fold.partial = Err(e);
+                        return fold;
+                    }
+                }
+            } else {
                 self.synth_update(spec, round, global)
             };
             let disposed = gate.dispose(
                 round,
                 fault,
                 &mut update,
-                &mut scratch.events,
-                &mut scratch.timeout_wait,
+                &mut events,
+                &mut timeout_wait,
                 true,
             );
             debug_assert!(matches!(disposed, Disposition::Keep { .. }));
-            self.channel.record_attempts_bytes(update_bytes, attempts);
-            scratch.uplink_bytes += update_bytes * attempts;
-            agg.ingest(&update)?;
-            scratch.round_peak = scratch.round_peak.max(root_bytes + agg.state_bytes());
-            if scratch.verify {
-                scratch.batch_reference.push(update);
+            events.clear();
+            if let Err(e) = agg.ingest(&update) {
+                fold.partial = Err(e);
+                return fold;
+            }
+            let state = agg.state_bytes();
+            if settled_state == 0 {
+                settled_state = state;
+            } else if state != settled_state {
+                fold.state_stable = false;
+            }
+            fold.peak_state = fold.peak_state.max(state);
+            if verify {
+                fold.batch_reference.push(update);
             }
         }
-        scratch.events.clear();
-        agg.finish()
+        fold.partial = agg.finish();
+        fold
     }
 
     /// Runs the full schedule.
@@ -462,6 +687,16 @@ impl ScaleEngine {
     ///   budget) or a failed [`ScaleConfig::verify_streaming`] check.
     pub fn run(&mut self) -> Result<ScaleOutcome, FederatedError> {
         self.config.validate()?;
+        if self.config.trained_fraction > 0.0 && self.trainer.is_none() {
+            return Err(FederatedError::InvalidConfig {
+                field: "trained_fraction".to_string(),
+                message: format!(
+                    "{} of kept clients should train for real, but no trainer is \
+                     installed (ScaleEngine::with_trainer)",
+                    self.config.trained_fraction
+                ),
+            });
+        }
         self.channel.reset();
         let start = Instant::now();
         let cfg = self.config.clone();
@@ -473,10 +708,12 @@ impl ScaleEngine {
         let update_bytes = wire::encoded_size(&global);
         let model_bytes: usize = global.iter().map(|m| m.len() * 8).sum();
         let verify = cfg.verify_streaming && cfg.edge_faults.is_none();
+        // Wave width for the parallel fan-out: at most this many shard
+        // folds (and thus live edge accumulators) exist at once.
+        let fanout = cfg.effective_threads().max(1).min(cfg.edges);
         let mut rounds = Vec::with_capacity(cfg.rounds);
         let mut peak_aggregation_bytes = 0usize;
         let mut materialized_equivalent_bytes = 0usize;
-        let mut scratch_events: Vec<FaultEvent> = Vec::new();
 
         for round in 0..cfg.rounds {
             let round_start = Instant::now();
@@ -537,139 +774,192 @@ impl ScaleEngine {
                 });
             }
 
+            // Edge-tier pre-pass (pure): which partials will reach the
+            // root. The flat topology has no forward hop — its single
+            // shard's aggregate *is* the next global.
+            let forwards: Option<Vec<EdgeForward>> = if cfg.edges == 1 {
+                None
+            } else {
+                Some(
+                    (0..cfg.edges)
+                        .map(|e| {
+                            if shard_kept[e].is_empty() {
+                                return EdgeForward::Empty;
+                            }
+                            let fault = edge_gate.fault_for(round, &format!("edge-{e}"));
+                            if matches!(fault, Some(FaultKind::DropOut)) {
+                                return EdgeForward::Dropped;
+                            }
+                            match edge_gate.decide(fault) {
+                                Disposition::Keep { attempts } => {
+                                    EdgeForward::Keep { fault, attempts }
+                                }
+                                Disposition::Waste { attempts } => EdgeForward::Waste { attempts },
+                            }
+                        })
+                        .collect(),
+                )
+            };
+            let mut root = match &forwards {
+                None => None,
+                Some(forwards) => {
+                    let root_expected = forwards
+                        .iter()
+                        .filter(|f| matches!(f, EdgeForward::Keep { .. }))
+                        .count();
+                    if root_expected == 0 {
+                        return Err(FederatedError::InsufficientParticipants {
+                            round,
+                            survivors: 0,
+                            required: gate.min_participants.max(1),
+                        });
+                    }
+                    let root_total: f64 = forwards
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, f)| matches!(f, EdgeForward::Keep { .. }))
+                        .map(|(e, _)| shard_samples[e])
+                        .sum();
+                    Some(
+                        cfg.aggregator
+                            .streaming(root_total, root_expected)
+                            .expect("validated streamable"),
+                    )
+                }
+            };
+
+            // Main pass: fold the shards in waves of `fanout` across the
+            // worker pool, then join every wave at the root in strict
+            // edge-index order. At most `fanout` edge accumulators are
+            // live at once (a chunk holds one shard at a time), and the
+            // root ingest order is a pure function of the edge index —
+            // bitwise identical at every thread count.
             let mut aggregated = 0usize;
             let mut edges_kept = 0usize;
             let mut edges_lost = 0usize;
-            let mut scratch = RoundScratch {
-                round_peak: 0,
-                uplink_bytes,
-                timeout_wait: 0.0,
-                verify,
-                events: std::mem::take(&mut scratch_events),
-                batch_reference: Vec::new(),
-            };
-
-            let next_global = if cfg.edges == 1 {
-                // Flat: the single shard streams straight into the root
-                // accumulator — no forward hop, no partial. For FedAvg this
-                // is the exact batch fold, bit for bit.
-                let g = self.stream_shard(
-                    round,
-                    &global,
-                    &shard_kept[0],
-                    shard_samples[0],
-                    &gate,
-                    update_bytes,
-                    0,
-                    &mut scratch,
-                )?;
-                aggregated = shard_kept[0].len();
-                edges_kept = 1;
-                g
-            } else {
-                // Edge-tier pre-pass: which partials will reach the root.
-                let forwards: Vec<EdgeForward> = (0..cfg.edges)
-                    .map(|e| {
-                        if shard_kept[e].is_empty() {
-                            return EdgeForward::Empty;
-                        }
-                        let fault = edge_gate.fault_for(round, &format!("edge-{e}"));
-                        if matches!(fault, Some(FaultKind::DropOut)) {
-                            return EdgeForward::Dropped;
-                        }
-                        match edge_gate.decide(fault) {
-                            Disposition::Keep { attempts } => EdgeForward::Keep { fault, attempts },
-                            Disposition::Waste { attempts } => EdgeForward::Waste { attempts },
-                        }
-                    })
-                    .collect();
-                let root_expected = forwards
-                    .iter()
-                    .filter(|f| matches!(f, EdgeForward::Keep { .. }))
-                    .count();
-                if root_expected == 0 {
-                    return Err(FederatedError::InsufficientParticipants {
-                        round,
-                        survivors: 0,
-                        required: gate.min_participants.max(1),
-                    });
-                }
-                let root_total: f64 = forwards
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, f)| matches!(f, EdgeForward::Keep { .. }))
-                    .map(|(e, _)| shard_samples[e])
-                    .sum();
-
-                // Main pass: one edge accumulator live at a time, the root
-                // accumulator underneath — O(model) total.
-                let mut root = cfg
-                    .aggregator
-                    .streaming(root_total, root_expected)
-                    .expect("validated streamable");
-                for (e, forward) in forwards.iter().enumerate() {
-                    if matches!(forward, EdgeForward::Empty) {
-                        continue;
+            let mut trained = 0usize;
+            let mut round_peak_edge = 0usize;
+            let mut batch_reference: Vec<LocalUpdate> = Vec::new();
+            let mut flat_global: Option<Vec<Matrix>> = None;
+            let mut slots: Vec<Option<EdgeFold>> = Vec::with_capacity(fanout);
+            let mut wave_start = 0usize;
+            while wave_start < cfg.edges {
+                let wave = fanout.min(cfg.edges - wave_start);
+                slots.clear();
+                slots.resize_with(wave, || None);
+                parallel::distribute(&mut slots, wave, |k, slot| {
+                    let e = wave_start + k;
+                    // Empty hierarchical shards have nothing to fold; the
+                    // flat shard always folds so an empty round surfaces
+                    // the streaming rule's own error.
+                    if shard_kept[e].is_empty() && cfg.edges > 1 {
+                        return;
                     }
-                    let partial_weights = self.stream_shard(
+                    *slot = Some(self.fold_shard(
                         round,
                         &global,
                         &shard_kept[e],
                         shard_samples[e],
                         &gate,
-                        update_bytes,
-                        root.state_bytes(),
-                        &mut scratch,
-                    )?;
-                    let mut partial = LocalUpdate {
-                        client_id: format!("edge-{e}"),
-                        weights: partial_weights,
-                        sample_count: shard_samples[e] as usize,
-                        train_loss: 0.0,
-                        duration: Duration::ZERO,
-                        simulated_extra_seconds: 0.0,
+                        verify,
+                    ));
+                });
+                for (k, slot) in slots.iter_mut().enumerate() {
+                    let e = wave_start + k;
+                    let Some(fold) = slot.take() else {
+                        continue; // empty shard
                     };
-                    match *forward {
-                        EdgeForward::Empty => unreachable!("skipped above"),
-                        EdgeForward::Dropped => edges_lost += 1,
-                        EdgeForward::Waste { attempts } => {
-                            edges_lost += 1;
-                            self.channel.record_attempts_bytes(update_bytes, attempts);
-                            scratch.uplink_bytes += update_bytes * attempts;
-                        }
-                        EdgeForward::Keep { fault, attempts } => {
-                            let mut edge_wait = 0.0f64;
-                            edge_gate.dispose(
-                                round,
-                                fault,
-                                &mut partial,
-                                &mut scratch.events,
-                                &mut edge_wait,
-                                true,
-                            );
-                            scratch.events.clear();
-                            self.channel.record_attempts_bytes(update_bytes, attempts);
-                            scratch.uplink_bytes += update_bytes * attempts;
-                            root.ingest(&partial)?;
-                            edges_kept += 1;
-                            aggregated += shard_kept[e].len();
-                        }
+                    // Kept clients' uploads crossed the channel whatever
+                    // the edge's fate — meter them from the same plan the
+                    // fold saw, in shard order.
+                    for &(_, _, attempts) in &shard_kept[e] {
+                        self.channel.record_attempts_bytes(update_bytes, attempts);
+                        uplink_bytes += update_bytes * attempts;
                     }
-                    scratch.round_peak = scratch.round_peak.max(root.state_bytes());
+                    trained += fold.trained;
+                    round_peak_edge = round_peak_edge.max(fold.peak_state);
+                    if verify && !fold.state_stable {
+                        return Err(FederatedError::Aggregation(format!(
+                            "round {round}: edge {e} accumulator grew after its first \
+                             ingest — the O(model · workers) bound is broken"
+                        )));
+                    }
+                    let partial_weights = fold.partial?;
+                    if verify {
+                        batch_reference.extend(fold.batch_reference);
+                    }
+                    match (&mut root, &forwards) {
+                        (None, _) => {
+                            // Flat: the shard aggregate is the next global.
+                            aggregated += shard_kept[e].len();
+                            edges_kept += 1;
+                            flat_global = Some(partial_weights);
+                        }
+                        (Some(root), Some(forwards)) => match forwards[e] {
+                            EdgeForward::Empty => unreachable!("empty shards leave no fold"),
+                            EdgeForward::Dropped => edges_lost += 1,
+                            EdgeForward::Waste { attempts } => {
+                                edges_lost += 1;
+                                self.channel.record_attempts_bytes(update_bytes, attempts);
+                                uplink_bytes += update_bytes * attempts;
+                            }
+                            EdgeForward::Keep { fault, attempts } => {
+                                let mut partial = LocalUpdate {
+                                    client_id: format!("edge-{e}"),
+                                    weights: partial_weights,
+                                    sample_count: shard_samples[e] as usize,
+                                    train_loss: 0.0,
+                                    duration: Duration::ZERO,
+                                    simulated_extra_seconds: 0.0,
+                                };
+                                let mut edge_events: Vec<FaultEvent> = Vec::new();
+                                let mut edge_wait = 0.0f64;
+                                edge_gate.dispose(
+                                    round,
+                                    fault,
+                                    &mut partial,
+                                    &mut edge_events,
+                                    &mut edge_wait,
+                                    true,
+                                );
+                                self.channel.record_attempts_bytes(update_bytes, attempts);
+                                uplink_bytes += update_bytes * attempts;
+                                root.ingest(&partial)?;
+                                edges_kept += 1;
+                                aggregated += shard_kept[e].len();
+                            }
+                        },
+                        (Some(_), None) => unreachable!("root implies forwards"),
+                    }
                 }
-                root.finish()?
+                wave_start += wave;
+            }
+
+            // Peak live state this round: the root accumulator plus one
+            // edge accumulator per concurrently active fold. `active` is
+            // exact, not a bound: waves are `fanout` wide and a chunk
+            // never holds more than one shard.
+            let nonempty = shard_kept.iter().filter(|plan| !plan.is_empty()).count();
+            let active = fanout.min(nonempty.max(1));
+            let (next_global, root_state) = match root {
+                None => (flat_global.expect("flat shard always folds"), 0),
+                Some(root) => {
+                    let state = root.state_bytes();
+                    (root.finish()?, state)
+                }
             };
+            let round_peak = root_state + active * round_peak_edge;
             if verify {
                 check_against_batch(
                     cfg.aggregator,
                     cfg.edges,
-                    &scratch.batch_reference,
+                    &batch_reference,
                     &next_global,
                     round,
                 )?;
             }
             global = next_global;
-            peak_aggregation_bytes = peak_aggregation_bytes.max(scratch.round_peak);
+            peak_aggregation_bytes = peak_aggregation_bytes.max(round_peak);
             materialized_equivalent_bytes =
                 materialized_equivalent_bytes.max(kept_total * model_bytes);
             rounds.push(ScaleRoundStats {
@@ -679,14 +969,14 @@ impl ScaleEngine {
                 dropped,
                 wasted,
                 corrupted,
+                trained,
                 edges_kept,
                 edges_lost,
-                uplink_bytes: scratch.uplink_bytes,
+                uplink_bytes,
                 downlink_bytes,
-                peak_state_bytes: scratch.round_peak,
+                peak_state_bytes: round_peak,
                 duration: round_start.elapsed(),
             });
-            scratch_events = scratch.events;
         }
 
         Ok(ScaleOutcome {
@@ -993,6 +1283,197 @@ mod tests {
             },
             "edges",
         );
+    }
+
+    /// Zeroes the one legitimately thread-dependent stat so round stats
+    /// can be compared across thread counts.
+    fn stats_without_peak(rounds: &[ScaleRoundStats]) -> String {
+        let stripped: Vec<ScaleRoundStats> = rounds
+            .iter()
+            .map(|r| ScaleRoundStats {
+                peak_state_bytes: 0,
+                ..r.clone()
+            })
+            .collect();
+        serde_json::to_string(&stripped).expect("serialize")
+    }
+
+    #[test]
+    fn parallel_fanout_is_bitwise_identical_to_serial() {
+        let plan = FaultPlan::new(2)
+            .with_rule(
+                "*",
+                RoundSelector::Probability { p: 0.15 },
+                FaultKind::DropOut,
+            )
+            .with_rule(
+                "*",
+                RoundSelector::Probability { p: 0.05 },
+                FaultKind::Transient { failures: 2 },
+            );
+        let run = |threads: usize| {
+            let mut e = ScaleEngine::new(
+                template(),
+                ScaleConfig {
+                    threads,
+                    faults: Some(plan.clone()),
+                    ..cfg(2_000, 8)
+                },
+            )
+            .expect("engine");
+            e.run().expect("run")
+        };
+        let serial = run(1);
+        for threads in [2usize, 4, 8, 16] {
+            let par = run(threads);
+            assert_eq!(
+                par.weights_checksum(),
+                serial.weights_checksum(),
+                "threads={threads}"
+            );
+            assert_eq!(par.traffic, serial.traffic, "threads={threads}");
+            assert_eq!(
+                stats_without_peak(&par.rounds),
+                stats_without_peak(&serial.rounds),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn peak_state_grows_with_workers_not_population() {
+        let run = |clients: usize, threads: usize| {
+            let mut e = ScaleEngine::new(
+                template(),
+                ScaleConfig {
+                    threads,
+                    verify_streaming: true,
+                    ..cfg(clients, 8)
+                },
+            )
+            .expect("engine");
+            e.run().expect("run")
+        };
+        // FedAvg: root + min(threads, edges) live edge accumulators.
+        let serial = run(2_000, 1);
+        assert_eq!(serial.peak_aggregation_bytes, 2 * serial.model_bytes);
+        let par = run(2_000, 4);
+        assert_eq!(par.peak_aggregation_bytes, 5 * par.model_bytes);
+        // Population-invariant at a fixed worker count.
+        let wide = run(8_000, 4);
+        assert_eq!(wide.peak_aggregation_bytes, par.peak_aggregation_bytes);
+    }
+
+    #[test]
+    fn real_training_runs_in_the_loop_and_stays_deterministic() {
+        let model = evfad_nn::forecaster_model(4, 7);
+        let weights = model.weights();
+        let mk = |threads: usize, trained_fraction: f64| {
+            let c = ScaleConfig {
+                clients: 300,
+                rounds: 2,
+                edges: 4,
+                threads,
+                trained_fraction,
+                ..ScaleConfig::default()
+            };
+            ScaleEngine::new(weights.clone(), c)
+                .expect("engine")
+                .with_trainer(ScaleTrainer::new(model.clone(), 6).with_samples(4))
+                .expect("trainer fits the template")
+        };
+        let a = mk(1, 0.2).run().expect("run");
+        let b = mk(1, 0.2).run().expect("run");
+        assert_eq!(a.weights_checksum(), b.weights_checksum());
+        assert!(a.rounds.iter().all(|r| r.trained > 0));
+        assert!(a.rounds.iter().all(|r| r.trained < r.aggregated));
+        assert!(a.global_weights.iter().all(Matrix::is_finite));
+        // The parallel fan-out trains the same clients with the same
+        // data: bitwise-identical global.
+        let par = mk(4, 0.2).run().expect("run");
+        assert_eq!(par.weights_checksum(), a.weights_checksum());
+        assert_eq!(
+            stats_without_peak(&par.rounds),
+            stats_without_peak(&a.rounds)
+        );
+        // And the trained subset genuinely moves the model relative to
+        // pure synthesis.
+        let synth_only = mk(1, 0.0).run().expect("run");
+        assert!(synth_only.rounds.iter().all(|r| r.trained == 0));
+        assert_ne!(synth_only.weights_checksum(), a.weights_checksum());
+    }
+
+    #[test]
+    fn trained_fraction_without_trainer_is_rejected() {
+        let mut e = ScaleEngine::new(
+            template(),
+            ScaleConfig {
+                trained_fraction: 0.5,
+                ..cfg(100, 2)
+            },
+        )
+        .expect("engine");
+        match e.run().unwrap_err() {
+            FederatedError::InvalidConfig { field, .. } => assert_eq!(field, "trained_fraction"),
+            other => panic!("expected InvalidConfig, got {other}"),
+        }
+    }
+
+    #[test]
+    fn trained_fraction_out_of_range_is_rejected() {
+        for bad_value in [-0.1, 1.5, f64::NAN, f64::INFINITY] {
+            let err = ScaleConfig {
+                trained_fraction: bad_value,
+                ..ScaleConfig::default()
+            }
+            .validate()
+            .unwrap_err();
+            match err {
+                FederatedError::InvalidConfig { field, .. } => {
+                    assert_eq!(field, "trained_fraction", "value {bad_value}");
+                }
+                other => panic!("expected InvalidConfig for {bad_value}, got {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn edges_over_clients_message_is_exact() {
+        let err = ScaleConfig {
+            clients: 100,
+            edges: 101,
+            ..ScaleConfig::default()
+        }
+        .validate()
+        .unwrap_err();
+        match err {
+            FederatedError::InvalidConfig { field, message } => {
+                assert_eq!(field, "edges");
+                assert_eq!(message, "need between 1 and 100 (the population), got 101");
+            }
+            other => panic!("expected InvalidConfig, got {other}"),
+        }
+    }
+
+    #[test]
+    fn threads_zero_inherits_the_process_pool_width() {
+        // Explicit widths stand alone…
+        let explicit = ScaleConfig {
+            threads: 5,
+            ..ScaleConfig::default()
+        };
+        assert_eq!(explicit.effective_threads(), 5);
+        // …while 0 composes with the process-wide knob that
+        // `FederatedConfig.threads` installs at the start of a simulation
+        // run (`parallel::set_threads`).
+        parallel::set_threads(3);
+        let inherited = ScaleConfig {
+            threads: 0,
+            ..ScaleConfig::default()
+        }
+        .effective_threads();
+        parallel::set_threads(0);
+        assert_eq!(inherited, 3);
     }
 
     #[test]

@@ -68,6 +68,10 @@ impl Scheduler {
     /// Indices of round `round`'s participants: sorted, duplicate-free,
     /// exactly [`Scheduler::take_count`] of them, deterministic per
     /// `(seed, round, n)`.
+    ///
+    /// Cost is O(take) via Floyd's algorithm, not O(n) — at the scale
+    /// engine's 1M-client population with C = 0.1 a round samples 100k
+    /// indices without ever touching the other 900k.
     pub fn sample(&self, round: usize, n: usize) -> Vec<usize> {
         if n == 0 {
             return Vec::new();
@@ -232,5 +236,20 @@ mod tests {
     fn empty_population_yields_empty_round() {
         let s = Scheduler::new(0.5, 0);
         assert!(s.sample(0, 0).is_empty());
+    }
+
+    #[test]
+    fn million_client_rounds_sample_exactly_and_stay_sorted() {
+        // The 1M-client scale scenario: exact C-fraction, sorted and
+        // duplicate-free, different across rounds, identical per seed.
+        let s = Scheduler::new(0.1, 42);
+        let a = s.sample(0, 1_000_000);
+        assert_eq!(a.len(), 100_000);
+        assert!(a.windows(2).all(|w| w[0] < w[1]), "sorted, no duplicates");
+        assert!(*a.last().expect("non-empty") < 1_000_000);
+        let b = s.sample(1, 1_000_000);
+        assert_eq!(b.len(), 100_000);
+        assert_ne!(a, b, "rounds draw different cohorts");
+        assert_eq!(a, Scheduler::new(0.1, 42).sample(0, 1_000_000));
     }
 }

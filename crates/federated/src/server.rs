@@ -40,7 +40,11 @@ pub(crate) enum Disposition {
 /// plan-level knobs (`min_participants`, round timeout, retry budget) so
 /// round loops never re-derive them. All decisions are pure functions of
 /// `(plan seed, round, client id)` — identical across thread counts and
-/// across the simulation/scale engines.
+/// across the simulation/scale engines. The scale engine's parallel edge
+/// fan-out shares one gate by `&` across worker threads, so the gate must
+/// stay `Sync`: no interior mutability, no cached per-call state (the
+/// `gate_is_sync_for_the_parallel_fan_out` test pins this at compile
+/// time).
 #[derive(Debug)]
 pub(crate) struct FaultGate {
     injector: Option<FaultInjector>,
@@ -346,6 +350,15 @@ mod tests {
     use super::*;
     use crate::faults::RoundSelector;
     use std::time::Duration;
+
+    #[test]
+    fn gate_is_sync_for_the_parallel_fan_out() {
+        // The scale engine hands `&FaultGate` to every edge-fold worker;
+        // losing `Sync` (e.g. by caching decisions in a `Cell`) would
+        // break that at a distance.
+        fn assert_sync<T: Sync + Send>() {}
+        assert_sync::<FaultGate>();
+    }
 
     fn update(id: &str, count: usize, v: f64) -> LocalUpdate {
         LocalUpdate {

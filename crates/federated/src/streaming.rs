@@ -56,6 +56,13 @@ pub trait StreamingAggregator: Send {
 
     /// Approximate bytes of live aggregation state — the quantity
     /// `bench_scale` reports as peak aggregation memory.
+    ///
+    /// Contract: state is allocated lazily on the first `ingest` and its
+    /// size is **constant from then on** — it may never grow with the
+    /// number of updates folded. The scale engine's parallel edge fan-out
+    /// builds its O(model · workers) peak bound on this (and asserts it
+    /// in-run under `verify_streaming`): one accumulator per active
+    /// worker is only a bound if no accumulator quietly inflates.
     fn state_bytes(&self) -> usize;
 
     /// Consumes the accumulator and returns the aggregated weights.
@@ -512,6 +519,36 @@ mod tests {
             assert!(peak <= 5 * 8 * 6, "{} state grew to {peak}", rule.name());
             assert_eq!(agg.ingested(), 256);
             assert!(agg.finish().unwrap().iter().all(Matrix::is_finite));
+        }
+    }
+
+    #[test]
+    fn streaming_state_is_constant_after_first_ingest() {
+        // The trait contract the scale engine's O(model · workers) peak
+        // bound rests on: state allocates on the first ingest and never
+        // changes size afterwards.
+        let many: Vec<LocalUpdate> = (0..64)
+            .map(|i| update(&format!("c{i}"), &[i as f64, 1.0, -2.0], 7))
+            .collect();
+        let total: f64 = many.iter().map(|u| u.sample_count as f64).sum();
+        for rule in [Aggregator::FedAvg, Aggregator::TrimmedMean { trim: 3 }] {
+            let mut agg = rule.streaming(total, many.len()).unwrap();
+            assert_eq!(agg.state_bytes(), 0, "{}: lazy allocation", rule.name());
+            let mut settled = 0usize;
+            for (i, u) in many.iter().enumerate() {
+                agg.ingest(u).unwrap();
+                if i == 0 {
+                    settled = agg.state_bytes();
+                    assert!(settled > 0, "{}: state after first ingest", rule.name());
+                } else {
+                    assert_eq!(
+                        agg.state_bytes(),
+                        settled,
+                        "{}: state changed size at update {i}",
+                        rule.name()
+                    );
+                }
+            }
         }
     }
 

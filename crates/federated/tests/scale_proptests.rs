@@ -1,15 +1,21 @@
 //! Property-based tests for the scale-out machinery: the per-round client
 //! sampler and the streaming aggregation fold.
 //!
-//! Two invariant families:
+//! Three invariant families:
 //!
 //! 1. [`Scheduler::sample`] returns a sorted, duplicate-free selection of
 //!    exactly `take_count(n)` indices, identical for identical
 //!    `(seed, round, n)` — up to populations of 100k;
 //! 2. streaming FedAvg ([`Aggregator::streaming`]) is **bitwise**
 //!    identical to the batch rule over arbitrary update sets: same fold,
-//!    same order, same bits.
+//!    same order, same bits;
+//! 3. the parallel edge fan-out ([`ScaleConfig::threads`]) reproduces the
+//!    serial run byte for byte at threads 1/2/4/8 — checksum, traffic,
+//!    and round stats — over random populations, edge counts, and
+//!    wildcard fault plans on both tiers.
 
+use evfad_federated::faults::{Corruption, FaultKind, FaultPlan, RoundSelector};
+use evfad_federated::scale::{ScaleConfig, ScaleEngine, ScaleRoundStats};
 use evfad_federated::{Aggregator, LocalUpdate, Scheduler};
 use evfad_tensor::Matrix;
 use proptest::prelude::*;
@@ -40,6 +46,64 @@ fn updates_strategy() -> impl Strategy<Value = Vec<LocalUpdate>> {
                 })
                 .collect()
         })
+}
+
+/// A small paper-shaped weight template for scale-engine property runs.
+fn tiny_template() -> Vec<Matrix> {
+    vec![
+        Matrix::from_vec(3, 4, (0..12).map(|i| 0.05 * i as f64 - 0.3).collect()),
+        Matrix::from_vec(4, 1, vec![0.1, -0.2, 0.3, -0.4]),
+    ]
+}
+
+/// A wildcard chaos schedule: every fault kind as a population-level
+/// probability rule, plus a timeout and a retry budget, so the fan-out is
+/// exercised under drop-out, stragglers, corruption, and retries at once.
+fn wildcard_plan(
+    seed: u64,
+    drop_p: f64,
+    straggler_p: f64,
+    corrupt_p: f64,
+    transient_p: f64,
+) -> FaultPlan {
+    FaultPlan::new(seed)
+        .with_rule(
+            "*",
+            RoundSelector::Probability { p: drop_p },
+            FaultKind::DropOut,
+        )
+        .with_rule(
+            "*",
+            RoundSelector::Probability { p: straggler_p },
+            FaultKind::Straggler { delay_seconds: 9.0 },
+        )
+        .with_rule(
+            "*",
+            RoundSelector::Probability { p: corrupt_p },
+            FaultKind::Corrupt {
+                corruption: Corruption::SignFlip,
+            },
+        )
+        .with_rule(
+            "*",
+            RoundSelector::Probability { p: transient_p },
+            FaultKind::Transient { failures: 1 },
+        )
+        .with_timeout(5.0)
+        .with_retry(2, 0.5)
+}
+
+/// Round stats with the thread-dependent peak (and host wall-clock)
+/// zeroed, so serial and parallel runs can be compared for equality.
+fn comparable(rounds: &[ScaleRoundStats]) -> Vec<ScaleRoundStats> {
+    rounds
+        .iter()
+        .map(|r| ScaleRoundStats {
+            peak_state_bytes: 0,
+            duration: Duration::ZERO,
+            ..r.clone()
+        })
+        .collect()
 }
 
 proptest! {
@@ -99,6 +163,80 @@ proptest! {
             for (x, y) in b.as_slice().iter().zip(s.as_slice()) {
                 prop_assert_eq!(x.to_bits(), y.to_bits(),
                     "streaming diverged from batch: {:e} vs {:e}", x, y);
+            }
+        }
+    }
+}
+
+proptest! {
+    // Each case is eight full engine runs (four thread counts, with and
+    // without chaos), so keep the case count modest.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The wave fan-out is bitwise identical to the serial fold at every
+    /// thread count, over random populations, edge counts, and wildcard
+    /// fault plans on both the client and edge tiers. The weight
+    /// checksum, the traffic totals, and every round stat except the
+    /// (by-design thread-dependent) peak must agree; a run that fails —
+    /// e.g. `InsufficientParticipants` under heavy drop-out — must fail
+    /// identically at every thread count.
+    #[test]
+    fn parallel_fanout_replays_serial_under_chaos(
+        seed in any::<u64>(),
+        clients in 20usize..200,
+        edges in 1usize..9,
+        rounds in 1usize..3,
+        drop_p in 0.0f64..0.3,
+        straggler_p in 0.0f64..0.2,
+        corrupt_p in 0.0f64..0.2,
+        transient_p in 0.0f64..0.2,
+        edge_drop_p in 0.0f64..0.2,
+        with_faults in any::<bool>(),
+    ) {
+        let faults = wildcard_plan(seed, drop_p, straggler_p, corrupt_p, transient_p);
+        let edge_faults = FaultPlan::new(seed ^ 0xedfe).with_rule(
+            "*",
+            RoundSelector::Probability { p: edge_drop_p },
+            FaultKind::DropOut,
+        );
+        let run = |threads: usize| {
+            let config = ScaleConfig {
+                clients,
+                rounds,
+                participation: 0.5,
+                edges,
+                threads,
+                seed,
+                faults: with_faults.then(|| faults.clone()),
+                edge_faults: with_faults.then(|| edge_faults.clone()),
+                ..ScaleConfig::default()
+            };
+            ScaleEngine::new(tiny_template(), config)
+                .expect("valid config")
+                .run()
+        };
+        let serial = run(1);
+        for threads in [2usize, 4, 8] {
+            match (&serial, &run(threads)) {
+                (Ok(s), Ok(p)) => {
+                    prop_assert_eq!(
+                        s.weights_checksum(),
+                        p.weights_checksum(),
+                        "threads={} diverged from serial", threads
+                    );
+                    prop_assert_eq!(s.traffic, p.traffic);
+                    prop_assert_eq!(comparable(&s.rounds), comparable(&p.rounds));
+                }
+                (Err(s), Err(p)) => prop_assert_eq!(
+                    format!("{s:?}"),
+                    format!("{p:?}"),
+                    "threads={} failed differently", threads
+                ),
+                (s, p) => prop_assert!(
+                    false,
+                    "threads={} disagreed on success: serial {:?} vs parallel {:?}",
+                    threads, s.is_ok(), p.is_ok()
+                ),
             }
         }
     }

@@ -20,6 +20,13 @@
 //! long-lived workers, plus the calling thread, which participates in the
 //! work instead of blocking idle. Worker threads are started on first
 //! parallel dispatch and live for the rest of the process.
+//!
+//! Beyond the row-partitioned kernels, [`distribute`] exposes the same
+//! pool for *heterogeneous* work units (e.g. the federated scale engine's
+//! edge-shard folds): disjoint slots, contiguous chunks, each chunk
+//! processed strictly in index order. On a machine with fewer CPUs than
+//! requested chunks the calling thread simply drains the queue itself —
+//! oversubscription is deterministic by construction, never a fallback.
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -225,29 +232,109 @@ pub(crate) fn row_partitioned<K>(
     run_scoped(tasks, &kernel);
 }
 
+/// Runs `task(i, &mut slots[i])` for every slot, distributing contiguous
+/// chunks of the slot range across the worker pool plus the calling
+/// thread, and returns once every slot has been processed.
+///
+/// Guarantees callers can build on:
+///
+/// - **Determinism.** Chunk boundaries depend only on
+///   `(slots.len(), max_tasks)` — the same balanced split
+///   [`row_partitioned`] uses — and every slot is written by exactly one
+///   task, so for a pure `task` the contents of `slots` afterwards are
+///   identical for every thread count and scheduling order.
+/// - **Bounded concurrency.** At most `min(max_tasks, slots.len())`
+///   chunks exist, each processed strictly in slot-index order by a
+///   single thread. A caller whose task holds transient state (e.g. a
+///   streaming aggregator accumulator) therefore has at most one live
+///   instance per chunk — the federated scale engine relies on this for
+///   its O(model · workers) peak-memory bound.
+/// - **Oversubscription is fine.** `max_tasks` may exceed the CPU count;
+///   excess chunks queue and are drained by whichever thread (including
+///   the caller) frees up first. Results are unaffected.
+///
+/// `max_tasks < 2` or fewer than two slots short-circuits to a serial
+/// in-place loop with no pool interaction.
+pub fn distribute<T, F>(slots: &mut [T], max_tasks: usize, task: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let n = slots.len();
+    let chunks = max_tasks.min(n);
+    if chunks < 2 {
+        for (i, slot) in slots.iter_mut().enumerate() {
+            task(i, slot);
+        }
+        return;
+    }
+
+    // Balanced contiguous split, identical in shape to `row_partitioned`:
+    // the first `n % chunks` chunks get one extra slot.
+    let base = n / chunks;
+    let extra = n % chunks;
+
+    let task = &task;
+    let mut jobs: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(chunks);
+    let mut rest: &mut [T] = slots;
+    let mut start = 0usize;
+    for b in 0..chunks {
+        let len = base + usize::from(b < extra);
+        let (chunk, tail) = rest.split_at_mut(len);
+        jobs.push(Box::new(move || {
+            for (offset, slot) in chunk.iter_mut().enumerate() {
+                task(start + offset, slot);
+            }
+        }));
+        start += len;
+        rest = tail;
+    }
+
+    run_jobs(jobs);
+}
+
 /// Executes one kernel invocation per task across the pool plus the calling
 /// thread, returning once every task has finished.
-///
-/// Panics from tasks are caught in the workers and re-raised here, so a
-/// kernel bug fails the caller rather than killing a pool thread.
-#[allow(unsafe_code)]
 fn run_scoped<K>(tasks: Vec<(usize, usize, &mut [f64])>, kernel: &K)
 where
     K: Fn(usize, usize, &mut [f64]) + Sync,
 {
-    let latch = Arc::new(Latch::new(tasks.len()));
+    let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = tasks
+        .into_iter()
+        .map(|(row_start, row_end, chunk)| {
+            let job: Box<dyn FnOnce() + Send + '_> =
+                Box::new(move || kernel(row_start, row_end, chunk));
+            job
+        })
+        .collect();
+    run_jobs(jobs);
+}
+
+/// Pushes every job onto the pool's injector queue, drains the queue from
+/// the calling thread too, and returns once all jobs have completed.
+///
+/// Panics from jobs are caught in the workers and re-raised here, so a
+/// task bug fails the caller rather than killing a pool thread. Nested
+/// dispatches (a job that itself calls [`row_partitioned`] or
+/// [`distribute`]) are safe: a waiting thread only blocks on its latch
+/// after the queue is empty, so every queued job is always claimed by
+/// some thread that is still making progress.
+#[allow(unsafe_code)]
+fn run_jobs(jobs: Vec<Box<dyn FnOnce() + Send + '_>>) {
+    let latch = Arc::new(Latch::new(jobs.len()));
     let pool = pool();
 
-    for (row_start, row_end, chunk) in tasks {
+    for job in jobs {
         let latch = Arc::clone(&latch);
         let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
-            let outcome = catch_unwind(AssertUnwindSafe(|| kernel(row_start, row_end, chunk)));
+            let outcome = catch_unwind(AssertUnwindSafe(job));
             latch.complete_one(outcome.is_err());
         });
-        // SAFETY: the job borrows `kernel` and `out` from the caller's
-        // stack, but `row_partitioned` does not return until `latch.wait()`
-        // has observed every job complete, so the borrows outlive every
-        // use. Panics inside the job are caught before the latch fires.
+        // SAFETY: the job borrows the caller's stack (the kernel/task
+        // closure and the output slots), but `run_jobs` does not return
+        // until `latch.wait()` has observed every job complete, so the
+        // borrows outlive every use. Panics inside the job are caught
+        // before the latch fires.
         let job: Job = unsafe {
             std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Box<dyn FnOnce() + Send + 'static>>(
                 job,
@@ -264,7 +351,7 @@ where
     latch.wait();
 
     if latch.poisoned.load(Ordering::Relaxed) {
-        panic!("a parallel tensor kernel panicked");
+        panic!("a parallel task panicked");
     }
 }
 
@@ -335,6 +422,83 @@ mod tests {
         set_serial_flop_threshold(10);
         assert_eq!(serial_flop_threshold(), 10);
         set_serial_flop_threshold(before);
+    }
+
+    #[test]
+    fn distribute_visits_every_slot_exactly_once() {
+        let _guard = config_guard();
+        for max_tasks in [1usize, 2, 3, 4, 8, 64] {
+            let mut slots: Vec<Option<usize>> = vec![None; 37];
+            distribute(&mut slots, max_tasks, |i, slot| {
+                assert!(slot.is_none(), "slot {i} visited twice");
+                *slot = Some(i * i);
+            });
+            for (i, slot) in slots.iter().enumerate() {
+                assert_eq!(*slot, Some(i * i), "slot {i} at max_tasks={max_tasks}");
+            }
+        }
+    }
+
+    #[test]
+    fn distribute_matches_serial_for_every_task_count() {
+        let _guard = config_guard();
+        let mut reference: Vec<u64> = vec![0; 23];
+        distribute(&mut reference, 1, |i, slot| {
+            *slot = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        });
+        for max_tasks in [2usize, 4, 8, 16, 23, 100] {
+            let mut slots: Vec<u64> = vec![0; 23];
+            distribute(&mut slots, max_tasks, |i, slot| {
+                *slot = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            });
+            assert_eq!(slots, reference, "max_tasks={max_tasks}");
+        }
+    }
+
+    #[test]
+    fn distribute_handles_empty_and_single_slot() {
+        let _guard = config_guard();
+        let mut empty: Vec<usize> = Vec::new();
+        distribute(&mut empty, 8, |_, _| unreachable!("no slots to visit"));
+        let mut one = [0usize];
+        distribute(&mut one, 8, |i, slot| *slot = i + 41);
+        assert_eq!(one, [41]);
+    }
+
+    #[test]
+    fn distribute_chunks_run_in_slot_order() {
+        let _guard = config_guard();
+        // Each chunk must process its slots strictly left-to-right: record
+        // a per-chunk sequence number and check it increases with the
+        // index inside every chunk (chunks of 10 slots at 4 tasks: sizes
+        // 3,3,2,2 — boundaries are deterministic).
+        let counters: Vec<AtomicUsize> = (0..4).map(|_| AtomicUsize::new(0)).collect();
+        let bounds = [0usize, 3, 6, 8, 10];
+        let mut slots: Vec<(usize, usize)> = vec![(0, 0); 10];
+        distribute(&mut slots, 4, |i, slot| {
+            let chunk = bounds.iter().take_while(|b| **b <= i).count() - 1;
+            let seq = counters[chunk].fetch_add(1, Ordering::Relaxed);
+            *slot = (chunk, seq);
+        });
+        for chunk in 0..4 {
+            for (seq, i) in (bounds[chunk]..bounds[chunk + 1]).enumerate() {
+                assert_eq!(slots[i], (chunk, seq), "slot {i} out of order");
+            }
+        }
+    }
+
+    #[test]
+    fn distribute_panics_propagate_to_caller() {
+        let _guard = config_guard();
+        let result = std::panic::catch_unwind(|| {
+            let mut slots = vec![0usize; 16];
+            distribute(&mut slots, 4, |i, _slot| {
+                if i == 11 {
+                    panic!("boom");
+                }
+            });
+        });
+        assert!(result.is_err(), "task panic must reach the caller");
     }
 
     #[test]
