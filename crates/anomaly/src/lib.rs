@@ -40,6 +40,7 @@ mod error;
 pub mod metrics;
 pub mod mitigate;
 pub mod online;
+pub mod service;
 pub mod threshold;
 
 pub use detector::{AnomalyFilter, Detection, FilterConfig};
@@ -47,4 +48,5 @@ pub use error::AnomalyError;
 pub use metrics::{DetectionReport, EpisodeReport};
 pub use mitigate::{merge_segments, MitigationStrategy};
 pub use online::{OnlineDecision, OnlineDetector};
+pub use service::{ScoringService, TenantDecision, TenantVerdict};
 pub use threshold::ThresholdRule;

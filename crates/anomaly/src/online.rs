@@ -155,7 +155,21 @@ impl OnlineDetector {
     /// Streams a whole slice, returning one decision per point that had
     /// full context.
     pub fn push_all(&mut self, values: &[f64]) -> Vec<OnlineDecision> {
-        values.iter().filter_map(|&v| self.push(v)).collect()
+        let mut out = Vec::new();
+        self.push_all_into(values, &mut out);
+        out
+    }
+
+    /// Streams a whole slice into a caller-owned decision buffer.
+    ///
+    /// `out` is cleared first and receives one decision per point that had
+    /// full context, in input order. With an `out` whose capacity already
+    /// covers `values.len()` and a warm detector, a call makes zero matrix
+    /// allocations and never grows a vector — the streaming twin of the
+    /// batch path's `score_into`.
+    pub fn push_all_into(&mut self, values: &[f64], out: &mut Vec<OnlineDecision>) {
+        out.clear();
+        out.extend(values.iter().filter_map(|&v| self.push(v)));
     }
 }
 

@@ -76,3 +76,31 @@ fn warm_online_push_makes_zero_matrix_allocs() {
         "warm OnlineDetector::push allocated matrices: {after:?}"
     );
 }
+
+/// Bulk streaming into a pre-sized decision buffer: a warm `push_all_into`
+/// must make zero matrix allocations and never grow any vector — neither
+/// the caller's decision buffer nor the detector's internal scratch.
+#[test]
+fn warm_push_all_into_makes_zero_allocs_and_zero_vec_growth() {
+    let _guard = GUARD.lock().unwrap();
+    let mut detector = OnlineDetector::fit(FilterConfig::fast(12), &sine(400), true).expect("fit");
+    let stream = sine(120);
+    let mut decisions = Vec::new();
+    // Two warm-up passes size every reusable buffer for this stream length.
+    detector.push_all_into(&stream, &mut decisions);
+    detector.push_all_into(&stream, &mut decisions);
+    let cap = decisions.capacity();
+    let before = alloc_stats();
+    detector.push_all_into(&stream, &mut decisions);
+    let after = alloc_stats().since(&before);
+    assert_eq!(
+        after.matrices, 0,
+        "warm push_all_into allocated matrices: {after:?}"
+    );
+    assert_eq!(
+        decisions.capacity(),
+        cap,
+        "warm push_all_into grew the caller's decision buffer"
+    );
+    assert_eq!(decisions.len(), stream.len(), "every warm point decided");
+}

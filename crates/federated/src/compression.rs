@@ -19,6 +19,7 @@
 //! pays nothing for this; a fully non-finite tensor degenerates to the
 //! verbatim list (correctness over ratio under attack).
 
+use evfad_tensor::quant::QuantRange;
 use evfad_tensor::Matrix;
 use serde::{Deserialize, Serialize};
 
@@ -79,22 +80,13 @@ impl QuantizedTensor {
     /// Quantizes a tensor: each finite value maps to the nearest of 256
     /// levels spanning the finite `[min, max]`; non-finite values are
     /// recorded verbatim (see the module docs) and never poison the range.
+    ///
+    /// The range fold and code math live in the shared
+    /// [`evfad_tensor::quant::QuantRange`] helper — the same fold the int8
+    /// inference lane uses — so the wire format and the scoring path can
+    /// never diverge on rounding rules.
     pub fn quantize(m: &Matrix) -> Self {
-        let mut min = f64::INFINITY;
-        let mut max = f64::NEG_INFINITY;
-        for &v in m.as_slice() {
-            if v.is_finite() {
-                min = min.min(v);
-                max = max.max(v);
-            }
-        }
-        // No finite value at all: empty or fully non-finite tensor.
-        if min > max {
-            min = 0.0;
-            max = 0.0;
-        }
-        let range = max - min;
-        let step = if range > 0.0 { range / 255.0 } else { 0.0 };
+        let range = QuantRange::from_values(m.as_slice());
         let mut special_idx = Vec::new();
         let mut special_val = Vec::new();
         let codes = m
@@ -106,32 +98,35 @@ impl QuantizedTensor {
                     special_idx.push(i as u32);
                     special_val.push(v);
                     0
-                } else if step == 0.0 {
-                    0
                 } else {
-                    ((v - min) / step).round().clamp(0.0, 255.0) as u8
+                    range.encode(v)
                 }
             })
             .collect();
         Self {
             rows: m.rows(),
             cols: m.cols(),
-            min,
-            step,
+            min: range.min,
+            step: range.step,
             codes,
             special_idx,
             special_val,
         }
     }
 
+    /// The shared-range view of this tensor's header fields.
+    fn range(&self) -> QuantRange {
+        QuantRange {
+            min: self.min,
+            step: self.step,
+        }
+    }
+
     /// Reconstructs the (lossy) tensor. Non-finite values come back
     /// bit-for-bit.
     pub fn dequantize(&self) -> Matrix {
-        let mut data: Vec<f64> = self
-            .codes
-            .iter()
-            .map(|&c| self.min + c as f64 * self.step)
-            .collect();
+        let range = self.range();
+        let mut data: Vec<f64> = self.codes.iter().map(|&c| range.decode(c)).collect();
         for (&i, &v) in self.special_idx.iter().zip(&self.special_val) {
             data[i as usize] = v;
         }
@@ -141,7 +136,7 @@ impl QuantizedTensor {
     /// Worst-case absolute reconstruction error over finite values (half a
     /// step; non-finite values are exact).
     pub fn max_error(&self) -> f64 {
-        self.step / 2.0
+        self.range().max_error()
     }
 
     /// Payload size in bytes — exactly the per-tensor record size of the

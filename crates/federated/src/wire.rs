@@ -1172,6 +1172,52 @@ mod tests {
         assert_eq!(&encode_quantized(&back)[..], &blob[..]);
     }
 
+    /// Pinned byte fixture for the `EVQ8` blob: the quantize math now
+    /// lives in the shared `evfad_tensor::quant` helper (also used by the
+    /// int8 inference lane), and this fixture proves the refactor — and
+    /// any future change to the shared fold — leaves the wire format
+    /// byte-for-byte unchanged.
+    #[test]
+    fn quantized_encoding_matches_pinned_byte_fixture() {
+        let w = vec![
+            Matrix::from_fn(2, 3, |i, j| (i * 3 + j) as f64 * 0.5 - 1.0),
+            Matrix::from_rows(&[vec![4.25, f64::NAN, -0.75]]),
+        ];
+        let q = QuantizedUpdate::quantize(&w);
+        let blob = encode_quantized(&q);
+        let hex: String = blob.iter().map(|b| format!("{b:02x}")).collect();
+        assert_eq!(
+            hex,
+            concat!(
+                // magic "EVQ8", version 1, tensor count 2
+                "45565138",
+                "0100",
+                "02000000",
+                // tensor 0: 2x3, min -1.0, step 2.5/255, no specials,
+                // codes 0,51,102,153,204,255
+                "02000000",
+                "03000000",
+                "000000000000f0bf",
+                "141414141414843f",
+                "00000000",
+                "00336699ccff",
+                // tensor 1: 1x3, min -0.75, step 5/255, one special,
+                // codes 255,0,0, special (idx 1, NaN)
+                "01000000",
+                "03000000",
+                "000000000000e8bf",
+                "141414141414943f",
+                "01000000",
+                "ff0000",
+                "01000000",
+                "000000000000f87f",
+            )
+        );
+        // And the round trip re-encodes to the identical bytes.
+        let back = decode_quantized(&blob).unwrap();
+        assert_eq!(&encode_quantized(&back)[..], &blob[..]);
+    }
+
     #[test]
     fn quantized_with_nan_specials_round_trips() {
         let mut w = sample_weights();

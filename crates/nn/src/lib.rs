@@ -50,6 +50,7 @@ mod activation;
 mod batch;
 mod error;
 pub mod gradcheck;
+pub mod infer;
 mod layer;
 mod layers;
 mod loss;
@@ -62,6 +63,7 @@ pub use activation::Activation;
 pub use batch::BatchPlan;
 pub use error::{NnError, NnResult};
 pub use gradcheck::{check_model_gradients, GradCheckReport};
+pub use infer::{InferenceModel, Precision};
 pub use layer::Layer;
 pub use layers::{Dense, Dropout, Gru, Lstm, RepeatVector};
 pub use loss::Loss;

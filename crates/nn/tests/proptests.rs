@@ -1,6 +1,7 @@
 //! Property-based tests for the neural-network substrate.
 
-use evfad_nn::{Activation, Dense, Loss, Lstm, Seq, Sequential};
+use evfad_nn::infer::{InferenceModel, Precision};
+use evfad_nn::{Activation, Dense, Dropout, Gru, Loss, Lstm, RepeatVector, Seq, Sequential};
 use evfad_tensor::Matrix;
 use proptest::prelude::*;
 
@@ -162,6 +163,113 @@ proptest! {
         let reference = Seq::from_samples(&picked);
         for t in 0..reference.len() {
             prop_assert_eq!(bin.seq().step(t).as_slice(), reference.step(t).as_slice());
+        }
+    }
+}
+
+/// Builds one of four serving-relevant layer stacks (dense-only,
+/// LSTM head, GRU stack, full LSTM autoencoder) with randomised dims.
+fn stack(arch: usize, h1: usize, h2: usize, time: usize, seed: u64) -> Sequential {
+    match arch {
+        0 => Sequential::new(seed)
+            .with(Dense::new(1, h1, Activation::Relu))
+            .with(Dense::new(h1, 1, Activation::Linear)),
+        1 => Sequential::new(seed)
+            .with(Lstm::new(1, h1, false))
+            .with(Dense::new(h1, 2, Activation::Tanh)),
+        2 => Sequential::new(seed)
+            .with(Gru::new(1, h1, true))
+            .with(Gru::new(h1, h2, false))
+            .with(Dense::new(h2, 1, Activation::Sigmoid)),
+        _ => Sequential::new(seed)
+            .with(Lstm::new(1, h1, true))
+            .with(Dropout::new(0.2))
+            .with(Lstm::new(h1, h2, false))
+            .with(RepeatVector::new(time))
+            .with(Lstm::new(h2, h1, true))
+            .with(Dense::new(h1, 1, Activation::Linear)),
+    }
+}
+
+fn batch_of_windows(data: &[f64], batch: usize, time: usize) -> Vec<Matrix> {
+    (0..batch)
+        .map(|b| Matrix::column_vector(&data[b * time..(b + 1) * time]))
+        .collect()
+}
+
+fn flat(samples: &[Matrix]) -> Vec<f64> {
+    samples.iter().flat_map(|m| m.as_slice().to_vec()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The frozen f64 serving lane replays the exact forward: over random
+    /// stacks and window shapes, one batched `forward_batch_into` equals N
+    /// independent `predict` calls — bitwise on the default build, within
+    /// reassociation tolerance under `fastmath`.
+    #[test]
+    fn frozen_f64_lane_matches_per_window_predict(
+        arch in 0usize..4,
+        h1 in 2usize..6,
+        h2 in 1usize..4,
+        time in 3usize..7,
+        batch in 1usize..5,
+        seed in 0u64..500,
+        data in prop::collection::vec(-1.0f64..1.0, 4 * 6),
+    ) {
+        let mut model = stack(arch, h1, h2, time, seed);
+        let samples = batch_of_windows(&data, batch, time);
+        let exact: Vec<f64> = model
+            .predict(&samples)
+            .iter()
+            .flat_map(|m| m.as_slice().to_vec())
+            .collect();
+        let mut frozen = InferenceModel::freeze(&model, Precision::F64).expect("freeze");
+        let mut got = Vec::new();
+        let (steps, feat) = frozen.forward_batch_into(&flat(&samples), batch, &mut got);
+        prop_assert_eq!(got.len(), batch * steps * feat);
+        prop_assert_eq!(got.len(), exact.len());
+        for (g, e) in got.iter().zip(&exact) {
+            if cfg!(feature = "fastmath") {
+                prop_assert!((g - e).abs() < 1e-9, "fastmath drift: {} vs {}", g, e);
+            } else {
+                prop_assert_eq!(g.to_bits(), e.to_bits(), "bitwise break: {} vs {}", g, e);
+            }
+        }
+    }
+
+    /// The int8 lane stays within a loose absolute bound of the exact
+    /// forward over the same random stacks (unit-scale inputs; the serving
+    /// bench asserts the tight score-level bound end to end).
+    #[test]
+    fn frozen_int8_lane_stays_bounded(
+        arch in 0usize..4,
+        h1 in 2usize..6,
+        h2 in 1usize..4,
+        time in 3usize..7,
+        batch in 1usize..5,
+        seed in 0u64..500,
+        data in prop::collection::vec(-1.0f64..1.0, 4 * 6),
+    ) {
+        let mut model = stack(arch, h1, h2, time, seed);
+        let samples = batch_of_windows(&data, batch, time);
+        let exact: Vec<f64> = model
+            .predict(&samples)
+            .iter()
+            .flat_map(|m| m.as_slice().to_vec())
+            .collect();
+        let mut frozen = InferenceModel::freeze(&model, Precision::Int8).expect("freeze");
+        let mut got = Vec::new();
+        frozen.forward_batch_into(&flat(&samples), batch, &mut got);
+        prop_assert_eq!(got.len(), exact.len());
+        for (g, e) in got.iter().zip(&exact) {
+            prop_assert!(
+                (g - e).abs() < 0.3,
+                "int8 drifted out of bound: {} vs {}",
+                g,
+                e
+            );
         }
     }
 }

@@ -1,0 +1,708 @@
+//! Throughput-grade inference kernels: blocked/packed GEMM and an int8 lane.
+//!
+//! Everything in [`kernels`](crate::kernels) is bitwise-pinned: training,
+//! the golden fixture, and the federation all depend on one exact
+//! summation order. Inference has no such obligation — a served score only
+//! has to be *close enough*, and the serving tier would rather have the
+//! throughput. This module is the first compute path in the workspace that
+//! is allowed to reorder floating-point arithmetic, and it is fenced off
+//! two ways:
+//!
+//! - The f64 blocked kernels only reassociate when the **`fastmath`**
+//!   cargo feature is enabled. With the feature off every entry point
+//!   delegates to the exact [`kernels`](crate::kernels) implementations,
+//!   bitwise — so a default build can route inference through this module
+//!   and still match the training-path numbers to the last bit (CI asserts
+//!   exactly that).
+//! - The int8 lane is *always* approximate and therefore never routed
+//!   implicitly: callers opt in per model snapshot
+//!   (`evfad_nn::infer::Precision::Int8`), and the bench gates assert its
+//!   end-to-end error bounds.
+//!
+//! # Why reassociation is the speedup
+//!
+//! The exact kernel must produce each output element through one
+//! ascending-`k` add chain, so however it is vectorised over the output
+//! row, every pass has to write the partially-accumulated row back to
+//! memory and re-read the full `B` panel on the next pass: its `B`
+//! traffic is `k·n` elements *per row of `A`*. The blocked kernel here is
+//! a classic register-tiled micro-kernel instead — an `MR × NR` (4 × 8)
+//! output tile lives entirely in registers while the full `k` loop runs,
+//! which is only legal because reassociation lets each element's sum be
+//! produced in one pass. That buys three things the exact kernel cannot
+//! have: `MR` independent accumulator chains per output column (pipelined
+//! at FMA *throughput*, with no partial-row stores and reloads), explicit
+//! `mul_add` contraction (Rust never fuses `a*b + c` implicitly, so the
+//! bitwise kernels pay separate multiply and add issue slots — the fused
+//! form rounds differently and is therefore fenced in here), and `MR×`
+//! less `B` traffic, which takes the operand sweep off the
+//! cache-bandwidth ceiling for serving-sized GEMMs. The result differs from the exact
+//! chain only in association order, with the usual `O(k·eps·|a|·|b|)`
+//! bound. `B` is packed once per model snapshot into `NR`-wide
+//! column panels (the accelerator guides' shared-memory tiling pattern,
+//! on the L1 instead of an SRAM tile) so the inner loop reads one
+//! contiguous `NR`-vector per `k` step — legal here precisely because an
+//! inference snapshot packs its weights once and reuses them for millions
+//! of windows.
+//!
+//! # The int8 lane
+//!
+//! Weights are quantized per tensor with the shared EVQ8 range fold
+//! ([`QuantRange`]) — the *same* fold the federated uplink codec uses —
+//! and stored as one byte per coefficient. Activations stay `f32` and the
+//! accumulate is `f32`. The kernel never materialises dequantized weights;
+//! it uses the affine decomposition
+//!
+//! ```text
+//! out[i][j] = Σ_k a[i][k]·(min + step·code[k][j])
+//!           = min·(Σ_k a[i][k]) + step·(Σ_k a[i][k]·code[k][j])
+//! ```
+//!
+//! so the inner loop is a pure f32 dot against the *codes* over the same
+//! register-tiled panels (`NR = 16`: f32 lanes are twice as dense as
+//! f64's). The byte codes are additionally mirrored as f32 at pack time —
+//! integer-valued, still not dequantized — because a per-step `u8 → f32`
+//! widen in the inner loop defeats vectorisation; the one-byte form
+//! remains the storage/wire representation. The per-row input sum
+//! `Σ_k a[i][k]` is computed once and shared by every output column. Per-output error is
+//! bounded by `Σ_k |a[i][k]| · step/2` from quantization plus `f32`
+//! rounding — the serving tier's bench gate measures and asserts the
+//! end-to-end consequence of that bound.
+
+use crate::kernels::{MatMut, MatRef};
+use crate::quant::QuantRange;
+
+/// Rows of `A` per register tile (independent FMA chains per column).
+const MR: usize = 4;
+/// Panel width for f64 operands (one register tile of output columns).
+const NR: usize = 8;
+/// Panel width for int8 code operands (f32 lanes are twice as dense).
+const NR_Q8: usize = 16;
+
+/// A pre-packed right-hand GEMM operand: the original row-major tensor
+/// plus a register-tile panel copy.
+///
+/// The panel stores the operand as consecutive `NR`-wide column panels,
+/// each row-major `k × w` (`panel[j0·k + kk·w + jj]` is coefficient
+/// `(kk, j0 + jj)`), so the micro-kernel reads one contiguous `NR`-vector
+/// per `k` step. Packing happens once per model snapshot; both layouts
+/// are kept so that a build without `fastmath` can replay the exact
+/// row-major kernels bitwise while a `fastmath` build reads the panels.
+/// (For inference weights the duplication is a few hundred kilobytes —
+/// noise next to the activations of a single batch.)
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackedB {
+    k: usize,
+    n: usize,
+    /// Row-major `k × n` original (exact-path operand).
+    orig: Vec<f64>,
+    /// Register-tile panels (see struct docs for the layout).
+    #[cfg_attr(not(feature = "fastmath"), allow(dead_code))]
+    panel: Vec<f64>,
+}
+
+impl PackedB {
+    /// Packs a row-major `k × n` operand.
+    pub fn pack(b: MatRef<'_>) -> Self {
+        let (k, n) = (b.rows(), b.cols());
+        let src = b.as_slice();
+        let mut panel = vec![0.0; k * n];
+        let mut j0 = 0;
+        while j0 < n {
+            let w = NR.min(n - j0);
+            let dst = &mut panel[j0 * k..j0 * k + k * w];
+            for kk in 0..k {
+                dst[kk * w..kk * w + w].copy_from_slice(&src[kk * n + j0..kk * n + j0 + w]);
+            }
+            j0 += w;
+        }
+        Self {
+            k,
+            n,
+            orig: src.to_vec(),
+            panel,
+        }
+    }
+
+    /// Contraction depth (rows of the original operand).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Output width (columns of the original operand).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The exact row-major operand, for bitwise delegation.
+    pub fn orig_view(&self) -> MatRef<'_> {
+        MatRef::new(self.k, self.n, &self.orig)
+    }
+}
+
+/// Blocked core: register-tiled `MR × NR` micro-kernel. Each output tile
+/// is accumulated entirely in registers across the full `k` loop — `MR`
+/// independent chains per column — then written straight into the
+/// row-major output, adding when `ACC`.
+///
+/// The store is a const-generic flag rather than a per-element epilogue
+/// closure on purpose: routing every element through an `FnMut(i, j, v)`
+/// costs the micro-kernel about 3× (measured on the serving shapes — the
+/// abstraction blocks the writeback from vectorizing and drags the
+/// surrounding tile code with it). Fused consumers run a separate
+/// `O(m·n)` pass over the output instead, which is noise next to the
+/// `O(m·k·n)` product.
+#[cfg(feature = "fastmath")]
+#[inline]
+fn blocked_store<const ACC: bool>(a: MatRef<'_>, b: &PackedB, dst: &mut [f64]) {
+    let (m, k) = (a.rows(), a.cols());
+    assert_eq!(k, b.k, "blocked matmul inner dimensions");
+    let n = b.n;
+    assert_eq!(dst.len(), m * n, "blocked matmul output shape");
+    let ad = a.as_slice();
+    let mut i0 = 0;
+    while i0 < m {
+        let mr = MR.min(m - i0);
+        let mut j0 = 0;
+        while j0 < n {
+            let w = NR.min(n - j0);
+            let panel = &b.panel[j0 * k..j0 * k + k * w];
+            if mr == MR && w == NR {
+                // Hot tile: four named accumulator rows (nesting them in
+                // one array spills to the stack), fixed-size inner loop,
+                // explicit FMA — 32 independent chains in flight.
+                let r0 = &ad[i0 * k..(i0 + 1) * k];
+                let r1 = &ad[(i0 + 1) * k..(i0 + 2) * k];
+                let r2 = &ad[(i0 + 2) * k..(i0 + 3) * k];
+                let r3 = &ad[(i0 + 3) * k..(i0 + 4) * k];
+                let mut a0 = [0.0f64; NR];
+                let mut a1 = [0.0f64; NR];
+                let mut a2 = [0.0f64; NR];
+                let mut a3 = [0.0f64; NR];
+                for ((((bw, &x0), &x1), &x2), &x3) in
+                    panel.chunks_exact(NR).zip(r0).zip(r1).zip(r2).zip(r3)
+                {
+                    for j in 0..NR {
+                        a0[j] = x0.mul_add(bw[j], a0[j]);
+                        a1[j] = x1.mul_add(bw[j], a1[j]);
+                        a2[j] = x2.mul_add(bw[j], a2[j]);
+                        a3[j] = x3.mul_add(bw[j], a3[j]);
+                    }
+                }
+                for (mm, am) in [&a0, &a1, &a2, &a3].into_iter().enumerate() {
+                    let o = (i0 + mm) * n + j0;
+                    for (s, &v) in dst[o..o + NR].iter_mut().zip(am) {
+                        if ACC {
+                            *s += v;
+                        } else {
+                            *s = v;
+                        }
+                    }
+                }
+            } else {
+                // Edge tile: same accumulation order, partial extents.
+                let mut acc = [[0.0f64; NR]; MR];
+                for kk in 0..k {
+                    let bw = &panel[kk * w..kk * w + w];
+                    for (mm, am) in acc.iter_mut().enumerate().take(mr) {
+                        let x = ad[(i0 + mm) * k + kk];
+                        for (s, &bv) in am.iter_mut().zip(bw) {
+                            *s = x.mul_add(bv, *s);
+                        }
+                    }
+                }
+                for (mm, am) in acc.iter().enumerate().take(mr) {
+                    let o = (i0 + mm) * n + j0;
+                    for (s, &v) in dst[o..o + w].iter_mut().zip(am.iter()) {
+                        if ACC {
+                            *s += v;
+                        } else {
+                            *s = v;
+                        }
+                    }
+                }
+            }
+            j0 += w;
+        }
+        i0 += mr;
+    }
+}
+
+/// `out = a · b`, blocked. Reassociates only under `fastmath`; otherwise
+/// delegates to the exact [`kernels::matmul_into`], bitwise.
+pub fn matmul_into_blocked(a: MatRef<'_>, b: &PackedB, out: MatMut<'_>) {
+    #[cfg(not(feature = "fastmath"))]
+    {
+        crate::kernels::matmul_into(a, b.orig_view(), out);
+    }
+    #[cfg(feature = "fastmath")]
+    {
+        let mut out = out;
+        assert_eq!(out.rows(), a.rows(), "blocked matmul output rows");
+        assert_eq!(out.cols(), b.n, "blocked matmul output cols");
+        blocked_store::<false>(a, b, out.as_mut_slice());
+    }
+}
+
+/// `out += a · b`, blocked. Exact delegation rules as
+/// [`matmul_into_blocked`].
+pub fn matmul_acc_into_blocked(a: MatRef<'_>, b: &PackedB, out: MatMut<'_>) {
+    #[cfg(not(feature = "fastmath"))]
+    {
+        crate::kernels::matmul_acc_into(a, b.orig_view(), out);
+    }
+    #[cfg(feature = "fastmath")]
+    {
+        let mut out = out;
+        assert_eq!(out.rows(), a.rows(), "blocked matmul output rows");
+        assert_eq!(out.cols(), b.n, "blocked matmul output cols");
+        blocked_store::<true>(a, b, out.as_mut_slice());
+    }
+}
+
+/// Fused `out = act(a · b + bias)`: one call produces the activated
+/// output — the blocked product lands first, then a single `O(m·n)` pass
+/// applies the row bias and activation in place (cheap next to the
+/// product, and it keeps the micro-kernel closure-free).
+///
+/// Without `fastmath` this replays the exact three-kernel sequence
+/// (`matmul_into`, `add_row_broadcast_into`, elementwise `act`) that the
+/// training-path dense layer runs — bitwise identical to it.
+pub fn matmul_bias_act_into_blocked(
+    a: MatRef<'_>,
+    b: &PackedB,
+    bias: MatRef<'_>,
+    act: impl Fn(f64) -> f64,
+    mut out: MatMut<'_>,
+) {
+    assert_eq!(bias.rows(), 1, "bias must be a row vector");
+    assert_eq!(bias.cols(), b.n, "bias width");
+    #[cfg(not(feature = "fastmath"))]
+    {
+        crate::kernels::matmul_into(
+            a,
+            b.orig_view(),
+            MatMut::new(out.rows(), out.cols(), out.as_mut_slice()),
+        );
+        crate::kernels::add_row_broadcast_into(
+            MatMut::new(a.rows(), b.n, out.as_mut_slice()),
+            bias,
+        );
+        for v in out.as_mut_slice() {
+            *v = act(*v);
+        }
+    }
+    #[cfg(feature = "fastmath")]
+    {
+        assert_eq!(out.rows(), a.rows(), "blocked matmul output rows");
+        assert_eq!(out.cols(), b.n, "blocked matmul output cols");
+        let n = b.n;
+        let bias = bias.as_slice();
+        let dst = out.as_mut_slice();
+        blocked_store::<false>(a, b, dst);
+        for row in dst.chunks_exact_mut(n) {
+            for (v, &bv) in row.iter_mut().zip(bias) {
+                *v = act(*v + bv);
+            }
+        }
+    }
+}
+
+/// A right-hand GEMM operand quantized to int8 with the shared EVQ8 range
+/// fold, packed into register-tile panels for the f32-accumulate kernels.
+///
+/// Codes use the same panel layout as [`PackedB`] with width `NR_Q8`
+/// (16): `codes[j0·k + kk·w + jj]` is coefficient `(kk, j0 + jj)`. The
+/// range parameters are carried in `f32` because the lane accumulates in
+/// `f32`; `max_error` reports the f64 half-step bound of the underlying
+/// fold. Intended for *finite* inference weights — non-finite
+/// coefficients would already have poisoned training long before serving.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedPanel {
+    k: usize,
+    n: usize,
+    min: f32,
+    step: f32,
+    /// Register-tile code panels (see struct docs for the layout). This
+    /// is the storage/wire representation — one byte per coefficient.
+    codes: Vec<u8>,
+    /// The same codes widened to f32 at pack time, identical layout: the
+    /// kernel's operand. Integer-valued (0..=255), *not* dequantized —
+    /// the affine decomposition still happens in the epilogue. Trades
+    /// 4 bytes/coefficient of snapshot memory for a convert-free inner
+    /// loop (a per-`k`-step `u8 → f32` widen defeats vectorisation).
+    codes_f32: Vec<f32>,
+    /// Half-step round-trip bound of the f64 fold.
+    max_error: f64,
+}
+
+impl QuantizedPanel {
+    /// Quantizes and packs a row-major `k × n` operand.
+    pub fn quantize(b: MatRef<'_>) -> Self {
+        let (k, n) = (b.rows(), b.cols());
+        let src = b.as_slice();
+        let range = QuantRange::from_values(src);
+        let mut codes = vec![0u8; k * n];
+        let mut j0 = 0;
+        while j0 < n {
+            let w = NR_Q8.min(n - j0);
+            let dst = &mut codes[j0 * k..j0 * k + k * w];
+            for kk in 0..k {
+                for (jj, &v) in src[kk * n + j0..kk * n + j0 + w].iter().enumerate() {
+                    dst[kk * w + jj] = range.encode(v);
+                }
+            }
+            j0 += w;
+        }
+        let codes_f32 = codes.iter().map(|&c| f32::from(c)).collect();
+        Self {
+            k,
+            n,
+            min: range.min as f32,
+            step: range.step as f32,
+            codes,
+            codes_f32,
+            max_error: range.max_error(),
+        }
+    }
+
+    /// Contraction depth.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Output width.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Worst-case absolute weight round-trip error (half a quantization
+    /// step).
+    pub fn max_error(&self) -> f64 {
+        self.max_error
+    }
+
+    /// Payload bytes of the packed codes (one per coefficient).
+    pub fn byte_size(&self) -> usize {
+        self.codes.len()
+    }
+}
+
+/// Reassociated f32 sum of a row (four independent chains) — the shared
+/// `Σ_k a[i][k]` term of the int8 decomposition.
+#[inline]
+fn row_sum_f32(a: &[f32]) -> f32 {
+    let mut s0 = 0.0f32;
+    let mut s1 = 0.0f32;
+    let mut s2 = 0.0f32;
+    let mut s3 = 0.0f32;
+    let mut ch = a.chunks_exact(4);
+    for p in &mut ch {
+        s0 += p[0];
+        s1 += p[1];
+        s2 += p[2];
+        s3 += p[3];
+    }
+    for &v in ch.remainder() {
+        s0 += v;
+    }
+    (s0 + s1) + (s2 + s3)
+}
+
+/// Int8 GEMM core: the same `MR`-row register-tiled micro-kernel as the
+/// f64 path, `NR_Q8` columns wide, accumulating `Σ_k a·code` in f32 and
+/// applying the affine decomposition in the writeback, which stores
+/// straight into the row-major output (`a (rows × k) · dequant(b)`),
+/// adding when `ACC`. Weights are never materialised, and the store is a
+/// const flag rather than an emit closure for the same vectorization
+/// reason as [`blocked_store`].
+#[inline]
+fn q8_store<const ACC: bool>(a: &[f32], rows: usize, b: &QuantizedPanel, dst: &mut [f32]) {
+    let k = b.k;
+    assert_eq!(a.len(), rows * k, "int8 matmul input shape");
+    let (min, step) = (b.min, b.step);
+    let n = b.n;
+    assert_eq!(dst.len(), rows * n, "int8 matmul output shape");
+    let mut i0 = 0;
+    while i0 < rows {
+        let mr = MR.min(rows - i0);
+        let mut base = [0.0f32; MR];
+        for (mm, bv) in base.iter_mut().enumerate().take(mr) {
+            *bv = min * row_sum_f32(&a[(i0 + mm) * k..(i0 + mm + 1) * k]);
+        }
+        let mut j0 = 0;
+        while j0 < n {
+            let w = NR_Q8.min(n - j0);
+            let panel = &b.codes_f32[j0 * k..j0 * k + k * w];
+            if mr == MR && w == NR_Q8 {
+                let r0 = &a[i0 * k..(i0 + 1) * k];
+                let r1 = &a[(i0 + 1) * k..(i0 + 2) * k];
+                let r2 = &a[(i0 + 2) * k..(i0 + 3) * k];
+                let r3 = &a[(i0 + 3) * k..(i0 + 4) * k];
+                let mut a0 = [0.0f32; NR_Q8];
+                let mut a1 = [0.0f32; NR_Q8];
+                let mut a2 = [0.0f32; NR_Q8];
+                let mut a3 = [0.0f32; NR_Q8];
+                for ((((bw, &x0), &x1), &x2), &x3) in
+                    panel.chunks_exact(NR_Q8).zip(r0).zip(r1).zip(r2).zip(r3)
+                {
+                    for j in 0..NR_Q8 {
+                        a0[j] = x0.mul_add(bw[j], a0[j]);
+                        a1[j] = x1.mul_add(bw[j], a1[j]);
+                        a2[j] = x2.mul_add(bw[j], a2[j]);
+                        a3[j] = x3.mul_add(bw[j], a3[j]);
+                    }
+                }
+                for (mm, am) in [&a0, &a1, &a2, &a3].into_iter().enumerate() {
+                    let o = (i0 + mm) * n + j0;
+                    for (s, &v) in dst[o..o + NR_Q8].iter_mut().zip(am) {
+                        let val = base[mm] + step * v;
+                        if ACC {
+                            *s += val;
+                        } else {
+                            *s = val;
+                        }
+                    }
+                }
+            } else {
+                let mut acc = [[0.0f32; NR_Q8]; MR];
+                for kk in 0..k {
+                    let cw = &panel[kk * w..kk * w + w];
+                    for (mm, am) in acc.iter_mut().enumerate().take(mr) {
+                        let x = a[(i0 + mm) * k + kk];
+                        for (s, &c) in am.iter_mut().zip(cw) {
+                            *s = x.mul_add(c, *s);
+                        }
+                    }
+                }
+                for (mm, am) in acc.iter().enumerate().take(mr) {
+                    let o = (i0 + mm) * n + j0;
+                    for (s, &v) in dst[o..o + w].iter_mut().zip(am.iter()) {
+                        let val = base[mm] + step * v;
+                        if ACC {
+                            *s += val;
+                        } else {
+                            *s = val;
+                        }
+                    }
+                }
+            }
+            j0 += w;
+        }
+        i0 += mr;
+    }
+}
+
+/// `out = a · dequant(b)` with f32 accumulate; `a` is row-major
+/// `rows × b.k()`, `out` is row-major `rows × b.n()`.
+///
+/// Always approximate (the int8 lane is opt-in by construction), so this
+/// is **not** gated on `fastmath`.
+pub fn matmul_q8_into(a: &[f32], rows: usize, b: &QuantizedPanel, out: &mut [f32]) {
+    q8_store::<false>(a, rows, b, out);
+}
+
+/// `out += a · dequant(b)` with f32 accumulate.
+pub fn matmul_q8_acc_into(a: &[f32], rows: usize, b: &QuantizedPanel, out: &mut [f32]) {
+    q8_store::<true>(a, rows, b, out);
+}
+
+/// Fused `out = act(a · dequant(b) + bias)`, f32 accumulate; `bias` has
+/// length `b.n()`.
+pub fn matmul_q8_bias_act_into(
+    a: &[f32],
+    rows: usize,
+    b: &QuantizedPanel,
+    bias: &[f32],
+    act: impl Fn(f32) -> f32,
+    out: &mut [f32],
+) {
+    assert_eq!(bias.len(), b.n, "int8 bias width");
+    let n = b.n;
+    q8_store::<false>(a, rows, b, out);
+    for row in out.chunks_exact_mut(n) {
+        for (v, &bv) in row.iter_mut().zip(bias) {
+            *v = act(*v + bv);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Matrix;
+
+    fn mat(rows: usize, cols: usize, f: impl Fn(usize, usize) -> f64) -> Matrix {
+        Matrix::from_fn(rows, cols, f)
+    }
+
+    #[test]
+    fn packed_panels_tile_the_operand() {
+        // 13 columns: one full NR-wide panel plus a 5-wide remainder.
+        let b = mat(3, 13, |i, j| (i * 13 + j) as f64);
+        let p = PackedB::pack(b.view());
+        assert_eq!((p.k(), p.n()), (3, 13));
+        let mut j0 = 0;
+        while j0 < 13 {
+            let w = NR.min(13 - j0);
+            for kk in 0..3 {
+                for jj in 0..w {
+                    assert_eq!(p.panel[j0 * 3 + kk * w + jj], b[(kk, j0 + jj)]);
+                }
+            }
+            j0 += w;
+        }
+        assert_eq!(p.orig_view().as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn blocked_matmul_matches_exact_within_reassociation_bound() {
+        let a = mat(7, 53, |i, j| ((i * 31 + j * 7) % 19) as f64 * 0.05 - 0.4);
+        let b = mat(53, 10, |i, j| ((i * 13 + j * 3) % 23) as f64 * 0.03 - 0.3);
+        let p = PackedB::pack(b.view());
+        let mut exact = vec![0.0; 7 * 10];
+        crate::kernels::matmul_into(a.view(), b.view(), MatMut::new(7, 10, &mut exact));
+        let mut fast = vec![0.0; 7 * 10];
+        matmul_into_blocked(a.view(), &p, MatMut::new(7, 10, &mut fast));
+        for (x, y) in exact.iter().zip(&fast) {
+            assert!((x - y).abs() < 1e-12, "{x} vs {y}");
+        }
+        // Without the feature the path must be *bitwise* the exact kernel.
+        #[cfg(not(feature = "fastmath"))]
+        for (x, y) in exact.iter().zip(&fast) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn blocked_matmul_covers_full_and_edge_tiles() {
+        // 9 × 19 output: two full 4-row bands plus a 1-row edge, two full
+        // 8-col panels plus a 3-col edge — every micro-kernel path runs.
+        let a = mat(9, 33, |i, j| ((i * 29 + j * 11) % 17) as f64 * 0.06 - 0.5);
+        let b = mat(33, 19, |i, j| ((i * 7 + j * 5) % 13) as f64 * 0.04 - 0.25);
+        let p = PackedB::pack(b.view());
+        let mut exact = vec![0.0; 9 * 19];
+        crate::kernels::matmul_into(a.view(), b.view(), MatMut::new(9, 19, &mut exact));
+        let mut fast = vec![0.0; 9 * 19];
+        matmul_into_blocked(a.view(), &p, MatMut::new(9, 19, &mut fast));
+        for (x, y) in exact.iter().zip(&fast) {
+            assert!((x - y).abs() < 1e-12, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn blocked_acc_accumulates() {
+        let a = mat(4, 9, |i, j| (i + j) as f64 * 0.1);
+        let b = mat(9, 6, |i, j| (i as f64 - j as f64) * 0.05);
+        let p = PackedB::pack(b.view());
+        let mut base = vec![1.0; 4 * 6];
+        matmul_acc_into_blocked(a.view(), &p, MatMut::new(4, 6, &mut base));
+        let mut plain = vec![0.0; 4 * 6];
+        matmul_into_blocked(a.view(), &p, MatMut::new(4, 6, &mut plain));
+        for (x, y) in base.iter().zip(&plain) {
+            assert!((x - (y + 1.0)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fused_bias_act_matches_unfused_sequence() {
+        let a = mat(5, 11, |i, j| ((i * 7 + j) % 13) as f64 * 0.07 - 0.4);
+        let b = mat(11, 4, |i, j| ((i + 2 * j) % 9) as f64 * 0.06 - 0.2);
+        let bias = mat(1, 4, |_, j| j as f64 * 0.25 - 0.5);
+        let p = PackedB::pack(b.view());
+        let mut fused = vec![0.0; 5 * 4];
+        matmul_bias_act_into_blocked(
+            a.view(),
+            &p,
+            bias.view(),
+            |x| x.max(0.0),
+            MatMut::new(5, 4, &mut fused),
+        );
+        let mut manual = vec![0.0; 5 * 4];
+        matmul_into_blocked(a.view(), &p, MatMut::new(5, 4, &mut manual));
+        crate::kernels::add_row_broadcast_into(MatMut::new(5, 4, &mut manual), bias.view());
+        for v in &mut manual {
+            *v = v.max(0.0);
+        }
+        for (x, y) in fused.iter().zip(&manual) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn int8_matmul_error_is_bounded_by_weight_quantization() {
+        let a = mat(6, 40, |i, j| ((i * 17 + j * 5) % 21) as f64 * 0.04 - 0.4);
+        let b = mat(40, 8, |i, j| ((i * 11 + j * 13) % 29) as f64 * 0.02 - 0.28);
+        let q = QuantizedPanel::quantize(b.view());
+        let a32: Vec<f32> = a.as_slice().iter().map(|&v| v as f32).collect();
+        let mut fast = vec![0.0f32; 6 * 8];
+        matmul_q8_into(&a32, 6, &q, &mut fast);
+        let mut exact = vec![0.0; 6 * 8];
+        crate::kernels::matmul_into(a.view(), b.view(), MatMut::new(6, 8, &mut exact));
+        // Per-output bound: Σ|a| · (half step) for quantization, plus
+        // f32 accumulation slack.
+        for i in 0..6 {
+            let abs_sum: f64 = a.row(i).iter().map(|v| v.abs()).sum();
+            let bound = abs_sum * q.max_error() + 1e-4 * (1.0 + abs_sum);
+            for j in 0..8 {
+                let d = (exact[i * 8 + j] - fast[i * 8 + j] as f64).abs();
+                assert!(d <= bound, "({i},{j}): delta {d} > bound {bound}");
+            }
+        }
+    }
+
+    #[test]
+    fn int8_matmul_covers_full_and_edge_tiles() {
+        // 7 × 21 output: one full 4-row band plus a 3-row edge, one full
+        // 16-col code panel plus a 5-col edge.
+        let a = mat(7, 30, |i, j| ((i * 19 + j * 3) % 23) as f64 * 0.03 - 0.3);
+        let b = mat(30, 21, |i, j| ((i * 5 + j * 7) % 27) as f64 * 0.02 - 0.26);
+        let q = QuantizedPanel::quantize(b.view());
+        let a32: Vec<f32> = a.as_slice().iter().map(|&v| v as f32).collect();
+        let mut fast = vec![0.0f32; 7 * 21];
+        matmul_q8_into(&a32, 7, &q, &mut fast);
+        let mut exact = vec![0.0; 7 * 21];
+        crate::kernels::matmul_into(a.view(), b.view(), MatMut::new(7, 21, &mut exact));
+        for i in 0..7 {
+            let abs_sum: f64 = a.row(i).iter().map(|v| v.abs()).sum();
+            let bound = abs_sum * q.max_error() + 1e-4 * (1.0 + abs_sum);
+            for j in 0..21 {
+                let d = (exact[i * 21 + j] - fast[i * 21 + j] as f64).abs();
+                assert!(d <= bound, "({i},{j}): delta {d} > bound {bound}");
+            }
+        }
+    }
+
+    #[test]
+    fn int8_acc_and_fused_variants_agree_with_plain() {
+        let a = mat(3, 10, |i, j| (i + j) as f64 * 0.09 - 0.3);
+        let b = mat(10, 5, |i, j| (2 * i + j) as f64 * 0.03 - 0.2);
+        let q = QuantizedPanel::quantize(b.view());
+        let a32: Vec<f32> = a.as_slice().iter().map(|&v| v as f32).collect();
+        let mut plain = vec![0.0f32; 15];
+        matmul_q8_into(&a32, 3, &q, &mut plain);
+        let mut acc = vec![0.5f32; 15];
+        matmul_q8_acc_into(&a32, 3, &q, &mut acc);
+        let bias = vec![0.5f32; 5];
+        let mut fused = vec![0.0f32; 15];
+        matmul_q8_bias_act_into(&a32, 3, &q, &bias, |x| x, &mut fused);
+        for ((&p, &ac), &f) in plain.iter().zip(&acc).zip(&fused) {
+            assert!((ac - (p + 0.5)).abs() < 1e-5);
+            assert!((f - (p + 0.5)).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn quantized_panel_reuses_the_shared_fold() {
+        // The panel's range parameters must be exactly the shared fold's —
+        // same min, same step — so the codec and the inference lane can
+        // never disagree on the quantization grid.
+        let b = mat(4, 4, |i, j| (i * 4 + j) as f64 * 0.35 - 2.0);
+        let q = QuantizedPanel::quantize(b.view());
+        let r = QuantRange::from_values(b.view().as_slice());
+        assert_eq!(q.min, r.min as f32);
+        assert_eq!(q.step, r.step as f32);
+        assert_eq!(q.max_error(), r.max_error());
+        assert_eq!(q.byte_size(), 16);
+    }
+}

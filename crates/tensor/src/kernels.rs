@@ -148,6 +148,11 @@ impl<'a> MatMut<'a> {
     pub fn cols(&self) -> usize {
         self.cols
     }
+
+    /// Flat mutable row-major contents.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        self.data
+    }
 }
 
 /// `out = a · b`, overwriting `out`.

@@ -32,12 +32,15 @@
 
 mod alloc;
 mod error;
+pub mod fastpath;
 mod init;
 pub mod kernels;
 mod matrix;
 pub mod parallel;
+pub mod quant;
 pub mod solve;
 pub mod stats;
+pub mod vmath;
 
 pub use alloc::{alloc_stats, AllocStats};
 pub use error::{ShapeError, TensorResult};

@@ -1,0 +1,162 @@
+//! Shared EVQ8 range-quantization math.
+//!
+//! One implementation of the 8-bit uniform range fold, used by **both**
+//! consumers in the workspace:
+//!
+//! - the federated uplink codec (`evfad_federated::compression`, wire tag
+//!   `EVQ8`) — where byte-exact re-encode identity is a wire-format
+//!   contract, and
+//! - the int8 inference lane (`fastpath` / `evfad_nn::infer`) — where the
+//!   same fold quantizes frozen layer weights for f32-accumulate scoring.
+//!
+//! Keeping the fold here (the lowest layer) means a change to the rounding
+//! or range rules cannot silently diverge between the two: the codec's
+//! re-encode identity test and the inference error-bound gates both pin
+//! this exact code.
+//!
+//! # The fold
+//!
+//! Only **finite** values participate in the range: NaN and ±∞ are skipped
+//! (callers transmit or handle them out of band). With no finite value at
+//! all, the range degenerates to `[0, 0]`. The step is `(max - min) / 255`
+//! (256 levels), or exactly `0.0` for a constant/empty tensor — in which
+//! case every code is 0 and decode returns `min` exactly.
+
+/// Quantization range of one tensor: the minimum finite value and the
+/// uniform step between the 256 levels.
+///
+/// # Examples
+///
+/// ```
+/// use evfad_tensor::quant::QuantRange;
+///
+/// let r = QuantRange::from_values(&[-1.0, 0.5, 2.0, f64::NAN]);
+/// assert_eq!(r.min, -1.0);
+/// assert_eq!(r.step, 3.0 / 255.0);
+/// // Extremes are exact.
+/// assert_eq!(r.decode(r.encode(-1.0)), -1.0);
+/// assert_eq!(r.decode(r.encode(2.0)), 2.0);
+/// // Everything else is within half a step.
+/// let v = 0.73;
+/// assert!((r.decode(r.encode(v)) - v).abs() <= r.max_error());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantRange {
+    /// Minimum finite value of the folded slice (`0.0` when none).
+    pub min: f64,
+    /// Uniform step between adjacent levels (`(max - min) / 255`, or `0.0`
+    /// for a constant, empty, or fully non-finite slice).
+    pub step: f64,
+}
+
+impl QuantRange {
+    /// Folds a slice into its quantization range, skipping non-finite
+    /// values. An empty or fully non-finite slice yields `{min: 0, step: 0}`.
+    pub fn from_values(values: &[f64]) -> Self {
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for &v in values {
+            if v.is_finite() {
+                min = min.min(v);
+                max = max.max(v);
+            }
+        }
+        // No finite value at all: empty or fully non-finite slice.
+        if min > max {
+            min = 0.0;
+            max = 0.0;
+        }
+        let range = max - min;
+        let step = if range > 0.0 { range / 255.0 } else { 0.0 };
+        Self { min, step }
+    }
+
+    /// Encodes one finite value as the nearest of the 256 levels.
+    ///
+    /// Out-of-range values clamp to the extreme codes. With a zero step
+    /// (constant/empty fold) every value maps to code 0. Callers are
+    /// responsible for routing non-finite values around the codec (the
+    /// wire format carries them verbatim as side records).
+    pub fn encode(&self, v: f64) -> u8 {
+        if self.step == 0.0 {
+            0
+        } else {
+            ((v - self.min) / self.step).round().clamp(0.0, 255.0) as u8
+        }
+    }
+
+    /// Decodes a level back to its representative value: `min + code·step`.
+    pub fn decode(&self, code: u8) -> f64 {
+        self.min + code as f64 * self.step
+    }
+
+    /// Worst-case absolute round-trip error over finite in-range values:
+    /// half a step.
+    pub fn max_error(&self) -> f64 {
+        self.step / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_slice_degenerates_to_zero_range() {
+        let r = QuantRange::from_values(&[]);
+        assert_eq!(
+            r,
+            QuantRange {
+                min: 0.0,
+                step: 0.0
+            }
+        );
+        assert_eq!(r.encode(123.0), 0);
+        assert_eq!(r.decode(0), 0.0);
+        assert_eq!(r.max_error(), 0.0);
+    }
+
+    #[test]
+    fn fully_non_finite_slice_degenerates_to_zero_range() {
+        let r = QuantRange::from_values(&[f64::NAN, f64::INFINITY, f64::NEG_INFINITY]);
+        assert_eq!(
+            r,
+            QuantRange {
+                min: 0.0,
+                step: 0.0
+            }
+        );
+    }
+
+    #[test]
+    fn constant_slice_is_exact() {
+        let r = QuantRange::from_values(&[3.25, 3.25, 3.25]);
+        assert_eq!(r.step, 0.0);
+        assert_eq!(r.decode(r.encode(3.25)), 3.25);
+    }
+
+    #[test]
+    fn non_finite_values_do_not_poison_the_range() {
+        let with = QuantRange::from_values(&[1.0, f64::NAN, -3.0, f64::INFINITY]);
+        let without = QuantRange::from_values(&[1.0, -3.0]);
+        assert_eq!(with, without);
+    }
+
+    #[test]
+    fn round_trip_error_is_bounded_by_half_step() {
+        let values: Vec<f64> = (0..100)
+            .map(|i| (i * 37 % 100) as f64 * 0.013 - 0.5)
+            .collect();
+        let r = QuantRange::from_values(&values);
+        for &v in &values {
+            assert!((r.decode(r.encode(v)) - v).abs() <= r.max_error() + 1e-12);
+        }
+    }
+
+    #[test]
+    fn out_of_range_values_clamp_to_extreme_codes() {
+        let r = QuantRange::from_values(&[0.0, 1.0]);
+        assert_eq!(r.encode(-50.0), 0);
+        assert_eq!(r.encode(50.0), 255);
+    }
+}

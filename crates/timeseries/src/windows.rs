@@ -214,10 +214,11 @@ mod tests {
             assert_eq!(ws.window(w), win.as_slice());
         }
         // step(t, first, count)[i] is window (first + i)'s element t.
+        #[allow(clippy::needless_range_loop)]
         for t in 0..24 {
             let step = ws.step(t, 3, 10);
-            for i in 0..10 {
-                assert_eq!(step[i], wins[3 + i][t]);
+            for (i, &v) in step.iter().enumerate() {
+                assert_eq!(v, wins[3 + i][t]);
             }
         }
     }
