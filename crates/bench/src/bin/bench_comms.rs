@@ -28,10 +28,11 @@
 use evfad_core::federated::compression::{QuantizedUpdate, SparseDelta};
 use evfad_core::federated::transport::MeteredChannel;
 use evfad_core::federated::wire;
+use evfad_core::federated::{Aggregator, CodecScratch, LocalUpdate};
 use evfad_core::nn::forecaster_model;
-use evfad_core::tensor::Matrix;
+use evfad_core::tensor::{alloc_stats, Matrix};
 use std::hint::black_box;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 fn median(mut times: Vec<f64>) -> f64 {
     times.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
@@ -254,6 +255,270 @@ fn race_metering(weights: &[Matrix], clients: usize, rounds: usize, reps: usize)
 }
 
 // ---------------------------------------------------------------------------
+// Section 3: allocation-free compressed-uplink fast path (schema v2).
+// ---------------------------------------------------------------------------
+
+struct FastpathResult {
+    mode: &'static str,
+    payload_bytes: usize,
+    fused_mb_s: f64,
+    materialized_mb_s: f64,
+    speedup: f64,
+    encode_mb_s: f64,
+}
+
+/// Per-client weights: the shared model nudged by a client-specific signal
+/// so every payload is distinct but deterministically reproducible.
+fn client_weights(weights: &[Matrix], c: usize) -> Vec<Matrix> {
+    weights
+        .iter()
+        .map(|m| {
+            let vals: Vec<f64> = m
+                .as_slice()
+                .iter()
+                .enumerate()
+                .map(|(i, v)| v + 1e-3 * (((i + 31 * c) as f64) * 0.61).cos())
+                .collect();
+            Matrix::from_vec(m.rows(), m.cols(), vals)
+        })
+        .collect()
+}
+
+/// Median-of-reps throughput for `pass`, in MB/s of `bytes_per_pass` input.
+fn mb_per_s<T>(
+    bytes_per_pass: usize,
+    inner: usize,
+    reps: usize,
+    mut pass: impl FnMut() -> T,
+) -> f64 {
+    black_box(pass()); // warm caches and buffers before timing
+    let mut times = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let start = Instant::now();
+        for _ in 0..inner {
+            black_box(pass());
+        }
+        times.push(start.elapsed().as_secs_f64());
+    }
+    (bytes_per_pass * inner) as f64 / median(times) / 1e6
+}
+
+/// One full warm codec round: scratch-encode both compressed formats and
+/// decode both straight back into an existing weight set. After the cold
+/// round has grown every buffer, repeats of this must allocate **zero**
+/// matrix buffers — that is the fast path's contract.
+fn codec_round(
+    weights: &[Matrix],
+    global: &[Matrix],
+    k: usize,
+    scratch: &mut CodecScratch,
+    qbuf: &mut wire::BytesMut,
+    sbuf: &mut wire::BytesMut,
+    decoded: &mut Vec<Matrix>,
+) -> usize {
+    QuantizedUpdate::quantize_into(weights, &mut scratch.quant);
+    wire::encode_quantized_into(qbuf, &scratch.quant);
+    scratch.quant.dequantize_into(decoded);
+    SparseDelta::top_k_into(weights, global, k, &mut scratch.picked, &mut scratch.sparse);
+    wire::encode_sparse_into(sbuf, &scratch.sparse);
+    scratch.sparse.apply_into(global, decoded);
+    qbuf.len() + sbuf.len()
+}
+
+fn assert_warm_rounds_alloc_free(weights: &[Matrix], global: &[Matrix], k: usize) {
+    let mut scratch = CodecScratch::default();
+    let mut qbuf = wire::BytesMut::new();
+    let mut sbuf = wire::BytesMut::new();
+    let mut decoded = global.to_vec();
+    // Cold round: scratch tensors, frame buffers, and the decode target
+    // all take their final shapes here.
+    codec_round(
+        weights,
+        global,
+        k,
+        &mut scratch,
+        &mut qbuf,
+        &mut sbuf,
+        &mut decoded,
+    );
+    let before = alloc_stats();
+    let mut touched = 0usize;
+    for _ in 0..3 {
+        touched += codec_round(
+            weights,
+            global,
+            k,
+            &mut scratch,
+            &mut qbuf,
+            &mut sbuf,
+            &mut decoded,
+        );
+    }
+    black_box(touched);
+    let delta = alloc_stats().since(&before);
+    assert_eq!(
+        delta.matrices, 0,
+        "warm codec rounds allocated {} matrix buffers — the scratch-reuse fast path regressed",
+        delta.matrices
+    );
+}
+
+/// Races the fused decode-into-fold (`ingest_quantized` / `ingest_topk`)
+/// against the materializing path (decode the payload, reconstruct the full
+/// `Vec<Matrix>`, then `ingest`). Gated bitwise-identical always; the
+/// throughput floor (fused ≥ 1.5× materializing) is enforced in full runs.
+fn race_fastpath(
+    weights: &[Matrix],
+    global: &[Matrix],
+    clients: usize,
+    k: usize,
+    reps: usize,
+    inner: usize,
+    full: bool,
+) -> Vec<FastpathResult> {
+    let ids: Vec<String> = (0..clients).map(|c| format!("client-{c}")).collect();
+    let per_client: Vec<Vec<Matrix>> = (0..clients).map(|c| client_weights(weights, c)).collect();
+    let raw_bytes = clients * wire::encoded_size(weights);
+    let total = (100 * clients) as f64;
+    let update = |id: &str, weights: Vec<Matrix>| LocalUpdate {
+        client_id: id.to_string(),
+        weights,
+        sample_count: 100,
+        train_loss: 0.0,
+        duration: Duration::ZERO,
+        simulated_extra_seconds: 0.0,
+    };
+
+    // --- Quant8 ---
+    let q_payloads: Vec<Vec<u8>> = per_client
+        .iter()
+        .map(|w| wire::encode_quantized(&QuantizedUpdate::quantize(w)).to_vec())
+        .collect();
+    let q_bytes: usize = q_payloads.iter().map(Vec::len).sum();
+    let fused_quant = || {
+        let mut agg = Aggregator::FedAvg
+            .streaming(total, clients)
+            .expect("FedAvg streams");
+        for (id, p) in ids.iter().zip(&q_payloads) {
+            agg.ingest_quantized(id, 100, p).expect("fused ingest");
+        }
+        agg.finish().expect("finish")
+    };
+    let materialized_quant = || {
+        let mut agg = Aggregator::FedAvg
+            .streaming(total, clients)
+            .expect("FedAvg streams");
+        for (id, p) in ids.iter().zip(&q_payloads) {
+            let decoded = wire::decode_quantized(p).expect("EVQ8 decode").dequantize();
+            agg.ingest(&update(id, decoded)).expect("ingest");
+        }
+        agg.finish().expect("finish")
+    };
+    assert_eq!(
+        wire::encode_weights(&fused_quant()),
+        wire::encode_weights(&materialized_quant()),
+        "fused quantized fold diverged from decode-then-ingest"
+    );
+    let fused_mb_s = mb_per_s(q_bytes, inner, reps, fused_quant);
+    let materialized_mb_s = mb_per_s(q_bytes, inner, reps, materialized_quant);
+    let encode_mb_s = {
+        let mut scratch = CodecScratch::default();
+        let mut buf = wire::BytesMut::new();
+        mb_per_s(raw_bytes, inner, reps, move || {
+            let mut len = 0usize;
+            for w in &per_client {
+                QuantizedUpdate::quantize_into(w, &mut scratch.quant);
+                wire::encode_quantized_into(&mut buf, &scratch.quant);
+                len += buf.len();
+            }
+            len
+        })
+    };
+    let quant = FastpathResult {
+        mode: "quant8",
+        payload_bytes: q_bytes / clients,
+        fused_mb_s,
+        materialized_mb_s,
+        speedup: fused_mb_s / materialized_mb_s,
+        encode_mb_s,
+    };
+
+    // --- TopKDelta ---
+    let per_client: Vec<Vec<Matrix>> = (0..clients).map(|c| client_weights(weights, c)).collect();
+    let s_payloads: Vec<Vec<u8>> = per_client
+        .iter()
+        .map(|w| wire::encode_sparse(&SparseDelta::top_k(w, global, k)).to_vec())
+        .collect();
+    let s_bytes: usize = s_payloads.iter().map(Vec::len).sum();
+    let fused_topk = || {
+        let mut agg = Aggregator::FedAvg
+            .streaming(total, clients)
+            .expect("FedAvg streams");
+        for (id, p) in ids.iter().zip(&s_payloads) {
+            agg.ingest_topk(id, 100, global, p).expect("fused ingest");
+        }
+        agg.finish().expect("finish")
+    };
+    let materialized_topk = || {
+        let mut agg = Aggregator::FedAvg
+            .streaming(total, clients)
+            .expect("FedAvg streams");
+        for (id, p) in ids.iter().zip(&s_payloads) {
+            let decoded = wire::decode_sparse(p).expect("EVSK decode").apply(global);
+            agg.ingest(&update(id, decoded)).expect("ingest");
+        }
+        agg.finish().expect("finish")
+    };
+    assert_eq!(
+        wire::encode_weights(&fused_topk()),
+        wire::encode_weights(&materialized_topk()),
+        "fused top-k fold diverged from decode-then-ingest"
+    );
+    let fused_mb_s = mb_per_s(s_bytes, inner, reps, fused_topk);
+    let materialized_mb_s = mb_per_s(s_bytes, inner, reps, materialized_topk);
+    let encode_mb_s = {
+        let mut scratch = CodecScratch::default();
+        let mut buf = wire::BytesMut::new();
+        mb_per_s(raw_bytes, inner, reps, move || {
+            let mut len = 0usize;
+            for w in &per_client {
+                SparseDelta::top_k_into(w, global, k, &mut scratch.picked, &mut scratch.sparse);
+                wire::encode_sparse_into(&mut buf, &scratch.sparse);
+                len += buf.len();
+            }
+            len
+        })
+    };
+    let topk = FastpathResult {
+        mode: "topk",
+        payload_bytes: s_bytes / clients,
+        fused_mb_s,
+        materialized_mb_s,
+        speedup: fused_mb_s / materialized_mb_s,
+        encode_mb_s,
+    };
+
+    // Floors: quant8 carries the headline ≥1.5x decode-path claim (the
+    // materializing path pays a full decode pass plus a fresh model
+    // allocation per update that the fused fold skips entirely). Top-k's
+    // dominant cost — the dense base fold — is shared by both paths, so
+    // its ceiling is structurally near parity; it is gated at no material
+    // regression (0.9, leaving headroom for timer noise around 1.0x).
+    let results = vec![quant, topk];
+    if full {
+        for (r, floor) in results.iter().zip([1.5, 0.9]) {
+            assert!(
+                r.speedup >= floor,
+                "fused {} decode+ingest came in at {:.2}x the materializing path — below the {floor}x floor",
+                r.mode,
+                r.speedup
+            );
+        }
+    }
+    results
+}
+
+// ---------------------------------------------------------------------------
 // Harness.
 // ---------------------------------------------------------------------------
 
@@ -301,8 +566,19 @@ fn main() {
         metering.json_ms / metering.wire_ms,
     );
 
+    assert_warm_rounds_alloc_free(&weights, &global, k);
+    println!("fastpath          warm codec rounds: 0 matrix allocations");
+    let inner = if smoke { 2 } else { 8 };
+    let fastpath = race_fastpath(&weights, &global, clients, k, reps, inner, !smoke);
+    for f in &fastpath {
+        println!(
+            "fastpath {:<8} fused {:>8.1} MB/s   materialized {:>8.1} MB/s   speedup {:>4.2}x   encode {:>8.1} MB/s",
+            f.mode, f.fused_mb_s, f.materialized_mb_s, f.speedup, f.encode_mb_s
+        );
+    }
+
     if smoke {
-        println!("smoke ok: codecs byte-exact, metering path JSON-free");
+        println!("smoke ok: codecs byte-exact, metering path JSON-free, fused fold bitwise, warm rounds allocation-free");
         return;
     }
 
@@ -326,10 +602,34 @@ fn main() {
             )
         })
         .collect();
+    let fastpath_entries: Vec<String> = fastpath
+        .iter()
+        .map(|f| {
+            format!(
+                concat!(
+                    "      {{\n",
+                    "        \"mode\": \"{}\",\n",
+                    "        \"payload_bytes\": {},\n",
+                    "        \"fused_decode_ingest_mb_s\": {:.1},\n",
+                    "        \"materialized_decode_ingest_mb_s\": {:.1},\n",
+                    "        \"decode_speedup\": {:.2},\n",
+                    "        \"encode_mb_s\": {:.1}\n",
+                    "      }}"
+                ),
+                f.mode,
+                f.payload_bytes,
+                f.fused_mb_s,
+                f.materialized_mb_s,
+                f.speedup,
+                f.encode_mb_s
+            )
+        })
+        .collect();
     let json = format!(
         concat!(
             "{{\n",
             "  \"bench\": \"comms\",\n",
+            "  \"schema\": 2,\n",
             "  \"host_cpus\": {},\n",
             "  \"reps\": {},\n",
             "  \"model\": \"forecaster LSTM({})\",\n",
@@ -344,6 +644,10 @@ fn main() {
             "    \"bytes_ratio\": {:.2},\n",
             "    \"json_serializations\": {},\n",
             "    \"wire_serializations\": {}\n",
+            "  }},\n",
+            "  \"fastpath\": {{\n",
+            "    \"warm_round_matrix_allocs\": 0,\n",
+            "    \"modes\": [\n{}\n    ]\n",
             "  }}\n",
             "}}\n"
         ),
@@ -361,6 +665,7 @@ fn main() {
         metering.json_bytes as f64 / metering.wire_bytes as f64,
         metering.json_serializations,
         metering.wire_serializations,
+        fastpath_entries.join(",\n"),
     );
     std::fs::write(&out_path, json).expect("write bench results");
     println!("wrote {out_path}");

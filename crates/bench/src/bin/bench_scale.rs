@@ -1,6 +1,10 @@
 //! Drives the hierarchical scale engine at paper-style populations —
 //! 10k, 100k, and 1M clients — and emits `BENCH_scale.json` (schema v2)
-//! with rounds/sec per thread count and peak aggregation memory.
+//! with rounds/sec per thread count and peak aggregation memory. The
+//! 100k-client population also runs with `compression: quant8`, where
+//! every edge fold ingests encoded payloads through the fused
+//! decode-into-fold path; those rows must stay checksum-identical
+//! across thread counts like the uncompressed ones.
 //!
 //! Gates, checked before anything is timed:
 //!
@@ -33,6 +37,7 @@
 use evfad_core::federated::scale::{
     ScaleConfig, ScaleEngine, ScaleOutcome, ScaleRoundStats, ScaleTrainer,
 };
+use evfad_core::federated::CompressionMode;
 use evfad_core::nn::forecaster_model;
 use evfad_core::tensor::Matrix;
 
@@ -205,6 +210,7 @@ struct Scenario {
     rounds: usize,
     threads: usize,
     trained_fraction: f64,
+    compression: CompressionMode,
 }
 
 struct ScenarioResult {
@@ -212,6 +218,7 @@ struct ScenarioResult {
     edges: usize,
     rounds: usize,
     threads: usize,
+    compression: CompressionMode,
     sampled_per_round: usize,
     trained_clients: usize,
     rounds_per_sec: f64,
@@ -230,6 +237,7 @@ fn time_scenario(s: &Scenario, model: &[Matrix], lstm_units: usize) -> ScenarioR
             edges: s.edges,
             threads: s.threads,
             trained_fraction: s.trained_fraction,
+            compression: s.compression,
             ..ScaleConfig::default()
         },
         model,
@@ -242,6 +250,7 @@ fn time_scenario(s: &Scenario, model: &[Matrix], lstm_units: usize) -> ScenarioR
         edges: s.edges,
         rounds: s.rounds,
         threads: s.threads,
+        compression: s.compression,
         sampled_per_round: out.rounds[0].sampled,
         trained_clients: out.rounds.iter().map(|r| r.trained).sum(),
         rounds_per_sec: s.rounds as f64 / secs,
@@ -267,16 +276,27 @@ fn main() {
         .unwrap_or_else(|| "BENCH_scale.json".to_string());
 
     let (lstm_units, scenarios) = if smoke {
-        (
-            8,
-            vec![Scenario {
+        let mut s = vec![Scenario {
+            clients: 2_000,
+            edges: 8,
+            rounds: 2,
+            threads: 1,
+            trained_fraction: 0.0,
+            compression: CompressionMode::None,
+        }];
+        // Compressed uplink smoke rows: the windows() identity below pins
+        // the Quant8 checksum across thread counts in CI.
+        for threads in [1usize, 2] {
+            s.push(Scenario {
                 clients: 2_000,
                 edges: 8,
                 rounds: 2,
-                threads: 1,
+                threads,
                 trained_fraction: 0.0,
-            }],
-        )
+                compression: CompressionMode::Quant8,
+            });
+        }
+        (8, s)
     } else {
         let mut s = vec![
             Scenario {
@@ -285,6 +305,7 @@ fn main() {
                 rounds: 5,
                 threads: 1,
                 trained_fraction: 0.0,
+                compression: CompressionMode::None,
             },
             Scenario {
                 clients: 100_000,
@@ -292,8 +313,23 @@ fn main() {
                 rounds: 5,
                 threads: 1,
                 trained_fraction: 0.0,
+                compression: CompressionMode::None,
             },
         ];
+        // The compressed-uplink scenario at 100k clients, one row per
+        // thread count: the fused decode-into-fold runs inside every edge
+        // fold and the windows() identity below pins the checksum across
+        // thread counts.
+        for threads in [1usize, 2, 4] {
+            s.push(Scenario {
+                clients: 100_000,
+                edges: 32,
+                rounds: 3,
+                threads,
+                trained_fraction: 0.0,
+                compression: CompressionMode::Quant8,
+            });
+        }
         // The 1M-client scenario, one row per thread count. A tiny real
         // trained fraction (~30 clients per 100k-client round) keeps the
         // fused train-step kernels in the measured loop.
@@ -304,6 +340,7 @@ fn main() {
                 rounds: 3,
                 threads,
                 trained_fraction: 0.0003,
+                compression: CompressionMode::None,
             });
         }
         (50, s)
@@ -333,12 +370,13 @@ fn main() {
         .collect();
     for r in &results {
         println!(
-            "clients {:>8}  edges {:>3}  threads {:>2}  sampled/round {:>7}  trained {:>4}  \
+            "clients {:>8}  edges {:>3}  threads {:>2}  mode {:<7}  sampled/round {:>7}  trained {:>4}  \
              {:>7.2} rounds/s  peak {:>8} B  batch-equivalent {:>13} B  ({:>7.0}x)  \
              uplink {:>9.2} MB/round",
             r.clients,
             r.edges,
             r.threads,
+            r.compression.to_string(),
             r.sampled_per_round,
             r.trained_clients,
             r.rounds_per_sec,
@@ -351,11 +389,15 @@ fn main() {
 
     // Rows that differ only in thread count must agree byte for byte.
     for w in results.windows(2) {
-        if w[0].clients == w[1].clients && w[0].edges == w[1].edges && w[0].rounds == w[1].rounds {
+        if w[0].clients == w[1].clients
+            && w[0].edges == w[1].edges
+            && w[0].rounds == w[1].rounds
+            && w[0].compression == w[1].compression
+        {
             assert_eq!(
                 w[0].checksum, w[1].checksum,
-                "threads {} and {} disagree on the {}-client checksum",
-                w[0].threads, w[1].threads, w[0].clients
+                "threads {} and {} disagree on the {}-client {} checksum",
+                w[0].threads, w[1].threads, w[0].clients, w[0].compression
             );
         }
     }
@@ -378,6 +420,7 @@ fn main() {
                     "      \"edges\": {},\n",
                     "      \"rounds\": {},\n",
                     "      \"threads\": {},\n",
+                    "      \"compression\": \"{}\",\n",
                     "      \"sampled_per_round\": {},\n",
                     "      \"trained_clients\": {},\n",
                     "      \"rounds_per_sec\": {:.3},\n",
@@ -392,6 +435,7 @@ fn main() {
                 r.edges,
                 r.rounds,
                 r.threads,
+                r.compression,
                 r.sampled_per_round,
                 r.trained_clients,
                 r.rounds_per_sec,

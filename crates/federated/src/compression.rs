@@ -58,7 +58,7 @@ impl std::fmt::Display for CompressionMode {
 }
 
 /// One weight tensor quantized to 8 bits.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct QuantizedTensor {
     pub(crate) rows: usize,
     pub(crate) cols: usize,
@@ -86,32 +86,41 @@ impl QuantizedTensor {
     /// inference lane uses — so the wire format and the scoring path can
     /// never diverge on rounding rules.
     pub fn quantize(m: &Matrix) -> Self {
+        let mut out = Self::default();
+        Self::quantize_into(m, &mut out);
+        out
+    }
+
+    /// Quantizes `m` into `out`, reusing its code and special buffers —
+    /// identical output to [`QuantizedTensor::quantize`] (which delegates
+    /// here), but a warm caller pays zero allocations per tensor.
+    pub fn quantize_into(m: &Matrix, out: &mut Self) {
         let range = QuantRange::from_values(m.as_slice());
-        let mut special_idx = Vec::new();
-        let mut special_val = Vec::new();
-        let codes = m
-            .as_slice()
-            .iter()
-            .enumerate()
-            .map(|(i, &v)| {
-                if !v.is_finite() {
-                    special_idx.push(i as u32);
-                    special_val.push(v);
-                    0
-                } else {
-                    range.encode(v)
-                }
-            })
-            .collect();
-        Self {
-            rows: m.rows(),
-            cols: m.cols(),
-            min: range.min,
-            step: range.step,
+        let Self {
+            rows,
+            cols,
+            min,
+            step,
             codes,
             special_idx,
             special_val,
-        }
+        } = out;
+        *rows = m.rows();
+        *cols = m.cols();
+        *min = range.min;
+        *step = range.step;
+        codes.clear();
+        special_idx.clear();
+        special_val.clear();
+        codes.extend(m.as_slice().iter().enumerate().map(|(i, &v)| {
+            if !v.is_finite() {
+                special_idx.push(i as u32);
+                special_val.push(v);
+                0
+            } else {
+                range.encode(v)
+            }
+        }));
     }
 
     /// The shared-range view of this tensor's header fields.
@@ -125,12 +134,27 @@ impl QuantizedTensor {
     /// Reconstructs the (lossy) tensor. Non-finite values come back
     /// bit-for-bit.
     pub fn dequantize(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        self.dequantize_into(&mut out);
+        out
+    }
+
+    /// Reconstructs the tensor into `out`, reusing its buffer when the
+    /// shape already matches — identical output to
+    /// [`QuantizedTensor::dequantize`] (which delegates here), but a warm
+    /// caller pays zero allocations per tensor.
+    pub fn dequantize_into(&self, out: &mut Matrix) {
+        if out.shape() != (self.rows, self.cols) {
+            *out = Matrix::zeros(self.rows, self.cols);
+        }
         let range = self.range();
-        let mut data: Vec<f64> = self.codes.iter().map(|&c| range.decode(c)).collect();
+        let data = out.as_mut_slice();
+        for (slot, &c) in data.iter_mut().zip(&self.codes) {
+            *slot = range.decode(c);
+        }
         for (&i, &v) in self.special_idx.iter().zip(&self.special_val) {
             data[i as usize] = v;
         }
-        Matrix::from_vec(self.rows, self.cols, data)
     }
 
     /// Worst-case absolute reconstruction error over finite values (half a
@@ -153,7 +177,7 @@ impl QuantizedTensor {
 }
 
 /// A whole model update quantized tensor-by-tensor.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct QuantizedUpdate {
     pub(crate) tensors: Vec<QuantizedTensor>,
 }
@@ -179,12 +203,38 @@ impl QuantizedUpdate {
         }
     }
 
+    /// Quantizes every tensor into `out`, reusing its nested buffers —
+    /// identical output to [`QuantizedUpdate::quantize`], but zero
+    /// allocations once `out` has seen the model's shapes. This is the
+    /// warm-round encode path: the engine, the socket client, and the
+    /// scale engine hold one `QuantizedUpdate` scratch per worker and
+    /// re-fill it every round.
+    pub fn quantize_into(weights: &[Matrix], out: &mut Self) {
+        out.tensors.resize_with(weights.len(), Default::default);
+        for (m, t) in weights.iter().zip(&mut out.tensors) {
+            QuantizedTensor::quantize_into(m, t);
+        }
+    }
+
     /// Reconstructs the weight vector.
     pub fn dequantize(&self) -> Vec<Matrix> {
         self.tensors
             .iter()
             .map(QuantizedTensor::dequantize)
             .collect()
+    }
+
+    /// Reconstructs the weight vector into `out`, reusing same-shaped
+    /// buffers — identical output to [`QuantizedUpdate::dequantize`];
+    /// zero allocations when `out` already holds matching shapes.
+    pub fn dequantize_into(&self, out: &mut Vec<Matrix>) {
+        out.truncate(self.tensors.len());
+        for (i, t) in self.tensors.iter().enumerate() {
+            match out.get_mut(i) {
+                Some(m) => t.dequantize_into(m),
+                None => out.push(t.dequantize()),
+            }
+        }
     }
 
     /// Total payload bytes (sum of per-tensor records, excluding the
@@ -203,7 +253,7 @@ impl QuantizedUpdate {
 }
 
 /// One tensor's sparse delta: the changed coordinates only.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SparseTensor {
     pub(crate) rows: usize,
     pub(crate) cols: usize,
@@ -230,7 +280,7 @@ impl SparseTensor {
 /// ±∞ delta counts as infinitely large — corruption is the *most* important
 /// thing to transmit faithfully, so poisoned coordinates always make the
 /// cut and reach the aggregator unmodified.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SparseDelta {
     pub(crate) tensors: Vec<SparseTensor>,
 }
@@ -243,14 +293,36 @@ impl SparseDelta {
     /// Panics if `update` and `base` differ in tensor count or shapes —
     /// the simulation guarantees both come from the same architecture.
     pub fn top_k(update: &[Matrix], base: &[Matrix], k: usize) -> Self {
+        let mut out = Self::default();
+        let mut picked = Vec::new();
+        Self::top_k_into(update, base, k, &mut picked, &mut out);
+        out
+    }
+
+    /// Builds the top-`k` delta into `out`, reusing its index/value buffers
+    /// and the caller's `picked` selection scratch — identical output to
+    /// [`SparseDelta::top_k`] (which delegates here; the selection sorts
+    /// are unstable but the comparators are total orders over distinct
+    /// indices, so the result is the same), with zero allocations once the
+    /// buffers have seen the model's density.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `update` and `base` differ in tensor count or shapes.
+    pub fn top_k_into(
+        update: &[Matrix],
+        base: &[Matrix],
+        k: usize,
+        picked: &mut Vec<(u32, f64)>,
+        out: &mut Self,
+    ) {
         assert_eq!(update.len(), base.len(), "sparse delta tensor count");
-        let tensors = update
-            .iter()
-            .zip(base)
-            .map(|(u, b)| {
-                assert_eq!(u.shape(), b.shape(), "sparse delta tensor shape");
-                let mut picked: Vec<(u32, f64)> = u
-                    .as_slice()
+        out.tensors.resize_with(update.len(), Default::default);
+        for ((u, b), t) in update.iter().zip(base).zip(&mut out.tensors) {
+            assert_eq!(u.shape(), b.shape(), "sparse delta tensor shape");
+            picked.clear();
+            picked.extend(
+                u.as_slice()
                     .iter()
                     .zip(b.as_slice())
                     .enumerate()
@@ -262,29 +334,26 @@ impl SparseDelta {
                         } else {
                             None
                         }
-                    })
-                    .collect();
-                if picked.len() > k {
-                    let magnitude = |d: f64| if d.is_nan() { f64::INFINITY } else { d.abs() };
-                    picked.sort_by(|a, b| {
-                        magnitude(b.1)
-                            .partial_cmp(&magnitude(a.1))
-                            .expect("magnitudes are never NaN")
-                            .then(a.0.cmp(&b.0))
-                    });
-                    picked.truncate(k);
-                    picked.sort_by_key(|&(i, _)| i);
-                }
-                let (indices, values) = picked.into_iter().unzip();
-                SparseTensor {
-                    rows: u.rows(),
-                    cols: u.cols(),
-                    indices,
-                    values,
-                }
-            })
-            .collect();
-        Self { tensors }
+                    }),
+            );
+            if picked.len() > k {
+                let magnitude = |d: f64| if d.is_nan() { f64::INFINITY } else { d.abs() };
+                picked.sort_unstable_by(|a, b| {
+                    magnitude(b.1)
+                        .partial_cmp(&magnitude(a.1))
+                        .expect("magnitudes are never NaN")
+                        .then(a.0.cmp(&b.0))
+                });
+                picked.truncate(k);
+                picked.sort_unstable_by_key(|&(i, _)| i);
+            }
+            t.rows = u.rows();
+            t.cols = u.cols();
+            t.indices.clear();
+            t.values.clear();
+            t.indices.extend(picked.iter().map(|&(i, _)| i));
+            t.values.extend(picked.iter().map(|&(_, v)| v));
+        }
     }
 
     /// Reconstructs `base + delta`.
@@ -293,20 +362,36 @@ impl SparseDelta {
     ///
     /// Panics if `base` does not match the recorded shapes.
     pub fn apply(&self, base: &[Matrix]) -> Vec<Matrix> {
+        let mut out = Vec::with_capacity(base.len());
+        self.apply_into(base, &mut out);
+        out
+    }
+
+    /// Reconstructs `base + delta` into `out`, reusing its matrices —
+    /// identical output to [`SparseDelta::apply`] (which delegates here),
+    /// but a warm caller whose `out` already holds the model's shapes pays
+    /// a memcpy per tensor instead of a full base clone per update.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` does not match the recorded shapes.
+    pub fn apply_into(&self, base: &[Matrix], out: &mut Vec<Matrix>) {
         assert_eq!(self.tensors.len(), base.len(), "sparse apply tensor count");
-        self.tensors
-            .iter()
-            .zip(base)
-            .map(|(t, b)| {
-                assert_eq!((t.rows, t.cols), b.shape(), "sparse apply tensor shape");
-                let mut m = b.clone();
-                let data = m.as_mut_slice();
-                for (&i, &v) in t.indices.iter().zip(&t.values) {
-                    data[i as usize] += v;
+        out.truncate(self.tensors.len());
+        for (i, (t, b)) in self.tensors.iter().zip(base).enumerate() {
+            assert_eq!((t.rows, t.cols), b.shape(), "sparse apply tensor shape");
+            match out.get_mut(i) {
+                Some(m) if m.shape() == b.shape() => {
+                    m.as_mut_slice().copy_from_slice(b.as_slice());
                 }
-                m
-            })
-            .collect()
+                Some(m) => *m = b.clone(),
+                None => out.push(b.clone()),
+            }
+            let data = out[i].as_mut_slice();
+            for (&idx, &v) in t.indices.iter().zip(&t.values) {
+                data[idx as usize] += v;
+            }
+        }
     }
 
     /// Total transmitted coordinates across all tensors.
@@ -320,6 +405,63 @@ impl SparseDelta {
     /// [`wire::encode_sparse`]: crate::wire::encode_sparse
     pub fn byte_size(&self) -> usize {
         self.tensors.iter().map(SparseTensor::byte_size).sum()
+    }
+}
+
+/// Caller-owned scratch for the allocation-free encode path.
+///
+/// Holds the reusable compressed representations the `*_into` codec entry
+/// points fill. One `CodecScratch` lives per round loop, socket client, or
+/// scale-engine worker; after the first (cold) round every re-encode
+/// reuses the buffers, so warm-round encoding performs zero codec
+/// allocations — the comms bench gate pins this.
+#[derive(Debug, Clone, Default)]
+pub struct CodecScratch {
+    /// Reused quantized representation (per-tensor code + special buffers).
+    pub quant: QuantizedUpdate,
+    /// Reused sparse top-k representation (per-tensor index/value buffers).
+    pub sparse: SparseDelta,
+    /// Reused top-k selection buffer.
+    pub picked: Vec<(u32, f64)>,
+}
+
+impl CodecScratch {
+    /// Encodes `weights` under `mode` into the scratch representation and
+    /// returns the exact wire payload byte length (`encode_quantized` /
+    /// `encode_sparse` produce exactly this many bytes — pinned by the
+    /// wire tests). `global` is the delta base for
+    /// [`CompressionMode::TopKDelta`]; [`CompressionMode::None`] is pure
+    /// shape arithmetic and leaves the scratch untouched.
+    pub fn encoded_len(
+        &mut self,
+        mode: CompressionMode,
+        weights: &[Matrix],
+        global: &[Matrix],
+    ) -> usize {
+        match mode {
+            CompressionMode::None => crate::wire::encoded_size(weights),
+            CompressionMode::Quant8 => {
+                QuantizedUpdate::quantize_into(weights, &mut self.quant);
+                crate::wire::quantized_encoded_size(&self.quant)
+            }
+            CompressionMode::TopKDelta { k } => {
+                SparseDelta::top_k_into(weights, global, k, &mut self.picked, &mut self.sparse);
+                crate::wire::sparse_encoded_size(&self.sparse)
+            }
+        }
+    }
+
+    /// Replaces `weights` with the server-side decode of the payload last
+    /// encoded by [`CodecScratch::encoded_len`] under the same `mode`,
+    /// reusing the existing matrix buffers. A no-op for
+    /// [`CompressionMode::None`]: the `EVFD` round-trip is bitwise-exact,
+    /// so the raw weights *are* the decoded payload.
+    pub fn decode_into(&self, mode: CompressionMode, global: &[Matrix], weights: &mut Vec<Matrix>) {
+        match mode {
+            CompressionMode::None => {}
+            CompressionMode::Quant8 => self.quant.dequantize_into(weights),
+            CompressionMode::TopKDelta { .. } => self.sparse.apply_into(global, weights),
+        }
     }
 }
 
@@ -503,6 +645,79 @@ mod tests {
             vec![0, 1, 2],
             "lowest indices win ties"
         );
+    }
+
+    #[test]
+    fn quantize_into_matches_quantize_and_reuses_buffers() {
+        let first = vec![
+            Matrix::from_fn(6, 7, |i, j| (i as f64) * 0.3 - (j as f64) * 0.11),
+            Matrix::row_vector(&[1.0, f64::NAN, -2.0, f64::INFINITY]),
+        ];
+        let second = vec![
+            Matrix::from_fn(6, 7, |i, j| (j as f64) * 0.2 - (i as f64) * 0.07),
+            Matrix::row_vector(&[f64::NEG_INFINITY, 0.5, 0.25, -1.0]),
+        ];
+        // NaN specials defeat derived equality; the wire encoding stores
+        // raw f64 bits, so byte equality is the stronger check anyway.
+        let bytes = crate::wire::encode_quantized;
+        let mut scratch = QuantizedUpdate::default();
+        QuantizedUpdate::quantize_into(&first, &mut scratch);
+        assert_eq!(bytes(&scratch), bytes(&QuantizedUpdate::quantize(&first)));
+        let code_ptrs: Vec<*const u8> = scratch.tensors.iter().map(|t| t.codes.as_ptr()).collect();
+        QuantizedUpdate::quantize_into(&second, &mut scratch);
+        assert_eq!(bytes(&scratch), bytes(&QuantizedUpdate::quantize(&second)));
+        // Warm re-encode of a same-shaped model keeps the buffers.
+        for (t, &p) in scratch.tensors.iter().zip(&code_ptrs) {
+            assert_eq!(t.codes.as_ptr(), p, "codes buffer was reallocated");
+        }
+    }
+
+    #[test]
+    fn top_k_into_matches_top_k_and_reuses_buffers() {
+        let (base, update) = base_and_update();
+        let mut picked = Vec::new();
+        let mut scratch = SparseDelta::default();
+        for k in [1, 2, 3, 16] {
+            SparseDelta::top_k_into(&update, &base, k, &mut picked, &mut scratch);
+            assert_eq!(scratch, SparseDelta::top_k(&update, &base, k), "k = {k}");
+        }
+        // NaN floods and exact ties go through the same unstable sorts.
+        let tie_base = vec![Matrix::zeros(1, 6)];
+        let mut tie_update = tie_base.clone();
+        for v in tie_update[0].as_mut_slice().iter_mut() {
+            *v = 1.0;
+        }
+        tie_update[0].as_mut_slice()[4] = f64::NAN;
+        SparseDelta::top_k_into(&tie_update, &tie_base, 3, &mut picked, &mut scratch);
+        let fresh = SparseDelta::top_k(&tie_update, &tie_base, 3);
+        assert_eq!(scratch.tensors[0].indices, fresh.tensors[0].indices);
+        assert_eq!(
+            scratch.tensors[0]
+                .values
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+            fresh.tensors[0]
+                .values
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+        );
+    }
+
+    #[test]
+    fn apply_into_matches_apply_without_fresh_clones() {
+        let (base, update) = base_and_update();
+        let d = SparseDelta::top_k(&update, &base, 16);
+        let mut out = Vec::new();
+        d.apply_into(&base, &mut out);
+        assert_eq!(out, d.apply(&base));
+        // Warm reuse: same shapes, zero matrix allocations.
+        let before = evfad_tensor::alloc_stats();
+        d.apply_into(&base, &mut out);
+        let delta = evfad_tensor::alloc_stats().since(&before);
+        assert_eq!(delta.matrices, 0, "warm apply_into allocated");
+        assert_eq!(out, d.apply(&base));
     }
 
     #[test]

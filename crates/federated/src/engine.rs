@@ -22,6 +22,7 @@
 //! fault gate, metering, and streaming rules instead.
 
 use crate::client::LocalUpdate;
+use crate::compression::CodecScratch;
 use crate::error::FederatedError;
 use crate::faults::{FaultEvent, FaultKind};
 use crate::scheduler::Scheduler;
@@ -121,6 +122,9 @@ pub(crate) fn run_rounds<P: RoundPool>(
     // every client is metered by the same byte length. No JSON
     // serialisation happens anywhere in the round loop.
     let mut broadcast_buf = BytesMut::new();
+    // One codec scratch for the whole run: after the first round every
+    // uplink encode/decode reuses its buffers instead of allocating.
+    let mut codec_scratch = CodecScratch::default();
 
     for round in 0..config.rounds {
         let round_start = Instant::now();
@@ -218,6 +222,7 @@ pub(crate) fn run_rounds<P: RoundPool>(
             &kept_attempts,
             &kept_wire,
             &wasted,
+            &mut codec_scratch,
         );
         let uplink_bytes = uplink.bytes;
         let compression_ratio = uplink.compression_ratio();

@@ -60,6 +60,50 @@ pub fn frame_size(payload_len: usize) -> usize {
     FRAME_HEADER_BYTES + payload_len
 }
 
+/// Writes one length-prefixed frame to `writer` without assembling it
+/// first: the 4-byte header and the payload go out in a single vectored
+/// write (gathered by the kernel into one TCP segment where possible),
+/// with a resume loop for short writes. This replaces the per-send
+/// "allocate a framed buffer, copy payload, write" dance in the socket
+/// transport — the payload is written from wherever it already lives.
+///
+/// # Errors
+///
+/// Any I/O error from the underlying writer; a zero-length vectored
+/// write surfaces as [`std::io::ErrorKind::WriteZero`].
+///
+/// # Panics
+///
+/// Panics if `payload.len() > MAX_FRAME_BYTES`, exactly like
+/// [`encode_frame`].
+pub fn write_frame<W: std::io::Write>(writer: &mut W, payload: &[u8]) -> std::io::Result<()> {
+    assert!(
+        payload.len() <= MAX_FRAME_BYTES,
+        "frame payload exceeds MAX_FRAME_BYTES"
+    );
+    let header = (payload.len() as u32).to_le_bytes();
+    let total = FRAME_HEADER_BYTES + payload.len();
+    let mut written = 0usize;
+    while written < total {
+        let n = if written < FRAME_HEADER_BYTES {
+            writer.write_vectored(&[
+                std::io::IoSlice::new(&header[written..]),
+                std::io::IoSlice::new(payload),
+            ])?
+        } else {
+            writer.write(&payload[written - FRAME_HEADER_BYTES..])?
+        };
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::WriteZero,
+                "failed to write whole frame",
+            ));
+        }
+        written += n;
+    }
+    Ok(())
+}
+
 /// Incremental frame reassembler.
 ///
 /// Bytes go in via [`feed`](Self::feed) in whatever chunks the socket
@@ -268,5 +312,48 @@ mod tests {
         let mut buf = BytesMut::new();
         encode_frame(&mut buf, b"abc");
         assert_eq!(buf.len(), frame_size(3));
+    }
+
+    #[test]
+    fn write_frame_matches_encode_frame_bytes() {
+        let mut framed = BytesMut::new();
+        encode_frame(&mut framed, b"payload-bytes");
+        let mut written = Vec::new();
+        write_frame(&mut written, b"payload-bytes").unwrap();
+        assert_eq!(written, framed.to_vec());
+    }
+
+    /// A writer that accepts at most one byte per call, exercising every
+    /// resume point of the short-write loop (inside the header, at the
+    /// header/payload boundary, inside the payload).
+    struct Dribble(Vec<u8>);
+
+    impl std::io::Write for Dribble {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            if buf.is_empty() {
+                return Ok(0);
+            }
+            self.0.push(buf[0]);
+            Ok(1)
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn write_frame_survives_short_writes() {
+        let mut expected = BytesMut::new();
+        encode_frame(&mut expected, b"short-write-survivor");
+        let mut dribble = Dribble(Vec::new());
+        write_frame(&mut dribble, b"short-write-survivor").unwrap();
+        assert_eq!(dribble.0, expected.to_vec());
+
+        let mut dec = FrameDecoder::new();
+        dec.feed(&dribble.0);
+        assert_eq!(
+            dec.next_frame().unwrap().unwrap().as_ref(),
+            b"short-write-survivor"
+        );
     }
 }

@@ -72,7 +72,7 @@ pub mod wire;
 
 pub use aggregate::Aggregator;
 pub use client::{FedClient, LocalUpdate};
-pub use compression::CompressionMode;
+pub use compression::{CodecScratch, CompressionMode};
 pub use error::FederatedError;
 pub use faults::{
     Corruption, FaultEvent, FaultInjector, FaultKind, FaultOutcome, FaultPlan, FaultRule,

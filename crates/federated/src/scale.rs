@@ -57,12 +57,14 @@
 
 use crate::aggregate::Aggregator;
 use crate::client::LocalUpdate;
+use crate::compression::{CodecScratch, CompressionMode};
 use crate::error::FederatedError;
 use crate::faults::{fnv1a, FaultEvent, FaultKind, FaultPlan};
 use crate::scheduler::Scheduler;
 use crate::server::{Disposition, FaultGate};
 use crate::transport::{MeteredChannel, TrafficTotals};
 use crate::wire;
+use bytes::BytesMut;
 use evfad_data::{Zone, ZoneProfile};
 use evfad_nn::{Sample, Sequential, TrainConfig};
 use evfad_tensor::{parallel, Matrix};
@@ -103,6 +105,19 @@ pub struct ScaleConfig {
     /// when non-zero.
     #[serde(default)]
     pub trained_fraction: f64,
+    /// Client→edge uplink compression. Each kept client's update is
+    /// encoded for real (per-worker [`CodecScratch`], zero-alloc when
+    /// warm), metered at its exact wire byte length, and folded into the
+    /// edge accumulator **straight from the encoded payload** via the
+    /// fused [`crate::streaming::StreamingAggregator::ingest_quantized`] /
+    /// [`ingest_topk`](crate::streaming::StreamingAggregator::ingest_topk)
+    /// path — no per-update `Vec<Matrix>` is ever materialised. The
+    /// broadcast downlink and the edge→root hop stay full precision
+    /// (partials are already one-model-per-edge; compressing them would
+    /// compound quantisation error at the root). Results are identical at
+    /// every thread count, like everything else in this engine.
+    #[serde(default)]
+    pub compression: CompressionMode,
     /// Client-tier fault plan. Wildcard (`"*"`) probability rules express
     /// population-level drop-out/straggler/corruption rates.
     #[serde(default)]
@@ -133,6 +148,7 @@ impl Default for ScaleConfig {
             seed: 0,
             threads: 1,
             trained_fraction: 0.0,
+            compression: CompressionMode::None,
             faults: None,
             edge_faults: None,
             verify_streaming: false,
@@ -199,6 +215,14 @@ impl ScaleConfig {
                 "trained_fraction",
                 format!("must be in [0, 1], got {}", self.trained_fraction),
             ));
+        }
+        if let CompressionMode::TopKDelta { k } = self.compression {
+            if k == 0 {
+                return Err(bad(
+                    "compression.k",
+                    "TopKDelta must keep at least 1 coordinate per tensor".to_string(),
+                ));
+            }
         }
         if let Some(plan) = &self.faults {
             plan.validate()?;
@@ -464,6 +488,11 @@ struct EdgeFold {
     state_stable: bool,
     /// Kept clients that ran real local training in this shard.
     trained: usize,
+    /// Exact uplink payload bytes per kept update, in shard order — the
+    /// real encoded length under [`ScaleConfig::compression`] (equal to
+    /// the full-precision size when uncompressed). A pure function of the
+    /// update, so the join's metering is thread-invariant.
+    kept_payload_bytes: Vec<usize>,
     /// Kept updates, materialised only under `verify_streaming`.
     batch_reference: Vec<LocalUpdate>,
 }
@@ -628,8 +657,16 @@ impl ScaleEngine {
             peak_state: 0,
             state_stable: true,
             trained: 0,
+            kept_payload_bytes: Vec::with_capacity(plan.len()),
             batch_reference: Vec::new(),
         };
+        // Per-fold codec scratch: the first client of the shard warms the
+        // buffers, every later encode in this fold reuses them. The
+        // payload buffer holds the encoded uplink the fused ingest reads.
+        let mode = self.config.compression;
+        let raw_len = wire::encoded_size(global);
+        let mut scratch = CodecScratch::default();
+        let mut payload = BytesMut::new();
         let mut settled_state = 0usize;
         for &(ci, fault, _attempts) in plan {
             let spec = &self.population[ci];
@@ -656,7 +693,38 @@ impl ScaleEngine {
             );
             debug_assert!(matches!(disposed, Disposition::Keep { .. }));
             events.clear();
-            if let Err(e) = agg.ingest(&update) {
+            // Uplink encode + fused edge fold. The lossy modes build the
+            // real compressed payload (post-fault, so corruption crosses
+            // the wire exactly as the protocol ships it) and stream it
+            // into the accumulator without materialising a decode.
+            let ingested = match mode {
+                CompressionMode::None => {
+                    fold.kept_payload_bytes.push(raw_len);
+                    agg.ingest(&update)
+                }
+                CompressionMode::Quant8 => {
+                    crate::compression::QuantizedUpdate::quantize_into(
+                        &update.weights,
+                        &mut scratch.quant,
+                    );
+                    wire::encode_quantized_into(&mut payload, &scratch.quant);
+                    fold.kept_payload_bytes.push(payload.len());
+                    agg.ingest_quantized(&update.client_id, update.sample_count, &payload)
+                }
+                CompressionMode::TopKDelta { k } => {
+                    crate::compression::SparseDelta::top_k_into(
+                        &update.weights,
+                        global,
+                        k,
+                        &mut scratch.picked,
+                        &mut scratch.sparse,
+                    );
+                    wire::encode_sparse_into(&mut payload, &scratch.sparse);
+                    fold.kept_payload_bytes.push(payload.len());
+                    agg.ingest_topk(&update.client_id, update.sample_count, global, &payload)
+                }
+            };
+            if let Err(e) = ingested {
                 fold.partial = Err(e);
                 return fold;
             }
@@ -668,6 +736,9 @@ impl ScaleEngine {
             }
             fold.peak_state = fold.peak_state.max(state);
             if verify {
+                // The batch reference must see what the aggregator saw:
+                // the server-side decode of the encoded payload.
+                scratch.decode_into(mode, global, &mut update.weights);
                 fold.batch_reference.push(update);
             }
         }
@@ -711,6 +782,9 @@ impl ScaleEngine {
         // Wave width for the parallel fan-out: at most this many shard
         // folds (and thus live edge accumulators) exist at once.
         let fanout = cfg.effective_threads().max(1).min(cfg.edges);
+        // Scratch for metering wasted uploads in the (serial) pre-pass;
+        // the per-shard folds carry their own.
+        let mut waste_scratch = CodecScratch::default();
         let mut rounds = Vec::with_capacity(cfg.rounds);
         let mut peak_aggregation_bytes = 0usize;
         let mut materialized_equivalent_bytes = 0usize;
@@ -758,10 +832,22 @@ impl ScaleEngine {
                         shard_samples[e] += spec.sample_count as f64;
                     }
                     Disposition::Waste { attempts } => {
-                        // Discarded uploads still crossed the channel.
+                        // Discarded uploads still crossed the channel —
+                        // at their real encoded length. A wasted client
+                        // never reaches a fold, so its payload is the
+                        // synthesised update (waste dispositions never
+                        // mutate the payload, and the real-training draw
+                        // applies to kept clients only).
                         wasted += 1;
-                        self.channel.record_attempts_bytes(update_bytes, attempts);
-                        uplink_bytes += update_bytes * attempts;
+                        let len = match cfg.compression {
+                            CompressionMode::None => update_bytes,
+                            mode => {
+                                let u = self.synth_update(spec, round, &global);
+                                waste_scratch.encoded_len(mode, &u.weights, &global)
+                            }
+                        };
+                        self.channel.record_attempts_bytes(len, attempts);
+                        uplink_bytes += len * attempts;
                     }
                 }
             }
@@ -870,11 +956,13 @@ impl ScaleEngine {
                         continue; // empty shard
                     };
                     // Kept clients' uploads crossed the channel whatever
-                    // the edge's fate — meter them from the same plan the
-                    // fold saw, in shard order.
-                    for &(_, _, attempts) in &shard_kept[e] {
-                        self.channel.record_attempts_bytes(update_bytes, attempts);
-                        uplink_bytes += update_bytes * attempts;
+                    // the edge's fate — meter them from the fold's exact
+                    // per-update encoded lengths, in shard order.
+                    for (&(_, _, attempts), &len) in
+                        shard_kept[e].iter().zip(&fold.kept_payload_bytes)
+                    {
+                        self.channel.record_attempts_bytes(len, attempts);
+                        uplink_bytes += len * attempts;
                     }
                     trained += fold.trained;
                     round_peak_edge = round_peak_edge.max(fold.peak_state);
@@ -1474,6 +1562,115 @@ mod tests {
         .effective_threads();
         parallel::set_threads(0);
         assert_eq!(inherited, 3);
+    }
+
+    #[test]
+    fn compressed_uplink_is_deterministic_across_thread_counts() {
+        // The fused Quant8 path end to end: encode per client, meter the
+        // exact payload length, fold straight from the payload. Checksums,
+        // traffic, and stats must be identical at every fan-out width.
+        let run = |threads: usize, compression: CompressionMode| {
+            let mut e = ScaleEngine::new(
+                template(),
+                ScaleConfig {
+                    threads,
+                    compression,
+                    ..cfg(2_000, 8)
+                },
+            )
+            .expect("engine");
+            e.run().expect("run")
+        };
+        let serial = run(1, CompressionMode::Quant8);
+        for threads in [2usize, 4] {
+            let par = run(threads, CompressionMode::Quant8);
+            assert_eq!(
+                par.weights_checksum(),
+                serial.weights_checksum(),
+                "threads={threads}"
+            );
+            assert_eq!(par.traffic, serial.traffic, "threads={threads}");
+            assert_eq!(
+                stats_without_peak(&par.rounds),
+                stats_without_peak(&serial.rounds),
+                "threads={threads}"
+            );
+        }
+        // Quantisation genuinely changes the fold (it is lossy) and
+        // genuinely shrinks the uplink; the downlink stays full precision.
+        let raw = run(1, CompressionMode::None);
+        assert_ne!(serial.weights_checksum(), raw.weights_checksum());
+        for (q, r) in serial.rounds.iter().zip(&raw.rounds) {
+            assert!(q.uplink_bytes < r.uplink_bytes);
+            assert_eq!(q.downlink_bytes, r.downlink_bytes);
+        }
+        // Peak aggregation state is unchanged: the fused fold never
+        // materialises a decoded update.
+        assert_eq!(serial.peak_aggregation_bytes, raw.peak_aggregation_bytes);
+    }
+
+    #[test]
+    fn compressed_flat_fold_matches_batch_over_decoded_updates() {
+        // verify_streaming under compression checks the fused streamed
+        // fold against the batch aggregate over the server-side decodes
+        // of the same payloads — bitwise for flat FedAvg.
+        for compression in [CompressionMode::Quant8, CompressionMode::TopKDelta { k: 5 }] {
+            let mut e = ScaleEngine::new(
+                template(),
+                ScaleConfig {
+                    compression,
+                    verify_streaming: true,
+                    rounds: 2,
+                    ..cfg(400, 1)
+                },
+            )
+            .expect("engine");
+            e.run()
+                .expect("fused fold must match the batch over decoded payloads bitwise");
+        }
+    }
+
+    #[test]
+    fn compressed_waste_is_metered_at_encoded_length() {
+        // Exhausted-transient uploads cross the channel at their real
+        // (compressed) length, and the accounting identity still holds:
+        // total traffic == Σ uplink + downlink.
+        let plan = FaultPlan::new(5).with_rule(
+            "*",
+            RoundSelector::Probability { p: 0.1 },
+            FaultKind::Transient { failures: 3 },
+        );
+        let mut e = ScaleEngine::new(
+            template(),
+            ScaleConfig {
+                compression: CompressionMode::Quant8,
+                faults: Some(plan),
+                ..cfg(2_000, 4)
+            },
+        )
+        .expect("engine");
+        let out = e.run().expect("run");
+        assert!(out.rounds.iter().any(|r| r.wasted > 0));
+        let accounted: usize = out
+            .rounds
+            .iter()
+            .map(|r| r.uplink_bytes + r.downlink_bytes)
+            .sum();
+        assert_eq!(accounted, out.traffic.bytes);
+    }
+
+    #[test]
+    fn topk_k_zero_is_rejected() {
+        let err = ScaleConfig {
+            compression: CompressionMode::TopKDelta { k: 0 },
+            ..ScaleConfig::default()
+        }
+        .validate()
+        .unwrap_err();
+        match err {
+            FederatedError::InvalidConfig { field, .. } => assert_eq!(field, "compression.k"),
+            other => panic!("expected InvalidConfig, got {other}"),
+        }
     }
 
     #[test]

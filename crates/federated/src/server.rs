@@ -5,9 +5,10 @@
 //! * [`FaultGate`] — deterministic admission (pre-training drop-out) and
 //!   disposition (straggler timeout, corruption, transient retry) of
 //!   updates under a [`FaultPlan`];
-//! * [`meter_uplinks`] / [`encode_uplink`] — exact wire-byte metering of
-//!   every payload that crosses the channel, retries and discarded
-//!   uploads included;
+//! * [`meter_uplinks`] — exact wire-byte metering of every payload that
+//!   crosses the channel, retries and discarded uploads included, through
+//!   a caller-owned [`CodecScratch`](crate::compression::CodecScratch) so
+//!   warm rounds encode without allocating;
 //! * [`aggregate_round`] — the aggregation entry point, which routes
 //!   FedAvg through the O(model) [`crate::streaming`] path (bitwise
 //!   identical to the batch fold by construction) and the robust rules
@@ -15,7 +16,7 @@
 
 use crate::aggregate::Aggregator;
 use crate::client::LocalUpdate;
-use crate::compression::{CompressionMode, QuantizedUpdate, SparseDelta};
+use crate::compression::{CodecScratch, CompressionMode};
 use crate::error::FederatedError;
 use crate::faults::{FaultEvent, FaultInjector, FaultKind, FaultOutcome, FaultPlan};
 use crate::transport::MeteredChannel;
@@ -243,11 +244,14 @@ impl UplinkStats {
 /// path): those weights are already the server-side decode of the received
 /// payload, so re-encoding here would not be an identity for the lossy
 /// modes (re-quantizing dequantized values moves the grid). `None` means
-/// the in-process path: encode, meter the arithmetic, substitute the
-/// decode — exactly as before. Frame and envelope overhead is
-/// deliberately excluded from the metered bytes on both paths; the digest
-/// counts protocol payload, which is what `wire::encoded_size` arithmetic
+/// the in-process path: encode into `scratch`, meter the arithmetic,
+/// substitute the decode in place — the round loop owns one scratch for
+/// the whole run, so warm rounds encode and decode every update without a
+/// single codec allocation. Frame and envelope overhead is deliberately
+/// excluded from the metered bytes on both paths; the digest counts
+/// protocol payload, which is what `wire::encoded_size` arithmetic
 /// predicts.
+#[allow(clippy::too_many_arguments)] // one call site; three of these are parallel slices
 pub(crate) fn meter_uplinks(
     channel: &MeteredChannel,
     mode: CompressionMode,
@@ -256,6 +260,7 @@ pub(crate) fn meter_uplinks(
     kept_attempts: &[usize],
     kept_wire: &[Option<usize>],
     wasted: &[(LocalUpdate, usize, Option<usize>)],
+    scratch: &mut CodecScratch,
 ) -> UplinkStats {
     let mut stats = UplinkStats::default();
     for ((update, attempts), wire_len) in kept.iter_mut().zip(kept_attempts).zip(kept_wire) {
@@ -263,10 +268,8 @@ pub(crate) fn meter_uplinks(
         let payload_bytes = match wire_len {
             Some(len) => *len,
             None => {
-                let (len, decoded) = encode_uplink(mode, &update.weights, global, true);
-                if let Some(weights) = decoded {
-                    update.weights = weights;
-                }
+                let len = scratch.encoded_len(mode, &update.weights, global);
+                scratch.decode_into(mode, global, &mut update.weights);
                 len
             }
         };
@@ -276,7 +279,7 @@ pub(crate) fn meter_uplinks(
     for (update, attempts, wire_len) in wasted {
         let payload_bytes = match wire_len {
             Some(len) => *len,
-            None => encode_uplink(mode, &update.weights, global, false).0,
+            None => scratch.encoded_len(mode, &update.weights, global),
         };
         channel.record_attempts_bytes(payload_bytes, *attempts);
         stats.bytes += payload_bytes * attempts;
@@ -309,40 +312,6 @@ pub(crate) fn aggregate_round(
         }
     }
     aggregator.aggregate(kept)
-}
-
-/// Encodes one uplink according to `mode`: returns the exact wire byte
-/// length of the payload that crosses the channel and — when `decode` and
-/// the mode is lossy — the server-side decode of that payload, which the
-/// round loop substitutes for the raw weights before aggregation.
-///
-/// [`CompressionMode::None`] returns no decode on purpose: the `EVFD`
-/// round-trip is bitwise-exact (every f64 is stored verbatim
-/// little-endian), so the raw weights *are* the decoded payload and the
-/// byte length is pure shape arithmetic. The lossy modes build the real
-/// compressed representation; its wire length is exact by construction
-/// (`encode_quantized` / `encode_sparse` produce exactly
-/// `quantized_encoded_size` / `sparse_encoded_size` bytes — pinned by the
-/// wire tests).
-pub(crate) fn encode_uplink(
-    mode: CompressionMode,
-    weights: &[Matrix],
-    global: &[Matrix],
-    decode: bool,
-) -> (usize, Option<Vec<Matrix>>) {
-    match mode {
-        CompressionMode::None => (wire::encoded_size(weights), None),
-        CompressionMode::Quant8 => {
-            let q = QuantizedUpdate::quantize(weights);
-            let len = wire::quantized_encoded_size(&q);
-            (len, decode.then(|| q.dequantize()))
-        }
-        CompressionMode::TopKDelta { k } => {
-            let d = SparseDelta::top_k(weights, global, k);
-            let len = wire::sparse_encoded_size(&d);
-            (len, decode.then(|| d.apply(global)))
-        }
-    }
 }
 
 #[cfg(test)]

@@ -42,11 +42,11 @@
 //! loop then reproduces the simulated attempt count on the wire.
 
 use crate::client::{FedClient, LocalUpdate};
-use crate::compression::{CompressionMode, QuantizedUpdate, SparseDelta};
+use crate::compression::{CodecScratch, CompressionMode, QuantizedUpdate, SparseDelta};
 use crate::engine::{self, PoolUpdate, RoundPool};
 use crate::error::FederatedError;
 use crate::faults::FaultKind;
-use crate::framing::{encode_frame, FrameDecoder};
+use crate::framing::{write_frame, FrameDecoder};
 use crate::simulation::{FederatedConfig, FederatedOutcome};
 use crate::transport::MeteredChannel;
 use crate::wire::{self, Message};
@@ -55,7 +55,7 @@ use evfad_nn::{Sample, Sequential, TrainConfig};
 use evfad_tensor::Matrix;
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::io::{Read, Write};
+use std::io::Read;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
@@ -164,21 +164,21 @@ impl SocketTransport {
 
     /// Sends one framed message on a connection.
     ///
+    /// The envelope is encoded into the transport's pooled scratch buffer
+    /// and shipped with a vectored header+payload write — no per-send
+    /// framed buffer is ever assembled (warm sends allocate nothing).
+    ///
     /// # Errors
     ///
     /// [`FederatedError::Transport`] when the connection is gone or the
     /// write fails.
     pub fn send(&mut self, conn: u64, msg: &Message) -> Result<(), FederatedError> {
         wire::encode_message(&mut self.scratch, msg);
-        let mut framed = BytesMut::with_capacity(self.scratch.len() + 4);
-        encode_frame(&mut framed, &self.scratch);
         let mut writers = self.writers.lock();
         let stream = writers
             .get_mut(&conn)
             .ok_or_else(|| transport_err("send", format!("connection {conn} is gone")))?;
-        stream
-            .write_all(&framed)
-            .map_err(|e| transport_err("send", e))
+        write_frame(stream, &self.scratch).map_err(|e| transport_err("send", e))
     }
 
     /// Forcibly closes a connection **without** any farewell message —
@@ -283,11 +283,7 @@ impl MessageStream {
 
     fn send(&mut self, msg: &Message) -> Result<(), FederatedError> {
         wire::encode_message(&mut self.scratch, msg);
-        let mut framed = BytesMut::with_capacity(self.scratch.len() + 4);
-        encode_frame(&mut framed, &self.scratch);
-        self.stream
-            .write_all(&framed)
-            .map_err(|e| transport_err("send", e))
+        write_frame(&mut self.stream, &self.scratch).map_err(|e| transport_err("send", e))
     }
 
     /// Blocks until one full message arrives. `Ok(None)` means the peer
@@ -321,13 +317,25 @@ impl MessageStream {
 /// Encodes one uplink payload exactly as the in-process path meters it:
 /// the same encoder, over the same (post-fault) weights, against the
 /// same global — so the byte length on the wire equals the byte length
-/// the simulation's arithmetic predicts.
-fn encode_uplink_payload(mode: CompressionMode, weights: &[Matrix], global: &[Matrix]) -> Bytes {
+/// the simulation's arithmetic predicts. The compressed representation
+/// is built in the caller's [`CodecScratch`], so a client that uploads
+/// every round re-fills the same buffers instead of materializing a
+/// fresh `QuantizedUpdate`/`SparseDelta` per round.
+fn encode_uplink_payload(
+    mode: CompressionMode,
+    weights: &[Matrix],
+    global: &[Matrix],
+    scratch: &mut CodecScratch,
+) -> Bytes {
     match mode {
         CompressionMode::None => wire::encode_weights(weights),
-        CompressionMode::Quant8 => wire::encode_quantized(&QuantizedUpdate::quantize(weights)),
+        CompressionMode::Quant8 => {
+            QuantizedUpdate::quantize_into(weights, &mut scratch.quant);
+            wire::encode_quantized(&scratch.quant)
+        }
         CompressionMode::TopKDelta { k } => {
-            wire::encode_sparse(&SparseDelta::top_k(weights, global, k))
+            SparseDelta::top_k_into(weights, global, k, &mut scratch.picked, &mut scratch.sparse);
+            wire::encode_sparse(&scratch.sparse)
         }
     }
 }
@@ -513,12 +521,10 @@ impl SocketServer {
             }
         }
         let controls: Vec<u64> = controls.into_iter().map(|c| c.expect("admitted")).collect();
-        // One-time JSON is fine here: the handshake is out-of-band setup,
-        // not the metered round loop (which stays serialisation-free).
-        let config_json =
-            serde_json::to_vec(&self.cfg.config).map_err(|e| transport_err("handshake", e))?;
+        // The handshake speaks the same binary codec as the round loop
+        // (`EVCF`), so not a single JSON byte crosses the socket.
         let welcome = Message::Welcome {
-            config_json: Bytes::from(config_json),
+            config: wire::encode_config(&self.cfg.config),
             init_global: wire::encode_weights(&self.template.weights()),
         };
         for &conn in &controls {
@@ -781,11 +787,11 @@ impl SocketClient {
         })?;
         let (config, init_global) = match control.recv()? {
             Some(Message::Welcome {
-                config_json,
+                config,
                 init_global,
             }) => {
-                let config: FederatedConfig = serde_json::from_slice(&config_json)
-                    .map_err(|e| transport_err("welcome", e))?;
+                let config =
+                    wire::decode_config(&config).map_err(|e| transport_err("welcome", e))?;
                 let init =
                     wire::decode_weights(&init_global).map_err(|e| transport_err("welcome", e))?;
                 (config, init)
@@ -810,6 +816,9 @@ impl SocketClient {
             ..TrainConfig::default()
         };
         let retry_budget = config.faults.as_ref().map_or(0, |p| p.retry_budget);
+        // Reused across rounds: warm uploads re-fill these codec buffers
+        // instead of allocating a fresh compressed representation.
+        let mut codec_scratch = CodecScratch::default();
 
         loop {
             match control.recv()? {
@@ -841,7 +850,12 @@ impl SocketClient {
                         }
                         _ => {}
                     }
-                    let payload = encode_uplink_payload(config.compression, &weights, &global);
+                    let payload = encode_uplink_payload(
+                        config.compression,
+                        &weights,
+                        &global,
+                        &mut codec_scratch,
+                    );
                     let msg = Message::Update {
                         round,
                         client_id: client_id.clone(),
@@ -915,6 +929,7 @@ impl SocketClient {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::io::Write;
 
     fn loopback() -> SocketTransport {
         SocketTransport::bind("127.0.0.1:0").expect("bind")
@@ -979,7 +994,7 @@ mod tests {
         let mut bad = TcpStream::connect(transport.local_addr()).expect("connect");
         // A frame whose payload is not a valid EVMS envelope.
         let mut framed = BytesMut::new();
-        encode_frame(&mut framed, b"not a message");
+        crate::framing::encode_frame(&mut framed, b"not a message");
         bad.write_all(&framed).expect("write");
         match transport.recv(Duration::from_secs(5)).expect("event") {
             TransportEvent::Disconnected(_) => {}

@@ -33,6 +33,7 @@
 use crate::aggregate::{trim_split, Aggregator};
 use crate::client::LocalUpdate;
 use crate::error::FederatedError;
+use crate::wire;
 use evfad_tensor::Matrix;
 
 /// Folds updates one at a time into O(model) aggregation state.
@@ -50,6 +51,58 @@ pub trait StreamingAggregator: Send {
     /// [`FederatedError::Aggregation`] when the update's shapes disagree
     /// with the first ingested update or more updates arrive than declared.
     fn ingest(&mut self, update: &LocalUpdate) -> Result<(), FederatedError>;
+
+    /// Folds one `EVQ8`-encoded update straight out of its wire payload —
+    /// the fused decode-into-fold fast path. **Bitwise identical** to
+    /// `decode_quantized(payload).dequantize()` followed by [`ingest`]
+    /// (NaN floods included): the payload view yields exactly the values
+    /// `dequantize` would materialise, and the fold performs the same
+    /// arithmetic in the same order — without allocating a `Vec<Matrix>`
+    /// per update.
+    ///
+    /// The payload is structurally validated **up front** (see
+    /// [`wire::quantized_view`]); a corrupt payload errors before the
+    /// accumulator is touched, so a failed ingest never leaves partial
+    /// state behind.
+    ///
+    /// [`ingest`]: StreamingAggregator::ingest
+    ///
+    /// # Errors
+    ///
+    /// [`FederatedError::Aggregation`] on a malformed payload, mismatched
+    /// shapes, or more updates than declared.
+    fn ingest_quantized(
+        &mut self,
+        client_id: &str,
+        sample_count: usize,
+        payload: &[u8],
+    ) -> Result<(), FederatedError>;
+
+    /// Folds one `EVSK`-encoded sparse delta straight out of its wire
+    /// payload against `base` (the round's broadcast global) — bitwise
+    /// identical to `decode_sparse(payload).apply(base)` followed by
+    /// [`ingest`], with the same up-front validation contract as
+    /// [`ingest_quantized`].
+    ///
+    /// [`ingest`]: StreamingAggregator::ingest
+    /// [`ingest_quantized`]: StreamingAggregator::ingest_quantized
+    ///
+    /// # Errors
+    ///
+    /// [`FederatedError::Aggregation`] on a malformed payload, mismatched
+    /// shapes, or more updates than declared.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` does not match the payload's recorded shapes, with
+    /// the same messages as [`crate::compression::SparseDelta::apply`].
+    fn ingest_topk(
+        &mut self,
+        client_id: &str,
+        sample_count: usize,
+        base: &[Matrix],
+        payload: &[u8],
+    ) -> Result<(), FederatedError>;
 
     /// Updates ingested so far.
     fn ingested(&self) -> usize;
@@ -130,6 +183,45 @@ fn check_shapes(
     Ok(())
 }
 
+/// [`check_shapes`] for the fused wire-payload paths: same pinning rule,
+/// same error texts, shapes drawn from a validated payload view instead of
+/// materialised matrices.
+fn check_view_shapes(
+    reference: &mut Vec<(usize, usize)>,
+    client_id: &str,
+    shapes: impl Iterator<Item = (usize, usize)>,
+) -> Result<(), FederatedError> {
+    if reference.is_empty() {
+        reference.extend(shapes);
+        if reference.is_empty() {
+            return Err(FederatedError::Aggregation(format!(
+                "client {client_id} sent an empty weight set"
+            )));
+        }
+        return Ok(());
+    }
+    let mut n = 0usize;
+    let mut same = true;
+    for shape in shapes {
+        same = same && reference.get(n) == Some(&shape);
+        n += 1;
+    }
+    if !same || n != reference.len() {
+        return Err(FederatedError::Aggregation(format!(
+            "client {client_id} has mismatched weight shapes"
+        )));
+    }
+    Ok(())
+}
+
+/// Maps a wire-validation failure on the fused path into the aggregation
+/// error domain, naming the offending client.
+fn bad_payload(client_id: &str, codec: &str, err: wire::WireError) -> FederatedError {
+    FederatedError::Aggregation(format!(
+        "client {client_id}: malformed {codec} payload: {err}"
+    ))
+}
+
 /// Streaming sample-weighted Federated Averaging — bitwise identical to
 /// [`Aggregator::FedAvg`]'s batch fold (see the module docs for why).
 #[derive(Debug)]
@@ -153,34 +245,138 @@ impl StreamingFedAvg {
             acc: Vec::new(),
         }
     }
-}
 
-impl StreamingAggregator for StreamingFedAvg {
-    fn ingest(&mut self, update: &LocalUpdate) -> Result<(), FederatedError> {
+    /// The batch fold's per-update weight: sample fraction, or uniform in
+    /// the degenerate all-zero-sample federation.
+    fn weight(&self, sample_count: usize) -> f64 {
+        if self.total_samples > 0.0 {
+            sample_count as f64 / self.total_samples
+        } else {
+            1.0 / self.expected as f64
+        }
+    }
+
+    /// The shared count guard, with the same error text as [`ingest`]
+    /// (`StreamingAggregator::ingest`).
+    ///
+    /// [`ingest`]: StreamingAggregator::ingest
+    fn check_capacity(&self) -> Result<(), FederatedError> {
         if self.seen == self.expected {
             return Err(FederatedError::Aggregation(format!(
                 "streaming FedAvg declared {} updates but received more",
                 self.expected
             )));
         }
-        let first = self.shapes.is_empty();
-        check_shapes(&mut self.shapes, update)?;
-        if first {
-            self.acc = update
-                .weights
+        Ok(())
+    }
+
+    /// Lazily allocates the accumulator on the first ingest.
+    fn ensure_acc(&mut self) {
+        if self.acc.is_empty() {
+            self.acc = self
+                .shapes
                 .iter()
-                .map(|m| Matrix::zeros(m.rows(), m.cols()))
+                .map(|&(rows, cols)| Matrix::zeros(rows, cols))
                 .collect();
         }
+    }
+}
+
+impl StreamingAggregator for StreamingFedAvg {
+    fn ingest(&mut self, update: &LocalUpdate) -> Result<(), FederatedError> {
+        self.check_capacity()?;
+        check_shapes(&mut self.shapes, update)?;
+        self.ensure_acc();
         // Exactly the batch fold: degenerate all-zero-sample federations
         // fall back to uniform weighting.
-        let w = if self.total_samples > 0.0 {
-            update.sample_count as f64 / self.total_samples
-        } else {
-            1.0 / self.expected as f64
-        };
+        let w = self.weight(update.sample_count);
         for (acc, m) in self.acc.iter_mut().zip(&update.weights) {
             acc.axpy(w, m);
+        }
+        self.seen += 1;
+        Ok(())
+    }
+
+    fn ingest_quantized(
+        &mut self,
+        client_id: &str,
+        sample_count: usize,
+        payload: &[u8],
+    ) -> Result<(), FederatedError> {
+        self.check_capacity()?;
+        let view = wire::quantized_view(payload).map_err(|e| bad_payload(client_id, "EVQ8", e))?;
+        check_view_shapes(
+            &mut self.shapes,
+            client_id,
+            view.tensors().map(|t| t.shape()),
+        )?;
+        self.ensure_acc();
+        // `axpy` is `*slot += w * v` per coordinate; folding the decoded
+        // values in the same order keeps the fused path bitwise identical
+        // to decode-then-ingest. Segmenting on the (rare) specials lets
+        // the bulk fold run as slice loops the compiler can vectorise —
+        // each coordinate still folds the exact value the materializing
+        // path would have decoded.
+        let w = self.weight(sample_count);
+        for (acc, t) in self.acc.iter_mut().zip(view.tensors()) {
+            let range = t.range();
+            let codes = t.codes();
+            let slots = acc.as_mut_slice();
+            let mut start = 0usize;
+            for (idx, v) in t.specials() {
+                for (slot, &c) in slots[start..idx].iter_mut().zip(&codes[start..idx]) {
+                    *slot += w * range.decode(c);
+                }
+                slots[idx] += w * v;
+                start = idx + 1;
+            }
+            for (slot, &c) in slots[start..].iter_mut().zip(&codes[start..]) {
+                *slot += w * range.decode(c);
+            }
+        }
+        self.seen += 1;
+        Ok(())
+    }
+
+    fn ingest_topk(
+        &mut self,
+        client_id: &str,
+        sample_count: usize,
+        base: &[Matrix],
+        payload: &[u8],
+    ) -> Result<(), FederatedError> {
+        self.check_capacity()?;
+        let view = wire::sparse_view(payload).map_err(|e| bad_payload(client_id, "EVSK", e))?;
+        check_view_shapes(
+            &mut self.shapes,
+            client_id,
+            view.tensors().map(|t| t.shape()),
+        )?;
+        assert_eq!(view.tensor_count(), base.len(), "sparse apply tensor count");
+        self.ensure_acc();
+        let w = self.weight(sample_count);
+        for ((acc, b), t) in self.acc.iter_mut().zip(base).zip(view.tensors()) {
+            assert_eq!(t.shape(), b.shape(), "sparse apply tensor shape");
+            // The reconstructed coordinate is `base + delta` where
+            // transmitted and the base bits verbatim elsewhere — exactly
+            // what `SparseDelta::apply` materialises. The ascending
+            // entries split the tensor into dense base runs folded as
+            // vectorisable slice loops, with the sparse corrections folded
+            // point-wise between them.
+            let slots = acc.as_mut_slice();
+            let bs = b.as_slice();
+            let mut start = 0usize;
+            for (idx, v) in t.entries() {
+                let idx = idx as usize;
+                for (slot, &bv) in slots[start..idx].iter_mut().zip(&bs[start..idx]) {
+                    *slot += w * bv;
+                }
+                slots[idx] += w * (bs[idx] + v);
+                start = idx + 1;
+            }
+            for (slot, &bv) in slots[start..].iter_mut().zip(&bs[start..]) {
+                *slot += w * bv;
+            }
         }
         self.seen += 1;
         Ok(())
@@ -255,39 +451,120 @@ impl StreamingTrimmedMean {
     fn finite_count(&self, c: usize) -> usize {
         self.seen - self.bad[c] as usize
     }
-}
 
-impl StreamingAggregator for StreamingTrimmedMean {
-    fn ingest(&mut self, update: &LocalUpdate) -> Result<(), FederatedError> {
+    /// The shared count guard, with the same error text as `ingest`.
+    fn check_capacity(&self) -> Result<(), FederatedError> {
         if self.seen == self.expected {
             return Err(FederatedError::Aggregation(format!(
                 "streaming trimmed mean declared {} updates but received more",
                 self.expected
             )));
         }
-        let first = self.shapes.is_empty();
-        check_shapes(&mut self.shapes, update)?;
-        if first {
-            let coords: usize = update.weights.iter().map(Matrix::len).sum();
+        Ok(())
+    }
+
+    /// Lazily allocates the per-coordinate state on the first ingest.
+    fn ensure_state(&mut self) {
+        if self.sum.is_empty() {
+            let coords: usize = self.shapes.iter().map(|&(rows, cols)| rows * cols).sum();
             self.sum = vec![0.0; coords];
             self.bad = vec![0; coords];
             self.lows = vec![0.0; coords * self.trim];
             self.highs = vec![0.0; coords * self.trim];
         }
+    }
+
+    /// Folds one value of flat coordinate `c` — the single fold body every
+    /// ingest path (materialised or fused) routes through, so they cannot
+    /// diverge on the containment rule.
+    fn fold_value(&mut self, c: usize, v: f64) {
+        if v.is_finite() {
+            let filled = (self.seen - self.bad[c] as usize).min(self.trim);
+            self.sum[c] += v;
+            if self.trim > 0 {
+                let base = c * self.trim;
+                insert_low(&mut self.lows[base..base + self.trim], filled, v);
+                insert_high(&mut self.highs[base..base + self.trim], filled, v);
+            }
+        } else {
+            self.bad[c] += 1;
+        }
+    }
+}
+
+impl StreamingAggregator for StreamingTrimmedMean {
+    fn ingest(&mut self, update: &LocalUpdate) -> Result<(), FederatedError> {
+        self.check_capacity()?;
+        check_shapes(&mut self.shapes, update)?;
+        self.ensure_state();
         let mut c = 0;
         for m in &update.weights {
             for &v in m.as_slice() {
-                if v.is_finite() {
-                    let filled = (self.seen - self.bad[c] as usize).min(self.trim);
-                    self.sum[c] += v;
-                    if self.trim > 0 {
-                        let base = c * self.trim;
-                        insert_low(&mut self.lows[base..base + self.trim], filled, v);
-                        insert_high(&mut self.highs[base..base + self.trim], filled, v);
+                self.fold_value(c, v);
+                c += 1;
+            }
+        }
+        self.seen += 1;
+        Ok(())
+    }
+
+    fn ingest_quantized(
+        &mut self,
+        client_id: &str,
+        sample_count: usize,
+        payload: &[u8],
+    ) -> Result<(), FederatedError> {
+        let _ = sample_count; // trimmed mean is unweighted
+        self.check_capacity()?;
+        let view = wire::quantized_view(payload).map_err(|e| bad_payload(client_id, "EVQ8", e))?;
+        check_view_shapes(
+            &mut self.shapes,
+            client_id,
+            view.tensors().map(|t| t.shape()),
+        )?;
+        self.ensure_state();
+        let mut c = 0;
+        for t in view.tensors() {
+            for v in t.values() {
+                self.fold_value(c, v);
+                c += 1;
+            }
+        }
+        self.seen += 1;
+        Ok(())
+    }
+
+    fn ingest_topk(
+        &mut self,
+        client_id: &str,
+        sample_count: usize,
+        base: &[Matrix],
+        payload: &[u8],
+    ) -> Result<(), FederatedError> {
+        let _ = sample_count; // trimmed mean is unweighted
+        self.check_capacity()?;
+        let view = wire::sparse_view(payload).map_err(|e| bad_payload(client_id, "EVSK", e))?;
+        check_view_shapes(
+            &mut self.shapes,
+            client_id,
+            view.tensors().map(|t| t.shape()),
+        )?;
+        assert_eq!(view.tensor_count(), base.len(), "sparse apply tensor count");
+        self.ensure_state();
+        let mut c = 0;
+        for (b, t) in base.iter().zip(view.tensors()) {
+            assert_eq!(t.shape(), b.shape(), "sparse apply tensor shape");
+            let mut entries = t.entries();
+            let mut next = entries.next();
+            for (i, &bv) in b.as_slice().iter().enumerate() {
+                let x = match next {
+                    Some((idx, v)) if idx as usize == i => {
+                        next = entries.next();
+                        bv + v
                     }
-                } else {
-                    self.bad[c] += 1;
-                }
+                    _ => bv,
+                };
+                self.fold_value(c, x);
                 c += 1;
             }
         }
@@ -589,6 +866,139 @@ mod tests {
         assert!(Aggregator::Krum { byzantine: 1 }
             .streaming(1.0, 1)
             .is_none());
+    }
+
+    fn assert_bitwise_eq(a: &[Matrix], b: &[Matrix], context: &str) {
+        assert_eq!(a.len(), b.len(), "{context}: tensor count");
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.shape(), y.shape(), "{context}: shape");
+            for (p, q) in x.as_slice().iter().zip(y.as_slice()) {
+                assert_eq!(p.to_bits(), q.to_bits(), "{context}: {p} vs {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_quantized_ingest_is_bitwise_identical_to_decode_then_ingest() {
+        use crate::compression::QuantizedUpdate;
+        let nan = f64::NAN;
+        let ups = [
+            update("a", &[0.1, -2.0, 3.7], 100),
+            update("b", &[nan, 0.3, -0.4], 17),
+            update("c", &[-5.5, nan, nan], 311),
+        ];
+        let total: f64 = ups.iter().map(|u| u.sample_count as f64).sum();
+        for rule in [Aggregator::FedAvg, Aggregator::TrimmedMean { trim: 1 }] {
+            let mut materialized = rule.streaming(total, ups.len()).unwrap();
+            let mut fused = rule.streaming(total, ups.len()).unwrap();
+            for u in &ups {
+                let blob = wire::encode_quantized(&QuantizedUpdate::quantize(&u.weights));
+                let mut lossy = u.clone();
+                lossy.weights = wire::decode_quantized(&blob).unwrap().dequantize();
+                materialized.ingest(&lossy).unwrap();
+                fused
+                    .ingest_quantized(&u.client_id, u.sample_count, &blob)
+                    .unwrap();
+            }
+            assert_bitwise_eq(
+                &materialized.finish().unwrap(),
+                &fused.finish().unwrap(),
+                rule.name(),
+            );
+        }
+    }
+
+    #[test]
+    fn fused_topk_ingest_is_bitwise_identical_to_apply_then_ingest() {
+        use crate::compression::SparseDelta;
+        let base = update("base", &[0.5, -1.0, 2.0], 0).weights;
+        let ups = [
+            update("a", &[0.6, -1.0, 2.5], 100),
+            // Tie-heavy: equal-magnitude deltas exercise the deterministic
+            // tie-break through the merge walk.
+            update("b", &[1.5, -2.0, 3.0], 17),
+            update("c", &[f64::NAN, -1.0, 2.0], 311),
+        ];
+        let total: f64 = ups.iter().map(|u| u.sample_count as f64).sum();
+        for rule in [Aggregator::FedAvg, Aggregator::TrimmedMean { trim: 1 }] {
+            for k in [1, 2, 8] {
+                let mut materialized = rule.streaming(total, ups.len()).unwrap();
+                let mut fused = rule.streaming(total, ups.len()).unwrap();
+                for u in &ups {
+                    let d = SparseDelta::top_k(&u.weights, &base, k);
+                    let blob = wire::encode_sparse(&d);
+                    let mut lossy = u.clone();
+                    lossy.weights = wire::decode_sparse(&blob).unwrap().apply(&base);
+                    materialized.ingest(&lossy).unwrap();
+                    fused
+                        .ingest_topk(&u.client_id, u.sample_count, &base, &blob)
+                        .unwrap();
+                }
+                assert_bitwise_eq(
+                    &materialized.finish().unwrap(),
+                    &fused.finish().unwrap(),
+                    &format!("{} k={k}", rule.name()),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_payload_errors_before_touching_accumulator_state() {
+        use crate::compression::QuantizedUpdate;
+        let a = update("a", &[1.0, 2.0, 3.0], 10);
+        let b = update("b", &[2.0, 1.0, 0.0], 20);
+        let blob_a = wire::encode_quantized(&QuantizedUpdate::quantize(&a.weights));
+        let blob_b = wire::encode_quantized(&QuantizedUpdate::quantize(&b.weights));
+        let mut agg = Aggregator::FedAvg.streaming(30.0, 2).unwrap();
+        agg.ingest_quantized("a", 10, &blob_a).unwrap();
+        // Truncated payload: rejected up front, nothing folded.
+        let truncated = &blob_b[..blob_b.len() - 1];
+        assert!(matches!(
+            agg.ingest_quantized("b", 20, truncated),
+            Err(FederatedError::Aggregation(_))
+        ));
+        // Wrong codec: an EVSK payload on the quantized path is rejected.
+        let d = crate::compression::SparseDelta::top_k(&b.weights, &a.weights, 2);
+        assert!(agg
+            .ingest_quantized("b", 20, &wire::encode_sparse(&d))
+            .is_err());
+        assert_eq!(agg.ingested(), 1, "failed ingests must not count");
+        // A clean retry lands exactly where an unfailed stream would.
+        agg.ingest_quantized("b", 20, &blob_b).unwrap();
+        let mut fresh = Aggregator::FedAvg.streaming(30.0, 2).unwrap();
+        fresh.ingest_quantized("a", 10, &blob_a).unwrap();
+        fresh.ingest_quantized("b", 20, &blob_b).unwrap();
+        assert_bitwise_eq(
+            &agg.finish().unwrap(),
+            &fresh.finish().unwrap(),
+            "retry after corrupt payload",
+        );
+    }
+
+    #[test]
+    fn fused_count_and_shape_contracts_match_the_materialised_path() {
+        use crate::compression::QuantizedUpdate;
+        let u = update("a", &[1.0], 5);
+        let blob = wire::encode_quantized(&QuantizedUpdate::quantize(&u.weights));
+        let mut agg = Aggregator::FedAvg.streaming(5.0, 1).unwrap();
+        agg.ingest_quantized("a", 5, &blob).unwrap();
+        let err = agg.ingest_quantized("a", 5, &blob).unwrap_err();
+        assert!(
+            err.to_string()
+                .contains("declared 1 updates but received more"),
+            "{err}"
+        );
+        let mut agg = Aggregator::FedAvg.streaming(10.0, 2).unwrap();
+        agg.ingest_quantized("a", 5, &blob).unwrap();
+        let other = update("b", &[1.0, 2.0], 5);
+        let wrong = wire::encode_quantized(&QuantizedUpdate::quantize(&other.weights));
+        let err = agg.ingest_quantized("b", 5, &wrong).unwrap_err();
+        assert!(
+            err.to_string()
+                .contains("client b has mismatched weight shapes"),
+            "{err}"
+        );
     }
 
     #[test]

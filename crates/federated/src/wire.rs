@@ -12,9 +12,17 @@
 //! complete the communication story of the paper's §II-C2 ("only model
 //! parameters were exchanged").
 
-use crate::compression::{QuantizedTensor, QuantizedUpdate, SparseDelta, SparseTensor};
-use crate::faults::{Corruption, FaultEvent, FaultKind, FaultOutcome};
+use crate::aggregate::Aggregator;
+use crate::compression::{
+    CompressionMode, QuantizedTensor, QuantizedUpdate, SparseDelta, SparseTensor,
+};
+use crate::faults::{
+    Corruption, FaultEvent, FaultKind, FaultOutcome, FaultPlan, FaultRule, RoundSelector,
+};
+use crate::privacy::DpConfig;
+use crate::simulation::FederatedConfig;
 use bytes::{Buf, BufMut, Bytes};
+use evfad_tensor::quant::QuantRange;
 use evfad_tensor::Matrix;
 
 pub use bytes::BytesMut;
@@ -192,6 +200,16 @@ pub fn encoded_size(weights: &[Matrix]) -> usize {
 /// ```
 pub fn encode_quantized(update: &QuantizedUpdate) -> Bytes {
     let mut buf = BytesMut::with_capacity(quantized_encoded_size(update));
+    encode_quantized_into(&mut buf, update);
+    buf.freeze()
+}
+
+/// Encodes a quantized update into `buf`, clearing it first but keeping
+/// its allocation — the warm-round uplink path: the socket client and the
+/// scale engine encode every round into a reusable buffer, so a steady
+/// federation allocates nothing per update.
+pub fn encode_quantized_into(buf: &mut BytesMut, update: &QuantizedUpdate) {
+    buf.clear();
     buf.put_slice(&QUANT_MAGIC);
     buf.put_u16_le(VERSION);
     buf.put_u32_le(update.tensors.len() as u32);
@@ -207,7 +225,6 @@ pub fn encode_quantized(update: &QuantizedUpdate) -> Bytes {
             buf.put_f64_le(v);
         }
     }
-    buf.freeze()
 }
 
 /// Size in bytes [`encode_quantized`] will produce — O(1) per tensor.
@@ -241,6 +258,7 @@ pub fn decode_quantized(mut payload: &[u8]) -> Result<QuantizedUpdate, WireError
         payload.copy_to_slice(&mut codes);
         let mut special_idx = Vec::with_capacity(special_count as usize);
         let mut special_val = Vec::with_capacity(special_count as usize);
+        let mut prev: i64 = -1;
         for _ in 0..special_count {
             let idx = payload.get_u32_le();
             if idx as u64 >= elements {
@@ -248,6 +266,12 @@ pub fn decode_quantized(mut payload: &[u8]) -> Result<QuantizedUpdate, WireError
                     "quantized special index out of range",
                 ));
             }
+            if i64::from(idx) <= prev {
+                return Err(WireError::InvalidRecord(
+                    "quantized special indices not strictly ascending",
+                ));
+            }
+            prev = i64::from(idx);
             special_idx.push(idx);
             special_val.push(payload.get_f64_le());
         }
@@ -285,6 +309,14 @@ pub fn decode_quantized(mut payload: &[u8]) -> Result<QuantizedUpdate, WireError
 /// ```
 pub fn encode_sparse(delta: &SparseDelta) -> Bytes {
     let mut buf = BytesMut::with_capacity(sparse_encoded_size(delta));
+    encode_sparse_into(&mut buf, delta);
+    buf.freeze()
+}
+
+/// Encodes a sparse delta into `buf`, clearing it first but keeping its
+/// allocation (see [`encode_quantized_into`]).
+pub fn encode_sparse_into(buf: &mut BytesMut, delta: &SparseDelta) {
+    buf.clear();
     buf.put_slice(&SPARSE_MAGIC);
     buf.put_u16_le(VERSION);
     buf.put_u32_le(delta.tensors.len() as u32);
@@ -297,7 +329,6 @@ pub fn encode_sparse(delta: &SparseDelta) -> Bytes {
             buf.put_f64_le(v);
         }
     }
-    buf.freeze()
 }
 
 /// Size in bytes [`encode_sparse`] will produce — O(1) per tensor.
@@ -327,11 +358,18 @@ pub fn decode_sparse(mut payload: &[u8]) -> Result<SparseDelta, WireError> {
         need(payload, (nnz * 12) as usize)?;
         let mut indices = Vec::with_capacity(nnz as usize);
         let mut values = Vec::with_capacity(nnz as usize);
+        let mut prev: i64 = -1;
         for _ in 0..nnz {
             let idx = payload.get_u32_le();
             if idx as u64 >= elements {
                 return Err(WireError::InvalidRecord("sparse index out of range"));
             }
+            if i64::from(idx) <= prev {
+                return Err(WireError::InvalidRecord(
+                    "sparse indices not strictly ascending",
+                ));
+            }
+            prev = i64::from(idx);
             indices.push(idx);
             values.push(payload.get_f64_le());
         }
@@ -344,6 +382,381 @@ pub fn decode_sparse(mut payload: &[u8]) -> Result<SparseDelta, WireError> {
     }
     finish_record(payload)?;
     Ok(SparseDelta { tensors })
+}
+
+/// Validates an `EVQ8` payload structurally and returns a zero-copy view
+/// over it — the fused decode-into-fold path.
+///
+/// Every check [`decode_quantized`] performs (header, shape bounds,
+/// special counts, index ranges, strictly-ascending special indices,
+/// trailing bytes) runs *up front*, before the caller touches any
+/// accumulator state: a corrupt payload errors here, never half-way
+/// through a fold. The view then iterates infallibly, decoding each
+/// coefficient on the fly — no `Vec<Matrix>` materialization, no
+/// allocation at all.
+///
+/// # Errors
+///
+/// Returns [`WireError`] on a malformed or truncated payload.
+///
+/// # Examples
+///
+/// ```
+/// use evfad_federated::compression::QuantizedUpdate;
+/// use evfad_federated::wire;
+/// use evfad_tensor::Matrix;
+///
+/// let q = QuantizedUpdate::quantize(&[Matrix::identity(3)]);
+/// let blob = wire::encode_quantized(&q);
+/// let view = wire::quantized_view(&blob)?;
+/// let decoded = q.dequantize();
+/// for (t, m) in view.tensors().zip(&decoded) {
+///     assert_eq!(t.shape(), m.shape());
+///     assert!(t.values().zip(m.as_slice()).all(|(a, &b)| a == b));
+/// }
+/// # Ok::<(), evfad_federated::wire::WireError>(())
+/// ```
+pub fn quantized_view(payload: &[u8]) -> Result<QuantizedPayloadView<'_>, WireError> {
+    let mut cursor = payload;
+    let count = decode_header(&mut cursor, QUANT_MAGIC)?;
+    let body = cursor;
+    let mut walker = QuantWalker {
+        payload: body,
+        remaining: count,
+    };
+    while walker.next_tensor()?.is_some() {}
+    finish_record(walker.payload)?;
+    Ok(QuantizedPayloadView { body, count })
+}
+
+/// A structurally validated `EVQ8` payload; see [`quantized_view`].
+#[derive(Debug, Clone, Copy)]
+pub struct QuantizedPayloadView<'a> {
+    body: &'a [u8],
+    count: usize,
+}
+
+impl<'a> QuantizedPayloadView<'a> {
+    /// Number of tensors in the payload.
+    pub fn tensor_count(&self) -> usize {
+        self.count
+    }
+
+    /// Iterates over the tensors. Infallible: the payload was fully
+    /// validated by [`quantized_view`].
+    pub fn tensors(&self) -> impl Iterator<Item = QuantizedTensorView<'a>> + '_ {
+        let mut walker = QuantWalker {
+            payload: self.body,
+            remaining: self.count,
+        };
+        std::iter::from_fn(move || walker.next_tensor().expect("pre-validated payload"))
+    }
+}
+
+/// One tensor of a validated `EVQ8` payload: shape, range, and the raw
+/// codes/specials regions it decodes from on the fly.
+#[derive(Debug, Clone, Copy)]
+pub struct QuantizedTensorView<'a> {
+    rows: usize,
+    cols: usize,
+    range: QuantRange,
+    codes: &'a [u8],
+    specials: &'a [u8],
+}
+
+impl<'a> QuantizedTensorView<'a> {
+    /// `(rows, cols)` of the tensor.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of non-finite side records carried verbatim.
+    pub fn special_count(&self) -> usize {
+        self.specials.len() / 12
+    }
+
+    /// The quantization range every code in this tensor decodes against.
+    pub fn range(&self) -> QuantRange {
+        self.range
+    }
+
+    /// The raw row-major code bytes, one per coefficient.
+    ///
+    /// Together with [`Self::range`] and [`Self::specials`] this exposes
+    /// the tensor in bulk form, so hot folds can run tight slice loops
+    /// over the runs between specials instead of paying per-coefficient
+    /// iterator state (see [`Self::values`] for the element-at-a-time
+    /// equivalent).
+    pub fn codes(&self) -> &'a [u8] {
+        self.codes
+    }
+
+    /// Iterates the `(flat index, value)` non-finite side records in the
+    /// ascending index order the payload stores them in.
+    pub fn specials(&self) -> impl ExactSizeIterator<Item = (usize, f64)> + 'a {
+        self.specials.chunks_exact(12).map(|rec| {
+            (
+                u32::from_le_bytes(rec[..4].try_into().expect("pre-validated payload")) as usize,
+                f64::from_le_bytes(rec[4..].try_into().expect("pre-validated payload")),
+            )
+        })
+    }
+
+    /// Iterates the decoded coefficients in row-major order — exactly the
+    /// values [`crate::compression::QuantizedTensor::dequantize`] would
+    /// materialize, bit for bit: `range.decode(code)` everywhere except at
+    /// special indices, which yield the stored f64 verbatim.
+    pub fn values(&self) -> QuantizedValues<'a> {
+        let mut it = QuantizedValues {
+            range: self.range,
+            codes: self.codes,
+            specials: self.specials,
+            flat: 0,
+            next_special: u64::MAX,
+        };
+        it.refresh_next_special();
+        it
+    }
+}
+
+/// Infallible decoding iterator over one quantized tensor's coefficients;
+/// see [`QuantizedTensorView::values`].
+#[derive(Debug, Clone)]
+pub struct QuantizedValues<'a> {
+    range: QuantRange,
+    codes: &'a [u8],
+    specials: &'a [u8],
+    flat: usize,
+    next_special: u64,
+}
+
+impl QuantizedValues<'_> {
+    fn refresh_next_special(&mut self) {
+        self.next_special = if self.specials.len() >= 4 {
+            u64::from(u32::from_le_bytes(
+                self.specials[..4]
+                    .try_into()
+                    .expect("pre-validated payload"),
+            ))
+        } else {
+            u64::MAX
+        };
+    }
+}
+
+impl Iterator for QuantizedValues<'_> {
+    type Item = f64;
+
+    fn next(&mut self) -> Option<f64> {
+        let i = self.flat;
+        if i >= self.codes.len() {
+            return None;
+        }
+        self.flat += 1;
+        if i as u64 == self.next_special {
+            let v = f64::from_le_bytes(
+                self.specials[4..12]
+                    .try_into()
+                    .expect("pre-validated payload"),
+            );
+            self.specials = &self.specials[12..];
+            self.refresh_next_special();
+            Some(v)
+        } else {
+            Some(self.range.decode(self.codes[i]))
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.codes.len() - self.flat;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for QuantizedValues<'_> {}
+
+/// Shared validating walker behind [`quantized_view`]: one pass for the
+/// up-front structural check, a fresh pass per [`QuantizedPayloadView::
+/// tensors`] call.
+struct QuantWalker<'a> {
+    payload: &'a [u8],
+    remaining: usize,
+}
+
+impl<'a> QuantWalker<'a> {
+    fn next_tensor(&mut self) -> Result<Option<QuantizedTensorView<'a>>, WireError> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        self.remaining -= 1;
+        let mut cur = self.payload;
+        need(cur, 28)?;
+        let rows = cur.get_u32_le();
+        let cols = cur.get_u32_le();
+        let elements = check_shape(rows, cols)?;
+        let min = cur.get_f64_le();
+        let step = cur.get_f64_le();
+        let special_count = cur.get_u32_le() as u64;
+        if special_count > elements {
+            return Err(WireError::InvalidRecord(
+                "quantized special count exceeds tensor elements",
+            ));
+        }
+        need(cur, (elements + special_count * 12) as usize)?;
+        let (codes, cur) = cur.split_at(elements as usize);
+        let (specials, rest) = cur.split_at((special_count * 12) as usize);
+        let mut walk = specials;
+        let mut prev: i64 = -1;
+        for _ in 0..special_count {
+            let idx = walk.get_u32_le();
+            if idx as u64 >= elements {
+                return Err(WireError::InvalidRecord(
+                    "quantized special index out of range",
+                ));
+            }
+            if i64::from(idx) <= prev {
+                return Err(WireError::InvalidRecord(
+                    "quantized special indices not strictly ascending",
+                ));
+            }
+            prev = i64::from(idx);
+            walk.advance(8);
+        }
+        self.payload = rest;
+        Ok(Some(QuantizedTensorView {
+            rows: rows as usize,
+            cols: cols as usize,
+            range: QuantRange { min, step },
+            codes,
+            specials,
+        }))
+    }
+}
+
+/// Validates an `EVSK` payload structurally and returns a zero-copy view
+/// over it — the sparse twin of [`quantized_view`], with the same
+/// contract: every [`decode_sparse`] check runs up front, and the view
+/// then iterates `(flat index, delta)` entries infallibly without
+/// materializing a [`SparseDelta`].
+///
+/// # Errors
+///
+/// Returns [`WireError`] on a malformed or truncated payload.
+pub fn sparse_view(payload: &[u8]) -> Result<SparsePayloadView<'_>, WireError> {
+    let mut cursor = payload;
+    let count = decode_header(&mut cursor, SPARSE_MAGIC)?;
+    let body = cursor;
+    let mut walker = SparseWalker {
+        payload: body,
+        remaining: count,
+    };
+    while walker.next_tensor()?.is_some() {}
+    finish_record(walker.payload)?;
+    Ok(SparsePayloadView { body, count })
+}
+
+/// A structurally validated `EVSK` payload; see [`sparse_view`].
+#[derive(Debug, Clone, Copy)]
+pub struct SparsePayloadView<'a> {
+    body: &'a [u8],
+    count: usize,
+}
+
+impl<'a> SparsePayloadView<'a> {
+    /// Number of tensors in the payload.
+    pub fn tensor_count(&self) -> usize {
+        self.count
+    }
+
+    /// Iterates over the tensors. Infallible: the payload was fully
+    /// validated by [`sparse_view`].
+    pub fn tensors(&self) -> impl Iterator<Item = SparseTensorView<'a>> + '_ {
+        let mut walker = SparseWalker {
+            payload: self.body,
+            remaining: self.count,
+        };
+        std::iter::from_fn(move || walker.next_tensor().expect("pre-validated payload"))
+    }
+}
+
+/// One tensor of a validated `EVSK` payload: shape plus the raw
+/// `(index, value)` entry region.
+#[derive(Debug, Clone, Copy)]
+pub struct SparseTensorView<'a> {
+    rows: usize,
+    cols: usize,
+    entries: &'a [u8],
+}
+
+impl<'a> SparseTensorView<'a> {
+    /// `(rows, cols)` of the tensor.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of transmitted entries.
+    pub fn nnz(&self) -> usize {
+        self.entries.len() / 12
+    }
+
+    /// Iterates the `(flat index, delta value)` entries in strictly
+    /// ascending index order.
+    pub fn entries(&self) -> impl ExactSizeIterator<Item = (u32, f64)> + 'a {
+        self.entries.chunks_exact(12).map(|rec| {
+            let idx = u32::from_le_bytes(rec[..4].try_into().expect("pre-validated payload"));
+            let val = f64::from_le_bytes(rec[4..].try_into().expect("pre-validated payload"));
+            (idx, val)
+        })
+    }
+}
+
+/// Shared validating walker behind [`sparse_view`].
+struct SparseWalker<'a> {
+    payload: &'a [u8],
+    remaining: usize,
+}
+
+impl<'a> SparseWalker<'a> {
+    fn next_tensor(&mut self) -> Result<Option<SparseTensorView<'a>>, WireError> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        self.remaining -= 1;
+        let mut cur = self.payload;
+        need(cur, 12)?;
+        let rows = cur.get_u32_le();
+        let cols = cur.get_u32_le();
+        let elements = check_shape(rows, cols)?;
+        let nnz = cur.get_u32_le() as u64;
+        if nnz > elements {
+            return Err(WireError::InvalidRecord(
+                "sparse nnz exceeds tensor elements",
+            ));
+        }
+        need(cur, (nnz * 12) as usize)?;
+        let (entries, rest) = cur.split_at((nnz * 12) as usize);
+        let mut walk = entries;
+        let mut prev: i64 = -1;
+        for _ in 0..nnz {
+            let idx = walk.get_u32_le();
+            if idx as u64 >= elements {
+                return Err(WireError::InvalidRecord("sparse index out of range"));
+            }
+            if i64::from(idx) <= prev {
+                return Err(WireError::InvalidRecord(
+                    "sparse indices not strictly ascending",
+                ));
+            }
+            prev = i64::from(idx);
+            walk.advance(8);
+        }
+        self.payload = rest;
+        Ok(Some(SparseTensorView {
+            rows: rows as usize,
+            cols: cols as usize,
+            entries,
+        }))
+    }
 }
 
 /// Validates the common `magic | version | count` header and returns the
@@ -627,6 +1040,283 @@ fn decode_str(payload: &mut &[u8], len: usize) -> Result<String, WireError> {
     String::from_utf8(bytes).map_err(|_| WireError::InvalidRecord("string is not UTF-8"))
 }
 
+/// Format magic for the binary run-configuration record (`"EVCF"`).
+const CONFIG_MAGIC: [u8; 4] = *b"EVCF";
+
+// Aggregator discriminants (EVCF).
+const TAG_AGG_FED_AVG: u8 = 0;
+const TAG_AGG_MEDIAN: u8 = 1;
+const TAG_AGG_TRIMMED_MEAN: u8 = 2;
+const TAG_AGG_KRUM: u8 = 3;
+// Round-selector discriminants (EVCF).
+const TAG_SEL_EVERY: u8 = 0;
+const TAG_SEL_ONLY: u8 = 1;
+const TAG_SEL_FROM: u8 = 2;
+const TAG_SEL_PROBABILITY: u8 = 3;
+// Compression-mode discriminants (EVCF).
+const TAG_COMP_NONE: u8 = 0;
+const TAG_COMP_QUANT8: u8 = 1;
+const TAG_COMP_TOP_K: u8 = 2;
+
+/// Encodes a [`FederatedConfig`] as a self-describing `EVCF` binary
+/// record — the socket handshake's `Welcome.config` blob, replacing the
+/// JSON the handshake used to carry so the whole protocol speaks one
+/// codec.
+///
+/// # Examples
+///
+/// ```
+/// use evfad_federated::{wire, FederatedConfig};
+///
+/// let cfg = FederatedConfig::default();
+/// let blob = wire::encode_config(&cfg);
+/// assert_eq!(wire::decode_config(&blob)?, cfg);
+/// # Ok::<(), evfad_federated::wire::WireError>(())
+/// ```
+pub fn encode_config(config: &FederatedConfig) -> Bytes {
+    let mut buf = BytesMut::with_capacity(128);
+    buf.put_slice(&CONFIG_MAGIC);
+    buf.put_u16_le(VERSION);
+    buf.put_u32_le(config.rounds as u32);
+    buf.put_u32_le(config.epochs_per_round as u32);
+    buf.put_u32_le(config.batch_size as u32);
+    match config.aggregator {
+        Aggregator::FedAvg => buf.put_u8(TAG_AGG_FED_AVG),
+        Aggregator::Median => buf.put_u8(TAG_AGG_MEDIAN),
+        Aggregator::TrimmedMean { trim } => {
+            buf.put_u8(TAG_AGG_TRIMMED_MEAN);
+            buf.put_u32_le(trim as u32);
+        }
+        Aggregator::Krum { byzantine } => {
+            buf.put_u8(TAG_AGG_KRUM);
+            buf.put_u32_le(byzantine as u32);
+        }
+    }
+    buf.put_u8(u8::from(config.parallel));
+    buf.put_u32_le(config.threads as u32);
+    match config.dp {
+        None => buf.put_u8(0),
+        Some(dp) => {
+            buf.put_u8(1);
+            buf.put_f64_le(dp.clip_norm);
+            buf.put_f64_le(dp.noise_multiplier);
+        }
+    }
+    buf.put_f64_le(config.proximal_mu);
+    buf.put_f64_le(config.participation);
+    buf.put_u64_le(config.sampling_seed);
+    match &config.faults {
+        None => buf.put_u8(0),
+        Some(plan) => {
+            buf.put_u8(1);
+            encode_fault_plan(&mut buf, plan);
+        }
+    }
+    match config.compression {
+        CompressionMode::None => buf.put_u8(TAG_COMP_NONE),
+        CompressionMode::Quant8 => buf.put_u8(TAG_COMP_QUANT8),
+        CompressionMode::TopKDelta { k } => {
+            buf.put_u8(TAG_COMP_TOP_K);
+            buf.put_u32_le(k as u32);
+        }
+    }
+    buf.freeze()
+}
+
+/// Decodes an `EVCF` record (inverse of [`encode_config`]). Strict: the
+/// payload must contain exactly one record.
+///
+/// # Errors
+///
+/// Returns [`WireError`] on a malformed or truncated payload.
+pub fn decode_config(mut payload: &[u8]) -> Result<FederatedConfig, WireError> {
+    let payload = &mut payload;
+    need(payload, 6)?;
+    let mut got = [0u8; 4];
+    payload.copy_to_slice(&mut got);
+    if got != CONFIG_MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    let version = payload.get_u16_le();
+    if version != VERSION {
+        return Err(WireError::BadVersion(version));
+    }
+    need(payload, 12)?;
+    let rounds = payload.get_u32_le() as usize;
+    let epochs_per_round = payload.get_u32_le() as usize;
+    let batch_size = payload.get_u32_le() as usize;
+    need(payload, 1)?;
+    let aggregator = match payload.get_u8() {
+        TAG_AGG_FED_AVG => Aggregator::FedAvg,
+        TAG_AGG_MEDIAN => Aggregator::Median,
+        TAG_AGG_TRIMMED_MEAN => {
+            need(payload, 4)?;
+            Aggregator::TrimmedMean {
+                trim: payload.get_u32_le() as usize,
+            }
+        }
+        TAG_AGG_KRUM => {
+            need(payload, 4)?;
+            Aggregator::Krum {
+                byzantine: payload.get_u32_le() as usize,
+            }
+        }
+        tag => return Err(WireError::UnknownTag(tag)),
+    };
+    need(payload, 5)?;
+    let parallel = match payload.get_u8() {
+        0 => false,
+        1 => true,
+        tag => return Err(WireError::UnknownTag(tag)),
+    };
+    let threads = payload.get_u32_le() as usize;
+    need(payload, 1)?;
+    let dp = match payload.get_u8() {
+        0 => None,
+        1 => {
+            need(payload, 16)?;
+            Some(DpConfig {
+                clip_norm: payload.get_f64_le(),
+                noise_multiplier: payload.get_f64_le(),
+            })
+        }
+        tag => return Err(WireError::UnknownTag(tag)),
+    };
+    need(payload, 24)?;
+    let proximal_mu = payload.get_f64_le();
+    let participation = payload.get_f64_le();
+    let sampling_seed = payload.get_u64_le();
+    need(payload, 1)?;
+    let faults = match payload.get_u8() {
+        0 => None,
+        1 => Some(decode_fault_plan(payload)?),
+        tag => return Err(WireError::UnknownTag(tag)),
+    };
+    need(payload, 1)?;
+    let compression = match payload.get_u8() {
+        TAG_COMP_NONE => CompressionMode::None,
+        TAG_COMP_QUANT8 => CompressionMode::Quant8,
+        TAG_COMP_TOP_K => {
+            need(payload, 4)?;
+            CompressionMode::TopKDelta {
+                k: payload.get_u32_le() as usize,
+            }
+        }
+        tag => return Err(WireError::UnknownTag(tag)),
+    };
+    finish_record(payload)?;
+    Ok(FederatedConfig {
+        rounds,
+        epochs_per_round,
+        batch_size,
+        aggregator,
+        parallel,
+        threads,
+        dp,
+        proximal_mu,
+        participation,
+        sampling_seed,
+        faults,
+        compression,
+    })
+}
+
+/// Appends the binary encoding of one fault plan (`EVCF` sub-record).
+fn encode_fault_plan(buf: &mut BytesMut, plan: &FaultPlan) {
+    buf.put_u64_le(plan.seed);
+    buf.put_u32_le(plan.rules.len() as u32);
+    for rule in &plan.rules {
+        put_short_str(buf, &rule.client);
+        match rule.rounds {
+            RoundSelector::Every => buf.put_u8(TAG_SEL_EVERY),
+            RoundSelector::Only { round } => {
+                buf.put_u8(TAG_SEL_ONLY);
+                buf.put_u32_le(round as u32);
+            }
+            RoundSelector::From { round } => {
+                buf.put_u8(TAG_SEL_FROM);
+                buf.put_u32_le(round as u32);
+            }
+            RoundSelector::Probability { p } => {
+                buf.put_u8(TAG_SEL_PROBABILITY);
+                buf.put_f64_le(p);
+            }
+        }
+        encode_fault_kind(buf, rule.fault);
+    }
+    match plan.round_timeout_seconds {
+        None => buf.put_u8(0),
+        Some(t) => {
+            buf.put_u8(1);
+            buf.put_f64_le(t);
+        }
+    }
+    buf.put_u32_le(plan.retry_budget as u32);
+    buf.put_f64_le(plan.backoff_base_seconds);
+    buf.put_u32_le(plan.min_participants as u32);
+}
+
+/// Decodes one fault plan (inverse of [`encode_fault_plan`]).
+fn decode_fault_plan(payload: &mut &[u8]) -> Result<FaultPlan, WireError> {
+    need(payload, 12)?;
+    let seed = payload.get_u64_le();
+    let rule_count = payload.get_u32_le();
+    if rule_count > MAX_FAULT_EVENTS {
+        return Err(WireError::InvalidRecord("implausible fault rule count"));
+    }
+    let mut rules = Vec::with_capacity(rule_count as usize);
+    for _ in 0..rule_count {
+        let client = decode_short_str(payload)?;
+        need(payload, 1)?;
+        let rounds = match payload.get_u8() {
+            TAG_SEL_EVERY => RoundSelector::Every,
+            TAG_SEL_ONLY => {
+                need(payload, 4)?;
+                RoundSelector::Only {
+                    round: payload.get_u32_le() as usize,
+                }
+            }
+            TAG_SEL_FROM => {
+                need(payload, 4)?;
+                RoundSelector::From {
+                    round: payload.get_u32_le() as usize,
+                }
+            }
+            TAG_SEL_PROBABILITY => {
+                need(payload, 8)?;
+                RoundSelector::Probability {
+                    p: payload.get_f64_le(),
+                }
+            }
+            tag => return Err(WireError::UnknownTag(tag)),
+        };
+        let fault = decode_fault_kind(payload)?;
+        rules.push(FaultRule {
+            client,
+            rounds,
+            fault,
+        });
+    }
+    need(payload, 1)?;
+    let round_timeout_seconds = match payload.get_u8() {
+        0 => None,
+        1 => {
+            need(payload, 8)?;
+            Some(payload.get_f64_le())
+        }
+        tag => return Err(WireError::UnknownTag(tag)),
+    };
+    need(payload, 16)?;
+    Ok(FaultPlan {
+        seed,
+        rules,
+        round_timeout_seconds,
+        retry_budget: payload.get_u32_le() as usize,
+        backoff_base_seconds: payload.get_f64_le(),
+        min_participants: payload.get_u32_le() as usize,
+    })
+}
+
 /// Format magic for socket envelope messages (`"EVMS"`).
 pub const MESSAGE_MAGIC: [u8; 4] = *b"EVMS";
 
@@ -659,12 +1349,13 @@ pub enum Message {
         /// The connecting client's roster id.
         client_id: String,
     },
-    /// Server → client: handshake reply carrying the run configuration
-    /// (JSON, handshake-only — the round loop itself stays JSON-free) and
-    /// the shared initial global weights as an `EVFD` blob.
+    /// Server → client: handshake reply carrying the run configuration as
+    /// an `EVCF` blob (see [`encode_config`] — the handshake speaks the
+    /// same binary codec as the round loop) and the shared initial global
+    /// weights as an `EVFD` blob.
     Welcome {
-        /// `serde_json`-encoded [`crate::FederatedConfig`].
-        config_json: Bytes,
+        /// `EVCF`-encoded [`crate::FederatedConfig`].
+        config: Bytes,
         /// `EVFD`-encoded initial global weights.
         init_global: Bytes,
     },
@@ -758,11 +1449,11 @@ pub fn encode_message(buf: &mut BytesMut, msg: &Message) {
             put_short_str(buf, client_id);
         }
         Message::Welcome {
-            config_json,
+            config,
             init_global,
         } => {
             buf.put_u8(TAG_WELCOME);
-            put_blob(buf, config_json);
+            put_blob(buf, config);
             put_blob(buf, init_global);
         }
         Message::Broadcast { round, global } => {
@@ -836,7 +1527,7 @@ pub fn decode_message(mut payload: &[u8]) -> Result<Message, WireError> {
             client_id: decode_short_str(payload)?,
         },
         TAG_WELCOME => Message::Welcome {
-            config_json: decode_blob(payload)?,
+            config: decode_blob(payload)?,
             init_global: decode_blob(payload)?,
         },
         TAG_BROADCAST => {
@@ -1327,7 +2018,7 @@ mod tests {
                 client_id: "z105".into(),
             },
             Message::Welcome {
-                config_json: Bytes::copy_from_slice(b"{\"rounds\":3}"),
+                config: encode_config(&FederatedConfig::default()),
                 init_global: encode_weights(&sample_weights()),
             },
             Message::Broadcast {
@@ -1420,6 +2111,209 @@ mod tests {
         encode_message(&mut buf, &Message::Ack { round: 1 });
         buf[6] = 200;
         assert_eq!(decode_message(&buf), Err(WireError::UnknownTag(200)));
+    }
+
+    #[test]
+    fn quantized_view_yields_exactly_the_dequantized_values() {
+        let mut w = sample_weights();
+        w[0].as_mut_slice()[3] = f64::NAN;
+        w[0].as_mut_slice()[9] = f64::INFINITY;
+        w[1].as_mut_slice()[2] = f64::NEG_INFINITY;
+        let q = QuantizedUpdate::quantize(&w);
+        let blob = encode_quantized(&q);
+        let view = quantized_view(&blob).unwrap();
+        let decoded = q.dequantize();
+        assert_eq!(view.tensor_count(), decoded.len());
+        for (t, m) in view.tensors().zip(&decoded) {
+            assert_eq!(t.shape(), m.shape());
+            assert_eq!(t.values().len(), m.len());
+            for (a, &b) in t.values().zip(m.as_slice()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        assert_eq!(view.tensors().map(|t| t.special_count()).sum::<usize>(), 3);
+    }
+
+    #[test]
+    fn sparse_view_yields_exactly_the_decoded_entries() {
+        let base = sample_weights();
+        let mut update = sample_weights();
+        update[0].as_mut_slice()[5] += 2.0;
+        update[0].as_mut_slice()[11] = f64::NAN;
+        update[1].as_mut_slice()[0] -= 0.5;
+        let d = SparseDelta::top_k(&update, &base, 4);
+        let blob = encode_sparse(&d);
+        let view = sparse_view(&blob).unwrap();
+        assert_eq!(view.tensor_count(), d.tensors.len());
+        for (t, dt) in view.tensors().zip(&d.tensors) {
+            assert_eq!(t.shape(), (dt.rows, dt.cols));
+            assert_eq!(t.nnz(), dt.indices.len());
+            for ((idx, val), (&di, &dv)) in t.entries().zip(dt.indices.iter().zip(&dt.values)) {
+                assert_eq!(idx, di);
+                assert_eq!(val.to_bits(), dv.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn views_reject_everything_the_decoders_reject() {
+        let mut w = sample_weights();
+        w[0].as_mut_slice()[0] = f64::NAN;
+        let q = QuantizedUpdate::quantize(&w);
+        let q_blob = encode_quantized(&q);
+        let base = [Matrix::zeros(5, 7), Matrix::zeros(1, 4)];
+        let d = SparseDelta::top_k(&sample_weights(), &base, 4);
+        let s_blob = encode_sparse(&d);
+        // Truncation at every cut reports the same error class as the
+        // decoder, and never mutates caller state (views have none).
+        for cut in 0..q_blob.len() {
+            assert_eq!(
+                quantized_view(&q_blob[..cut]).err().is_some(),
+                decode_quantized(&q_blob[..cut]).err().is_some()
+            );
+        }
+        for cut in 0..s_blob.len() {
+            assert_eq!(
+                sparse_view(&s_blob[..cut]).err().is_some(),
+                decode_sparse(&s_blob[..cut]).err().is_some()
+            );
+        }
+        // Trailing garbage.
+        let mut padded = q_blob.to_vec();
+        padded.push(7);
+        assert_eq!(
+            quantized_view(&padded).err(),
+            Some(WireError::TrailingBytes { extra: 1 })
+        );
+        // Out-of-range special index.
+        let mut corrupt = q_blob.to_vec();
+        let idx_at = 10 + 8 + 16 + 4 + q.tensors[0].codes.len();
+        corrupt[idx_at..idx_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            quantized_view(&corrupt),
+            Err(WireError::InvalidRecord(_))
+        ));
+    }
+
+    #[test]
+    fn non_ascending_indices_are_rejected_by_decoders_and_views() {
+        let mut w = sample_weights();
+        w[0].as_mut_slice()[0] = f64::NAN;
+        w[0].as_mut_slice()[1] = f64::NAN;
+        let q = QuantizedUpdate::quantize(&w);
+        assert_eq!(q.tensors[0].special_idx, vec![0, 1]);
+        let mut blob = encode_quantized(&q).to_vec();
+        // Swap the two special records: indices become [1, 0].
+        let at = 10 + 8 + 16 + 4 + q.tensors[0].codes.len();
+        let (a, b) = (at, at + 12);
+        let mut swapped = blob.clone();
+        swapped[a..a + 12].copy_from_slice(&blob[b..b + 12]);
+        swapped[b..b + 12].copy_from_slice(&blob[a..a + 12]);
+        assert_eq!(
+            decode_quantized(&swapped),
+            Err(WireError::InvalidRecord(
+                "quantized special indices not strictly ascending"
+            ))
+        );
+        assert!(quantized_view(&swapped).is_err());
+        // A duplicated index is just as dead.
+        blob[b..b + 4].copy_from_slice(&0u32.to_le_bytes());
+        assert!(decode_quantized(&blob).is_err());
+
+        let base = vec![Matrix::zeros(2, 3)];
+        let update = vec![Matrix::from_fn(2, 3, |i, j| (i * 3 + j) as f64 + 1.0)];
+        let d = SparseDelta::top_k(&update, &base, 3);
+        let mut s_blob = encode_sparse(&d).to_vec();
+        // Swap the first two entries of the first tensor.
+        let at = 10 + 12;
+        let tmp = s_blob[at..at + 12].to_vec();
+        let next = s_blob[at + 12..at + 24].to_vec();
+        s_blob[at..at + 12].copy_from_slice(&next);
+        s_blob[at + 12..at + 24].copy_from_slice(&tmp);
+        assert_eq!(
+            decode_sparse(&s_blob),
+            Err(WireError::InvalidRecord(
+                "sparse indices not strictly ascending"
+            ))
+        );
+        assert!(sparse_view(&s_blob).is_err());
+    }
+
+    #[test]
+    fn config_round_trips_through_the_binary_codec() {
+        let mut cfg = FederatedConfig {
+            rounds: 7,
+            epochs_per_round: 3,
+            batch_size: 16,
+            aggregator: Aggregator::TrimmedMean { trim: 2 },
+            parallel: false,
+            threads: 3,
+            dp: Some(DpConfig {
+                clip_norm: 1.5,
+                noise_multiplier: 0.25,
+            }),
+            proximal_mu: 0.01,
+            participation: 0.6,
+            sampling_seed: 42,
+            faults: None,
+            compression: CompressionMode::TopKDelta { k: 128 },
+        };
+        assert_eq!(decode_config(&encode_config(&cfg)).unwrap(), cfg);
+
+        cfg.faults = Some(
+            FaultPlan::new(9)
+                .with_rule("z102", RoundSelector::Only { round: 1 }, FaultKind::DropOut)
+                .with_rule(
+                    "z105",
+                    RoundSelector::Every,
+                    FaultKind::Straggler { delay_seconds: 3.0 },
+                )
+                .with_rule(
+                    "z108",
+                    RoundSelector::From { round: 2 },
+                    FaultKind::Corrupt {
+                        corruption: Corruption::NanFlood,
+                    },
+                )
+                .with_rule(
+                    "z103",
+                    RoundSelector::Probability { p: 0.5 },
+                    FaultKind::Corrupt {
+                        corruption: Corruption::Scale { factor: -4.0 },
+                    },
+                )
+                .with_rule(
+                    "z104",
+                    RoundSelector::Every,
+                    FaultKind::Transient { failures: 2 },
+                )
+                .with_timeout(30.0)
+                .with_retry(5, 0.5)
+                .with_min_participants(2),
+        );
+        cfg.aggregator = Aggregator::Krum { byzantine: 1 };
+        cfg.compression = CompressionMode::Quant8;
+        assert_eq!(decode_config(&encode_config(&cfg)).unwrap(), cfg);
+
+        assert_eq!(
+            decode_config(&encode_config(&FederatedConfig::default())).unwrap(),
+            FederatedConfig::default()
+        );
+    }
+
+    #[test]
+    fn config_codec_rejects_corruption() {
+        let blob = encode_config(&FederatedConfig::default());
+        let mut bad = blob.to_vec();
+        bad[0] = b'X';
+        assert_eq!(decode_config(&bad), Err(WireError::BadMagic));
+        let mut padded = blob.to_vec();
+        padded.push(0);
+        assert_eq!(
+            decode_config(&padded),
+            Err(WireError::TrailingBytes { extra: 1 })
+        );
+        assert_needed_walk(&blob, decode_config);
     }
 
     #[test]

@@ -7,7 +7,10 @@
 //! `to_string`/`to_vec` process-wide; this test lives in its own
 //! integration-test binary so no parallel test can inflate the counter.
 
-use evfad_federated::{CompressionMode, FederatedConfig, FederatedSimulation};
+use evfad_federated::socket::SocketServerConfig;
+use evfad_federated::{
+    CompressionMode, FederatedConfig, FederatedSimulation, SocketClient, SocketServer,
+};
 use evfad_nn::{forecaster_model, Sample};
 use evfad_tensor::Matrix;
 
@@ -46,6 +49,54 @@ fn run_mode(compression: CompressionMode) {
         "round loop serialised JSON under {compression} — the zero-serialization comms path regressed"
     );
     assert!(out.traffic.bytes > 0, "metering still recorded real bytes");
+}
+
+#[test]
+fn socket_session_is_json_free_handshake_included() {
+    // The handshake used to ship `FederatedConfig` as JSON inside the
+    // binary Welcome envelope; it is now the EVCF binary codec. The gate
+    // covers the whole session — bind, Hello/Welcome handshake, rounds,
+    // Done — from both ends, which run in this one process.
+    let model = forecaster_model(4, 3);
+    let cfg = FederatedConfig {
+        rounds: 2,
+        epochs_per_round: 1,
+        batch_size: 16,
+        compression: CompressionMode::Quant8,
+        ..FederatedConfig::default()
+    };
+    let ids = vec!["z102".to_string(), "z105".to_string()];
+    let before = serde_json::serialization_count();
+    let mut server = SocketServer::bind(
+        ("127.0.0.1", 0),
+        model.clone(),
+        SocketServerConfig::new(cfg, ids.clone()),
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+    let clients: Vec<_> = ids
+        .iter()
+        .enumerate()
+        .map(|(i, id)| {
+            let id = id.clone();
+            let model = model.clone();
+            let data = samples(i as f64 * 0.8);
+            std::thread::spawn(move || {
+                SocketClient { time_dilation: 0.0 }.run(addr, id, model, data)
+            })
+        })
+        .collect();
+    let outcome = server.run().expect("server run");
+    for c in clients {
+        c.join().expect("client thread").expect("client run");
+    }
+    let after = serde_json::serialization_count();
+    assert_eq!(
+        after - before,
+        0,
+        "socket session serialised JSON — the binary handshake regressed"
+    );
+    assert!(outcome.traffic.bytes > 0);
 }
 
 #[test]
